@@ -1,0 +1,21 @@
+//! Criterion bench: regenerates Figure 6 (max degree sweep) at bench scale.
+//!
+//! The measured unit is one full regeneration of the paper artifact —
+//! workload generation, the discrete-event runs for every sweep point and
+//! scheme, and result aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let opts = dup_bench::bench_opts();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("regenerate", |b| {
+        b.iter(|| black_box(dup_harness::fig6::run(&opts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

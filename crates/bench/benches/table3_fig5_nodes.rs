@@ -1,0 +1,21 @@
+//! Criterion bench: regenerates Table III and Figure 5 (network-size
+//! sweeps) at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let opts = dup_bench::bench_opts();
+    let mut group = c.benchmark_group("table3_fig5");
+    group.sample_size(10);
+    group.bench_function("table3_regenerate", |b| {
+        b.iter(|| black_box(dup_harness::table3::run(&opts)))
+    });
+    group.bench_function("fig5_regenerate", |b| {
+        b.iter(|| black_box(dup_harness::fig5::run(&opts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark support for the `dup-p2p` reproduction.
+//!
+//! The real content lives in `benches/`: one Criterion target per table and
+//! figure of the paper (each runs the corresponding harness experiment at
+//! bench scale), plus microbenchmarks of the substrates. This library crate
+//! only hosts small shared helpers.
+
+use dup_harness::{HarnessOpts, Scale};
+
+/// The harness options every bench target uses: minimal scale, fixed seed,
+/// single-threaded sweeps (Criterion already owns the parallelism story).
+pub fn bench_opts() -> HarnessOpts {
+    HarnessOpts {
+        scale: Scale::Bench,
+        seed: 42,
+        jobs: 1,
+        reps: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_opts_are_minimal() {
+        let opts = bench_opts();
+        assert_eq!(opts.scale, Scale::Bench);
+        assert_eq!(opts.jobs, 1);
+    }
+}

@@ -1,0 +1,911 @@
+//! The DUP scheme implementation.
+
+use dup_overlay::{NodeId, SearchTree};
+use dup_proto::scheme::{AppliedChurn, Ctx, Scheme};
+use dup_proto::{IndexRecord, MsgClass};
+
+/// DUP's wire messages (§III-B), plus the direct index push.
+#[derive(Debug, Clone, Copy)]
+pub enum DupMsg {
+    /// `subscribe(subject)`: the branch below the sender now has `subject`
+    /// as its nearest subscribed node; routed hop-by-hop toward the root.
+    Subscribe {
+        /// The subscribing node (or the representative being announced
+        /// during failure repair).
+        subject: NodeId,
+    },
+    /// `unsubscribe(subject)`: `subject` is no longer a subscriber; clears
+    /// the virtual path hop-by-hop toward the root.
+    Unsubscribe {
+        /// The entry to remove.
+        subject: NodeId,
+    },
+    /// `substitute(old, new)`: upstream nodes replace `old` with `new` in
+    /// their subscriber lists.
+    Substitute {
+        /// The entry being replaced.
+        old: NodeId,
+        /// Its replacement.
+        new: NodeId,
+    },
+    /// A direct index push along the DUP tree (one overlay hop).
+    Push(IndexRecord),
+}
+
+/// Per-node DUP state: the subscriber list.
+///
+/// Invariants (checked by [`crate::audit`]): entries are unique; every entry
+/// is the node itself or a live strict descendant; at most one entry per
+/// downstream branch.
+#[derive(Debug, Clone, Default)]
+struct DupNode {
+    s_list: Vec<NodeId>,
+}
+
+/// The DUP scheme state across all nodes.
+#[derive(Debug, Clone, Default)]
+pub struct DupScheme {
+    nodes: Vec<DupNode>,
+}
+
+impl DupScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        DupScheme::default()
+    }
+
+    fn slot(&mut self, node: NodeId) -> &mut Vec<NodeId> {
+        if node.index() >= self.nodes.len() {
+            self.nodes.resize(node.index() + 1, DupNode::default());
+        }
+        &mut self.nodes[node.index()].s_list
+    }
+
+    /// The subscriber list of `node` (audits, tests).
+    pub fn s_list(&self, node: NodeId) -> &[NodeId] {
+        self.nodes
+            .get(node.index())
+            .map(|n| n.s_list.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// True when `node` has subscribed itself (it appears in its own list).
+    pub fn is_subscribed(&self, node: NodeId) -> bool {
+        self.s_list(node).contains(&node)
+    }
+
+    /// The node the parent should hold for `node`'s branch: with one entry,
+    /// that entry (a subscribed end node or a pass-through's subscriber);
+    /// with two or more, `node` itself — it is a DUP-tree fan-out point.
+    pub fn representative(&self, node: NodeId) -> Option<NodeId> {
+        let s = self.s_list(node);
+        match s.len() {
+            0 => None,
+            1 => Some(s[0]),
+            _ => Some(node),
+        }
+    }
+
+    /// Applies `mutate` to `node`'s subscriber list, then sends the parent
+    /// the Figure 3 maintenance message implied by the change of branch
+    /// representative: `subscribe` when a branch gains its first subscriber,
+    /// `unsubscribe` when it loses its last, `substitute` when the
+    /// representative changes. This one primitive yields exactly the
+    /// paper's message cascades (each recipient reapplies it).
+    fn with_resync(
+        &mut self,
+        ctx: &mut Ctx<'_, DupMsg>,
+        node: NodeId,
+        mutate: impl FnOnce(&mut Vec<NodeId>),
+    ) {
+        let before = self.representative(node);
+        mutate(self.slot(node));
+        let after = self.representative(node);
+        if node == ctx.root() || before == after {
+            return;
+        }
+        let parent = match ctx.tree().parent(node) {
+            Some(p) => p,
+            None => return,
+        };
+        let msg = match (before, after) {
+            (None, Some(new)) => DupMsg::Subscribe { subject: new },
+            (Some(old), None) => DupMsg::Unsubscribe { subject: old },
+            (Some(old), Some(new)) => DupMsg::Substitute { old, new },
+            (None, None) => unreachable!("guarded by before == after"),
+        };
+        ctx.send(node, parent, MsgClass::Control, msg);
+    }
+
+    fn add_entry(list: &mut Vec<NodeId>, entry: NodeId) {
+        if !list.contains(&entry) {
+            list.push(entry);
+        }
+    }
+
+    /// The existing entry (other than `node` itself) that already covers
+    /// `subject`: the subject itself, or an ancestor of it lying on the same
+    /// branch — meaning `subject` is already reachable through that entry.
+    fn covering_entry(&self, tree: &SearchTree, node: NodeId, subject: NodeId) -> Option<NodeId> {
+        // Entries naming departed nodes may linger until their cleanup
+        // cascade arrives; they cover nothing.
+        self.s_list(node)
+            .iter()
+            .copied()
+            .filter(|&a| tree.is_alive(a))
+            .find(|&a| a != node && (a == subject || tree.is_ancestor(a, subject)))
+    }
+
+    /// Inserts `subject` into `node`'s list, removing entries it supersedes
+    /// (descendants of `subject` on the same branch — possible only during
+    /// repair races), and resyncs upstream.
+    fn subsuming_add(&mut self, ctx: &mut Ctx<'_, DupMsg>, node: NodeId, subject: NodeId) {
+        let superseded: Vec<NodeId> = self
+            .s_list(node)
+            .iter()
+            .copied()
+            .filter(|&e| {
+                e != node
+                    && e != subject
+                    && ctx.tree().is_alive(e)
+                    && ctx.tree().is_ancestor(subject, e)
+            })
+            .collect();
+        self.with_resync(ctx, node, |list| {
+            list.retain(|e| !superseded.contains(e));
+            Self::add_entry(list, subject);
+        });
+    }
+
+    /// Keep-alive re-assertion: a subscribed node periodically re-announces
+    /// itself up its search path, repairing any upstream state lost to
+    /// failures (the virtual-path analogue of the paper's keep-alive
+    /// messages to the authority).
+    pub fn reassert(&mut self, ctx: &mut Ctx<'_, DupMsg>, node: NodeId) {
+        if !self.is_subscribed(node) || node == ctx.root() {
+            return;
+        }
+        if let Some(parent) = ctx.tree().parent(node) {
+            ctx.send(
+                node,
+                parent,
+                MsgClass::Control,
+                DupMsg::Subscribe { subject: node },
+            );
+        }
+    }
+
+    /// Pushes `record` to every subscriber-list entry of `node` except
+    /// itself — each a direct, single-hop overlay transfer.
+    fn push_to_entries(&mut self, ctx: &mut Ctx<'_, DupMsg>, node: NodeId, record: IndexRecord) {
+        let entries = self.slot(node).clone();
+        for entry in entries {
+            if entry != node && ctx.tree().is_alive(entry) {
+                ctx.send(node, entry, MsgClass::Push, DupMsg::Push(record));
+            }
+        }
+    }
+
+    /// Processes one piggybacked subscription for `rider` at `at`. Returns
+    /// true when the subscription is complete (covered, caught at a fan-out
+    /// point, or absorbed at the root); false when it must keep riding.
+    fn rider_subscribe(&mut self, ctx: &mut Ctx<'_, DupMsg>, at: NodeId, rider: NodeId) -> bool {
+        if rider == at || !ctx.tree().is_alive(rider) {
+            return true;
+        }
+        if self.covering_entry(ctx.tree(), at, rider).is_some() {
+            return true;
+        }
+        let superseded: Vec<NodeId> = self
+            .s_list(at)
+            .iter()
+            .copied()
+            .filter(|&e| {
+                e != at && e != rider && ctx.tree().is_alive(e) && ctx.tree().is_ancestor(rider, e)
+            })
+            .collect();
+        let before = self.representative(at);
+        {
+            let list = self.slot(at);
+            list.retain(|e| !superseded.contains(e));
+            Self::add_entry(list, rider);
+        }
+        let after = self.representative(at);
+        if at == ctx.root() || before == after {
+            return true;
+        }
+        match (before, after) {
+            // The branch just gained its first subscriber: the ride itself
+            // carries this fact upstream — no message.
+            (None, Some(_)) => false,
+            // The representative changed (fan-out promotion or entry
+            // replacement): an explicit, charged substitute fixes upstream
+            // state, and the subscription is caught here.
+            (Some(old), Some(new)) => {
+                if let Some(parent) = ctx.tree().parent(at) {
+                    ctx.send(at, parent, MsgClass::Control, DupMsg::Substitute { old, new });
+                }
+                true
+            }
+            (Some(_), None) | (None, None) => unreachable!("an entry was just added"),
+        }
+    }
+
+    /// §III-C repair for a removed node; `old_list` is its final subscriber
+    /// list.
+    fn repair_after_removal(
+        &mut self,
+        ctx: &mut Ctx<'_, DupMsg>,
+        change: &AppliedChurn,
+        old_list: Vec<NodeId>,
+    ) {
+        let removed = change.removed.expect("repair requires a removed node");
+        let replacement = change
+            .replacement
+            .expect("removal always designates a replacement");
+        let inherited: Vec<NodeId> = old_list
+            .iter()
+            .copied()
+            .filter(|&e| e != removed && ctx.tree().is_alive(e))
+            .collect();
+        if change.root_changed {
+            // Case 5: the authority failed (or left) and a fresh node took
+            // over its key space. The old root's subscriber list is gone;
+            // each adopted child that still has a representative informs the
+            // new root ("N2 can still setup the virtual path and inform the
+            // new root that it should push the index to N3").
+            for &child in &change.adopted_children {
+                if !ctx.tree().is_alive(child) {
+                    continue;
+                }
+                if let Some(rep) = self.representative(child) {
+                    ctx.send(
+                        child,
+                        replacement,
+                        MsgClass::Control,
+                        DupMsg::Subscribe { subject: rep },
+                    );
+                }
+            }
+            return;
+        }
+        if change.graceful {
+            // The departing node hands its subscriber state to the neighbor
+            // taking over its key space ("the neighboring node … acts as
+            // N_i"): a local transfer, with one resync telling the upstream
+            // about the net representative change (e.g. Figure 2(c)'s
+            // substitute when the tree collapses to a single subscriber).
+            let old_rep = match old_list.len() {
+                0 => None,
+                1 => Some(old_list[0]),
+                _ => Some(removed),
+            };
+            self.with_resync(ctx, replacement, |list| {
+                if let Some(r) = old_rep {
+                    list.retain(|&e| e != r && e != removed);
+                }
+                for e in inherited {
+                    Self::add_entry(list, e);
+                }
+            });
+        } else {
+            // Silent failure: the parent detects the dead child and clears
+            // any entry naming it (cases 2 and 4); each orphaned subscriber
+            // entry detects the lost virtual path and re-subscribes through
+            // its new search path (cases 3 and 4). All repair messages are
+            // real and charged.
+            self.with_resync(ctx, replacement, |list| list.retain(|&e| e != removed));
+            for e in inherited {
+                // A tree-node entry keeps representing its own branch
+                // subscribers; re-announcing itself suffices, because
+                // everything below it survived intact.
+                if let Some(parent) = ctx.tree().parent(e) {
+                    ctx.send(e, parent, MsgClass::Control, DupMsg::Subscribe { subject: e });
+                }
+            }
+        }
+    }
+
+    /// Test-only: injects a raw subscriber-list entry, bypassing the
+    /// protocol — used by the audit's negative tests to verify that each
+    /// corruption class is actually detected.
+    #[cfg(test)]
+    pub(crate) fn test_inject_entry(&mut self, node: NodeId, entry: NodeId) {
+        self.slot(node).push(entry);
+    }
+
+    /// Nodes currently receiving pushes, discovered by walking entry edges
+    /// from the root (relay fan-out nodes included). Also used by audits.
+    pub fn push_set(&self, tree: &SearchTree) -> Vec<NodeId> {
+        let mut reached = Vec::new();
+        let mut stack = vec![tree.root()];
+        let mut seen = vec![false; self.nodes.len().max(tree.capacity())];
+        seen[tree.root().index()] = true;
+        while let Some(n) = stack.pop() {
+            for &e in self.s_list(n) {
+                if e != n && tree.is_alive(e) && !seen[e.index()] {
+                    seen[e.index()] = true;
+                    reached.push(e);
+                    stack.push(e);
+                }
+            }
+        }
+        reached
+    }
+}
+
+impl Scheme for DupScheme {
+    type Msg = DupMsg;
+
+    fn name(&self) -> &'static str {
+        "DUP"
+    }
+
+    /// Figure 3 event (A): on every query the node sees, an interested node
+    /// not yet in its own subscriber list subscribes itself — piggybacking
+    /// the subscription on the outgoing request when there is one ("sets the
+    /// interest bit in the request packet it sends out"), else explicitly.
+    fn on_query_step(
+        &mut self,
+        ctx: &mut Ctx<'_, DupMsg>,
+        node: NodeId,
+        _prev: Option<NodeId>,
+        riders: &mut Vec<NodeId>,
+        forwarding: bool,
+    ) {
+        // Subscriptions riding the incoming request take effect here.
+        riders.retain(|&r| !self.rider_subscribe(ctx, node, r));
+        if ctx.is_interested(node) && !self.is_subscribed(node) {
+            if forwarding {
+                // Join silently and let the request carry the news; the
+                // upstream representative change rides with it.
+                self.slot(node).push(node);
+                riders.push(node);
+            } else {
+                self.with_resync(ctx, node, |list| Self::add_entry(list, node));
+            }
+        }
+        if !forwarding && node != ctx.root() {
+            // The request stops here: any subscription still riding
+            // continues as explicit, charged messages.
+            if let Some(parent) = ctx.tree().parent(node) {
+                for rider in riders.drain(..) {
+                    ctx.send(
+                        node,
+                        parent,
+                        MsgClass::Control,
+                        DupMsg::Subscribe { subject: rider },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Figure 3 event (D): interest lapsed — unsubscribe.
+    fn on_interest_lost(&mut self, ctx: &mut Ctx<'_, DupMsg>, node: NodeId) {
+        if self.is_subscribed(node) {
+            self.with_resync(ctx, node, |list| list.retain(|&e| e != node));
+        }
+    }
+
+    /// The authority publishes a new version: push it down the DUP tree.
+    fn on_refresh(&mut self, ctx: &mut Ctx<'_, DupMsg>, record: IndexRecord) {
+        let root = ctx.root();
+        self.push_to_entries(ctx, root, record);
+    }
+
+    fn on_scheme_msg(&mut self, ctx: &mut Ctx<'_, DupMsg>, _from: NodeId, to: NodeId, msg: DupMsg) {
+        match msg {
+            // Figure 3 event (B).
+            DupMsg::Subscribe { subject } => {
+                if subject == to || !ctx.tree().is_alive(subject) {
+                    return;
+                }
+                if let Some(covering) = self.covering_entry(ctx.tree(), to, subject) {
+                    // Already covered: this virtual-path segment is intact,
+                    // but a re-asserted subscription (failure repair, §III-C
+                    // cases 3/4, or a keep-alive round) may be healing a
+                    // break higher up — keep the assertion moving toward the
+                    // authority. A pass-through forwards its representative;
+                    // a fan-out node re-asserts itself; the root absorbs.
+                    if to == ctx.root() {
+                        return;
+                    }
+                    let onward = if self.s_list(to).len() == 1 {
+                        covering
+                    } else {
+                        to
+                    };
+                    if let Some(parent) = ctx.tree().parent(to) {
+                        ctx.send(
+                            to,
+                            parent,
+                            MsgClass::Control,
+                            DupMsg::Subscribe { subject: onward },
+                        );
+                    }
+                    return;
+                }
+                self.subsuming_add(ctx, to, subject);
+            }
+            // Figure 3 event (E).
+            DupMsg::Unsubscribe { subject } => {
+                self.with_resync(ctx, to, |list| list.retain(|&e| e != subject));
+            }
+            // Figure 3 event (C).
+            DupMsg::Substitute { old, new } => {
+                self.with_resync(ctx, to, |list| {
+                    if let Some(pos) = list.iter().position(|&e| e == old) {
+                        if list.contains(&new) {
+                            list.remove(pos);
+                        } else {
+                            list[pos] = new;
+                        }
+                    }
+                });
+            }
+            DupMsg::Push(record) => {
+                ctx.install(to, record);
+                self.push_to_entries(ctx, to, record);
+            }
+        }
+    }
+
+    fn on_churn(&mut self, ctx: &mut Ctx<'_, DupMsg>, change: &AppliedChurn) {
+        if let Some(joined) = change.joined {
+            self.slot(joined);
+            if let Some(below) = change.join_below {
+                // A node spliced into an edge becomes an intermediate
+                // virtual-path node: it inherits, locally, the parent's
+                // entry for the branch that now hangs below it ("N3
+                // notifies N3' that N6 is in its subscriber list").
+                let parent = ctx
+                    .tree()
+                    .parent(joined)
+                    .expect("a spliced-in node has a parent");
+                let moved: Vec<NodeId> = self
+                    .s_list(parent)
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        e != parent
+                            && ctx.tree().is_alive(e)
+                            && (e == below || ctx.tree().is_ancestor(joined, e))
+                    })
+                    .collect();
+                for e in moved {
+                    Self::add_entry(self.slot(joined), e);
+                }
+            }
+            if change.removed.is_none() {
+                return;
+            }
+        }
+        if let Some(removed) = change.removed {
+            let old_list = std::mem::take(self.slot(removed));
+            self.repair_after_removal(ctx, change, old_list);
+        }
+    }
+
+    fn push_reach(&self, tree: &SearchTree) -> Option<Vec<NodeId>> {
+        Some(self.push_set(tree))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::audit_quiescent;
+    use crate::testkit::{paper_example_tree, TestBench};
+    use dup_proto::Version;
+
+    // Paper node names (ids shifted down by one).
+    const N1: NodeId = NodeId(0);
+    const N2: NodeId = NodeId(1);
+    const N3: NodeId = NodeId(2);
+    const N4: NodeId = NodeId(3);
+    const N5: NodeId = NodeId(4);
+    const N6: NodeId = NodeId(5);
+    const N7: NodeId = NodeId(6);
+    const N8: NodeId = NodeId(7);
+
+    fn bench() -> TestBench<DupScheme> {
+        TestBench::new(paper_example_tree(), DupScheme::new(), 2)
+    }
+
+    #[test]
+    fn figure2a_single_subscriber_builds_virtual_path() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        // N6 subscribed itself; N5, N3, N2, N1 hold N6 on the virtual path.
+        assert_eq!(b.scheme.s_list(N6), &[N6]);
+        assert_eq!(b.scheme.s_list(N5), &[N6]);
+        assert_eq!(b.scheme.s_list(N3), &[N6]);
+        assert_eq!(b.scheme.s_list(N2), &[N6]);
+        assert_eq!(b.scheme.s_list(N1), &[N6]);
+        // The DUP tree contains only N1 and N6: a push is one direct hop.
+        assert_eq!(b.scheme.push_set(&b.world.tree), vec![N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+        // Subscribe traveled N6→N5→N3→N2→N1: four control hops.
+        assert_eq!(b.control_hops(), 4);
+    }
+
+    #[test]
+    fn figure2a_push_costs_one_hop() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        let before = b.push_hops();
+        let record = b.refresh();
+        assert_eq!(b.push_hops() - before, 1, "direct push N1→N6 is one hop");
+        // N6 received the new version; intermediate nodes did not.
+        assert_eq!(b.world.cache.raw(N6).map(|r| r.version), Some(record.version));
+        assert_eq!(b.world.cache.raw(N5), None);
+        assert_eq!(b.world.cache.raw(N2), None);
+    }
+
+    #[test]
+    fn figure2b_second_subscriber_promotes_common_ancestor() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.make_interested(N4);
+        b.drain();
+        // N3 caught the converging subscriptions: it joins the DUP tree.
+        let mut l3 = b.scheme.s_list(N3).to_vec();
+        l3.sort();
+        assert_eq!(l3, vec![N4, N6]);
+        // Upstream, N3 replaced N6 via substitute.
+        assert_eq!(b.scheme.s_list(N2), &[N3]);
+        assert_eq!(b.scheme.s_list(N1), &[N3]);
+        // Push fan-out: root → N3 → {N4, N6}: three hops total.
+        let before = b.push_hops();
+        b.refresh();
+        assert_eq!(b.push_hops() - before, 3);
+        let mut reached = b.scheme.push_set(&b.world.tree);
+        reached.sort();
+        assert_eq!(reached, vec![N3, N4, N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn figure2c_unsubscribe_collapses_tree() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.make_interested(N4);
+        b.drain();
+        b.drop_interest(N6);
+        b.drain();
+        // N6's virtual path is cleared; N3 fell out of the DUP tree and
+        // upstream nodes now list N4 directly (Figure 2(c)).
+        assert_eq!(b.scheme.s_list(N6), &[] as &[NodeId]);
+        assert_eq!(b.scheme.s_list(N5), &[] as &[NodeId]);
+        assert_eq!(b.scheme.s_list(N3), &[N4]);
+        assert_eq!(b.scheme.s_list(N2), &[N4]);
+        assert_eq!(b.scheme.s_list(N1), &[N4]);
+        assert_eq!(b.scheme.push_set(&b.world.tree), vec![N4]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+        // Push is again a single direct hop N1→N4.
+        let before = b.push_hops();
+        b.refresh();
+        assert_eq!(b.push_hops() - before, 1);
+    }
+
+    #[test]
+    fn deeper_subscriber_chains_below_existing_end_node() {
+        // §III-B: if N7 or N8 joins, N6 takes care of them.
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.make_interested(N7);
+        b.drain();
+        let mut l6 = b.scheme.s_list(N6).to_vec();
+        l6.sort();
+        assert_eq!(l6, vec![N6, N7]);
+        // Upstream unchanged: N6 still represents the whole branch.
+        assert_eq!(b.scheme.s_list(N5), &[N6]);
+        assert_eq!(b.scheme.s_list(N1), &[N6]);
+        // Pushes: N1→N6→N7.
+        let mut reached = b.scheme.push_set(&b.world.tree);
+        reached.sort();
+        assert_eq!(reached, vec![N6, N7]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn intermediate_node_joining_replaces_descendant_as_subscriber() {
+        // §III-B: "for N5, after it joins the DUP tree, it replaces N6 as a
+        // subscriber of N3 and N5 lists N6 as its subscriber."
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.make_interested(N5);
+        b.drain();
+        let mut l5 = b.scheme.s_list(N5).to_vec();
+        l5.sort();
+        assert_eq!(l5, vec![N5, N6]);
+        assert_eq!(b.scheme.s_list(N3), &[N5]);
+        assert_eq!(b.scheme.s_list(N1), &[N5]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn root_subscription_needs_no_messages() {
+        let mut b = bench();
+        b.make_interested(N1);
+        b.drain();
+        assert_eq!(b.scheme.s_list(N1), &[N1]);
+        assert_eq!(b.control_hops(), 0);
+        // The root never pushes to itself.
+        let before = b.push_hops();
+        b.refresh();
+        assert_eq!(b.push_hops(), before);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn three_subscribers_share_fanout() {
+        let mut b = bench();
+        for n in [N4, N6, N8] {
+            b.make_interested(n);
+            b.drain();
+        }
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+        let mut reached = b.scheme.push_set(&b.world.tree);
+        reached.sort();
+        // N6 is both a subscriber and the relay for N8's branch.
+        assert_eq!(reached, vec![N3, N4, N6, N8]);
+        // Push cost: N1→N3, N3→N4, N3→N6, N6→N8 = 4 hops (CUP would pay 6:
+        // N1→N2→N3→N4/→N5→N6→N8... every tree edge on the paths).
+        let before = b.push_hops();
+        b.refresh();
+        assert_eq!(b.push_hops() - before, 4);
+    }
+
+    #[test]
+    fn resubscribe_after_lapse_is_idempotent() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.drop_interest(N6);
+        b.drain();
+        b.make_interested(N6);
+        b.drain();
+        assert_eq!(b.scheme.s_list(N1), &[N6]);
+        assert_eq!(b.scheme.s_list(N6), &[N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn pushed_record_is_served_fresh() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        let record = b.refresh();
+        assert_eq!(record.version, Version(2));
+        let now = b.engine.now();
+        assert_eq!(
+            b.world.cache.valid_at(N6, now).map(|r| r.version),
+            Some(Version(2))
+        );
+    }
+
+    // ---- §III-C: node arrival, departure, and failure -----------------
+
+    #[test]
+    fn join_between_extends_virtual_path() {
+        // "Suppose a new node N3' is inserted between N3 and N5 … N3'
+        // inserts N6 to its subscriber list, and becomes an intermediate
+        // node in the virtual path."
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        let n3p = b.join_between(N3, N5);
+        b.drain();
+        assert_eq!(b.scheme.s_list(n3p), &[N6]);
+        assert_eq!(b.scheme.s_list(N3), &[N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+        assert_eq!(b.scheme.push_set(&b.world.tree), vec![N6]);
+    }
+
+    #[test]
+    fn join_outside_virtual_path_changes_nothing() {
+        // "If the arriving node falls outside of any virtual path, such as
+        // between N6 and N8, nothing specific needs to be done."
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        let hops_before = b.control_hops();
+        let fresh = b.join_between(N6, N8);
+        let leaf = b.join_leaf(N7);
+        b.drain();
+        assert_eq!(b.scheme.s_list(fresh), &[] as &[NodeId]);
+        assert_eq!(b.scheme.s_list(leaf), &[] as &[NodeId]);
+        assert_eq!(b.control_hops(), hops_before);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn graceful_leave_of_end_node_clears_path() {
+        // "The only exception is when the leaving node is the end node of a
+        // virtual path … it sends an unsubscribe upstream."
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.remove(N6, true);
+        b.drain();
+        for n in [N5, N3, N2, N1] {
+            assert_eq!(b.scheme.s_list(n), &[] as &[NodeId], "stale entry at {n}");
+        }
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn graceful_leave_of_pass_through_keeps_subscription() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.remove(N5, true);
+        b.drain();
+        // N6 re-parents under N3; the virtual path shortens but survives.
+        assert_eq!(b.scheme.s_list(N3), &[N6]);
+        assert_eq!(b.scheme.s_list(N1), &[N6]);
+        assert_eq!(b.scheme.push_set(&b.world.tree), vec![N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn graceful_leave_of_dup_tree_node_hands_off() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.make_interested(N4);
+        b.drain();
+        // N3 is the fan-out node; its parent N2 takes over on leave.
+        b.remove(N3, true);
+        b.drain();
+        let mut l2 = b.scheme.s_list(N2).to_vec();
+        l2.sort();
+        assert_eq!(l2, vec![N4, N6]);
+        assert_eq!(b.scheme.s_list(N1), &[N2]);
+        let mut reached = b.scheme.push_set(&b.world.tree);
+        reached.sort();
+        assert_eq!(reached, vec![N2, N4, N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn failure_case2_end_node() {
+        // Failed node is the last node of a virtual path (e.g. N6): the
+        // upstream detects it and clears the path.
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.remove(N6, false);
+        b.drain();
+        for n in [N5, N3, N2, N1] {
+            assert_eq!(b.scheme.s_list(n), &[] as &[NodeId], "stale entry at {n}");
+        }
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn failure_case3_inside_virtual_path() {
+        // Failed node inside a virtual path (e.g. N5): N6 re-subscribes.
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.remove(N5, false);
+        b.drain();
+        assert_eq!(b.scheme.s_list(N3), &[N6]);
+        assert_eq!(b.scheme.s_list(N1), &[N6]);
+        assert_eq!(b.scheme.push_set(&b.world.tree), vec![N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn failure_case4_dup_tree_node() {
+        // Failed node is a DUP-tree fan-out (e.g. N3 in Figure 2(b)): both
+        // subscribers re-subscribe toward the replacement.
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.make_interested(N4);
+        b.drain();
+        b.remove(N3, false);
+        b.drain();
+        let mut l2 = b.scheme.s_list(N2).to_vec();
+        l2.sort();
+        assert_eq!(l2, vec![N4, N6]);
+        let mut reached = b.scheme.push_set(&b.world.tree);
+        reached.sort();
+        assert_eq!(reached, vec![N2, N4, N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn failure_case5_root() {
+        // The root fails; the fresh authority learns the propagation state
+        // from its children and pushing resumes.
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.make_interested(N4);
+        b.drain();
+        let change = b.remove(N1, false);
+        assert!(change.root_changed);
+        b.drain();
+        let new_root = b.world.tree.root();
+        assert_eq!(b.scheme.s_list(new_root), &[N3]);
+        let mut reached = b.scheme.push_set(&b.world.tree);
+        reached.sort();
+        assert_eq!(reached, vec![N3, N4, N6]);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+        let before = b.push_hops();
+        b.refresh();
+        assert_eq!(b.push_hops() - before, 3);
+    }
+
+    #[test]
+    fn failure_outside_virtual_path_is_free() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        let hops = b.control_hops();
+        b.remove(N7, false);
+        b.drain();
+        assert_eq!(b.control_hops(), hops);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod dead_entry_regressions {
+    use super::*;
+    use crate::testkit::{paper_example_tree, TestBench};
+
+    const N3: NodeId = NodeId(2);
+    const N5: NodeId = NodeId(4);
+    const N6: NodeId = NodeId(5);
+
+    /// Regression: a join under a node whose subscriber list still names a
+    /// failed node (its cleanup cascade is in flight) must not walk the dead
+    /// entry's ancestry. Found by the full-scale churn sweep.
+    #[test]
+    fn join_between_tolerates_in_flight_dead_entry() {
+        let mut b = TestBench::new(paper_example_tree(), DupScheme::new(), 2);
+        b.make_interested(N6);
+        b.drain();
+        // N6 fails; the unsubscribe cascade is NOT drained yet, so N3 and
+        // N5 still hold the dead N6.
+        b.remove(N6, false);
+        assert!(b.scheme.s_list(N3).contains(&N6));
+        let joined = b.join_between(N3, N5);
+        b.drain();
+        // The newcomer inherited nothing from the dead entry, and the
+        // cascade cleaned everything up.
+        assert!(!b.scheme.s_list(joined).contains(&N6));
+        crate::audit::audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    /// Same hazard through the subscribe path: a live subscription arriving
+    /// at a node that still holds a dead entry on the same branch.
+    #[test]
+    fn subscribe_tolerates_in_flight_dead_entry() {
+        let mut b = TestBench::new(paper_example_tree(), DupScheme::new(), 2);
+        b.make_interested(N6);
+        b.drain();
+        b.remove(N6, false); // cascade in flight; N5 (NodeId 4) holds dead N6
+        // N7 re-parented under N5's... N7 was child of N6; after splice its
+        // parent is N5. Subscribe it while the dead entry lingers.
+        let n7 = NodeId(6);
+        b.make_interested(n7);
+        b.drain();
+        assert!(b.scheme.is_subscribed(n7));
+        let reach = b.scheme.push_set(&b.world.tree);
+        assert!(reach.contains(&n7));
+        crate::audit::audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+}

@@ -1,0 +1,186 @@
+//! A protocol host for one topic: drives a consistency scheme over a search
+//! tree with explicit (application-driven) subscriptions and event-driven
+//! publishing, instead of the query-workload runner.
+
+use dup_overlay::{NodeId, SearchTree};
+use dup_proto::scheme::{Ctx, Ev, Msg, Scheme, World};
+use dup_proto::{AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, MsgClass};
+use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
+use dup_workload::HopLatency;
+
+/// Hosts one scheme instance over one topic's search tree.
+///
+/// Subscription is app-driven: the interest threshold is zero, so a single
+/// subscription call marks the node interested and triggers the scheme's
+/// normal enrollment path (Figure 3 event (A)); unsubscribing triggers the
+/// lapse path (event (D)). Publishing mints a new version at the authority
+/// and lets the scheme propagate it.
+pub struct TopicHost<S: Scheme> {
+    /// Shared protocol state for this topic.
+    pub world: World,
+    engine: Engine<Ev<S::Msg>>,
+    /// The dissemination scheme.
+    pub scheme: S,
+}
+
+impl<S: Scheme> TopicHost<S> {
+    /// Creates a host over `tree`, with the paper's hop-latency model and a
+    /// per-topic RNG stream derived from `seed` and the topic `label`.
+    pub fn new(tree: SearchTree, scheme: S, seed: u64, label: &str) -> Self {
+        let ttl = SimDuration::from_mins(60);
+        let mut metrics = Metrics::new(1024);
+        metrics.start_recording();
+        let world = World {
+            cache: CacheStore::new(tree.capacity()),
+            authority: AuthorityClock::new(SimTime::ZERO, ttl, SimDuration::from_mins(1)),
+            interest: InterestTracker::new(ttl, 0, tree.capacity()),
+            metrics,
+            hop_latency: HopLatency::paper_default(),
+            latency_rng: stream_rng(seed, &format!("dissem-latency/{label}")),
+            fifo: std::collections::HashMap::new(),
+            tree,
+        };
+        TopicHost {
+            world,
+            engine: Engine::new(),
+            scheme,
+        }
+    }
+
+    /// Current simulated time inside this topic's event stream.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Runs a scheme hook with a wired context.
+    pub fn with_ctx<R>(&mut self, f: impl FnOnce(&mut S, &mut Ctx<'_, S::Msg>) -> R) -> R {
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            engine: &mut self.engine,
+        };
+        f(&mut self.scheme, &mut ctx)
+    }
+
+    /// Subscribes `node` to the topic (idempotent) and settles the
+    /// resulting maintenance traffic.
+    pub fn subscribe(&mut self, node: NodeId) {
+        let now = self.engine.now();
+        self.world.interest.observe(node, now);
+        let mut riders = Vec::new();
+        self.with_ctx(|s, ctx| s.on_query_step(ctx, node, None, &mut riders, false));
+        self.drain(|_, _, _| {});
+    }
+
+    /// Unsubscribes `node` (idempotent) and settles.
+    pub fn unsubscribe(&mut self, node: NodeId) {
+        self.world.interest.clear(node);
+        self.with_ctx(|s, ctx| s.on_interest_lost(ctx, node));
+        self.drain(|_, _, _| {});
+    }
+
+    /// Charges `hops` transfer hops of `class` against this topic (used by
+    /// the platform for publisher → rendezvous routing, which happens on
+    /// the ring rather than inside the topic tree).
+    pub fn charge(&mut self, class: MsgClass, hops: u32) {
+        for _ in 0..hops {
+            self.world.metrics.charge_hop(class);
+        }
+    }
+
+    /// Publishes a new event version at the authority and settles delivery,
+    /// reporting every message arrival to `inspect` as
+    /// `(recipient, message, arrival time)`.
+    pub fn publish(
+        &mut self,
+        mut inspect: impl FnMut(NodeId, &Msg<S::Msg>, SimTime),
+    ) -> IndexRecord {
+        let now = self.engine.now();
+        let record = self.world.authority.publish(now);
+        let root = self.world.tree.root();
+        self.world.cache.install(root, record);
+        self.with_ctx(|s, ctx| s.on_refresh(ctx, record));
+        self.drain(&mut inspect);
+        record
+    }
+
+    /// Delivers every in-flight message, reporting arrivals to `inspect`.
+    pub fn drain(&mut self, mut inspect: impl FnMut(NodeId, &Msg<S::Msg>, SimTime)) {
+        let world = &mut self.world;
+        let scheme = &mut self.scheme;
+        self.engine.run(|eng, ev| match ev {
+            Ev::Deliver { from, to, msg } => {
+                if !world.tree.is_alive(to) {
+                    return;
+                }
+                inspect(to, &msg, eng.now());
+                if let Msg::Scheme(m) = msg {
+                    let mut ctx = Ctx { world, engine: eng };
+                    scheme.on_scheme_msg(&mut ctx, from, to, m);
+                }
+            }
+            other => panic!("topic host saw unexpected event {other:?}"),
+        });
+    }
+
+    /// Total hops charged so far for `class`.
+    pub fn hops(&self, class: MsgClass) -> u64 {
+        self.world.metrics.ledger().hops(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dup_core::DupScheme;
+    use dup_overlay::{regular_search_tree, NodeId};
+    use dup_proto::Version;
+
+    fn host() -> TopicHost<DupScheme> {
+        TopicHost::new(regular_search_tree(15, 2), DupScheme::new(), 1, "t")
+    }
+
+    #[test]
+    fn subscribe_then_publish_delivers() {
+        let mut h = host();
+        let leaf = NodeId(14);
+        h.subscribe(leaf);
+        assert!(h.scheme.is_subscribed(leaf));
+        let mut delivered = Vec::new();
+        let record = h.publish(|to, _, at| delivered.push((to, at)));
+        assert_eq!(record.version, Version(2));
+        assert!(delivered.iter().any(|&(to, _)| to == leaf));
+        assert_eq!(
+            h.world.cache.raw(leaf).map(|r| r.version),
+            Some(record.version)
+        );
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut h = host();
+        let leaf = NodeId(14);
+        h.subscribe(leaf);
+        h.unsubscribe(leaf);
+        assert!(!h.scheme.is_subscribed(leaf));
+        let mut delivered = 0;
+        h.publish(|_, _, _| delivered += 1);
+        assert_eq!(delivered, 0);
+    }
+
+    #[test]
+    fn subscription_is_idempotent() {
+        let mut h = host();
+        let leaf = NodeId(9);
+        h.subscribe(leaf);
+        let hops_after_first = h.hops(MsgClass::Control);
+        h.subscribe(leaf);
+        assert_eq!(h.hops(MsgClass::Control), hops_after_first);
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let mut h = host();
+        h.charge(MsgClass::Request, 5);
+        assert_eq!(h.hops(MsgClass::Request), 5);
+    }
+}

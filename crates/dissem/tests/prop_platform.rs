@@ -1,0 +1,128 @@
+//! Property tests for the dissemination platform: after any sequence of
+//! subscribes/unsubscribes, a published event reaches exactly the current
+//! subscriber set (minus the rendezvous node, which originates the push),
+//! under both dissemination schemes.
+
+use proptest::prelude::*;
+
+use dup_dissem::{CupScheme, DisseminationPlatform, DisseminationScheme, DupScheme};
+use dup_overlay::NodeId;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(usize),
+    Unsubscribe(usize),
+    Publish(usize),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..4096).prop_map(Op::Subscribe),
+        1 => (0usize..4096).prop_map(Op::Unsubscribe),
+        1 => (0usize..4096).prop_map(Op::Publish),
+    ]
+}
+
+fn check_scheme<S: DisseminationScheme>(
+    seed: u64,
+    nodes: usize,
+    key: u64,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let mut platform: DisseminationPlatform<S> = DisseminationPlatform::new(nodes, &[key], seed);
+    let members: Vec<NodeId> = platform.nodes().collect();
+    let rendezvous = platform.rendezvous(key);
+    let mut subscribed: Vec<NodeId> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Subscribe(raw) => {
+                let n = members[raw % members.len()];
+                platform.subscribe(n, key);
+                if !subscribed.contains(&n) {
+                    subscribed.push(n);
+                }
+            }
+            Op::Unsubscribe(raw) => {
+                let n = members[raw % members.len()];
+                platform.unsubscribe(n, key);
+                subscribed.retain(|&s| s != n);
+            }
+            Op::Publish(raw) => {
+                let publisher = members[raw % members.len()];
+                let report = platform.publish(publisher, key);
+                let mut got: Vec<NodeId> = report.delivered.iter().map(|&(n, _)| n).collect();
+                got.sort();
+                let mut want: Vec<NodeId> = subscribed
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != rendezvous)
+                    .collect();
+                want.sort();
+                prop_assert_eq!(
+                    got,
+                    want,
+                    "{}: delivery set mismatch after {} ops",
+                    S::label(),
+                    ops.len()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dup_delivers_exactly_to_subscribers(
+        seed in 0u64..500,
+        nodes in 4usize..96,
+        key: u64,
+        ops in prop::collection::vec(op(), 1..40),
+    ) {
+        check_scheme::<DupScheme>(seed, nodes, key, &ops)?;
+    }
+
+    #[test]
+    fn scribe_delivers_exactly_to_subscribers(
+        seed in 0u64..500,
+        nodes in 4usize..96,
+        key: u64,
+        ops in prop::collection::vec(op(), 1..40),
+    ) {
+        check_scheme::<CupScheme>(seed, nodes, key, &ops)?;
+    }
+
+    /// DUP's per-node state never exceeds search-tree degree + 1, no matter
+    /// the subscription history.
+    #[test]
+    fn dup_state_always_degree_bounded(
+        seed in 0u64..200,
+        nodes in 4usize..96,
+        key: u64,
+        ops in prop::collection::vec(op(), 1..40),
+    ) {
+        let mut platform: DisseminationPlatform<DupScheme> =
+            DisseminationPlatform::new(nodes, &[key], seed);
+        let members: Vec<NodeId> = platform.nodes().collect();
+        for op in &ops {
+            match *op {
+                Op::Subscribe(raw) => platform.subscribe(members[raw % members.len()], key),
+                Op::Unsubscribe(raw) => platform.unsubscribe(members[raw % members.len()], key),
+                Op::Publish(raw) => {
+                    platform.publish(members[raw % members.len()], key);
+                }
+            }
+        }
+        let tree = platform.topic_tree(key);
+        let max_degree = tree.live_nodes().map(|n| tree.children(n).len()).max().unwrap();
+        let stats = platform.state_stats();
+        prop_assert!(
+            stats.max_entries_per_topic <= max_degree + 1,
+            "state {} exceeds degree bound {}",
+            stats.max_entries_per_topic,
+            max_degree + 1
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! `dup-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! dup-experiments [OPTIONS] [EXPERIMENTS...]
+//!
+//! EXPERIMENTS   any of: table2 fig4 table3 fig5 fig6 fig7 fig8
+//!               ext-churn ext-staleness ext-chord ext-placement
+//!               ext-policy ext-cup-halo
+//!               or `all` (default: all paper artifacts, no extensions)
+//!
+//! OPTIONS
+//!   --full           paper-scale runs (n=4096, 180000 s windows)
+//!   --bench-scale    minimal runs (Criterion-sized)
+//!   --seed <u64>     master seed (default 42)
+//!   --jobs <n>       worker threads (default: all cores)
+//!   --reps <n>       independent replications per sweep point (default 1;
+//!                    latency CIs then come from replication means)
+//!   --out <dir>      also write <dir>/<experiment>.json
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dup_harness::{all_experiments, experiment_by_name, HarnessOpts, Scale};
+
+fn main() -> ExitCode {
+    let mut opts = HarnessOpts::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => opts.scale = Scale::Full,
+            "--bench-scale" => opts.scale = Scale::Bench,
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => opts.seed = seed,
+                None => return usage("--seed needs an integer"),
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(jobs) => opts.jobs = jobs,
+                None => return usage("--jobs needs an integer"),
+            },
+            "--reps" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(reps) if reps >= 1 => opts.reps = reps,
+                _ => return usage("--reps needs a positive integer"),
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => return usage("--out needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown option {other}"));
+            }
+            name => selected.push(name.to_string()),
+        }
+    }
+
+    let paper_set = ["table2", "fig4", "table3", "fig5", "fig6", "fig7", "fig8"];
+    let names: Vec<String> = if selected.is_empty() {
+        paper_set.iter().map(|s| s.to_string()).collect()
+    } else if selected.iter().any(|s| s == "all") {
+        all_experiments().iter().map(|(n, _)| n.to_string()).collect()
+    } else {
+        selected
+    };
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "dup-experiments: scale={:?} seed={} experiments=[{}]\n",
+        opts.scale,
+        opts.seed,
+        names.join(", ")
+    );
+    for name in &names {
+        let Some(runner) = experiment_by_name(name) else {
+            return usage(&format!("unknown experiment {name}"));
+        };
+        let started = std::time::Instant::now();
+        let output = runner(&opts);
+        println!("== {} ==", output.title);
+        println!("{}", output.text);
+        println!("({} finished in {:.1?})\n", output.name, started.elapsed());
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.json", output.name));
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    let doc = serde_json::json!({
+                        "title": output.title,
+                        "scale": format!("{:?}", opts.scale),
+                        "seed": opts.seed,
+                        "results": output.json,
+                    });
+                    if let Err(e) = writeln!(f, "{}", serde_json::to_string_pretty(&doc).unwrap())
+                    {
+                        eprintln!("write {} failed: {e}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("create {} failed: {e}", path.display()),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: dup-experiments [--full|--bench-scale] [--seed N] [--jobs N] [--reps N] \
+         [--out DIR] [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all]..."
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,353 @@
+//! Shared experiment infrastructure: scaling presets, scheme dispatch, and
+//! a parallel sweep runner.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use dup_core::DupScheme;
+use dup_overlay::TopologyParams;
+use dup_proto::{run_simulation, CupScheme, PcxScheme, RunConfig, RunReport, TopologySource};
+use dup_sim::stream_seed;
+
+/// Experiment scale preset.
+///
+/// `Full` reproduces the paper's Table I setup (4096 nodes, ≥ 180 000
+/// simulated seconds). `Quick` shrinks the network and the measured window
+/// while keeping every dimensionless ratio that drives the dynamics —
+/// queries per node per TTL, interest threshold, TTL/push-lead — so shapes
+/// are preserved at a fraction of the wall-clock cost. `Bench` is smaller
+/// still, for Criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scale {
+    /// Paper-scale runs (minutes to hours of wall clock for full sweeps).
+    Full,
+    /// Default: shape-preserving scaled-down runs (seconds to minutes).
+    Quick,
+    /// Minimal runs for Criterion benchmarks.
+    Bench,
+}
+
+impl Scale {
+    /// Default network size at this scale.
+    pub fn nodes(self) -> usize {
+        match self {
+            Scale::Full => 4096,
+            Scale::Quick => 1024,
+            Scale::Bench => 256,
+        }
+    }
+
+    /// Measured window (seconds after warm-up).
+    pub fn duration_secs(self) -> f64 {
+        match self {
+            Scale::Full => 180_000.0,
+            Scale::Quick => 30_000.0,
+            Scale::Bench => 8_000.0,
+        }
+    }
+
+    /// Warm-up excluded from metrics (two TTLs at full scale).
+    pub fn warmup_secs(self) -> f64 {
+        match self {
+            Scale::Full => 7_200.0,
+            Scale::Quick => 7_200.0,
+            Scale::Bench => 3_600.0,
+        }
+    }
+
+    /// The λ values swept in Figure 4/8-style experiments.
+    pub fn lambda_sweep(self) -> Vec<f64> {
+        match self {
+            Scale::Full => vec![0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0],
+            Scale::Quick => vec![0.05, 0.25, 1.0, 4.0, 10.0],
+            Scale::Bench => vec![1.0],
+        }
+    }
+
+    /// The network sizes swept in Table III / Figure 5.
+    pub fn node_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Full => vec![1024, 2048, 4096, 8192, 16384],
+            Scale::Quick => vec![256, 512, 1024, 2048],
+            Scale::Bench => vec![128, 256],
+        }
+    }
+
+    /// Base configuration at this scale (Table I defaults otherwise).
+    pub fn base_config(self, seed: u64) -> RunConfig {
+        RunConfig {
+            topology: TopologySource::RandomTree(TopologyParams {
+                nodes: self.nodes(),
+                max_degree: 4,
+            }),
+            warmup_secs: self.warmup_secs(),
+            duration_secs: self.duration_secs(),
+            latency_batch: match self {
+                Scale::Full => 500,
+                Scale::Quick => 200,
+                Scale::Bench => 100,
+            },
+            ..RunConfig::paper_default(seed)
+        }
+    }
+}
+
+/// Global harness options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Master seed; per-point seeds derive from it.
+    pub seed: u64,
+    /// Worker threads for sweep points (0 = all cores).
+    pub jobs: usize,
+    /// Independent replications per sweep point (≥ 1). With more than one,
+    /// latency CIs come from the Student-t interval over replication means
+    /// instead of within-run batch means.
+    pub reps: usize,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            scale: Scale::Quick,
+            seed: 42,
+            jobs: 0,
+            reps: 1,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Derives a deterministic per-point seed from the experiment name and
+    /// point label, so sweep points are independent of execution order.
+    pub fn point_seed(&self, experiment: &str, point: &str) -> u64 {
+        stream_seed(self.seed, &format!("{experiment}/{point}"))
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// The three schemes under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SchemeKind {
+    /// Path caching with expiration (baseline).
+    Pcx,
+    /// Controlled update propagation (baseline).
+    Cup,
+    /// Dynamic-tree update propagation (the paper's contribution).
+    Dup,
+}
+
+impl SchemeKind {
+    /// All three, in the paper's presentation order.
+    pub const ALL: [SchemeKind; 3] = [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Pcx => "PCX",
+            SchemeKind::Cup => "CUP",
+            SchemeKind::Dup => "DUP",
+        }
+    }
+}
+
+/// Runs one simulation with the given scheme kind.
+pub fn scheme_run(kind: SchemeKind, cfg: &RunConfig) -> RunReport {
+    match kind {
+        SchemeKind::Pcx => run_simulation(cfg, PcxScheme::new()),
+        SchemeKind::Cup => run_simulation(cfg, CupScheme::new()),
+        SchemeKind::Dup => run_simulation(cfg, DupScheme::new()),
+    }
+}
+
+/// Reports for all three schemes on one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Triple {
+    /// PCX baseline.
+    pub pcx: RunReport,
+    /// CUP baseline.
+    pub cup: RunReport,
+    /// DUP.
+    pub dup: RunReport,
+}
+
+impl Triple {
+    /// CUP's cost relative to PCX.
+    pub fn rel_cup(&self) -> f64 {
+        self.cup.relative_cost_to(&self.pcx)
+    }
+
+    /// DUP's cost relative to PCX.
+    pub fn rel_dup(&self) -> f64 {
+        self.dup.relative_cost_to(&self.pcx)
+    }
+}
+
+/// Runs PCX, CUP, and DUP on the same configuration (same seed → same
+/// topology, workload, and latency streams; only the scheme differs).
+pub fn run_triple(cfg: &RunConfig) -> Triple {
+    Triple {
+        pcx: scheme_run(SchemeKind::Pcx, cfg),
+        cup: scheme_run(SchemeKind::Cup, cfg),
+        dup: scheme_run(SchemeKind::Dup, cfg),
+    }
+}
+
+/// Runs `opts.reps` independent replications of the triple (each with a
+/// seed derived from the configuration seed and the replication index) and
+/// aggregates them per scheme. With `reps == 1` this is [`run_triple`].
+pub fn run_triple_replicated(opts: &HarnessOpts, cfg: &RunConfig) -> Triple {
+    if opts.reps <= 1 {
+        return run_triple(cfg);
+    }
+    let mut pcx = Vec::with_capacity(opts.reps);
+    let mut cup = Vec::with_capacity(opts.reps);
+    let mut dup = Vec::with_capacity(opts.reps);
+    for rep in 0..opts.reps {
+        let mut rep_cfg = cfg.clone();
+        rep_cfg.seed = stream_seed(cfg.seed, &format!("rep/{rep}"));
+        let t = run_triple(&rep_cfg);
+        pcx.push(t.pcx);
+        cup.push(t.cup);
+        dup.push(t.dup);
+    }
+    Triple {
+        pcx: RunReport::aggregate(&pcx),
+        cup: RunReport::aggregate(&cup),
+        dup: RunReport::aggregate(&dup),
+    }
+}
+
+/// Runs `work` over `points` on a worker pool, preserving point order in the
+/// result. Each simulation is single-threaded and deterministic; points are
+/// independent, so order of execution cannot affect results.
+pub fn run_parallel<P, R, F>(opts: &HarnessOpts, points: Vec<P>, work: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let n = points.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = opts.worker_count().min(n.max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = work(&points[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every point produced a result"))
+        .collect()
+}
+
+/// A finished experiment: human-readable text plus machine-readable JSON.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id (e.g. "table2").
+    pub name: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Rendered tables/series.
+    pub text: String,
+    /// Structured results for EXPERIMENTS.md and plotting.
+    pub json: serde_json::Value,
+}
+
+/// Experiment registry entry: name → runner.
+type Runner = fn(&HarnessOpts) -> ExperimentOutput;
+
+/// All experiments in presentation order.
+pub fn all_experiments() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("table2", crate::table2::run as Runner),
+        ("fig4", crate::fig4::run as Runner),
+        ("table3", crate::table3::run as Runner),
+        ("fig5", crate::fig5::run as Runner),
+        ("fig6", crate::fig6::run as Runner),
+        ("fig7", crate::fig7::run as Runner),
+        ("fig8", crate::fig8::run as Runner),
+        ("ext-churn", crate::extensions::run_churn as Runner),
+        ("ext-staleness", crate::extensions::run_staleness as Runner),
+        ("ext-chord", crate::extensions::run_chord as Runner),
+        ("ext-placement", crate::extensions::run_placement as Runner),
+        ("ext-policy", crate::extensions::run_policy as Runner),
+        ("ext-cup-halo", crate::extensions::run_cup_halo as Runner),
+        ("ext-tails", crate::extensions::run_tails as Runner),
+        ("ext-cup-economic", crate::extensions::run_cup_economic as Runner),
+    ]
+}
+
+/// Looks up one experiment by name.
+pub fn experiment_by_name(name: &str) -> Option<Runner> {
+    all_experiments()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, r)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_seeds_are_stable_and_distinct() {
+        let opts = HarnessOpts::default();
+        let a = opts.point_seed("fig4", "lambda=1");
+        let b = opts.point_seed("fig4", "lambda=1");
+        let c = opts.point_seed("fig4", "lambda=2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let opts = HarnessOpts {
+            jobs: 4,
+            ..HarnessOpts::default()
+        };
+        let out = run_parallel(&opts, (0..50).collect(), |&x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+        assert!(experiment_by_name("table2").is_some());
+        assert!(experiment_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Bench.nodes() < Scale::Quick.nodes());
+        assert!(Scale::Quick.nodes() < Scale::Full.nodes());
+        assert!(Scale::Quick.duration_secs() < Scale::Full.duration_secs());
+        Scale::Quick.base_config(1).validate();
+        Scale::Full.base_config(1).validate();
+        Scale::Bench.base_config(1).validate();
+    }
+}

@@ -1,0 +1,347 @@
+//! Extension and ablation experiments (DESIGN.md X1–X6), beyond the paper's
+//! own evaluation.
+
+use dup_core::DupScheme;
+use dup_proto::{
+    run_simulation, ChurnConfig, CupScheme, InterestPolicy, RunConfig, TopologySource,
+};
+use dup_workload::RankPlacement;
+
+use crate::experiment::{run_triple, ExperimentOutput, HarnessOpts, Triple};
+use crate::report::{fmt_f, TextTable};
+
+fn triple_row(table: &mut TextTable, label: String, t: &Triple) {
+    table.row([
+        label,
+        fmt_f(t.pcx.latency_hops.mean),
+        fmt_f(t.cup.latency_hops.mean),
+        fmt_f(t.dup.latency_hops.mean),
+        fmt_f(t.pcx.avg_query_cost),
+        fmt_f(t.rel_cup()),
+        fmt_f(t.rel_dup()),
+    ]);
+}
+
+fn triple_header() -> TextTable {
+    TextTable::new([
+        "point",
+        "PCX lat",
+        "CUP lat",
+        "DUP lat",
+        "PCX cost",
+        "CUP/PCX",
+        "DUP/PCX",
+    ])
+}
+
+/// X1 — churn sweep: §III-C repair under increasing join/leave/failure
+/// rates. The paper describes the mechanisms but never measures them.
+pub fn run_churn(opts: &HarnessOpts) -> ExperimentOutput {
+    let rates = [0.0, 0.01, 0.05, 0.2, 1.0];
+    let results = crate::experiment::run_parallel(opts, rates.to_vec(), |&rate| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("ext-churn", &format!("rate={rate}")));
+        if rate > 0.0 {
+            cfg.churn = Some(ChurnConfig::balanced(rate));
+        }
+        (rate, run_triple(&cfg))
+    });
+    let mut table = triple_header();
+    let mut json = Vec::new();
+    for (rate, t) in &results {
+        triple_row(&mut table, format!("churn={rate}/s"), t);
+        json.push(serde_json::json!({
+            "churn_rate": rate,
+            "pcx": t.pcx, "cup": t.cup, "dup": t.dup,
+        }));
+    }
+    ExperimentOutput {
+        name: "ext-churn",
+        title: "X1: churn rate sweep (balanced join/leave/fail)",
+        text: table.render(),
+        json: serde_json::json!({"experiment": "ext-churn", "points": json}),
+    }
+}
+
+/// X2 — staleness: the fraction of queries answered with a superseded
+/// version, quantifying the weak-consistency gap PCX accepts.
+pub fn run_staleness(opts: &HarnessOpts) -> ExperimentOutput {
+    let lambdas = opts.scale.lambda_sweep();
+    let results = crate::experiment::run_parallel(opts, lambdas, |&lambda| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("ext-staleness", &format!("lambda={lambda}")));
+        cfg.lambda = lambda;
+        (lambda, run_triple(&cfg))
+    });
+    let mut table = TextTable::new(["λ (q/s)", "PCX stale", "CUP stale", "DUP stale"]);
+    let mut json = Vec::new();
+    for (lambda, t) in &results {
+        table.row([
+            fmt_f(*lambda),
+            fmt_f(t.pcx.stale_fraction),
+            fmt_f(t.cup.stale_fraction),
+            fmt_f(t.dup.stale_fraction),
+        ]);
+        json.push(serde_json::json!({
+            "lambda": lambda,
+            "stale": [t.pcx.stale_fraction, t.cup.stale_fraction, t.dup.stale_fraction],
+        }));
+    }
+    ExperimentOutput {
+        name: "ext-staleness",
+        title: "X2: fraction of queries served a superseded (stale) version",
+        text: table.render(),
+        json: serde_json::json!({"experiment": "ext-staleness", "points": json}),
+    }
+}
+
+/// X3 — the same comparison on a Chord-derived index search tree instead of
+/// the paper's synthetic random tree.
+pub fn run_chord(opts: &HarnessOpts) -> ExperimentOutput {
+    let sources = ["random-tree", "chord"];
+    let results = crate::experiment::run_parallel(opts, sources.to_vec(), |&source| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("ext-chord", source));
+        if source == "chord" {
+            cfg.topology = TopologySource::Chord {
+                nodes: opts.scale.nodes(),
+                key: 0xD05E_5EED,
+            };
+        }
+        (source, run_triple(&cfg))
+    });
+    let mut table = triple_header();
+    let mut json = Vec::new();
+    for (source, t) in &results {
+        triple_row(&mut table, source.to_string(), t);
+        json.push(serde_json::json!({
+            "topology": source,
+            "pcx": t.pcx, "cup": t.cup, "dup": t.dup,
+        }));
+    }
+    ExperimentOutput {
+        name: "ext-chord",
+        title: "X3: synthetic random tree vs Chord-derived search tree",
+        text: table.render(),
+        json: serde_json::json!({"experiment": "ext-chord", "points": json}),
+    }
+}
+
+/// X4 — Zipf rank placement ablation: the paper never says which nodes get
+/// the hot ranks.
+pub fn run_placement(opts: &HarnessOpts) -> ExperimentOutput {
+    let placements = [
+        ("random", RankPlacement::Random),
+        ("by-id", RankPlacement::ById),
+        ("shallow-first", RankPlacement::ByDepthShallowFirst),
+        ("deep-first", RankPlacement::ByDepthDeepFirst),
+    ];
+    let results = crate::experiment::run_parallel(opts, placements.to_vec(), |&(name, placement)| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("ext-placement", name));
+        cfg.rank_placement = placement;
+        (name, run_triple(&cfg))
+    });
+    let mut table = triple_header();
+    let mut json = Vec::new();
+    for (name, t) in &results {
+        triple_row(&mut table, name.to_string(), t);
+        json.push(serde_json::json!({
+            "placement": name,
+            "pcx": t.pcx, "cup": t.cup, "dup": t.dup,
+        }));
+    }
+    ExperimentOutput {
+        name: "ext-placement",
+        title: "X4: Zipf rank placement ablation",
+        text: table.render(),
+        json: serde_json::json!({"experiment": "ext-placement", "points": json}),
+    }
+}
+
+/// X5 — interest policy ablation: epoch counting (default) vs a strict
+/// sliding window, which reacts faster but thrashes boundary nodes.
+pub fn run_policy(opts: &HarnessOpts) -> ExperimentOutput {
+    let policies = [
+        ("epoch", InterestPolicy::Epoch),
+        ("sliding-window", InterestPolicy::SlidingWindow),
+    ];
+    let results = crate::experiment::run_parallel(opts, policies.to_vec(), |&(name, policy)| {
+        let mut cfg = opts.scale.base_config(opts.point_seed("ext-policy", name));
+        cfg.protocol.interest_policy = policy;
+        (name, run_triple(&cfg))
+    });
+    let mut table = TextTable::new([
+        "policy",
+        "DUP lat",
+        "DUP cost",
+        "DUP ctrl hops",
+        "CUP ctrl hops",
+        "DUP/PCX",
+    ]);
+    let mut json = Vec::new();
+    for (name, t) in &results {
+        table.row([
+            name.to_string(),
+            fmt_f(t.dup.latency_hops.mean),
+            fmt_f(t.dup.avg_query_cost),
+            t.dup.control_hops.to_string(),
+            t.cup.control_hops.to_string(),
+            fmt_f(t.rel_dup()),
+        ]);
+        json.push(serde_json::json!({
+            "policy": name,
+            "pcx": t.pcx, "cup": t.cup, "dup": t.dup,
+        }));
+    }
+    ExperimentOutput {
+        name: "ext-policy",
+        title: "X5: interest policy ablation (epoch vs sliding window)",
+        text: table.render(),
+        json: serde_json::json!({"experiment": "ext-policy", "points": json}),
+    }
+}
+
+/// X9 — CUP economic push cut-offs: the paper's CUP description includes a
+/// per-node benefit/overhead decision ("each node determines whether to
+/// push the index update further down the tree") and criticizes its
+/// consequence ("N6 is cut off from the update information. This incurs
+/// long delay"). This ablation turns the cut-off on with increasing
+/// thresholds and measures the latency degradation the paper attributes to
+/// CUP — the mechanism behind its Table III latency gaps.
+pub fn run_cup_economic(opts: &HarnessOpts) -> ExperimentOutput {
+    let variants: Vec<Option<u32>> = vec![None, Some(1), Some(3), Some(10)];
+    let results = crate::experiment::run_parallel(opts, variants, |&min| {
+        let seed = opts.point_seed("ext-cup-economic", "shared");
+        let cfg: RunConfig = opts.scale.base_config(seed);
+        let cup = match min {
+            None => run_simulation(&cfg, CupScheme::new()),
+            Some(min) => run_simulation(&cfg, CupScheme::with_economic_push(min)),
+        };
+        let dup = run_simulation(&cfg, DupScheme::new());
+        (min, cup, dup)
+    });
+    let mut table = TextTable::new([
+        "CUP cutoff",
+        "CUP lat",
+        "CUP p99",
+        "CUP push hops",
+        "CUP cost",
+        "DUP lat",
+    ]);
+    let mut json = Vec::new();
+    for (min, cup, dup) in &results {
+        let label = match min {
+            None => "always-push".to_string(),
+            Some(m) => format!("min {m} q/branch"),
+        };
+        table.row([
+            label,
+            fmt_f(cup.latency_hops.mean),
+            fmt_f(cup.latency_p99_hops),
+            cup.push_hops.to_string(),
+            fmt_f(cup.avg_query_cost),
+            fmt_f(dup.latency_hops.mean),
+        ]);
+        json.push(serde_json::json!({
+            "min_branch_queries": min,
+            "cup": cup, "dup": dup,
+        }));
+    }
+    ExperimentOutput {
+        name: "ext-cup-economic",
+        title: "X9: CUP economic push cut-offs vs DUP",
+        text: table.render(),
+        json: serde_json::json!({"experiment": "ext-cup-economic", "points": json}),
+    }
+}
+
+/// X8 — tail latency: the paper reports only means; the TTL-expiry tail is
+/// where push schemes matter most (a PCX query landing just after a global
+/// expiry pays a full cold path; a subscriber under DUP never does).
+pub fn run_tails(opts: &HarnessOpts) -> ExperimentOutput {
+    let lambdas = opts.scale.lambda_sweep();
+    let results = crate::experiment::run_parallel(opts, lambdas, |&lambda| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("ext-tails", &format!("lambda={lambda}")));
+        cfg.lambda = lambda;
+        (lambda, run_triple(&cfg))
+    });
+    let mut table = TextTable::new([
+        "λ (q/s)",
+        "PCX p50",
+        "PCX p95",
+        "PCX p99",
+        "DUP p50",
+        "DUP p95",
+        "DUP p99",
+    ]);
+    let mut json = Vec::new();
+    for (lambda, t) in &results {
+        table.row([
+            fmt_f(*lambda),
+            fmt_f(t.pcx.latency_p50_hops),
+            fmt_f(t.pcx.latency_p95_hops),
+            fmt_f(t.pcx.latency_p99_hops),
+            fmt_f(t.dup.latency_p50_hops),
+            fmt_f(t.dup.latency_p95_hops),
+            fmt_f(t.dup.latency_p99_hops),
+        ]);
+        json.push(serde_json::json!({
+            "lambda": lambda,
+            "pcx": [t.pcx.latency_p50_hops, t.pcx.latency_p95_hops, t.pcx.latency_p99_hops],
+            "cup": [t.cup.latency_p50_hops, t.cup.latency_p95_hops, t.cup.latency_p99_hops],
+            "dup": [t.dup.latency_p50_hops, t.dup.latency_p95_hops, t.dup.latency_p99_hops],
+        }));
+    }
+    ExperimentOutput {
+        name: "ext-tails",
+        title: "X8: tail latency (hop percentiles) per scheme",
+        text: table.render(),
+        json: serde_json::json!({"experiment": "ext-tails", "points": json}),
+    }
+}
+
+/// X6 — CUP relay caching ablation: whether uninterested relays install the
+/// updates they forward. The paper's cost accounting says no; crediting the
+/// halo makes CUP look better than the paper reports.
+pub fn run_cup_halo(opts: &HarnessOpts) -> ExperimentOutput {
+    let variants = ["paper (no relay caching)", "relay-caching halo"];
+    let results = crate::experiment::run_parallel(opts, variants.to_vec(), |&variant| {
+        let seed = opts.point_seed("ext-cup-halo", "shared");
+        let cfg: RunConfig = opts.scale.base_config(seed);
+        let cup = if variant.starts_with("paper") {
+            run_simulation(&cfg, CupScheme::new())
+        } else {
+            run_simulation(&cfg, CupScheme::with_relay_caching())
+        };
+        let dup = run_simulation(&cfg, DupScheme::new());
+        (variant, cup, dup)
+    });
+    let mut table = TextTable::new(["CUP variant", "CUP lat", "DUP lat", "CUP cost", "DUP cost"]);
+    let mut json = Vec::new();
+    for (variant, cup, dup) in &results {
+        table.row([
+            variant.to_string(),
+            fmt_f(cup.latency_hops.mean),
+            fmt_f(dup.latency_hops.mean),
+            fmt_f(cup.avg_query_cost),
+            fmt_f(dup.avg_query_cost),
+        ]);
+        json.push(serde_json::json!({
+            "variant": variant,
+            "cup": cup, "dup": dup,
+        }));
+    }
+    ExperimentOutput {
+        name: "ext-cup-halo",
+        title: "X6: CUP relay-caching ablation",
+        text: table.render(),
+        json: serde_json::json!({"experiment": "ext-cup-halo", "points": json}),
+    }
+}

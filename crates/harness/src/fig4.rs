@@ -1,0 +1,117 @@
+//! Figure 4 — performance as a function of the mean query arrival rate λ.
+//!
+//! (a) Average query latency with 95 % confidence intervals for PCX, CUP,
+//! and DUP; (b) average query cost of CUP and DUP relative to PCX. The
+//! paper's shape: latency falls with λ for every scheme and DUP is lowest;
+//! relative cost falls with λ, CUP saturating near the §II-B ~50 % bound
+//! while DUP keeps dropping — until interest saturates the whole network,
+//! where DUP by design degenerates to CUP.
+
+use serde::Serialize;
+
+use crate::experiment::{run_triple_replicated, ExperimentOutput, HarnessOpts};
+use crate::report::{fmt_ci, fmt_f, TextTable};
+
+/// One λ sample of both panels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Arrival rate λ (queries per second, network-wide).
+    pub lambda: f64,
+    /// Latency mean (hops) per scheme: PCX, CUP, DUP.
+    pub latency: [f64; 3],
+    /// Latency 95 % CI half-widths per scheme.
+    pub latency_ci: [f64; 3],
+    /// Absolute cost per scheme.
+    pub cost: [f64; 3],
+    /// CUP and DUP cost relative to PCX.
+    pub relative_cost: [f64; 2],
+    /// Interested nodes at run end (DUP run).
+    pub interested: usize,
+}
+
+/// Runs the Figure 4 sweep; `arrivals` lets Figure 8 reuse this machinery
+/// with Pareto inter-arrival times.
+pub fn sweep(
+    opts: &HarnessOpts,
+    experiment: &'static str,
+    arrivals: dup_proto::ArrivalKind,
+) -> Vec<Point> {
+    let lambdas = opts.scale.lambda_sweep();
+    crate::experiment::run_parallel(opts, lambdas, |&lambda| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed(experiment, &format!("lambda={lambda}")));
+        cfg.lambda = lambda;
+        cfg.arrivals = arrivals;
+        let t = run_triple_replicated(opts, &cfg);
+        Point {
+            lambda,
+            latency: [
+                t.pcx.latency_hops.mean,
+                t.cup.latency_hops.mean,
+                t.dup.latency_hops.mean,
+            ],
+            latency_ci: [
+                t.pcx.latency_hops.ci95_half_width,
+                t.cup.latency_hops.ci95_half_width,
+                t.dup.latency_hops.ci95_half_width,
+            ],
+            cost: [
+                t.pcx.avg_query_cost,
+                t.cup.avg_query_cost,
+                t.dup.avg_query_cost,
+            ],
+            relative_cost: [t.rel_cup(), t.rel_dup()],
+            interested: t.dup.final_interested_nodes,
+        }
+    })
+}
+
+/// Renders both panels as text tables.
+pub fn render(points: &[Point]) -> String {
+    let mut a = TextTable::new([
+        "λ (q/s)",
+        "PCX latency",
+        "CUP latency",
+        "DUP latency",
+        "interested",
+    ]);
+    for p in points {
+        a.row([
+            fmt_f(p.lambda),
+            fmt_ci(p.latency[0], p.latency_ci[0]),
+            fmt_ci(p.latency[1], p.latency_ci[1]),
+            fmt_ci(p.latency[2], p.latency_ci[2]),
+            p.interested.to_string(),
+        ]);
+    }
+    let mut b = TextTable::new(["λ (q/s)", "PCX cost", "CUP/PCX", "DUP/PCX"]);
+    for p in points {
+        b.row([
+            fmt_f(p.lambda),
+            fmt_f(p.cost[0]),
+            fmt_f(p.relative_cost[0]),
+            fmt_f(p.relative_cost[1]),
+        ]);
+    }
+    format!(
+        "(a) average query latency (hops, 95% CI)\n{}\n(b) cost relative to PCX\n{}",
+        a.render(),
+        b.render()
+    )
+}
+
+/// Runs Figure 4 (exponential inter-arrival times).
+pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
+    let points = sweep(opts, "fig4", dup_proto::ArrivalKind::Exponential);
+    ExperimentOutput {
+        name: "fig4",
+        title: "Figure 4: performance vs mean query arrival rate λ",
+        text: render(&points),
+        json: serde_json::json!({
+            "experiment": "fig4",
+            "arrivals": "exponential",
+            "points": points,
+        }),
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 5 — average access cost relative to PCX as the number of nodes
+//! changes (default λ = 1).
+//!
+//! The paper's shape: CUP's advantage over PCX shrinks with network size
+//! (more relay nodes between the authority and interested nodes inflate its
+//! push cost), while DUP skips those relays and keeps improving.
+
+use serde::Serialize;
+
+use dup_overlay::TopologyParams;
+use dup_proto::TopologySource;
+
+use crate::experiment::{run_triple_replicated, ExperimentOutput, HarnessOpts};
+use crate::report::{fmt_f, TextTable};
+
+/// One network-size sample.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Network size.
+    pub nodes: usize,
+    /// PCX absolute cost.
+    pub pcx_cost: f64,
+    /// CUP and DUP cost relative to PCX.
+    pub relative_cost: [f64; 2],
+    /// Push hops per refresh for CUP and DUP (the mechanism behind the
+    /// divergence).
+    pub push_hops: [u64; 2],
+}
+
+/// Runs Figure 5.
+pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
+    let points = crate::experiment::run_parallel(opts, opts.scale.node_sweep(), |&nodes| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("fig5", &format!("n={nodes}")));
+        cfg.topology = TopologySource::RandomTree(TopologyParams {
+            nodes,
+            max_degree: 4,
+        });
+        let t = run_triple_replicated(opts, &cfg);
+        Point {
+            nodes,
+            pcx_cost: t.pcx.avg_query_cost,
+            relative_cost: [t.rel_cup(), t.rel_dup()],
+            push_hops: [t.cup.push_hops, t.dup.push_hops],
+        }
+    });
+    let mut table = TextTable::new(["nodes", "PCX cost", "CUP/PCX", "DUP/PCX", "CUP push", "DUP push"]);
+    for p in &points {
+        table.row([
+            p.nodes.to_string(),
+            fmt_f(p.pcx_cost),
+            fmt_f(p.relative_cost[0]),
+            fmt_f(p.relative_cost[1]),
+            p.push_hops[0].to_string(),
+            p.push_hops[1].to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        name: "fig5",
+        title: "Figure 5: relative cost vs number of nodes (λ=1)",
+        text: table.render(),
+        json: serde_json::json!({
+            "experiment": "fig5",
+            "points": points,
+        }),
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 6 — the effects of the maximum node degree `D`.
+//!
+//! Larger `D` makes the tree shallower: every scheme's latency falls, PCX's
+//! cost falls (shorter miss paths), and DUP retains the lowest cost.
+
+use serde::Serialize;
+
+use dup_overlay::TopologyParams;
+use dup_proto::TopologySource;
+
+use crate::experiment::{run_triple_replicated, ExperimentOutput, HarnessOpts};
+use crate::report::{fmt_ci, fmt_f, TextTable};
+
+const DEGREES: [usize; 5] = [2, 4, 6, 8, 10];
+
+/// One degree sample of both panels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Maximum node degree `D`.
+    pub degree: usize,
+    /// Latency mean (hops) per scheme: PCX, CUP, DUP.
+    pub latency: [f64; 3],
+    /// Latency 95 % CI half-widths.
+    pub latency_ci: [f64; 3],
+    /// PCX absolute cost.
+    pub pcx_cost: f64,
+    /// CUP and DUP cost relative to PCX.
+    pub relative_cost: [f64; 2],
+}
+
+/// Runs Figure 6.
+pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
+    let points = crate::experiment::run_parallel(opts, DEGREES.to_vec(), |&degree| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("fig6", &format!("D={degree}")));
+        cfg.topology = TopologySource::RandomTree(TopologyParams {
+            nodes: opts.scale.nodes(),
+            max_degree: degree,
+        });
+        let t = run_triple_replicated(opts, &cfg);
+        Point {
+            degree,
+            latency: [
+                t.pcx.latency_hops.mean,
+                t.cup.latency_hops.mean,
+                t.dup.latency_hops.mean,
+            ],
+            latency_ci: [
+                t.pcx.latency_hops.ci95_half_width,
+                t.cup.latency_hops.ci95_half_width,
+                t.dup.latency_hops.ci95_half_width,
+            ],
+            pcx_cost: t.pcx.avg_query_cost,
+            relative_cost: [t.rel_cup(), t.rel_dup()],
+        }
+    });
+    let mut a = TextTable::new(["D", "PCX latency", "CUP latency", "DUP latency"]);
+    let mut b = TextTable::new(["D", "PCX cost", "CUP/PCX", "DUP/PCX"]);
+    for p in &points {
+        a.row([
+            p.degree.to_string(),
+            fmt_ci(p.latency[0], p.latency_ci[0]),
+            fmt_ci(p.latency[1], p.latency_ci[1]),
+            fmt_ci(p.latency[2], p.latency_ci[2]),
+        ]);
+        b.row([
+            p.degree.to_string(),
+            fmt_f(p.pcx_cost),
+            fmt_f(p.relative_cost[0]),
+            fmt_f(p.relative_cost[1]),
+        ]);
+    }
+    ExperimentOutput {
+        name: "fig6",
+        title: "Figure 6: effects of the maximum node degree D",
+        text: format!(
+            "(a) average query latency (hops, 95% CI)\n{}\n(b) cost relative to PCX\n{}",
+            a.render(),
+            b.render()
+        ),
+        json: serde_json::json!({
+            "experiment": "fig6",
+            "points": points,
+        }),
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 7 — the effects of the Zipf parameter θ.
+//!
+//! Larger θ concentrates queries on fewer hot nodes. The paper's shape:
+//! DUP keeps very low latency and its cost advantage over PCX widens with
+//! θ (updates reach the hot spots with almost no overhead), while CUP's
+//! hop-by-hop pushes keep paying for intermediates that are ever less
+//! likely to be queried.
+
+use serde::Serialize;
+
+use crate::experiment::{run_triple_replicated, ExperimentOutput, HarnessOpts};
+use crate::report::{fmt_ci, fmt_f, TextTable};
+
+const THETAS: [f64; 7] = [0.5, 0.8, 1.0, 1.5, 2.0, 3.0, 4.0];
+
+/// One θ sample of both panels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Zipf exponent θ.
+    pub theta: f64,
+    /// Latency mean (hops) per scheme: PCX, CUP, DUP.
+    pub latency: [f64; 3],
+    /// Latency 95 % CI half-widths.
+    pub latency_ci: [f64; 3],
+    /// PCX absolute cost.
+    pub pcx_cost: f64,
+    /// CUP and DUP cost relative to PCX.
+    pub relative_cost: [f64; 2],
+    /// Interested nodes at run end (DUP run).
+    pub interested: usize,
+}
+
+/// Runs Figure 7.
+pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
+    let points = crate::experiment::run_parallel(opts, THETAS.to_vec(), |&theta| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("fig7", &format!("theta={theta}")));
+        cfg.zipf_theta = theta;
+        let t = run_triple_replicated(opts, &cfg);
+        Point {
+            theta,
+            latency: [
+                t.pcx.latency_hops.mean,
+                t.cup.latency_hops.mean,
+                t.dup.latency_hops.mean,
+            ],
+            latency_ci: [
+                t.pcx.latency_hops.ci95_half_width,
+                t.cup.latency_hops.ci95_half_width,
+                t.dup.latency_hops.ci95_half_width,
+            ],
+            pcx_cost: t.pcx.avg_query_cost,
+            relative_cost: [t.rel_cup(), t.rel_dup()],
+            interested: t.dup.final_interested_nodes,
+        }
+    });
+    let mut a = TextTable::new(["θ", "PCX latency", "CUP latency", "DUP latency", "interested"]);
+    let mut b = TextTable::new(["θ", "PCX cost", "CUP/PCX", "DUP/PCX"]);
+    for p in &points {
+        a.row([
+            fmt_f(p.theta),
+            fmt_ci(p.latency[0], p.latency_ci[0]),
+            fmt_ci(p.latency[1], p.latency_ci[1]),
+            fmt_ci(p.latency[2], p.latency_ci[2]),
+            p.interested.to_string(),
+        ]);
+        b.row([
+            fmt_f(p.theta),
+            fmt_f(p.pcx_cost),
+            fmt_f(p.relative_cost[0]),
+            fmt_f(p.relative_cost[1]),
+        ]);
+    }
+    ExperimentOutput {
+        name: "fig7",
+        title: "Figure 7: effects of the Zipf parameter θ",
+        text: format!(
+            "(a) average query latency (hops, 95% CI)\n{}\n(b) cost relative to PCX\n{}",
+            a.render(),
+            b.render()
+        ),
+        json: serde_json::json!({
+            "experiment": "fig7",
+            "points": points,
+        }),
+    }
+}

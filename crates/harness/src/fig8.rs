@@ -1,0 +1,68 @@
+//! Figure 8 — the effects of Pareto (heavy-tailed) query arrivals.
+//!
+//! Bursty arrivals (smaller α) improve every scheme — more queries land
+//! while caches are warm — but interest oscillates between bursts, wasting
+//! some pushes at high λ; DUP still wins.
+
+use serde::Serialize;
+
+use dup_proto::ArrivalKind;
+
+use crate::experiment::{ExperimentOutput, HarnessOpts};
+use crate::fig4::{sweep, Point};
+use crate::report::{fmt_ci, fmt_f, TextTable};
+
+const ALPHAS: [f64; 2] = [1.05, 1.20];
+
+/// One α's full λ sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Pareto shape α.
+    pub alpha: f64,
+    /// Per-λ measurements.
+    pub points: Vec<Point>,
+}
+
+/// Runs Figure 8.
+pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
+    let series: Vec<Series> = ALPHAS
+        .iter()
+        .map(|&alpha| Series {
+            alpha,
+            points: sweep(opts, "fig8", ArrivalKind::Pareto { alpha }),
+        })
+        .collect();
+
+    let mut a = TextTable::new(["α", "λ (q/s)", "PCX latency", "CUP latency", "DUP latency"]);
+    let mut b = TextTable::new(["α", "λ (q/s)", "CUP/PCX", "DUP/PCX"]);
+    for s in &series {
+        for p in &s.points {
+            a.row([
+                fmt_f(s.alpha),
+                fmt_f(p.lambda),
+                fmt_ci(p.latency[0], p.latency_ci[0]),
+                fmt_ci(p.latency[1], p.latency_ci[1]),
+                fmt_ci(p.latency[2], p.latency_ci[2]),
+            ]);
+            b.row([
+                fmt_f(s.alpha),
+                fmt_f(p.lambda),
+                fmt_f(p.relative_cost[0]),
+                fmt_f(p.relative_cost[1]),
+            ]);
+        }
+    }
+    ExperimentOutput {
+        name: "fig8",
+        title: "Figure 8: effects of Pareto arrivals (α = 1.05, 1.20)",
+        text: format!(
+            "(a) average query latency (hops, 95% CI)\n{}\n(b) cost relative to PCX\n{}",
+            a.render(),
+            b.render()
+        ),
+        json: serde_json::json!({
+            "experiment": "fig8",
+            "series": series,
+        }),
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§IV), plus the extension experiments from DESIGN.md.
+//!
+//! Each experiment module produces the same rows/series the paper reports
+//! (who is on the x-axis, which schemes are compared, which metric is
+//! plotted), prints a text rendition, and returns a JSON document the
+//! `dup-experiments` binary writes next to the console output.
+//!
+//! | Paper artifact | Module |
+//! |----------------|--------|
+//! | Table II (threshold `c`) | [`table2`] |
+//! | Figure 4 (arrival rate λ) | [`fig4`] |
+//! | Table III (network size, latency) | [`table3`] |
+//! | Figure 5 (network size, relative cost) | [`fig5`] |
+//! | Figure 6 (max degree `D`) | [`fig6`] |
+//! | Figure 7 (Zipf θ) | [`fig7`] |
+//! | Figure 8 (Pareto arrivals) | [`fig8`] |
+//! | X1–X9 extensions/ablations | [`extensions`] |
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod extensions;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod report;
+pub mod table2;
+pub mod table3;
+
+pub use experiment::{
+    all_experiments, experiment_by_name, run_parallel, run_triple, run_triple_replicated,
+    ExperimentOutput, HarnessOpts, Scale, SchemeKind, Triple,
+};
+pub use report::TextTable;

@@ -1,0 +1,77 @@
+//! Table II — the effects of the threshold value `c`.
+//!
+//! DUP's average query cost and average query latency as `c` varies over
+//! 2..10 for λ ∈ {0.1, 1, 10}. The paper's finding: cost falls as `c`
+//! grows (fewer subscribers) except at λ = 10 where an overlarge `c` starves
+//! nodes that should receive pushes; latency rises with `c`; `c = 6`
+//! balances the two.
+
+use serde::Serialize;
+
+use crate::experiment::{scheme_run, ExperimentOutput, HarnessOpts, SchemeKind};
+use crate::report::{fmt_f, TextTable};
+
+const C_VALUES: [u32; 5] = [2, 4, 6, 8, 10];
+const LAMBDAS: [f64; 3] = [0.1, 1.0, 10.0];
+
+/// One measured cell of the table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Threshold `c`.
+    pub c: u32,
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// DUP average query cost.
+    pub avg_query_cost: f64,
+    /// DUP average query latency (hops).
+    pub avg_query_latency: f64,
+}
+
+/// Runs the Table II sweep.
+pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
+    let mut points = Vec::new();
+    for &lambda in &LAMBDAS {
+        for &c in &C_VALUES {
+            points.push((lambda, c));
+        }
+    }
+    let cells = crate::experiment::run_parallel(opts, points, |&(lambda, c)| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed("table2", &format!("lambda={lambda}")));
+        cfg.lambda = lambda;
+        cfg.protocol.threshold_c = c;
+        let report = scheme_run(SchemeKind::Dup, &cfg);
+        Cell {
+            c,
+            lambda,
+            avg_query_cost: report.avg_query_cost,
+            avg_query_latency: report.latency_hops.mean,
+        }
+    });
+
+    let mut table = TextTable::new(
+        std::iter::once("c value".to_string()).chain(C_VALUES.iter().map(|c| c.to_string())),
+    );
+    for &lambda in &LAMBDAS {
+        let row_cells: Vec<&Cell> = cells.iter().filter(|x| x.lambda == lambda).collect();
+        table.row(
+            std::iter::once(format!("Average query cost (λ={lambda})"))
+                .chain(row_cells.iter().map(|x| fmt_f(x.avg_query_cost))),
+        );
+        table.row(
+            std::iter::once(format!("Average query latency (λ={lambda})"))
+                .chain(row_cells.iter().map(|x| fmt_f(x.avg_query_latency))),
+        );
+    }
+    ExperimentOutput {
+        name: "table2",
+        title: "Table II: effects of the threshold value c (DUP)",
+        text: table.render(),
+        json: serde_json::json!({
+            "experiment": "table2",
+            "scheme": "DUP",
+            "cells": cells,
+        }),
+    }
+}

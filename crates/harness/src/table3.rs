@@ -1,0 +1,91 @@
+//! Table III — query latency of PCX, CUP, and DUP as the number of nodes
+//! changes, for λ ∈ {0.1, 1, 10}.
+//!
+//! The paper's shape: every scheme's latency grows with the network size
+//! (nodes sit farther from the authority); within a column DUP < CUP < PCX.
+
+use serde::Serialize;
+
+use dup_overlay::TopologyParams;
+use dup_proto::TopologySource;
+
+use crate::experiment::{run_triple_replicated, ExperimentOutput, HarnessOpts};
+use crate::report::{fmt_f, TextTable};
+
+const LAMBDAS: [f64; 3] = [0.1, 1.0, 10.0];
+
+/// One (n, λ) cell with all three schemes' latencies.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Network size.
+    pub nodes: usize,
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Latency (hops) per scheme: PCX, CUP, DUP.
+    pub latency: [f64; 3],
+    /// Absolute cost per scheme (reused by Figure 5).
+    pub cost: [f64; 3],
+}
+
+/// Runs the (n, λ) grid shared by Table III and Figure 5.
+pub fn sweep(opts: &HarnessOpts, experiment: &'static str) -> Vec<Cell> {
+    let mut points = Vec::new();
+    for &lambda in &LAMBDAS {
+        for &nodes in &opts.scale.node_sweep() {
+            points.push((nodes, lambda));
+        }
+    }
+    crate::experiment::run_parallel(opts, points, |&(nodes, lambda)| {
+        let mut cfg = opts
+            .scale
+            .base_config(opts.point_seed(experiment, &format!("n={nodes}/lambda={lambda}")));
+        cfg.topology = TopologySource::RandomTree(TopologyParams {
+            nodes,
+            max_degree: 4,
+        });
+        cfg.lambda = lambda;
+        let t = run_triple_replicated(opts, &cfg);
+        Cell {
+            nodes,
+            lambda,
+            latency: [
+                t.pcx.latency_hops.mean,
+                t.cup.latency_hops.mean,
+                t.dup.latency_hops.mean,
+            ],
+            cost: [
+                t.pcx.avg_query_cost,
+                t.cup.avg_query_cost,
+                t.dup.avg_query_cost,
+            ],
+        }
+    })
+}
+
+/// Runs Table III.
+pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
+    let cells = sweep(opts, "table3");
+    let node_sweep = opts.scale.node_sweep();
+    let mut table = TextTable::new(
+        std::iter::once("Number of nodes".to_string())
+            .chain(node_sweep.iter().map(|n| n.to_string())),
+    );
+    for &lambda in &LAMBDAS {
+        for (si, scheme) in ["PCX", "CUP", "DUP"].iter().enumerate() {
+            let row: Vec<&Cell> = cells.iter().filter(|c| c.lambda == lambda).collect();
+            table.row(
+                std::iter::once(format!("{scheme} Latency (λ={lambda})"))
+                    .chain(row.iter().map(|c| fmt_f(c.latency[si]))),
+            );
+        }
+    }
+    ExperimentOutput {
+        name: "table3",
+        title: "Table III: query latency vs number of nodes",
+        text: table.render(),
+        json: serde_json::json!({
+            "experiment": "table3",
+            "cells": cells,
+        }),
+    }
+}

@@ -1,0 +1,571 @@
+//! The index search tree.
+//!
+//! For one key, every node has a well-defined next hop toward the authority
+//! node (the *root*); those next-hop edges form a tree. Queries travel up
+//! toward the root; CUP pushes travel down the same edges; DUP's subscribe /
+//! unsubscribe / substitute messages also follow these edges while its data
+//! pushes take direct short-cuts.
+//!
+//! The tree supports the topology changes of §III-C: a joining node may be
+//! inserted into an existing edge (it takes over part of a neighbor's key
+//! space) or attached as a new leaf; a leaving/failed node is spliced out or
+//! replaced by the neighbor that takes over its indices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeSlot {
+    alive: bool,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    depth: u32,
+}
+
+/// An index search tree over overlay nodes.
+///
+/// Node ids are dense indices; departed nodes leave dead slots behind (ids
+/// are never reused within a run) so stale references held by in-flight
+/// messages remain detectable via [`SearchTree::is_alive`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchTree {
+    root: NodeId,
+    nodes: Vec<NodeSlot>,
+    alive: usize,
+}
+
+impl SearchTree {
+    /// Creates a tree containing only the authority node (the root).
+    pub fn new_root() -> Self {
+        SearchTree {
+            root: NodeId(0),
+            nodes: vec![NodeSlot {
+                alive: true,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
+            alive: 1,
+        }
+    }
+
+    /// Builds a tree from a parent table: `parents[i]` is the parent of node
+    /// `i`, with exactly one `None` entry marking the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, has zero or multiple roots, contains an
+    /// out-of-range parent, or is not a single connected tree.
+    pub fn from_parents(parents: &[Option<NodeId>]) -> Self {
+        assert!(!parents.is_empty(), "parent table must be non-empty");
+        let mut root = None;
+        for (i, p) in parents.iter().enumerate() {
+            match p {
+                None => {
+                    assert!(root.is_none(), "multiple roots in parent table");
+                    root = Some(NodeId::from_index(i));
+                }
+                Some(p) => {
+                    assert!(p.index() < parents.len(), "parent {p} out of range");
+                    assert_ne!(p.index(), i, "node {i} is its own parent");
+                }
+            }
+        }
+        let root = root.expect("parent table has no root");
+        let mut nodes: Vec<NodeSlot> = parents
+            .iter()
+            .map(|&p| NodeSlot {
+                alive: true,
+                parent: p,
+                children: Vec::new(),
+                depth: 0,
+            })
+            .collect();
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                nodes[p.index()].children.push(NodeId::from_index(i));
+            }
+        }
+        let mut tree = SearchTree {
+            root,
+            alive: nodes.len(),
+            nodes,
+        };
+        let reached = tree.recompute_depths_from(root);
+        assert_eq!(
+            reached,
+            tree.alive,
+            "parent table is not connected (cycle or forest)"
+        );
+        tree
+    }
+
+    /// The authority node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// True when only dead slots remain (cannot happen: the root is always
+    /// alive), provided for completeness.
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+
+    /// Total slots ever allocated (live + departed).
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when `id` refers to a live node.
+    #[inline]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).is_some_and(|n| n.alive)
+    }
+
+    /// The parent of `id` (`None` for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead or out of range.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        let slot = &self.nodes[id.index()];
+        assert!(slot.alive, "parent() on dead node {id}");
+        slot.parent
+    }
+
+    /// The children of `id`.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        let slot = &self.nodes[id.index()];
+        assert!(slot.alive, "children() on dead node {id}");
+        &slot.children
+    }
+
+    /// Hops from `id` up to the root.
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        let slot = &self.nodes[id.index()];
+        assert!(slot.alive, "depth() on dead node {id}");
+        slot.depth
+    }
+
+    /// Iterates `id`'s ancestors from its parent up to and including the
+    /// root. Empty for the root itself.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            next: self.parent(id),
+        }
+    }
+
+    /// The search path from `id` to the root, inclusive of both endpoints.
+    pub fn path_to_root(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::with_capacity(self.depth(id) as usize + 1);
+        path.push(id);
+        path.extend(self.ancestors(id));
+        path
+    }
+
+    /// True when `a` is a strict ancestor of `b`.
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.ancestors(b).any(|n| n == a)
+    }
+
+    /// All live node ids.
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// The child of `ancestor` whose subtree contains `descendant` — i.e.
+    /// which downstream *branch* of `ancestor` a message from `descendant`
+    /// arrives on. `None` if `descendant` is not strictly below `ancestor`.
+    pub fn branch_toward(&self, ancestor: NodeId, descendant: NodeId) -> Option<NodeId> {
+        let mut cur = descendant;
+        loop {
+            let p = self.parent(cur)?;
+            if p == ancestor {
+                return Some(cur);
+            }
+            cur = p;
+        }
+    }
+
+    // ---- mutations (§III-C churn) ------------------------------------
+
+    /// Attaches a fresh node as a new child of `parent` and returns its id.
+    pub fn add_leaf(&mut self, parent: NodeId) -> NodeId {
+        assert!(self.is_alive(parent), "add_leaf under dead node {parent}");
+        let id = NodeId::from_index(self.nodes.len());
+        let depth = self.nodes[parent.index()].depth + 1;
+        self.nodes.push(NodeSlot {
+            alive: true,
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
+        self.nodes[parent.index()].children.push(id);
+        self.alive += 1;
+        id
+    }
+
+    /// Inserts a fresh node into the edge `parent → child` (the new node
+    /// takes over part of `parent`'s key space on the path, as when a DHT
+    /// node joins between two existing nodes). Returns the new node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `child` is currently a child of `parent`.
+    pub fn insert_between(&mut self, parent: NodeId, child: NodeId) -> NodeId {
+        assert!(self.is_alive(parent) && self.is_alive(child));
+        let pos = self.nodes[parent.index()]
+            .children
+            .iter()
+            .position(|&c| c == child)
+            .unwrap_or_else(|| panic!("{child} is not a child of {parent}"));
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeSlot {
+            alive: true,
+            parent: Some(parent),
+            children: vec![child],
+            depth: 0,
+        });
+        self.nodes[parent.index()].children[pos] = id;
+        self.nodes[child.index()].parent = Some(id);
+        self.recompute_depths_from(id);
+        self.alive += 1;
+        id
+    }
+
+    /// Removes a non-root node, re-parenting its children to its parent
+    /// (the neighbor that takes over its key space). Returns the parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the root: the authority's departure is modeled by
+    /// [`SearchTree::replace_with_fresh`] because its indices move to a
+    /// successor rather than vanishing.
+    pub fn remove_splice(&mut self, id: NodeId) -> NodeId {
+        assert!(self.is_alive(id), "remove_splice on dead node {id}");
+        let parent = self.nodes[id.index()]
+            .parent
+            .expect("cannot splice out the root");
+        let children = std::mem::take(&mut self.nodes[id.index()].children);
+        let pslot = &mut self.nodes[parent.index()];
+        pslot.children.retain(|&c| c != id);
+        pslot.children.extend_from_slice(&children);
+        for &c in &children {
+            self.nodes[c.index()].parent = Some(parent);
+            self.recompute_depths_from(c);
+        }
+        self.nodes[id.index()].alive = false;
+        self.nodes[id.index()].parent = None;
+        self.alive -= 1;
+        parent
+    }
+
+    /// Replaces `old` with a fresh node occupying the same tree position
+    /// (same parent, same children) — the §III-C model of a neighbor taking
+    /// over a departed node's indices, including the root. Returns the new
+    /// node's id; `old` becomes dead.
+    pub fn replace_with_fresh(&mut self, old: NodeId) -> NodeId {
+        assert!(self.is_alive(old), "replace_with_fresh on dead node {old}");
+        let id = NodeId::from_index(self.nodes.len());
+        let parent = self.nodes[old.index()].parent;
+        let children = std::mem::take(&mut self.nodes[old.index()].children);
+        let depth = self.nodes[old.index()].depth;
+        self.nodes.push(NodeSlot {
+            alive: true,
+            parent,
+            children: children.clone(),
+            depth,
+        });
+        for &c in &children {
+            self.nodes[c.index()].parent = Some(id);
+        }
+        if let Some(p) = parent {
+            for c in &mut self.nodes[p.index()].children {
+                if *c == old {
+                    *c = id;
+                }
+            }
+        } else {
+            self.root = id;
+        }
+        self.nodes[old.index()].alive = false;
+        self.nodes[old.index()].parent = None;
+        id
+    }
+
+    /// Recomputes depths for the subtree rooted at `start`; returns how many
+    /// live nodes were visited.
+    fn recompute_depths_from(&mut self, start: NodeId) -> usize {
+        let base = match self.nodes[start.index()].parent {
+            Some(p) => self.nodes[p.index()].depth + 1,
+            None => 0,
+        };
+        self.nodes[start.index()].depth = base;
+        let mut stack = vec![start];
+        let mut visited = 0;
+        while let Some(n) = stack.pop() {
+            visited += 1;
+            let d = self.nodes[n.index()].depth;
+            // Children are moved out and back to satisfy the borrow checker
+            // without cloning on every visit.
+            let children = std::mem::take(&mut self.nodes[n.index()].children);
+            for &c in &children {
+                self.nodes[c.index()].depth = d + 1;
+                stack.push(c);
+            }
+            self.nodes[n.index()].children = children;
+        }
+        visited
+    }
+
+    /// Verifies structural invariants; used by tests and property checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        assert!(self.is_alive(self.root), "root must be alive");
+        assert_eq!(self.nodes[self.root.index()].depth, 0, "root depth");
+        assert!(
+            self.nodes[self.root.index()].parent.is_none(),
+            "root must have no parent"
+        );
+        let mut seen = 0usize;
+        for (i, slot) in self.nodes.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            if !slot.alive {
+                assert!(slot.children.is_empty(), "dead node {id} keeps children");
+                continue;
+            }
+            seen += 1;
+            if let Some(p) = slot.parent {
+                let pslot = &self.nodes[p.index()];
+                assert!(pslot.alive, "{id} has dead parent {p}");
+                assert!(
+                    pslot.children.contains(&id),
+                    "{id} missing from parent {p}'s children"
+                );
+                assert_eq!(slot.depth, pslot.depth + 1, "depth of {id}");
+            } else {
+                assert_eq!(id, self.root, "non-root {id} has no parent");
+            }
+            for &c in &slot.children {
+                assert_eq!(
+                    self.nodes[c.index()].parent,
+                    Some(id),
+                    "child {c} does not point back at {id}"
+                );
+            }
+        }
+        assert_eq!(seen, self.alive, "alive count drifted");
+        // Connectivity: everything alive must be reachable from the root.
+        let mut stack = vec![self.root];
+        let mut reached = 0;
+        while let Some(n) = stack.pop() {
+            reached += 1;
+            stack.extend_from_slice(&self.nodes[n.index()].children);
+        }
+        assert_eq!(reached, self.alive, "tree is not connected");
+    }
+}
+
+/// Iterator over a node's ancestors, parent first, root last.
+pub struct Ancestors<'a> {
+    tree: &'a SearchTree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 tree: N1 root; N1→N2; N2→{N3}; N3→{N4,N5};
+    /// N5→{N6}; N6→{N7,N8}. Ids are shifted down by one (N1 = NodeId(0)).
+    pub(crate) fn figure1() -> SearchTree {
+        let n = |i: u32| Some(NodeId(i));
+        SearchTree::from_parents(&[
+            None,  // N1
+            n(0),  // N2 <- N1
+            n(1),  // N3 <- N2
+            n(2),  // N4 <- N3
+            n(2),  // N5 <- N3
+            n(4),  // N6 <- N5
+            n(5),  // N7 <- N6
+            n(5),  // N8 <- N6
+        ])
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let t = figure1();
+        t.check_invariants();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.depth(NodeId(5)), 4); // N6 is 4 hops from N1
+        assert_eq!(
+            t.path_to_root(NodeId(5)),
+            vec![NodeId(5), NodeId(4), NodeId(2), NodeId(1), NodeId(0)]
+        );
+        assert_eq!(t.children(NodeId(2)), &[NodeId(3), NodeId(4)]);
+        assert!(t.is_ancestor(NodeId(0), NodeId(7)));
+        assert!(!t.is_ancestor(NodeId(3), NodeId(5)));
+    }
+
+    #[test]
+    fn branch_toward_identifies_subtree() {
+        let t = figure1();
+        // From N3's (id 2) viewpoint, N6 (id 5) arrives via the N5 branch (id 4).
+        assert_eq!(t.branch_toward(NodeId(2), NodeId(5)), Some(NodeId(4)));
+        assert_eq!(t.branch_toward(NodeId(2), NodeId(3)), Some(NodeId(3)));
+        // N4 (id 3) is not below N5 (id 4).
+        assert_eq!(t.branch_toward(NodeId(4), NodeId(3)), None);
+        // A node is not on a branch below itself.
+        assert_eq!(t.branch_toward(NodeId(2), NodeId(2)), None);
+    }
+
+    #[test]
+    fn new_root_is_singleton() {
+        let t = SearchTree::new_root();
+        t.check_invariants();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.depth(t.root()), 0);
+        assert!(t.path_to_root(t.root()).len() == 1);
+    }
+
+    #[test]
+    fn add_leaf_extends_tree() {
+        let mut t = SearchTree::new_root();
+        let a = t.add_leaf(t.root());
+        let b = t.add_leaf(a);
+        t.check_invariants();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.depth(b), 2);
+        assert_eq!(t.parent(b), Some(a));
+    }
+
+    #[test]
+    fn insert_between_matches_paper_example() {
+        // §III-C: "a new node N3' is inserted between N3 and N5".
+        let mut t = figure1();
+        let n3 = NodeId(2);
+        let n5 = NodeId(4);
+        let n3p = t.insert_between(n3, n5);
+        t.check_invariants();
+        assert_eq!(t.parent(n5), Some(n3p));
+        assert_eq!(t.parent(n3p), Some(n3));
+        assert!(t.children(n3).contains(&n3p));
+        assert!(!t.children(n3).contains(&n5));
+        // Depths below the insertion shift down by one: N6 now at 5.
+        assert_eq!(t.depth(NodeId(5)), 5);
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn remove_splice_reattaches_children() {
+        let mut t = figure1();
+        let n5 = NodeId(4);
+        let parent = t.remove_splice(n5);
+        t.check_invariants();
+        assert_eq!(parent, NodeId(2));
+        assert!(!t.is_alive(n5));
+        // N6 re-parents to N3 and its subtree's depth drops by one.
+        assert_eq!(t.parent(NodeId(5)), Some(NodeId(2)));
+        assert_eq!(t.depth(NodeId(5)), 3);
+        assert_eq!(t.depth(NodeId(7)), 4);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot splice out the root")]
+    fn splicing_root_panics() {
+        let mut t = figure1();
+        t.remove_splice(NodeId(0));
+    }
+
+    #[test]
+    fn replace_root_promotes_fresh_node() {
+        let mut t = figure1();
+        let old_root = t.root();
+        let new_root = t.replace_with_fresh(old_root);
+        t.check_invariants();
+        assert_eq!(t.root(), new_root);
+        assert!(!t.is_alive(old_root));
+        assert_eq!(t.parent(NodeId(1)), Some(new_root));
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.depth(new_root), 0);
+    }
+
+    #[test]
+    fn replace_interior_keeps_position() {
+        let mut t = figure1();
+        let n5 = NodeId(4);
+        let fresh = t.replace_with_fresh(n5);
+        t.check_invariants();
+        assert_eq!(t.parent(fresh), Some(NodeId(2)));
+        assert_eq!(t.children(fresh), &[NodeId(5)]);
+        assert_eq!(t.parent(NodeId(5)), Some(fresh));
+        assert_eq!(t.depth(NodeId(5)), 4, "depths unchanged by replacement");
+    }
+
+    #[test]
+    fn dead_slots_are_not_alive_but_detectable() {
+        let mut t = figure1();
+        let n8 = NodeId(7);
+        t.remove_splice(n8);
+        assert!(!t.is_alive(n8));
+        assert_eq!(t.capacity(), 8);
+        assert_eq!(t.live_nodes().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a child of")]
+    fn insert_between_requires_edge() {
+        let mut t = figure1();
+        t.insert_between(NodeId(0), NodeId(5)); // N6 is not a child of N1
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple roots")]
+    fn from_parents_rejects_forest() {
+        SearchTree::from_parents(&[None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn from_parents_rejects_cycle() {
+        // 0 is root; 1 and 2 form a 2-cycle off to the side.
+        SearchTree::from_parents(&[None, Some(NodeId(2)), Some(NodeId(1))]);
+    }
+
+    #[test]
+    fn ancestors_of_root_is_empty() {
+        let t = figure1();
+        assert_eq!(t.ancestors(t.root()).count(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the overlay substrate: arbitrary mutation sequences
+//! keep the search tree structurally valid, and Chord routing always
+//! converges to the correct authority.
+
+use proptest::prelude::*;
+
+use dup_overlay::{random_search_tree, ChordRing, NodeId, SearchTree, TopologyParams};
+use dup_sim::stream_rng;
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    AddLeaf(usize),
+    InsertBetween(usize),
+    RemoveSplice(usize),
+    ReplaceFresh(usize),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0usize..4096).prop_map(TreeOp::AddLeaf),
+        (0usize..4096).prop_map(TreeOp::InsertBetween),
+        (0usize..4096).prop_map(TreeOp::RemoveSplice),
+        (0usize..4096).prop_map(TreeOp::ReplaceFresh),
+    ]
+}
+
+fn live(tree: &SearchTree, raw: usize) -> NodeId {
+    let nodes: Vec<NodeId> = tree.live_nodes().collect();
+    nodes[raw % nodes.len()]
+}
+
+fn live_non_root(tree: &SearchTree, raw: usize) -> Option<NodeId> {
+    let nodes: Vec<NodeId> = tree.live_nodes().filter(|&n| n != tree.root()).collect();
+    if nodes.is_empty() {
+        None
+    } else {
+        Some(nodes[raw % nodes.len()])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of churn mutations leaves the tree satisfying all
+    /// structural invariants.
+    #[test]
+    fn mutations_preserve_tree_invariants(
+        seed in 0u64..500,
+        nodes in 2usize..40,
+        ops in prop::collection::vec(tree_op(), 1..60),
+    ) {
+        let mut tree = random_search_tree(
+            TopologyParams { nodes, max_degree: 4 },
+            &mut stream_rng(seed, "prop-overlay"),
+        );
+        for op in &ops {
+            match *op {
+                TreeOp::AddLeaf(raw) => {
+                    tree.add_leaf(live(&tree, raw));
+                }
+                TreeOp::InsertBetween(raw) => {
+                    if let Some(child) = live_non_root(&tree, raw) {
+                        let parent = tree.parent(child).expect("non-root");
+                        tree.insert_between(parent, child);
+                    }
+                }
+                TreeOp::RemoveSplice(raw) => {
+                    if tree.len() > 1 {
+                        if let Some(victim) = live_non_root(&tree, raw) {
+                            tree.remove_splice(victim);
+                        }
+                    }
+                }
+                TreeOp::ReplaceFresh(raw) => {
+                    let victim = live(&tree, raw);
+                    tree.replace_with_fresh(victim);
+                }
+            }
+            tree.check_invariants();
+        }
+    }
+
+    /// Depth always equals the length of the ancestor chain, and
+    /// `branch_toward` returns a child on the path for every strict
+    /// descendant.
+    #[test]
+    fn depth_and_branches_consistent(
+        seed in 0u64..500,
+        nodes in 2usize..64,
+        degree in 1usize..6,
+    ) {
+        let tree = random_search_tree(
+            TopologyParams { nodes, max_degree: degree },
+            &mut stream_rng(seed, "prop-depth"),
+        );
+        for node in tree.live_nodes() {
+            prop_assert_eq!(tree.depth(node) as usize, tree.ancestors(node).count());
+            if node != tree.root() {
+                let branch = tree.branch_toward(tree.root(), node).expect("descendant");
+                prop_assert!(branch == node || tree.is_ancestor(branch, node));
+                prop_assert_eq!(tree.parent(branch), Some(tree.root()));
+            }
+        }
+    }
+
+    /// Chord lookups reach the authority from every start node, and the
+    /// clockwise distance to the key strictly decreases hop over hop.
+    #[test]
+    fn chord_lookups_always_converge(
+        seed in 0u64..200,
+        n in 1usize..200,
+        key: u64,
+        from_raw in 0usize..200,
+    ) {
+        let ring = ChordRing::new(n, &mut stream_rng(seed, "prop-chord"));
+        let members: Vec<(u64, NodeId)> = ring.members().collect();
+        let from = members[from_raw % members.len()].1;
+        let path = ring.lookup_path(from, key);
+        prop_assert_eq!(*path.last().unwrap(), ring.authority(key));
+        prop_assert!(path.len() <= n + 1);
+        // Clockwise distance from node to key must strictly decrease on
+        // every hop except the final hand-over: the authority itself sits
+        // clockwise *after* the key (it is the key's successor), so its
+        // wrapped distance is large by construction.
+        let pos = |node: NodeId| members.iter().find(|&&(_, m)| m == node).unwrap().0;
+        let dist = |node: NodeId| key.wrapping_sub(pos(node));
+        let authority = ring.authority(key);
+        for pair in path.windows(2) {
+            if pair[1] == authority {
+                continue;
+            }
+            prop_assert!(
+                dist(pair[1]) < dist(pair[0]),
+                "hop {} -> {} did not reduce distance",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    /// The search tree extracted for any key agrees with per-node lookups
+    /// and is rooted at the authority.
+    #[test]
+    fn chord_tree_matches_lookups(
+        seed in 0u64..100,
+        n in 2usize..100,
+        key: u64,
+    ) {
+        let ring = ChordRing::new(n, &mut stream_rng(seed, "prop-chord-tree"));
+        let (tree, ring_ids) = ring.search_tree_compact(key);
+        tree.check_invariants();
+        prop_assert_eq!(ring_ids[tree.root().index()], ring.authority(key));
+        for dense in tree.live_nodes() {
+            let depth = tree.depth(dense) as usize;
+            let hops = ring.lookup_path(ring_ids[dense.index()], key).len() - 1;
+            prop_assert_eq!(depth, hops);
+        }
+    }
+
+    /// Join then leave returns authority assignments to their prior state.
+    #[test]
+    fn chord_join_leave_roundtrip(
+        seed in 0u64..100,
+        n in 2usize..64,
+        keys in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let mut rng = stream_rng(seed, "prop-roundtrip");
+        let mut ring = ChordRing::new(n, &mut rng);
+        let before: Vec<NodeId> = keys.iter().map(|&k| ring.authority(k)).collect();
+        let newcomer = ring.join(&mut rng);
+        ring.leave(newcomer);
+        let after: Vec<NodeId> = keys.iter().map(|&k| ring.authority(k)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,280 @@
+//! Simulation run configuration.
+//!
+//! Defaults follow the paper's Table I: `n = 4096`, `D = 4`, `λ = 1`/s,
+//! `θ = 0.8`, `c = 6`, TTL 60 min, push lead 1 min, hop latency Exp(0.1 s),
+//! and runs of at least 180 000 simulated seconds.
+
+use serde::{Deserialize, Serialize};
+
+use dup_overlay::{SearchTree, TopologyParams};
+use dup_workload::RankPlacement;
+
+use crate::interest::InterestPolicy;
+
+/// The query inter-arrival distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalKind {
+    /// Exponential inter-arrival times (Poisson arrivals) — the default.
+    Exponential,
+    /// Heavy-tailed Pareto inter-arrival times with shape `alpha`.
+    Pareto {
+        /// Shape parameter; the paper evaluates 1.05 and 1.20.
+        alpha: f64,
+    },
+}
+
+/// Where the index search tree comes from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TopologySource {
+    /// The paper's random tree: child counts uniform in `[1, D]`.
+    RandomTree(TopologyParams),
+    /// A search tree derived from Chord lookups for `key` over a ring of
+    /// `nodes` members (extension experiment X3).
+    Chord {
+        /// Ring size.
+        nodes: usize,
+        /// The key whose index search tree is extracted.
+        key: u64,
+    },
+    /// A caller-supplied tree (tests and ablations).
+    Prebuilt(SearchTree),
+}
+
+impl TopologySource {
+    /// Number of nodes the source will produce.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TopologySource::RandomTree(p) => p.nodes,
+            TopologySource::Chord { nodes, .. } => *nodes,
+            TopologySource::Prebuilt(t) => t.len(),
+        }
+    }
+}
+
+/// Protocol-level constants shared by every scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Index TTL in seconds (paper: 3600).
+    pub ttl_secs: f64,
+    /// How long before expiry the authority publishes the next version
+    /// (paper: 60).
+    pub push_lead_secs: f64,
+    /// Interest threshold `c` (paper default: 6).
+    pub threshold_c: u32,
+    /// Mean per-hop transfer latency in seconds (paper: 0.1).
+    pub hop_latency_mean_secs: f64,
+    /// How "queries received in the last TTL interval" is evaluated.
+    pub interest_policy: InterestPolicy,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            ttl_secs: 3600.0,
+            push_lead_secs: 60.0,
+            threshold_c: 6,
+            hop_latency_mean_secs: 0.1,
+            interest_policy: InterestPolicy::Epoch,
+        }
+    }
+}
+
+/// Churn process configuration (extension experiment X1; the paper
+/// describes the mechanisms in §III-C without sweeping a rate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Topology change events per simulated second.
+    pub rate: f64,
+    /// Relative weight of leaf joins.
+    pub w_join_leaf: f64,
+    /// Relative weight of edge-splitting joins.
+    pub w_join_between: f64,
+    /// Relative weight of graceful leaves.
+    pub w_leave: f64,
+    /// Relative weight of silent failures.
+    pub w_fail: f64,
+}
+
+impl ChurnConfig {
+    /// Equal mix of all four operations at the given rate.
+    pub fn balanced(rate: f64) -> Self {
+        ChurnConfig {
+            rate,
+            w_join_leaf: 1.0,
+            w_join_between: 1.0,
+            w_leave: 1.0,
+            w_fail: 1.0,
+        }
+    }
+
+    /// Sum of the operation weights.
+    pub fn weight_total(&self) -> f64 {
+        self.w_join_leaf + self.w_join_between + self.w_leave + self.w_fail
+    }
+}
+
+/// When a run stops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StopRule {
+    /// Run exactly `warmup + duration` simulated seconds.
+    FixedDuration,
+    /// Stop early once the hop-latency CI has converged (paper: "kept
+    /// running until at least the 95 % confidence interval … is obtained"),
+    /// bounded above by the configured duration.
+    ConvergedCi {
+        /// Minimum closed batches before the rule may fire.
+        min_batches: u64,
+        /// Maximum relative CI half-width.
+        rel_half_width: f64,
+        /// How often (simulated seconds) to test the rule.
+        check_every_secs: f64,
+    },
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Master seed; all stochastic streams derive from it.
+    pub seed: u64,
+    /// Search-tree source.
+    pub topology: TopologySource,
+    /// Network-wide mean query arrival rate λ (queries per second).
+    pub lambda: f64,
+    /// Inter-arrival distribution.
+    pub arrivals: ArrivalKind,
+    /// Zipf exponent θ for query origins.
+    pub zipf_theta: f64,
+    /// How Zipf ranks map onto nodes.
+    pub rank_placement: RankPlacement,
+    /// Shared protocol constants.
+    pub protocol: ProtocolConfig,
+    /// Warm-up period (simulated seconds) excluded from metrics.
+    pub warmup_secs: f64,
+    /// Measured window after warm-up (simulated seconds).
+    pub duration_secs: f64,
+    /// Stop rule.
+    pub stop: StopRule,
+    /// Optional churn process.
+    pub churn: Option<ChurnConfig>,
+    /// Batch size for the latency batch-means CI.
+    pub latency_batch: u64,
+    /// Hard cap on processed events (backstop; `None` = engine default of
+    /// effectively unlimited).
+    pub max_events: Option<u64>,
+}
+
+impl RunConfig {
+    /// The paper's Table I defaults with the full 180 000 s measured window.
+    pub fn paper_default(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            topology: TopologySource::RandomTree(TopologyParams::paper_default()),
+            lambda: 1.0,
+            arrivals: ArrivalKind::Exponential,
+            zipf_theta: 0.8,
+            rank_placement: RankPlacement::Random,
+            protocol: ProtocolConfig::default(),
+            warmup_secs: 7200.0,
+            duration_secs: 180_000.0,
+            stop: StopRule::FixedDuration,
+            churn: None,
+            latency_batch: 500,
+            max_events: None,
+        }
+    }
+
+    /// A scaled-down configuration for tests and Criterion benches: smaller
+    /// network and a shorter (but still multi-TTL) window.
+    pub fn quick(seed: u64) -> Self {
+        RunConfig {
+            topology: TopologySource::RandomTree(TopologyParams {
+                nodes: 512,
+                max_degree: 4,
+            }),
+            warmup_secs: 3600.0,
+            duration_secs: 20_000.0,
+            latency_batch: 100,
+            ..RunConfig::paper_default(seed)
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters, with a description.
+    pub fn validate(&self) {
+        assert!(self.lambda > 0.0, "lambda must be positive");
+        assert!(self.zipf_theta >= 0.0, "theta must be non-negative");
+        assert!(self.duration_secs > 0.0, "duration must be positive");
+        assert!(self.warmup_secs >= 0.0, "warmup must be non-negative");
+        assert!(
+            self.protocol.push_lead_secs < self.protocol.ttl_secs,
+            "push lead must be below TTL"
+        );
+        assert!(self.latency_batch > 0, "latency batch size must be positive");
+        if let ArrivalKind::Pareto { alpha } = self.arrivals {
+            assert!(alpha > 1.0 && alpha < 2.0, "Pareto alpha must be in (1,2)");
+        }
+        if let Some(c) = &self.churn {
+            assert!(c.rate > 0.0, "churn rate must be positive");
+            assert!(c.weight_total() > 0.0, "churn weights must not all be zero");
+        }
+        assert!(self.topology.node_count() >= 1, "need at least one node");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let c = RunConfig::paper_default(1);
+        assert_eq!(c.topology.node_count(), 4096);
+        assert_eq!(c.lambda, 1.0);
+        assert_eq!(c.zipf_theta, 0.8);
+        assert_eq!(c.protocol.threshold_c, 6);
+        assert_eq!(c.protocol.ttl_secs, 3600.0);
+        assert_eq!(c.protocol.push_lead_secs, 60.0);
+        assert_eq!(c.protocol.hop_latency_mean_secs, 0.1);
+        assert_eq!(c.duration_secs, 180_000.0);
+        c.validate();
+    }
+
+    #[test]
+    fn quick_preset_is_valid() {
+        RunConfig::quick(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn zero_lambda_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.lambda = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Pareto alpha")]
+    fn bad_pareto_alpha_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.arrivals = ArrivalKind::Pareto { alpha: 2.5 };
+        c.validate();
+    }
+
+    #[test]
+    fn churn_balanced_weights() {
+        let c = ChurnConfig::balanced(0.1);
+        assert_eq!(c.weight_total(), 4.0);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = RunConfig::paper_default(9);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, 9);
+        assert_eq!(back.topology.node_count(), 4096);
+    }
+}

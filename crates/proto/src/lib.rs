@@ -1,0 +1,60 @@
+//! Shared protocol machinery and baseline schemes for the `dup-p2p`
+//! reproduction.
+//!
+//! The three consistency schemes the paper compares — PCX, CUP, and DUP —
+//! differ **only** in how index updates reach caching nodes. Everything else
+//! is identical: queries route hop-by-hop up the index search tree, the
+//! first node holding a valid (unexpired) copy serves them, replies cache
+//! the index along the reverse path, and the authority refreshes the index
+//! on a TTL schedule. This crate owns all of that shared machinery so the
+//! comparison measures the propagation mechanism and nothing else:
+//!
+//! * [`index`] — versioned index records and the authority's refresh clock.
+//! * [`cache`] — per-node TTL caches with staleness accounting.
+//! * [`ledger`] — hop-cost accounting by message class (the paper's "query
+//!   cost also includes the messages used to propagate interests").
+//! * [`interest`] — the threshold-`c` interest policy over a sliding TTL
+//!   window, shared by CUP and DUP.
+//! * [`metrics`] — query latency/cost collection with batch-means CIs.
+//! * [`scheme`] — the [`scheme::Scheme`] trait that a consistency scheme
+//!   implements, and the [`scheme::Ctx`] it acts through.
+//! * [`runner`] — the discrete-event simulation runner.
+//! * [`pcx`] / [`cup`] — the two baseline schemes.
+//!
+//! # Example
+//!
+//! ```
+//! use dup_proto::{run_simulation, PcxScheme, RunConfig};
+//!
+//! let mut cfg = RunConfig::quick(1); // 512 nodes, Table I defaults
+//! cfg.duration_secs = 4_000.0;
+//! let report = run_simulation(&cfg, PcxScheme::new());
+//! assert_eq!(report.scheme, "PCX");
+//! assert!(report.queries > 0);
+//! // PCX never pushes and sends no control traffic:
+//! assert_eq!(report.push_hops + report.control_hops, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod cup;
+pub mod index;
+pub mod interest;
+pub mod ledger;
+pub mod metrics;
+pub mod pcx;
+pub mod runner;
+pub mod scheme;
+
+pub use cache::CacheStore;
+pub use config::{ArrivalKind, ChurnConfig, ProtocolConfig, RunConfig, StopRule, TopologySource};
+pub use cup::{CupPushPolicy, CupScheme};
+pub use index::{AuthorityClock, IndexRecord, Version};
+pub use interest::{InterestPolicy, InterestTracker};
+pub use ledger::{CostLedger, MsgClass};
+pub use metrics::{Metrics, RunReport};
+pub use pcx::PcxScheme;
+pub use runner::{run_simulation, Runner};
+pub use scheme::{AppliedChurn, Ctx, Ev, Msg, Scheme, World};

@@ -1,0 +1,769 @@
+//! The simulation runner: wires workload, overlay, caches, interest policy,
+//! and a [`Scheme`] together over the discrete-event engine.
+//!
+//! The runner implements everything the three schemes share — query routing
+//! up the search tree, serving from the first valid cache, path caching on
+//! the reply, the authority's refresh schedule, interest-window bookkeeping,
+//! and churn application — and gives the scheme its hooks at the points
+//! where PCX, CUP, and DUP differ.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dup_overlay::{random_search_tree, ChordRing, NodeId, SearchTree};
+use dup_sim::{stream_rng, Engine, RunOutcome, SimDuration, SimTime, StreamRng};
+use dup_workload::{
+    exp_variate, ArrivalProcess, Arrivals, HopLatency, RankPlacement, ZipfSelector,
+};
+
+use crate::cache::CacheStore;
+use crate::config::{ArrivalKind, ChurnConfig, RunConfig, StopRule, TopologySource};
+use crate::index::AuthorityClock;
+use crate::interest::InterestTracker;
+use crate::ledger::MsgClass;
+use crate::metrics::{Metrics, RunReport};
+use crate::scheme::{send_msg, AppliedChurn, Ctx, Ev, Msg, Scheme, World};
+
+/// Runs one simulation to completion and returns its report.
+pub fn run_simulation<S: Scheme>(cfg: &RunConfig, scheme: S) -> RunReport {
+    Runner::new(cfg.clone(), scheme).run()
+}
+
+/// Dense set of live nodes supporting O(1) uniform sampling.
+#[derive(Debug, Default)]
+struct LiveSet {
+    nodes: Vec<NodeId>,
+    /// Position of each node in `nodes`; `u32::MAX` = absent.
+    pos: Vec<u32>,
+}
+
+impl LiveSet {
+    fn from_tree(tree: &SearchTree) -> Self {
+        let mut set = LiveSet::default();
+        for n in tree.live_nodes() {
+            set.insert(n);
+        }
+        set
+    }
+
+    fn insert(&mut self, node: NodeId) {
+        if node.index() >= self.pos.len() {
+            self.pos.resize(node.index() + 1, u32::MAX);
+        }
+        debug_assert_eq!(self.pos[node.index()], u32::MAX);
+        self.pos[node.index()] = self.nodes.len() as u32;
+        self.nodes.push(node);
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        let p = self.pos[node.index()];
+        debug_assert_ne!(p, u32::MAX);
+        self.pos[node.index()] = u32::MAX;
+        self.nodes.swap_remove(p as usize);
+        if let Some(&moved) = self.nodes.get(p as usize) {
+            self.pos[moved.index()] = p;
+        }
+    }
+
+    fn sample(&self, rng: &mut StreamRng) -> NodeId {
+        self.nodes[rng.gen_range(0..self.nodes.len())]
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// One configured simulation, ready to run.
+pub struct Runner<S: Scheme> {
+    cfg: RunConfig,
+    world: World,
+    scheme: S,
+    arrivals: Arrivals,
+    arrivals_rng: StreamRng,
+    origin_rng: StreamRng,
+    churn_rng: StreamRng,
+    zipf: ZipfSelector,
+    /// Zipf rank → node; entries are redirected to the takeover node when
+    /// their node departs.
+    rank_map: Vec<NodeId>,
+    live: LiveSet,
+    warmup_end: SimTime,
+    horizon: SimTime,
+}
+
+impl<S: Scheme> Runner<S> {
+    /// Builds the world from `cfg`.
+    pub fn new(cfg: RunConfig, scheme: S) -> Self {
+        cfg.validate();
+        let seed = cfg.seed;
+        let tree = match &cfg.topology {
+            TopologySource::RandomTree(params) => {
+                random_search_tree(*params, &mut stream_rng(seed, "topology"))
+            }
+            TopologySource::Chord { nodes, key } => {
+                ChordRing::new(*nodes, &mut stream_rng(seed, "chord")).search_tree(*key)
+            }
+            TopologySource::Prebuilt(t) => t.clone(),
+        };
+        let n = tree.len();
+        let ttl = SimDuration::from_secs_f64(cfg.protocol.ttl_secs);
+        let push_lead = SimDuration::from_secs_f64(cfg.protocol.push_lead_secs);
+        let world = World {
+            cache: CacheStore::new(tree.capacity()),
+            authority: AuthorityClock::new(SimTime::ZERO, ttl, push_lead),
+            interest: InterestTracker::with_policy(
+                ttl,
+                cfg.protocol.threshold_c,
+                cfg.protocol.interest_policy,
+                tree.capacity(),
+            ),
+            metrics: Metrics::new(cfg.latency_batch),
+            hop_latency: HopLatency::new(cfg.protocol.hop_latency_mean_secs),
+            latency_rng: stream_rng(seed, "hop-latency"),
+            fifo: std::collections::HashMap::new(),
+            tree,
+        };
+        let arrivals = match cfg.arrivals {
+            ArrivalKind::Exponential => Arrivals::poisson(cfg.lambda),
+            ArrivalKind::Pareto { alpha } => Arrivals::pareto(alpha, cfg.lambda),
+        };
+        let zipf = ZipfSelector::new(n, cfg.zipf_theta);
+        let rank_map = build_rank_map(&world.tree, cfg.rank_placement, seed);
+        let live = LiveSet::from_tree(&world.tree);
+        let warmup_end = SimTime::from_secs_f64(cfg.warmup_secs);
+        let horizon = warmup_end + SimDuration::from_secs_f64(cfg.duration_secs);
+        Runner {
+            arrivals,
+            arrivals_rng: stream_rng(seed, "arrivals"),
+            origin_rng: stream_rng(seed, "origins"),
+            churn_rng: stream_rng(seed, "churn"),
+            zipf,
+            rank_map,
+            live,
+            warmup_end,
+            horizon,
+            cfg,
+            world,
+            scheme,
+        }
+    }
+
+    /// Read access to the world (tests and audits).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Read access to the scheme (tests and audits).
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Runs to the horizon (or early CI convergence) and reports.
+    pub fn run(mut self) -> RunReport {
+        let mut engine: Engine<Ev<S::Msg>> = Engine::new();
+        engine.set_horizon(self.horizon);
+        if let Some(limit) = self.cfg.max_events {
+            engine.set_event_limit(limit);
+        }
+        {
+            let mut ctx = Ctx {
+                world: &mut self.world,
+                engine: &mut engine,
+            };
+            self.scheme.init(&mut ctx);
+        }
+        engine.schedule(self.warmup_end, Ev::EndWarmup);
+        engine.schedule(self.world.authority.next_refresh_at(), Ev::Refresh);
+        let first_gap = self.arrivals.next_gap(&mut self.arrivals_rng);
+        engine.schedule(SimTime::ZERO + first_gap, Ev::NextQuery);
+        if self.cfg.churn.is_some() {
+            let gap = self.next_churn_gap();
+            engine.schedule(SimTime::ZERO + gap, Ev::Churn);
+        }
+        if let StopRule::ConvergedCi {
+            check_every_secs, ..
+        } = self.cfg.stop
+        {
+            engine.schedule(
+                self.warmup_end + SimDuration::from_secs_f64(check_every_secs),
+                Ev::CiCheck,
+            );
+        }
+        let outcome = engine.run(|eng, ev| self.handle(eng, ev));
+        debug_assert!(
+            matches!(
+                outcome,
+                RunOutcome::HorizonReached | RunOutcome::Stopped | RunOutcome::EventLimit
+            ),
+            "simulation drained its event set unexpectedly"
+        );
+        let measured = engine.now().saturating_since(self.warmup_end);
+        let interested = self
+            .world
+            .tree
+            .live_nodes()
+            .filter(|&n| self.world.interest.is_interested(n))
+            .count();
+        self.world.metrics.finish(
+            self.scheme.name(),
+            measured.as_secs_f64(),
+            engine.events_processed(),
+            self.world.tree.len(),
+            interested,
+        )
+    }
+
+    fn handle(&mut self, eng: &mut Engine<Ev<S::Msg>>, ev: Ev<S::Msg>) {
+        match ev {
+            Ev::NextQuery => {
+                let origin = self.sample_origin();
+                self.begin_query(eng, origin);
+                let gap = self.arrivals.next_gap(&mut self.arrivals_rng);
+                eng.schedule_after(gap, Ev::NextQuery);
+            }
+            Ev::Deliver { from, to, msg } => {
+                if !self.world.tree.is_alive(to) {
+                    return; // message addressed to a departed node is lost
+                }
+                match msg {
+                    Msg::Request {
+                        origin,
+                        visited,
+                        issued_at,
+                        riders,
+                    } => self.on_request(eng, from, to, origin, visited, issued_at, riders),
+                    Msg::Reply {
+                        record,
+                        remaining,
+                        issued_at,
+                    } => self.on_reply(eng, to, record, remaining, issued_at),
+                    Msg::Scheme(m) => {
+                        let mut ctx = Ctx {
+                            world: &mut self.world,
+                            engine: eng,
+                        };
+                        self.scheme.on_scheme_msg(&mut ctx, from, to, m);
+                    }
+                }
+            }
+            Ev::Refresh => {
+                // An authority refresh closes one TTL epoch: under the epoch
+                // interest policy, quiet nodes lapse now — before the new
+                // version is pushed, so just-lapsed nodes unsubscribe first.
+                if self.world.interest.policy() == crate::interest::InterestPolicy::Epoch {
+                    let lapsed = self.world.interest.roll_epoch();
+                    for node in lapsed {
+                        if !self.world.tree.is_alive(node) {
+                            continue;
+                        }
+                        let mut ctx = Ctx {
+                            world: &mut self.world,
+                            engine: eng,
+                        };
+                        self.scheme.on_interest_lost(&mut ctx, node);
+                    }
+                }
+                let record = self.world.authority.refresh(eng.now());
+                {
+                    let mut ctx = Ctx {
+                        world: &mut self.world,
+                        engine: eng,
+                    };
+                    self.scheme.on_refresh(&mut ctx, record);
+                }
+                eng.schedule(self.world.authority.next_refresh_at(), Ev::Refresh);
+            }
+            Ev::InterestCheck { node } => {
+                if !self.world.tree.is_alive(node) {
+                    return;
+                }
+                let outcome = self.world.interest.run_check(node, eng.now());
+                if let Some(at) = outcome.reschedule_at {
+                    eng.schedule(at, Ev::InterestCheck { node });
+                }
+                if outcome.lapsed {
+                    let mut ctx = Ctx {
+                        world: &mut self.world,
+                        engine: eng,
+                    };
+                    self.scheme.on_interest_lost(&mut ctx, node);
+                }
+            }
+            Ev::EndWarmup => self.world.metrics.start_recording(),
+            Ev::CiCheck => {
+                if let StopRule::ConvergedCi {
+                    min_batches,
+                    rel_half_width,
+                    check_every_secs,
+                } = self.cfg.stop
+                {
+                    if self
+                        .world
+                        .metrics
+                        .latency_hops()
+                        .converged(min_batches, rel_half_width)
+                    {
+                        eng.stop();
+                    } else {
+                        eng.schedule_after(
+                            SimDuration::from_secs_f64(check_every_secs),
+                            Ev::CiCheck,
+                        );
+                    }
+                }
+            }
+            Ev::Churn => {
+                self.apply_churn(eng);
+                let gap = self.next_churn_gap();
+                eng.schedule_after(gap, Ev::Churn);
+            }
+        }
+    }
+
+    fn sample_origin(&mut self) -> NodeId {
+        let rank = self.zipf.sample(&mut self.origin_rng);
+        let node = self.rank_map[rank];
+        if self.world.tree.is_alive(node) {
+            node
+        } else {
+            // rank_map redirections keep this unreachable in practice;
+            // fall back to the authority defensively.
+            self.world.tree.root()
+        }
+    }
+
+    /// Interest bookkeeping + scheme hook for a query observed at `node`.
+    /// `riders` is the request's piggyback payload (fresh at the origin) and
+    /// `forwarding` tells the scheme whether the request continues upstream.
+    fn observe_query(
+        &mut self,
+        eng: &mut Engine<Ev<S::Msg>>,
+        node: NodeId,
+        prev: Option<NodeId>,
+        riders: &mut Vec<NodeId>,
+        forwarding: bool,
+    ) {
+        let obs = self.world.interest.observe(node, eng.now());
+        if let Some(at) = obs.schedule_check_at {
+            eng.schedule(at, Ev::InterestCheck { node });
+        }
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            engine: eng,
+        };
+        self.scheme.on_query_step(&mut ctx, node, prev, riders, forwarding);
+    }
+
+    /// A locally generated query at `node`.
+    fn begin_query(&mut self, eng: &mut Engine<Ev<S::Msg>>, node: NodeId) {
+        let now = eng.now();
+        let served = self.world.serving_record(node, now);
+        let mut riders = Vec::new();
+        self.observe_query(eng, node, None, &mut riders, served.is_none());
+        if let Some(record) = served {
+            let stale = record.is_stale_versus(self.world.authority.current().version);
+            self.world.metrics.record_query_served(0, stale);
+            self.world.metrics.record_query_completed(0.0);
+        } else {
+            let parent = self
+                .world
+                .tree
+                .parent(node)
+                .expect("the authority always serves its own queries");
+            send_msg(
+                &mut self.world,
+                eng,
+                node,
+                parent,
+                MsgClass::Request,
+                Msg::Request {
+                    origin: node,
+                    visited: vec![node],
+                    issued_at: now,
+                    riders,
+                },
+            );
+        }
+    }
+
+    /// A request arrives at `to` from its child `from`.
+    #[allow(clippy::too_many_arguments)] // one hop's full context, used once
+    fn on_request(
+        &mut self,
+        eng: &mut Engine<Ev<S::Msg>>,
+        from: NodeId,
+        to: NodeId,
+        origin: NodeId,
+        mut visited: Vec<NodeId>,
+        issued_at: SimTime,
+        mut riders: Vec<NodeId>,
+    ) {
+        let now = eng.now();
+        let served = self.world.serving_record(to, now);
+        self.observe_query(eng, to, Some(from), &mut riders, served.is_none());
+        if let Some(record) = served {
+            let stale = record.is_stale_versus(self.world.authority.current().version);
+            self.world
+                .metrics
+                .record_query_served(visited.len() as u32, stale);
+            let target = visited.pop().expect("request visited at least the origin");
+            send_msg(
+                &mut self.world,
+                eng,
+                to,
+                target,
+                MsgClass::Reply,
+                Msg::Reply {
+                    record,
+                    remaining: visited,
+                    issued_at,
+                },
+            );
+        } else {
+            let parent = self
+                .world
+                .tree
+                .parent(to)
+                .expect("the authority always has a serving record");
+            visited.push(to);
+            send_msg(
+                &mut self.world,
+                eng,
+                to,
+                parent,
+                MsgClass::Request,
+                Msg::Request {
+                    origin,
+                    visited,
+                    issued_at,
+                    riders,
+                },
+            );
+        }
+    }
+
+    /// A reply arrives at `to`: path-cache the record and forward toward the
+    /// origin, skipping nodes that departed while the reply was in flight.
+    fn on_reply(
+        &mut self,
+        eng: &mut Engine<Ev<S::Msg>>,
+        to: NodeId,
+        record: crate::index::IndexRecord,
+        mut remaining: Vec<NodeId>,
+        issued_at: SimTime,
+    ) {
+        self.world.cache.install(to, record);
+        if remaining.is_empty() {
+            let elapsed = eng.now().saturating_since(issued_at);
+            self.world
+                .metrics
+                .record_query_completed(elapsed.as_secs_f64());
+            return;
+        }
+        while let Some(target) = remaining.pop() {
+            if self.world.tree.is_alive(target) {
+                send_msg(
+                    &mut self.world,
+                    eng,
+                    to,
+                    target,
+                    MsgClass::Reply,
+                    Msg::Reply {
+                        record,
+                        remaining,
+                        issued_at,
+                    },
+                );
+                return;
+            }
+        }
+        // Every remaining path node (including the origin) departed.
+    }
+
+    fn next_churn_gap(&mut self) -> SimDuration {
+        let rate = self.cfg.churn.expect("churn event without config").rate;
+        SimDuration::from_secs_f64(exp_variate(&mut self.churn_rng, rate))
+    }
+
+    fn apply_churn(&mut self, eng: &mut Engine<Ev<S::Msg>>) {
+        let cfg = self.cfg.churn.expect("churn event without config");
+        let change = match self.pick_churn_op(&cfg) {
+            Some(change) => change,
+            None => return,
+        };
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            engine: eng,
+        };
+        self.scheme.on_churn(&mut ctx, &change);
+    }
+
+    /// Chooses and applies one topology change; returns its description.
+    fn pick_churn_op(&mut self, cfg: &ChurnConfig) -> Option<AppliedChurn> {
+        let total = cfg.weight_total();
+        let draw: f64 = self.churn_rng.gen::<f64>() * total;
+        if draw < cfg.w_join_leaf {
+            let parent = self.live.sample(&mut self.churn_rng);
+            let joined = self.world.tree.add_leaf(parent);
+            self.admit(joined);
+            Some(AppliedChurn {
+                removed: None,
+                graceful: true,
+                replacement: None,
+                adopted_children: Vec::new(),
+                joined: Some(joined),
+                join_below: None,
+                root_changed: false,
+            })
+        } else if draw < cfg.w_join_leaf + cfg.w_join_between {
+            if self.live.len() < 2 {
+                return None;
+            }
+            let child = self.sample_non_root();
+            let parent = self.world.tree.parent(child).expect("non-root has parent");
+            let joined = self.world.tree.insert_between(parent, child);
+            self.admit(joined);
+            Some(AppliedChurn {
+                removed: None,
+                graceful: true,
+                replacement: None,
+                adopted_children: Vec::new(),
+                joined: Some(joined),
+                join_below: Some(child),
+                root_changed: false,
+            })
+        } else {
+            let graceful = draw < cfg.w_join_leaf + cfg.w_join_between + cfg.w_leave;
+            if self.live.len() < 2 {
+                return None;
+            }
+            let victim = self.live.sample(&mut self.churn_rng);
+            Some(self.remove_node(victim, graceful))
+        }
+    }
+
+    fn sample_non_root(&mut self) -> NodeId {
+        let root = self.world.tree.root();
+        loop {
+            let n = self.live.sample(&mut self.churn_rng);
+            if n != root {
+                return n;
+            }
+        }
+    }
+
+    /// Registers a freshly joined node in every shared table.
+    fn admit(&mut self, node: NodeId) {
+        self.world.cache.ensure_slot(node);
+        self.world.interest.ensure_slot(node);
+        self.live.insert(node);
+    }
+
+    /// Applies a leave/failure, including authority failover, and fixes the
+    /// shared tables and the Zipf rank map.
+    fn remove_node(&mut self, victim: NodeId, graceful: bool) -> AppliedChurn {
+        let root_changed = victim == self.world.tree.root();
+        let (replacement, adopted_children) = if root_changed {
+            let children = self.world.tree.children(victim).to_vec();
+            let fresh = self.world.tree.replace_with_fresh(victim);
+            self.admit(fresh);
+            (fresh, children)
+        } else {
+            let children = self.world.tree.children(victim).to_vec();
+            let parent = self.world.tree.remove_splice(victim);
+            (parent, children)
+        };
+        self.world.cache.evict(victim);
+        self.world.interest.clear(victim);
+        self.live.remove(victim);
+        // Hand the departed node's query ranks to uniformly random survivors:
+        // redirecting to the takeover parent would drift the query mass
+        // toward the root under sustained churn and flatten latencies.
+        for i in 0..self.rank_map.len() {
+            if self.rank_map[i] == victim {
+                self.rank_map[i] = self.live.sample(&mut self.churn_rng);
+            }
+        }
+        AppliedChurn {
+            removed: Some(victim),
+            graceful,
+            replacement: Some(replacement),
+            adopted_children,
+            joined: if root_changed { Some(replacement) } else { None },
+            join_below: None,
+            root_changed,
+        }
+    }
+}
+
+/// Maps Zipf ranks to nodes per the configured placement.
+fn build_rank_map(tree: &SearchTree, placement: RankPlacement, seed: u64) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = tree.live_nodes().collect();
+    match placement {
+        RankPlacement::Random => {
+            nodes.shuffle(&mut stream_rng(seed, "ranks"));
+        }
+        RankPlacement::ById => {}
+        RankPlacement::ByDepthShallowFirst => {
+            nodes.sort_by_key(|&n| (tree.depth(n), n));
+        }
+        RankPlacement::ByDepthDeepFirst => {
+            nodes.sort_by_key(|&n| (std::cmp::Reverse(tree.depth(n)), n));
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcx::PcxScheme;
+    use dup_overlay::TopologyParams;
+
+    fn tiny_cfg(seed: u64) -> RunConfig {
+        RunConfig {
+            topology: TopologySource::RandomTree(TopologyParams {
+                nodes: 64,
+                max_degree: 4,
+            }),
+            warmup_secs: 1000.0,
+            duration_secs: 10_000.0,
+            latency_batch: 50,
+            ..RunConfig::paper_default(seed)
+        }
+    }
+
+    #[test]
+    fn pcx_run_produces_sane_report() {
+        let report = run_simulation(&tiny_cfg(1), PcxScheme::new());
+        assert_eq!(report.scheme, "PCX");
+        assert!(report.queries > 5000, "queries {}", report.queries);
+        assert!(report.latency_hops.mean >= 0.0);
+        assert!(report.avg_query_cost > 0.0);
+        // PCX never pushes and never sends control traffic.
+        assert_eq!(report.push_hops, 0);
+        assert_eq!(report.control_hops, 0);
+        // Requests and replies travel the same edges.
+        assert_eq!(report.request_hops, report.reply_hops);
+        assert_eq!(report.final_live_nodes, 64);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = run_simulation(&tiny_cfg(7), PcxScheme::new());
+        let b = run_simulation(&tiny_cfg(7), PcxScheme::new());
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.latency_hops.mean, b.latency_hops.mean);
+        assert_eq!(a.avg_query_cost, b.avg_query_cost);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_simulation(&tiny_cfg(1), PcxScheme::new());
+        let b = run_simulation(&tiny_cfg(2), PcxScheme::new());
+        assert_ne!(a.latency_hops.mean, b.latency_hops.mean);
+    }
+
+    #[test]
+    fn higher_lambda_reduces_latency() {
+        // More queries → caches warmer → fewer hops per query (Figure 4a).
+        let mut lo = tiny_cfg(3);
+        lo.lambda = 0.05;
+        let mut hi = tiny_cfg(3);
+        hi.lambda = 10.0;
+        let r_lo = run_simulation(&lo, PcxScheme::new());
+        let r_hi = run_simulation(&hi, PcxScheme::new());
+        assert!(
+            r_hi.latency_hops.mean < r_lo.latency_hops.mean,
+            "hi {} vs lo {}",
+            r_hi.latency_hops.mean,
+            r_lo.latency_hops.mean
+        );
+    }
+
+    #[test]
+    fn pareto_arrivals_run() {
+        let mut cfg = tiny_cfg(4);
+        cfg.arrivals = ArrivalKind::Pareto { alpha: 1.2 };
+        let report = run_simulation(&cfg, PcxScheme::new());
+        assert!(report.queries > 1000);
+    }
+
+    #[test]
+    fn chord_topology_runs() {
+        let mut cfg = tiny_cfg(5);
+        cfg.topology = TopologySource::Chord {
+            nodes: 64,
+            key: 0xABCD,
+        };
+        let report = run_simulation(&cfg, PcxScheme::new());
+        assert!(report.queries > 1000);
+        assert_eq!(report.final_live_nodes, 64);
+    }
+
+    #[test]
+    fn churn_keeps_world_consistent() {
+        let mut cfg = tiny_cfg(6);
+        cfg.churn = Some(ChurnConfig::balanced(0.05));
+        let runner = Runner::new(cfg.clone(), PcxScheme::new());
+        let report = runner.run();
+        assert!(report.queries > 1000);
+        // The tree stayed near its original size (balanced churn).
+        assert!(report.final_live_nodes > 16 && report.final_live_nodes < 256);
+    }
+
+    #[test]
+    fn ci_stop_rule_can_end_early() {
+        let mut cfg = tiny_cfg(8);
+        cfg.duration_secs = 500_000.0;
+        cfg.stop = StopRule::ConvergedCi {
+            min_batches: 5,
+            rel_half_width: 0.5,
+            check_every_secs: 1000.0,
+        };
+        let report = run_simulation(&cfg, PcxScheme::new());
+        assert!(
+            report.sim_secs < 500_000.0,
+            "run did not stop early: {}",
+            report.sim_secs
+        );
+    }
+
+    #[test]
+    fn rank_placements_shape_latency() {
+        // Hot nodes near the root should see shorter paths than hot nodes
+        // at the leaves.
+        let mut shallow = tiny_cfg(9);
+        shallow.rank_placement = RankPlacement::ByDepthShallowFirst;
+        shallow.zipf_theta = 2.0;
+        let mut deep = tiny_cfg(9);
+        deep.rank_placement = RankPlacement::ByDepthDeepFirst;
+        deep.zipf_theta = 2.0;
+        let r_shallow = run_simulation(&shallow, PcxScheme::new());
+        let r_deep = run_simulation(&deep, PcxScheme::new());
+        assert!(r_shallow.latency_hops.mean < r_deep.latency_hops.mean);
+    }
+
+    #[test]
+    fn live_set_sampling_and_removal() {
+        let tree = random_search_tree(
+            TopologyParams {
+                nodes: 10,
+                max_degree: 3,
+            },
+            &mut stream_rng(0, "t"),
+        );
+        let mut set = LiveSet::from_tree(&tree);
+        assert_eq!(set.len(), 10);
+        set.remove(NodeId(4));
+        assert_eq!(set.len(), 9);
+        let mut rng = stream_rng(1, "s");
+        for _ in 0..100 {
+            assert_ne!(set.sample(&mut rng), NodeId(4));
+        }
+        set.insert(NodeId(4));
+        assert_eq!(set.len(), 10);
+    }
+}

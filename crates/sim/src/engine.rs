@@ -1,0 +1,254 @@
+//! The event loop: pops events in `(time, seq)` order and hands them to a
+//! handler that may schedule further events.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Why [`Engine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The pending-event set drained completely.
+    Drained,
+    /// The horizon was reached; events at or beyond it remain queued.
+    HorizonReached,
+    /// The handler requested a stop via [`Engine::stop`].
+    Stopped,
+    /// The event budget ([`Engine::set_event_limit`]) was exhausted.
+    EventLimit,
+}
+
+/// A deterministic discrete-event engine.
+///
+/// The engine owns the clock and the future-event list. Model state lives in
+/// the caller's closure environment (or in a struct the closure borrows), so
+/// the engine stays generic and reusable across the overlay, protocol, and
+/// harness layers.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: Option<SimTime>,
+    event_limit: Option<u64>,
+    events_processed: u64,
+    stop_requested: bool,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at zero and no horizon.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: None,
+            event_limit: None,
+            events_processed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops the run once the event whose handler is executing returns.
+    /// Remaining events stay queued.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Sets the simulation horizon: events strictly before `horizon` execute,
+    /// later ones stay queued and the run returns
+    /// [`RunOutcome::HorizonReached`].
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = Some(horizon);
+    }
+
+    /// Caps the total number of events executed across all `run` calls —
+    /// a backstop against runaway feedback loops in model code.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = Some(limit);
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current instant: scheduling into the past
+    /// is always a model bug and silently reordering it would corrupt
+    /// causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} in the past (now {now})",
+            now = self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.queue.push(at, event);
+    }
+
+    /// Runs until drained, horizon, stop request, or event budget; the
+    /// handler receives `&mut Engine` so it can schedule follow-up events and
+    /// read the clock.
+    pub fn run<F>(&mut self, mut handler: F) -> RunOutcome
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        self.stop_requested = false;
+        loop {
+            if self.stop_requested {
+                return RunOutcome::Stopped;
+            }
+            if let Some(limit) = self.event_limit {
+                if self.events_processed >= limit {
+                    return RunOutcome::EventLimit;
+                }
+            }
+            let next = match self.queue.peek_time() {
+                Some(t) => t,
+                None => return RunOutcome::Drained,
+            };
+            if let Some(h) = self.horizon {
+                if next >= h {
+                    // Park the clock at the horizon so callers can read a
+                    // well-defined end time.
+                    self.now = h;
+                    return RunOutcome::HorizonReached;
+                }
+            }
+            let (at, event) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(at >= self.now, "event queue violated time order");
+            self.now = at;
+            self.events_processed += 1;
+            handler(self, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn drains_in_order_and_advances_clock() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_secs(2), Ev::Tick(2));
+        eng.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        let mut log = Vec::new();
+        let outcome = eng.run(|eng, Ev::Tick(i)| log.push((eng.now().as_secs_f64(), i)));
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(log, vec![(1.0, 1), (2.0, 2)]);
+        assert_eq!(eng.events_processed(), 2);
+    }
+
+    #[test]
+    fn handler_can_schedule_cascades() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::ZERO, Ev::Tick(0));
+        let mut count = 0u32;
+        eng.run(|eng, Ev::Tick(i)| {
+            count += 1;
+            if i < 9 {
+                eng.schedule_after(SimDuration::from_secs(1), Ev::Tick(i + 1));
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(eng.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn horizon_leaves_later_events_queued() {
+        let mut eng = Engine::new();
+        eng.set_horizon(SimTime::from_secs(5));
+        for s in [1u64, 4, 5, 9] {
+            eng.schedule(SimTime::from_secs(s), Ev::Tick(s as u32));
+        }
+        let mut fired = Vec::new();
+        let outcome = eng.run(|_, Ev::Tick(i)| fired.push(i));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(fired, vec![1, 4]);
+        assert_eq!(eng.pending(), 2);
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn stop_request_halts_immediately() {
+        let mut eng = Engine::new();
+        for s in 0..10u64 {
+            eng.schedule(SimTime::from_secs(s), Ev::Tick(s as u32));
+        }
+        let mut fired = 0;
+        let outcome = eng.run(|eng, Ev::Tick(i)| {
+            fired += 1;
+            if i == 3 {
+                eng.stop();
+            }
+        });
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(fired, 4);
+        assert_eq!(eng.pending(), 6);
+    }
+
+    #[test]
+    fn event_limit_is_a_backstop() {
+        let mut eng = Engine::new();
+        eng.set_event_limit(100);
+        eng.schedule(SimTime::ZERO, Ev::Tick(0));
+        let outcome = eng.run(|eng, Ev::Tick(i)| {
+            // Pathological self-perpetuating event at the same instant.
+            eng.schedule(eng.now(), Ev::Tick(i));
+        });
+        assert_eq!(outcome, RunOutcome::EventLimit);
+        assert_eq!(eng.events_processed(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        eng.run(|eng, _| {
+            eng.schedule(SimTime::ZERO, Ev::Tick(0));
+        });
+    }
+
+    #[test]
+    fn rerun_after_horizon_continues() {
+        let mut eng = Engine::new();
+        eng.set_horizon(SimTime::from_secs(2));
+        eng.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        eng.schedule(SimTime::from_secs(3), Ev::Tick(3));
+        let mut fired = Vec::new();
+        eng.run(|_, Ev::Tick(i)| fired.push(i));
+        eng.set_horizon(SimTime::from_secs(10));
+        eng.run(|_, Ev::Tick(i)| fired.push(i));
+        assert_eq!(fired, vec![1, 3]);
+    }
+}

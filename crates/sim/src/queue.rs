@@ -1,0 +1,162 @@
+//! The pending-event set: a binary heap keyed by `(time, sequence)`.
+//!
+//! The sequence number breaks ties between events scheduled for the same
+//! instant in FIFO order, which keeps runs deterministic regardless of how
+//! `BinaryHeap` resolves equal keys internally.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queued for execution at a given instant.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordered by `(time, insertion sequence)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Enqueues `event` to fire at `at`. Events with equal instants pop in
+    /// the order they were pushed.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events (the sequence counter keeps advancing so
+    /// determinism is preserved across a clear).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_ties_and_times() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), "t2-first");
+        q.push(SimTime::from_secs(1), "t1");
+        q.push(SimTime::from_secs(2), "t2-second");
+        assert_eq!(q.pop().unwrap().1, "t1");
+        assert_eq!(q.pop().unwrap().1, "t2-first");
+        assert_eq!(q.pop().unwrap().1, "t2-second");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(9), ());
+        q.push(SimTime::from_secs(4), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_working() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), 1);
+        q.clear();
+        assert!(q.is_empty());
+        q.push(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2)));
+    }
+}

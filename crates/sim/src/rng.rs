@@ -1,0 +1,88 @@
+//! Seeded random-number streams.
+//!
+//! Every stochastic component of a simulation (topology generation, query
+//! arrivals, query origins, hop latencies, churn, …) draws from its own
+//! stream derived from the master seed and a stable string label. This gives
+//! two properties the experiments rely on:
+//!
+//! * **Reproducibility** — one `(master_seed, label)` pair always yields the
+//!   same stream, on every platform.
+//! * **Independence under refactoring** — adding a new consumer of
+//!   randomness (a new label) does not perturb any existing stream, so
+//!   baseline and variant runs stay comparable.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG used throughout the simulator. `SmallRng` (xoshiro-family) is
+/// deterministic for a fixed seed and fast enough for tens of millions of
+/// draws per run.
+pub type StreamRng = SmallRng;
+
+/// Derives a 64-bit stream seed from a master seed and a stable label using
+/// an FNV-1a / splitmix64 construction. The label is hashed with FNV-1a
+/// (stable across platforms and Rust versions, unlike `DefaultHasher`), then
+/// mixed with the master seed through splitmix64 finalizers.
+pub fn stream_seed(master_seed: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in label.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(splitmix64(master_seed) ^ h)
+}
+
+/// Creates the RNG for `(master_seed, label)`.
+pub fn stream_rng(master_seed: u64, label: &str) -> StreamRng {
+    StreamRng::seed_from_u64(stream_seed(master_seed, label))
+}
+
+/// splitmix64 finalizer: a strong 64-bit mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_inputs_same_stream() {
+        let mut a = stream_rng(42, "arrivals");
+        let mut b = stream_rng(42, "arrivals");
+        for _ in 0..1000 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        assert_ne!(stream_seed(42, "arrivals"), stream_seed(42, "origins"));
+        assert_ne!(stream_seed(42, "a"), stream_seed(42, "b"));
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        assert_ne!(stream_seed(1, "arrivals"), stream_seed(2, "arrivals"));
+    }
+
+    #[test]
+    fn stream_seed_is_stable() {
+        // Regression pin: if this changes, every recorded experiment changes.
+        assert_eq!(stream_seed(0, ""), splitmix64(splitmix64(0) ^ 0xcbf2_9ce4_8422_2325));
+        let pinned = stream_seed(42, "arrivals");
+        assert_eq!(pinned, stream_seed(42, "arrivals"));
+    }
+
+    #[test]
+    fn labels_with_shared_prefix_differ() {
+        assert_ne!(stream_seed(7, "node"), stream_seed(7, "node2"));
+        assert_ne!(stream_seed(7, "node/1"), stream_seed(7, "node/2"));
+    }
+}

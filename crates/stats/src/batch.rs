@@ -1,0 +1,157 @@
+//! Batch means for steady-state output analysis.
+//!
+//! Successive query latencies from one simulation run are autocorrelated
+//! (they share cache state), so a naive Student-t interval over raw samples
+//! is too narrow. The batch-means method groups the stream into fixed-size
+//! batches whose means are approximately independent, then builds the
+//! interval over the batch means — the standard textbook approach and the
+//! one implied by the paper's "run until the 95 % CI is obtained" rule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ci::ConfidenceInterval;
+use crate::welford::Welford;
+
+/// Streaming batch-means accumulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batches: Welford,
+    all: Welford,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size (number of raw
+    /// observations per batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batches: Welford::new(),
+            all: Welford::new(),
+        }
+    }
+
+    /// Adds one raw observation.
+    pub fn push(&mut self, x: f64) {
+        self.all.push(x);
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn completed_batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Number of raw observations, including those in the open batch.
+    pub fn raw_count(&self) -> u64 {
+        self.all.count()
+    }
+
+    /// Grand mean over *all* raw observations (not just closed batches).
+    pub fn mean(&self) -> f64 {
+        self.all.mean()
+    }
+
+    /// Accumulator over every raw observation.
+    pub fn raw(&self) -> &Welford {
+        &self.all
+    }
+
+    /// 95 % confidence interval built from the completed batch means. The
+    /// point estimate is the mean of batch means; with equal-size batches it
+    /// equals the grand mean of the closed batches.
+    pub fn ci_95(&self) -> ConfidenceInterval {
+        ConfidenceInterval::from_welford_95(&self.batches)
+    }
+
+    /// True once `min_batches` have closed and the 95 % interval's relative
+    /// half-width is at most `rel`. This is the run-length stopping rule used
+    /// by the harness.
+    pub fn converged(&self, min_batches: u64, rel: f64) -> bool {
+        self.completed_batches() >= min_batches && self.ci_95().relative_half_width() <= rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn batches_close_at_batch_size() {
+        let mut bm = BatchMeans::new(4);
+        for i in 0..10 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+        assert_eq!(bm.raw_count(), 10);
+        // Batch means: mean(0..4)=1.5, mean(4..8)=5.5.
+        let ci = bm.ci_95();
+        assert_eq!(ci.mean, 3.5);
+    }
+
+    #[test]
+    fn grand_mean_covers_open_batch() {
+        let mut bm = BatchMeans::new(100);
+        for i in 0..10 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.completed_batches(), 0);
+        assert_eq!(bm.mean(), 4.5);
+    }
+
+    #[test]
+    fn iid_stream_converges() {
+        // Deterministic LCG uniform stream.
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut bm = BatchMeans::new(100);
+        for _ in 0..20_000 {
+            bm.push(next());
+        }
+        assert!(bm.converged(10, 0.05), "rel hw = {}", bm.ci_95().relative_half_width());
+        assert!((bm.mean() - 0.5).abs() < 0.02);
+        assert!(bm.ci_95().contains(0.5));
+    }
+
+    #[test]
+    fn not_converged_with_few_batches() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..25 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+        assert!(!bm.converged(10, 0.5));
+    }
+
+    #[test]
+    fn constant_stream_has_zero_width() {
+        let mut bm = BatchMeans::new(5);
+        for _ in 0..50 {
+            bm.push(7.0);
+        }
+        let ci = bm.ci_95();
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(bm.converged(2, 0.0));
+    }
+}

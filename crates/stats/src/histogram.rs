@@ -1,0 +1,198 @@
+//! Fixed-width histograms with percentile queries.
+//!
+//! Used for hop-count and latency distributions (e.g. the latency tail that
+//! distinguishes PCX from the push schemes when TTLs expire).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[0, bucket_width * buckets)` with an overflow bucket.
+///
+/// Query latencies in the simulation are small non-negative numbers (hops or
+/// seconds), so fixed-width buckets with an explicit overflow bin are both
+/// simple and adequate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` bins of width `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive or `buckets` is zero.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation. Negative values clamp into the first bucket
+    /// (they cannot occur for hop counts; clamping keeps the type total).
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < 0.0 {
+            self.counts[0] += 1;
+            return;
+        }
+        let idx = (x / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bucket `idx` (i.e. values in `[idx*w, (idx+1)*w)`).
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Number of regular buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, estimated as the upper edge of
+    /// the bucket where the cumulative count crosses `q * total`. Returns
+    /// `None` when empty or when the quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some((i as f64 + 1.0) * self.bucket_width);
+            }
+        }
+        None
+    }
+
+    /// Mean estimated from bucket midpoints (overflow excluded).
+    pub fn approx_mean(&self) -> f64 {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += (i as f64 + 0.5) * self.bucket_width * c as f64;
+        }
+        acc / in_range as f64
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_expected_buckets() {
+        let mut h = Histogram::new(1.0, 4);
+        for x in [0.0, 0.5, 1.0, 2.9, 3.999, 4.0, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn negative_values_clamp_to_first_bucket() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(-5.0);
+        assert_eq!(h.bucket_count(0), 1);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(1.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0); // uniform over [0, 10)
+        }
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        assert_eq!(Histogram::new(1.0, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_in_overflow_is_none() {
+        let mut h = Histogram::new(1.0, 1);
+        h.record(10.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn approx_mean_of_uniform() {
+        let mut h = Histogram::new(1.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.approx_mean() - 5.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(1.0, 3).approx_mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.5, 4);
+        let mut b = Histogram::new(0.5, 4);
+        a.record(0.1);
+        b.record(0.2);
+        b.record(1.9);
+        b.record(99.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.bucket_count(0), 2);
+        assert_eq!(a.bucket_count(3), 1);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.5, 4);
+        let b = Histogram::new(1.0, 4);
+        a.merge(&b);
+    }
+}

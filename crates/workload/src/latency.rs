@@ -1,0 +1,93 @@
+//! Per-hop message latency model.
+//!
+//! "The latency of message transfer between two nodes follows exponential
+//! distribution with mean value of 0.1 seconds" (§IV). Every overlay hop —
+//! request forwarding, replies, pushes, subscription traffic — draws an
+//! independent transfer delay from this model.
+
+use dup_sim::{SimDuration, StreamRng};
+
+use crate::variates::exp_variate;
+
+/// Exponential per-hop transfer latency.
+#[derive(Debug, Clone, Copy)]
+pub struct HopLatency {
+    mean_secs: f64,
+}
+
+impl HopLatency {
+    /// The paper's default: mean 0.1 s per hop.
+    pub const PAPER_DEFAULT_MEAN_SECS: f64 = 0.1;
+
+    /// Creates a latency model with the given mean transfer time in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_secs` is strictly positive and finite.
+    pub fn new(mean_secs: f64) -> Self {
+        assert!(
+            mean_secs > 0.0 && mean_secs.is_finite(),
+            "hop latency mean must be positive and finite, got {mean_secs}"
+        );
+        HopLatency { mean_secs }
+    }
+
+    /// The paper's configuration.
+    pub fn paper_default() -> Self {
+        HopLatency::new(Self::PAPER_DEFAULT_MEAN_SECS)
+    }
+
+    /// Mean transfer time in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        self.mean_secs
+    }
+
+    /// Draws one hop's transfer delay.
+    #[inline]
+    pub fn sample(&self, rng: &mut StreamRng) -> SimDuration {
+        SimDuration::from_secs_f64(exp_variate(rng, 1.0 / self.mean_secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dup_sim::stream_rng;
+
+    #[test]
+    fn mean_matches_configuration() {
+        let model = HopLatency::paper_default();
+        let mut rng = stream_rng(41, "hop");
+        let n = 200_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += model.sample(&mut rng).as_secs_f64();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 0.1).abs() < 0.002, "mean {mean}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let model = HopLatency::new(0.5);
+        let mut rng = stream_rng(43, "pos");
+        for _ in 0..10_000 {
+            assert!(model.sample(&mut rng) > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(HopLatency::new(0.25).mean_secs(), 0.25);
+        assert_eq!(
+            HopLatency::paper_default().mean_secs(),
+            HopLatency::PAPER_DEFAULT_MEAN_SECS
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_mean() {
+        HopLatency::new(0.0);
+    }
+}

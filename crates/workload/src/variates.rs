@@ -1,0 +1,149 @@
+//! Random-variate generation by inverse-CDF transform.
+//!
+//! Implemented by hand (rather than via `rand_distr`) because the paper's
+//! Pareto form `F(x) = 1 − (k/(x+k))^α` is a Lomax distribution, which
+//! `rand_distr` does not provide; the exponential comes along for free and
+//! keeps both variates under one roof for testing. `rand_distr` is used in
+//! dev-dependencies to cross-check.
+
+use rand::Rng;
+
+/// Draws a standard uniform in the open interval `(0, 1)`.
+///
+/// Excluding 0 keeps `ln` finite and excluding 1 keeps powers finite; the
+/// probability mass removed is ~1e-16 and irrelevant to the simulation.
+#[inline]
+fn open_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+/// An exponential variate with the given rate (mean `1 / rate`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+#[inline]
+pub fn exp_variate<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    -open_unit(rng).ln() / rate
+}
+
+/// A Lomax (Pareto Type II) variate with CDF `F(x) = 1 − (k/(x+k))^α`,
+/// exactly the paper's Pareto inter-arrival model. For `α > 1` the mean is
+/// `k / (α − 1)`.
+///
+/// # Panics
+///
+/// Panics unless `alpha > 0` and `k > 0`.
+#[inline]
+pub fn lomax_variate<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: f64) -> f64 {
+    assert!(alpha > 0.0, "Lomax shape must be positive, got {alpha}");
+    assert!(k > 0.0, "Lomax scale must be positive, got {k}");
+    // Inverse CDF: x = k * ((1-u)^(-1/α) − 1); 1−u is uniform too.
+    k * (open_unit(rng).powf(-1.0 / alpha) - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::SmallRng {
+        rand::rngs::SmallRng::seed_from_u64(0xD0_5E)
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut r = rng();
+        let n = 200_000;
+        let rate = 4.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exp_variate(&mut r, rate);
+            assert!(x > 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // P(X > t) = e^{-rate t}; check at t = 1 with rate 1.
+        let mut r = rng();
+        let n = 100_000;
+        let tail = (0..n)
+            .filter(|_| exp_variate(&mut r, 1.0) > 1.0)
+            .count() as f64
+            / n as f64;
+        assert!((tail - (-1.0f64).exp()).abs() < 0.01, "tail {tail}");
+    }
+
+    #[test]
+    fn lomax_mean_matches_theory() {
+        let mut r = rng();
+        let (alpha, k) = (3.0, 2.0);
+        let n = 400_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = lomax_variate(&mut r, alpha, k);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - k / (alpha - 1.0)).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn lomax_cdf_matches_paper_form() {
+        // Empirical CDF at a few points vs F(x) = 1 - (k/(x+k))^α.
+        let (alpha, k) = (1.2, 0.5);
+        let mut r = rng();
+        let n = 300_000;
+        let samples: Vec<f64> = (0..n).map(|_| lomax_variate(&mut r, alpha, k)).collect();
+        for x in [0.1, 0.5, 2.0, 10.0] {
+            let emp = samples.iter().filter(|&&s| s <= x).count() as f64 / n as f64;
+            let theory = 1.0 - (k / (x + k)).powf(alpha);
+            assert!((emp - theory).abs() < 0.01, "x={x}: emp {emp} vs {theory}");
+        }
+    }
+
+    #[test]
+    fn lomax_heavy_tail_is_heavier_than_exponential() {
+        // With matched means (1.0), the Lomax α=1.05 tail beyond 10 should
+        // dominate the exponential tail e^{-10}.
+        let mut r = rng();
+        let alpha = 1.05;
+        let k = alpha - 1.0; // mean rate (α−1)/k = 1 → mean gap 1
+        let n = 200_000;
+        let lomax_tail = (0..n)
+            .filter(|_| lomax_variate(&mut r, alpha, k) > 10.0)
+            .count() as f64
+            / n as f64;
+        let exp_tail = (0..n).filter(|_| exp_variate(&mut r, 1.0) > 10.0).count() as f64 / n as f64;
+        assert!(lomax_tail > 20.0 * exp_tail, "{lomax_tail} vs {exp_tail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exp_rejects_nonpositive_rate() {
+        exp_variate(&mut rng(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn lomax_rejects_nonpositive_shape() {
+        lomax_variate(&mut rng(), 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn lomax_rejects_nonpositive_scale() {
+        lomax_variate(&mut rng(), 1.0, -1.0);
+    }
+}

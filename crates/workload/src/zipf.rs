@@ -1,0 +1,196 @@
+//! Zipf-like query-origin selection.
+//!
+//! The paper distributes queries over nodes with
+//! `P_i = (1/i^θ) / Σ_{k=1..n} (1/k^θ)` for ranks `i = 1..n`: a small number
+//! of hot nodes generate most queries. θ near 0 is uniform; large θ
+//! concentrates queries on a few hot spots.
+
+use rand::Rng;
+
+use dup_sim::StreamRng;
+
+/// How Zipf ranks are assigned to nodes. The paper does not specify this, so
+/// it is an explicit, reported knob (see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum RankPlacement {
+    /// Ranks are a seeded random permutation of the nodes (default).
+    #[default]
+    Random,
+    /// Rank i is node index i (root gets rank 1 — hottest at the root).
+    ById,
+    /// Nodes sorted by tree depth, shallow first: hot nodes near the root.
+    ByDepthShallowFirst,
+    /// Nodes sorted by tree depth, deep first: hot nodes far from the root.
+    ByDepthDeepFirst,
+}
+
+/// Samples ranks `0..n` with Zipf-like probabilities via inverse-CDF binary
+/// search (O(log n) per draw after O(n) setup).
+#[derive(Debug, Clone)]
+pub struct ZipfSelector {
+    /// Cumulative probabilities; `cdf[i]` = P(rank ≤ i). Last entry is 1.0.
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl ZipfSelector {
+    /// Builds a selector over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf selector needs at least one rank");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "Zipf exponent must be non-negative and finite, got {theta}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding keeping the last entry below 1.0.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSelector { cdf, theta }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: construction requires at least one rank. Present so
+    /// `len` has its conventional companion.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The configured exponent θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of rank `i` (0-based).
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws a 0-based rank.
+    pub fn sample(&self, rng: &mut StreamRng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u, i.e. the
+        // smallest rank whose cumulative probability exceeds the draw.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dup_sim::stream_rng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for theta in [0.0, 0.5, 0.8, 2.0, 4.0] {
+            let z = ZipfSelector::new(100, theta);
+            let sum: f64 = (0..100).map(|i| z.probability(i)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "θ={theta}: {sum}");
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfSelector::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_decrease_with_rank() {
+        let z = ZipfSelector::new(50, 0.8);
+        for i in 1..50 {
+            assert!(z.probability(i) <= z.probability(i - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn matches_paper_formula() {
+        let (n, theta) = (8, 1.3);
+        let z = ZipfSelector::new(n, theta);
+        let norm: f64 = (1..=n).map(|k| (k as f64).powf(-theta)).sum();
+        for i in 0..n {
+            let expect = ((i + 1) as f64).powf(-theta) / norm;
+            assert!((z.probability(i) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let z = ZipfSelector::new(20, 1.0);
+        let mut rng = stream_rng(17, "zipf");
+        let n = 400_000;
+        let mut counts = [0u64; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!(
+                (emp - z.probability(i)).abs() < 0.005,
+                "rank {i}: {emp} vs {}",
+                z.probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn large_theta_concentrates_on_rank_zero() {
+        let z = ZipfSelector::new(4096, 4.0);
+        assert!(z.probability(0) > 0.9);
+        let mut rng = stream_rng(23, "hot");
+        let hot = (0..10_000).filter(|_| z.sample(&mut rng) == 0).count();
+        assert!(hot > 8_800, "hot draws: {hot}");
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = ZipfSelector::new(1, 0.8);
+        let mut rng = stream_rng(1, "one");
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        assert_eq!(z.probability(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        ZipfSelector::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_panics() {
+        ZipfSelector::new(4, -1.0);
+    }
+
+    #[test]
+    fn sample_never_out_of_range() {
+        let z = ZipfSelector::new(7, 0.8);
+        let mut rng = stream_rng(31, "range");
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+
+use dup_sim::{stream_rng, SimDuration};
+use dup_workload::{
+    exp_variate, lomax_variate, ArrivalProcess, Arrivals, HopLatency, ZipfSelector,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Zipf probabilities: normalized, monotone non-increasing in rank, and
+    /// samples always in range.
+    #[test]
+    fn zipf_is_a_monotone_distribution(
+        n in 1usize..2000,
+        theta in 0.0f64..4.0,
+        seed in 0u64..100,
+    ) {
+        let z = ZipfSelector::new(n, theta);
+        let total: f64 = (0..n).map(|i| z.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        for i in 1..n {
+            prop_assert!(z.probability(i) <= z.probability(i - 1) + 1e-12);
+        }
+        let mut rng = stream_rng(seed, "prop-zipf");
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Exponential variates: positive, finite, and deterministic per seed.
+    #[test]
+    fn exp_variates_well_formed(rate in 0.001f64..1000.0, seed in 0u64..100) {
+        let mut a = stream_rng(seed, "prop-exp");
+        let mut b = stream_rng(seed, "prop-exp");
+        for _ in 0..50 {
+            let x = exp_variate(&mut a, rate);
+            prop_assert!(x > 0.0 && x.is_finite());
+            prop_assert_eq!(x, exp_variate(&mut b, rate));
+        }
+    }
+
+    /// Lomax variates are non-negative and finite for any valid parameters,
+    /// and the empirical CDF respects the closed form at the median.
+    #[test]
+    fn lomax_variates_well_formed(
+        alpha in 1.01f64..1.99,
+        k in 0.01f64..100.0,
+        seed in 0u64..50,
+    ) {
+        let mut rng = stream_rng(seed, "prop-lomax");
+        let n = 2000;
+        let median_theory = k * (2f64.powf(1.0 / alpha) - 1.0);
+        let below = (0..n)
+            .map(|_| lomax_variate(&mut rng, alpha, k))
+            .inspect(|x| assert!(*x >= 0.0 && x.is_finite()))
+            .filter(|&x| x <= median_theory)
+            .count();
+        let frac = below as f64 / n as f64;
+        prop_assert!((frac - 0.5).abs() < 0.06, "median fraction {frac}");
+    }
+
+    /// Both arrival processes produce strictly positive gaps and report the
+    /// configured rate.
+    #[test]
+    fn arrival_gaps_positive(
+        lambda in 0.001f64..500.0,
+        alpha in 1.01f64..1.99,
+        seed in 0u64..50,
+    ) {
+        let mut rng = stream_rng(seed, "prop-arrivals");
+        for mut process in [Arrivals::poisson(lambda), Arrivals::pareto(alpha, lambda)] {
+            prop_assert_eq!(process.rate(), lambda);
+            for _ in 0..20 {
+                prop_assert!(process.next_gap(&mut rng) > SimDuration::ZERO);
+            }
+        }
+    }
+
+    /// Hop latency samples are positive for any positive mean.
+    #[test]
+    fn hop_latency_positive(mean in 0.0001f64..10.0, seed in 0u64..50) {
+        let model = HopLatency::new(mean);
+        let mut rng = stream_rng(seed, "prop-hop");
+        for _ in 0..50 {
+            prop_assert!(model.sample(&mut rng) > SimDuration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! A churn-heavy swarm: §III-C in action.
+//!
+//! ```text
+//! cargo run --release --example churny_swarm
+//! ```
+//!
+//! Real P2P populations turn over constantly. This example sweeps the
+//! topology-change rate from none to one event per simulated second
+//! (joins, edge-splitting joins, graceful leaves, and silent failures in
+//! equal measure) and shows that DUP keeps its latency/cost advantage while
+//! its repair traffic stays a small fraction of total cost — the paper
+//! describes these repair mechanisms but never measures them.
+
+use dup_p2p::prelude::*;
+
+fn main() {
+    println!("churny swarm: 1024 nodes, λ=2 q/s, balanced churn mix\n");
+    println!(
+        "{:>10}  {:>9} {:>9}  {:>9} {:>9}  {:>10} {:>11}",
+        "churn (/s)", "PCX lat", "DUP lat", "PCX cost", "DUP cost", "DUP ctrl", "final nodes"
+    );
+    for rate in [0.0, 0.02, 0.1, 0.5, 1.0] {
+        let mut cfg = RunConfig::paper_default(0xC0_FFEE);
+        cfg.topology = TopologySource::RandomTree(TopologyParams {
+            nodes: 1024,
+            max_degree: 4,
+        });
+        cfg.lambda = 2.0;
+        cfg.warmup_secs = 7_200.0;
+        cfg.duration_secs = 30_000.0;
+        if rate > 0.0 {
+            cfg.churn = Some(ChurnConfig::balanced(rate));
+        }
+        let t = dup_p2p::compare_schemes(&cfg);
+        println!(
+            "{:>10}  {:>9.4} {:>9.4}  {:>9.4} {:>9.4}  {:>10} {:>11}",
+            rate,
+            t.pcx.latency_hops.mean,
+            t.dup.latency_hops.mean,
+            t.pcx.avg_query_cost,
+            t.dup.avg_query_cost,
+            t.dup.control_hops,
+            t.dup.final_live_nodes,
+        );
+    }
+    println!(
+        "\nEven at one topology change per second the DUP tree self-repairs:\n\
+         failed fan-out nodes are detected by their subscribers, which\n\
+         re-subscribe through their new search paths (paper §III-C cases 1–5)."
+    );
+}

@@ -1,0 +1,84 @@
+//! The §VI future-work extension in action: DUP as a general data
+//! dissemination platform, compared against SCRIBE-style forwarding.
+//!
+//! ```text
+//! cargo run --release --example pubsub_platform
+//! ```
+//!
+//! Builds one 512-node Chord ring hosting four topics with different
+//! subscriber densities, publishes a batch of events to each, and compares
+//! the two dissemination designs on delivery hops, relay copies (payload
+//! deliveries to nodes that never asked for them), and per-node state.
+
+use dup_dissem::{BayeuxScheme, CupScheme, DisseminationPlatform, DisseminationScheme, DupScheme};
+use dup_overlay::NodeId;
+
+const TOPICS: [(u64, usize); 4] = [
+    (0xA11CE, 3),   // niche topic: 3 subscribers
+    (0xB0B, 16),    // small community
+    (0xCA21, 64),   // popular topic
+    (0xD00D, 256),  // half the network
+];
+
+fn run<S: DisseminationScheme>(seed: u64) {
+    let keys: Vec<u64> = TOPICS.iter().map(|&(k, _)| k).collect();
+    let mut platform: DisseminationPlatform<S> = DisseminationPlatform::new(512, &keys, seed);
+    let nodes: Vec<NodeId> = platform.nodes().collect();
+    for &(key, count) in &TOPICS {
+        for i in 0..count {
+            // Deterministic spread of subscribers over the ring.
+            platform.subscribe(nodes[(i * 509 + key as usize) % nodes.len()], key);
+        }
+    }
+    println!("{} dissemination:", S::label());
+    println!(
+        "  {:>10} {:>12} {:>14} {:>13} {:>16}",
+        "topic", "subscribers", "delivery hops", "relay copies", "mean delay (s)"
+    );
+    for &(key, _) in &TOPICS {
+        let mut hops = 0u64;
+        let mut relays = 0usize;
+        let mut delay_sum = 0.0;
+        let mut delay_count = 0usize;
+        let mut subscribers = 0;
+        for round in 0..5u64 {
+            let publisher = nodes[((round * 97 + key) % nodes.len() as u64) as usize];
+            let report = platform.publish(publisher, key);
+            hops += report.delivery_hops;
+            relays += report.relay_copies;
+            subscribers = report.subscribers;
+            for &(_, d) in &report.delivered {
+                delay_sum += d.as_secs_f64();
+                delay_count += 1;
+            }
+        }
+        println!(
+            "  {:>#10x} {:>12} {:>14} {:>13} {:>16.3}",
+            key,
+            subscribers,
+            hops,
+            relays,
+            delay_sum / delay_count.max(1) as f64,
+        );
+    }
+    let stats = platform.state_stats();
+    println!(
+        "  per-node state: max {} entries/topic, {} entries total, {:.2} mean (non-empty)\n",
+        stats.max_entries_per_topic, stats.total_entries, stats.mean_nonempty
+    );
+}
+
+fn main() {
+    println!("512-node Chord ring, 4 topics, 5 events each\n");
+    run::<DupScheme>(2025);
+    run::<CupScheme>(2025);
+    run::<BayeuxScheme>(2025);
+    println!(
+        "DUP delivers with direct tree edges (few relay copies, degree-bounded\n\
+         state); SCRIBE-style forwarding pays every search-tree hop and copies\n\
+         the payload into every relay; Bayeux reaches the same members but its\n\
+         per-node state explodes — the rendezvous node stores every subscriber\n\
+         (compare the max-entries column), which is the paper's §V scalability\n\
+         argument for DUP."
+    );
+}

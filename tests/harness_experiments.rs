@@ -1,0 +1,94 @@
+//! Every experiment in the registry runs end-to-end at bench scale and
+//! produces well-formed, shape-consistent output.
+
+use dup_p2p::harness::{all_experiments, HarnessOpts, Scale};
+
+fn opts() -> HarnessOpts {
+    HarnessOpts {
+        scale: Scale::Bench,
+        seed: 7,
+        jobs: 0,
+        reps: 1,
+    }
+}
+
+#[test]
+fn every_registered_experiment_runs() {
+    for (name, runner) in all_experiments() {
+        let out = runner(&opts());
+        assert_eq!(out.name, name);
+        assert!(!out.text.trim().is_empty(), "{name}: empty text output");
+        assert!(out.json.is_object(), "{name}: JSON is not an object");
+        assert_eq!(
+            out.json.get("experiment").and_then(|v| v.as_str()),
+            Some(name),
+            "{name}: JSON missing experiment tag"
+        );
+    }
+}
+
+#[test]
+fn fig4_shapes() {
+    let out = dup_p2p::harness::fig4::run(&opts());
+    let points = out.json["points"].as_array().unwrap();
+    assert!(!points.is_empty());
+    for p in points {
+        let lat = p["latency"].as_array().unwrap();
+        let pcx = lat[0].as_f64().unwrap();
+        let dup = lat[2].as_f64().unwrap();
+        assert!(dup <= pcx + 1e-9, "DUP latency above PCX at λ={}", p["lambda"]);
+    }
+}
+
+#[test]
+fn table2_has_all_cells() {
+    let out = dup_p2p::harness::table2::run(&opts());
+    let cells = out.json["cells"].as_array().unwrap();
+    assert_eq!(cells.len(), 15, "5 c-values × 3 λ values");
+    for c in cells {
+        assert!(c["avg_query_cost"].as_f64().unwrap() >= 0.0);
+    }
+}
+
+#[test]
+fn table3_latency_grows_with_network_size() {
+    let out = dup_p2p::harness::table3::run(&opts());
+    let cells = out.json["cells"].as_array().unwrap();
+    // For λ=0.1 (coldest caches), PCX latency at the largest n must exceed
+    // PCX latency at the smallest n.
+    let pcx_lat = |nodes: u64| -> f64 {
+        cells
+            .iter()
+            .find(|c| c["nodes"].as_u64() == Some(nodes) && c["lambda"].as_f64() == Some(0.1))
+            .map(|c| c["latency"][0].as_f64().unwrap())
+            .unwrap()
+    };
+    let sweep = Scale::Bench.node_sweep();
+    let (small, large) = (sweep[0] as u64, *sweep.last().unwrap() as u64);
+    assert!(
+        pcx_lat(large) > pcx_lat(small),
+        "latency must grow with n: {} vs {}",
+        pcx_lat(large),
+        pcx_lat(small)
+    );
+}
+
+#[test]
+fn fig6_larger_degree_means_lower_pcx_latency() {
+    let out = dup_p2p::harness::fig6::run(&opts());
+    let points = out.json["points"].as_array().unwrap();
+    let first = points.first().unwrap()["latency"][0].as_f64().unwrap();
+    let last = points.last().unwrap()["latency"][0].as_f64().unwrap();
+    assert!(last < first, "D=10 PCX latency {last} !< D=2 {first}");
+}
+
+#[test]
+fn ext_staleness_pcx_dominates() {
+    let out = dup_p2p::harness::extensions::run_staleness(&opts());
+    for p in out.json["points"].as_array().unwrap() {
+        let stale = p["stale"].as_array().unwrap();
+        let pcx = stale[0].as_f64().unwrap();
+        let dup = stale[2].as_f64().unwrap();
+        assert!(dup <= pcx + 1e-9, "DUP staler than PCX at λ={}", p["lambda"]);
+    }
+}
