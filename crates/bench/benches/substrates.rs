@@ -7,9 +7,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use dup_core::DupScheme;
+use dup_core::{run_simulation_kind, SchemeKind};
 use dup_overlay::{random_search_tree, ChordRing, TopologyParams};
-use dup_proto::{run_simulation, CupScheme, PcxScheme, RunConfig, TopologySource};
+use dup_proto::{ProbeSink, RunConfig, TopologySource};
 use dup_sim::{stream_rng, Engine, EventQueue, SimTime};
 use dup_workload::{exp_variate, lomax_variate, ZipfSelector};
 
@@ -131,15 +131,14 @@ fn bench_schemes(c: &mut Criterion) {
         cfg.lambda = 2.0;
         cfg
     };
-    group.bench_function("pcx_run", |b| {
-        b.iter(|| black_box(run_simulation(&cfg(), PcxScheme::new())))
-    });
-    group.bench_function("cup_run", |b| {
-        b.iter(|| black_box(run_simulation(&cfg(), CupScheme::new())))
-    });
-    group.bench_function("dup_run", |b| {
-        b.iter(|| black_box(run_simulation(&cfg(), DupScheme::new())))
-    });
+    // One entry per scheme through the unified dispatch with a disabled
+    // probe, so this group doubles as the no-op-probe overhead check.
+    for kind in SchemeKind::ALL {
+        let id = format!("{}_run", kind.name().to_lowercase());
+        group.bench_function(&id, |b| {
+            b.iter(|| black_box(run_simulation_kind(&cfg(), kind, ProbeSink::disabled())))
+        });
+    }
     group.finish();
 }
 

@@ -178,7 +178,10 @@ mod negative_tests {
         let mut b = subscribed_bench();
         b.scheme.test_inject_entry(N3, N6); // N6 already present
         let errs = audit_quiescent(&b.scheme, &b.world.tree).unwrap_err();
-        assert!(has(&errs, |e| matches!(e, AuditError::DuplicateEntry { .. })));
+        assert!(has(&errs, |e| matches!(
+            e,
+            AuditError::DuplicateEntry { .. }
+        )));
     }
 
     #[test]
@@ -187,7 +190,10 @@ mod negative_tests {
         // N4 is not in N6's subtree.
         b.scheme.test_inject_entry(N6, N4);
         let errs = audit_quiescent(&b.scheme, &b.world.tree).unwrap_err();
-        assert!(has(&errs, |e| matches!(e, AuditError::EntryNotDescendant { .. })));
+        assert!(has(&errs, |e| matches!(
+            e,
+            AuditError::EntryNotDescendant { .. }
+        )));
     }
 
     #[test]
@@ -207,7 +213,10 @@ mod negative_tests {
         // branch.
         b.scheme.test_inject_entry(N3, NodeId(4));
         let errs = audit_quiescent(&b.scheme, &b.world.tree).unwrap_err();
-        assert!(has(&errs, |e| matches!(e, AuditError::BranchConflict { .. })));
+        assert!(has(&errs, |e| matches!(
+            e,
+            AuditError::BranchConflict { .. }
+        )));
     }
 
     #[test]
@@ -218,7 +227,10 @@ mod negative_tests {
         b.scheme.test_inject_entry(N3, N4);
         let errs = audit_quiescent(&b.scheme, &b.world.tree).unwrap_err();
         assert!(
-            has(&errs, |e| matches!(e, AuditError::StaleUpstreamEntry { .. })),
+            has(&errs, |e| matches!(
+                e,
+                AuditError::StaleUpstreamEntry { .. }
+            )),
             "stale entry went undetected: {errs:?}"
         );
     }
@@ -232,7 +244,10 @@ mod negative_tests {
         b.scheme.test_inject_entry(n7, n7);
         let errs = audit_quiescent(&b.scheme, &b.world.tree).unwrap_err();
         assert!(
-            has(&errs, |e| matches!(e, AuditError::SubscriberUnreachable { .. })),
+            has(&errs, |e| matches!(
+                e,
+                AuditError::SubscriberUnreachable { .. }
+            )),
             "unreachable subscriber went undetected: {errs:?}"
         );
     }

@@ -2,7 +2,7 @@
 
 use dup_overlay::{NodeId, SearchTree};
 use dup_proto::scheme::{AppliedChurn, Ctx, Scheme};
-use dup_proto::{IndexRecord, MsgClass};
+use dup_proto::{IndexRecord, MsgClass, ProbeEvent, SubscriberStats};
 
 /// DUP's wire messages (§III-B), plus the direct index push.
 #[derive(Debug, Clone, Copy)]
@@ -115,6 +115,12 @@ impl DupScheme {
             (None, None) => unreachable!("guarded by before == after"),
         };
         ctx.send(node, parent, MsgClass::Control, msg);
+        ctx.emit(|| match msg {
+            DupMsg::Subscribe { subject } => ProbeEvent::Subscribe { node, subject },
+            DupMsg::Unsubscribe { subject } => ProbeEvent::Unsubscribe { node, subject },
+            DupMsg::Substitute { old, new } => ProbeEvent::Substitute { node, old, new },
+            DupMsg::Push(_) => unreachable!("resync never pushes"),
+        });
     }
 
     fn add_entry(list: &mut Vec<NodeId>, entry: NodeId) {
@@ -223,7 +229,13 @@ impl DupScheme {
             // state, and the subscription is caught here.
             (Some(old), Some(new)) => {
                 if let Some(parent) = ctx.tree().parent(at) {
-                    ctx.send(at, parent, MsgClass::Control, DupMsg::Substitute { old, new });
+                    ctx.send(
+                        at,
+                        parent,
+                        MsgClass::Control,
+                        DupMsg::Substitute { old, new },
+                    );
+                    ctx.emit(|| ProbeEvent::Substitute { node: at, old, new });
                 }
                 true
             }
@@ -300,7 +312,12 @@ impl DupScheme {
                 // subscribers; re-announcing itself suffices, because
                 // everything below it survived intact.
                 if let Some(parent) = ctx.tree().parent(e) {
-                    ctx.send(e, parent, MsgClass::Control, DupMsg::Subscribe { subject: e });
+                    ctx.send(
+                        e,
+                        parent,
+                        MsgClass::Control,
+                        DupMsg::Subscribe { subject: e },
+                    );
                 }
             }
         }
@@ -376,6 +393,10 @@ impl Scheme for DupScheme {
                         MsgClass::Control,
                         DupMsg::Subscribe { subject: rider },
                     );
+                    ctx.emit(|| ProbeEvent::Subscribe {
+                        node,
+                        subject: rider,
+                    });
                 }
             }
         }
@@ -490,6 +511,29 @@ impl Scheme for DupScheme {
     fn push_reach(&self, tree: &SearchTree) -> Option<Vec<NodeId>> {
         Some(self.push_set(tree))
     }
+
+    fn subscriber_stats(&self, tree: &SearchTree) -> Option<SubscriberStats> {
+        // The DUP tree: the root plus every node a push reaches.
+        let tree_size = self.push_set(tree).len() + 1;
+        let mut lists = 0usize;
+        let mut total = 0usize;
+        for n in tree.live_nodes() {
+            let len = self.s_list(n).len();
+            if len > 0 {
+                lists += 1;
+                total += len;
+            }
+        }
+        let mean_list_len = if lists == 0 {
+            0.0
+        } else {
+            total as f64 / lists as f64
+        };
+        Some(SubscriberStats {
+            tree_size,
+            mean_list_len,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -540,7 +584,10 @@ mod tests {
         let record = b.refresh();
         assert_eq!(b.push_hops() - before, 1, "direct push N1→N6 is one hop");
         // N6 received the new version; intermediate nodes did not.
-        assert_eq!(b.world.cache.raw(N6).map(|r| r.version), Some(record.version));
+        assert_eq!(
+            b.world.cache.raw(N6).map(|r| r.version),
+            Some(record.version)
+        );
         assert_eq!(b.world.cache.raw(N5), None);
         assert_eq!(b.world.cache.raw(N2), None);
     }
@@ -898,8 +945,8 @@ mod dead_entry_regressions {
         b.make_interested(N6);
         b.drain();
         b.remove(N6, false); // cascade in flight; N5 (NodeId 4) holds dead N6
-        // N7 re-parented under N5's... N7 was child of N6; after splice its
-        // parent is N5. Subscribe it while the dead entry lingers.
+                             // N7 re-parented under N5's... N7 was child of N6; after splice its
+                             // parent is N5. Subscribe it while the dead entry lingers.
         let n7 = NodeId(6);
         b.make_interested(n7);
         b.drain();

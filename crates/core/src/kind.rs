@@ -1,0 +1,142 @@
+//! Unified scheme dispatch: one entry point for the three schemes the
+//! paper compares.
+//!
+//! Harness code, benches, and examples used to hand-roll the same
+//! `match`-on-a-string-and-call-`run_simulation` block; [`SchemeKind`] and
+//! [`run_simulation_kind`] replace those with a single dispatch point that
+//! also threads a probe through, so every entry path gains observability
+//! for free. Ablation variants (e.g. economic-push CUP) are not kinds —
+//! construct them directly and call
+//! [`dup_proto::run_simulation_probed`] yourself.
+
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use dup_proto::{run_simulation_probed, CupScheme, PcxScheme, ProbeSink, RunConfig, RunReport};
+
+use crate::dup::DupScheme;
+
+/// One of the paper's three consistency schemes, in their canonical
+/// presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Pull-only with TTL expiry (the baseline everything is relative to).
+    Pcx,
+    /// Controlled Update Propagation: hop-by-hop pushes down the search
+    /// tree.
+    Cup,
+    /// Dynamic-tree Update Propagation: direct pushes along the DUP tree.
+    Dup,
+}
+
+impl SchemeKind {
+    /// The three kinds in presentation order (PCX, CUP, DUP).
+    pub const ALL: [SchemeKind; 3] = [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup];
+
+    /// The name used in reports and plots ("PCX", "CUP", "DUP").
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Pcx => "PCX",
+            SchemeKind::Cup => "CUP",
+            SchemeKind::Dup => "DUP",
+        }
+    }
+
+    /// Runs one simulation of this kind with no probe.
+    pub fn run(self, cfg: &RunConfig) -> RunReport {
+        run_simulation_kind(cfg, self, ProbeSink::disabled())
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SchemeKind {
+    type Err = String;
+
+    /// Case-insensitive: "pcx", "PCX", "Cup", … all resolve.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "pcx" => Ok(SchemeKind::Pcx),
+            "cup" => Ok(SchemeKind::Cup),
+            "dup" => Ok(SchemeKind::Dup),
+            other => Err(format!(
+                "unknown scheme '{other}' (expected pcx, cup, or dup)"
+            )),
+        }
+    }
+}
+
+/// Runs one simulation of `kind` under `cfg`, feeding `probe` every
+/// protocol event. The single dispatch point behind the harness, the
+/// benches, and the examples; pass [`ProbeSink::disabled`] when no trace
+/// is wanted.
+pub fn run_simulation_kind(cfg: &RunConfig, kind: SchemeKind, probe: ProbeSink) -> RunReport {
+    match kind {
+        SchemeKind::Pcx => run_simulation_probed(cfg, PcxScheme::new(), probe),
+        SchemeKind::Cup => run_simulation_probed(cfg, CupScheme::new(), probe),
+        SchemeKind::Dup => run_simulation_probed(cfg, DupScheme::new(), probe),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> RunConfig {
+        RunConfig::builder(seed)
+            .nodes(64)
+            .warmup_secs(1000.0)
+            .duration_secs(10_000.0)
+            .latency_batch(50)
+            .build()
+    }
+
+    #[test]
+    fn names_and_order() {
+        let names: Vec<&str> = SchemeKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["PCX", "CUP", "DUP"]);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("PCX".parse::<SchemeKind>().unwrap(), SchemeKind::Pcx);
+        assert_eq!("cup".parse::<SchemeKind>().unwrap(), SchemeKind::Cup);
+        assert_eq!("Dup".parse::<SchemeKind>().unwrap(), SchemeKind::Dup);
+        assert!("bayeux".parse::<SchemeKind>().is_err());
+    }
+
+    #[test]
+    fn dispatch_matches_direct_construction() {
+        // The kind entry point must be byte-for-byte the scheme it names.
+        let via_kind = SchemeKind::Dup.run(&cfg(5));
+        let direct = dup_proto::run_simulation(&cfg(5), DupScheme::new());
+        assert_eq!(via_kind.scheme, direct.scheme);
+        assert_eq!(via_kind.queries, direct.queries);
+        assert_eq!(via_kind.events, direct.events);
+        assert_eq!(via_kind.latency_hops.mean, direct.latency_hops.mean);
+        assert_eq!(via_kind.avg_query_cost, direct.avg_query_cost);
+    }
+
+    #[test]
+    fn all_kinds_run_and_report_their_names() {
+        for kind in SchemeKind::ALL {
+            let report = kind.run(&cfg(1));
+            assert_eq!(report.scheme, kind.name());
+            assert!(report.queries > 0);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for kind in SchemeKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: SchemeKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+}

@@ -52,7 +52,9 @@
 
 pub mod audit;
 pub mod dup;
+pub mod kind;
 pub mod testkit;
 
 pub use audit::{audit_quiescent, AuditError};
 pub use dup::{DupMsg, DupScheme};
+pub use kind::{run_simulation_kind, SchemeKind};

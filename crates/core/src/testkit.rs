@@ -8,7 +8,7 @@
 
 use dup_overlay::{NodeId, SearchTree};
 use dup_proto::scheme::{AppliedChurn, Ctx, Ev, Msg, Scheme, World};
-use dup_proto::{AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics};
+use dup_proto::{AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, ProbeSink};
 use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
 use dup_workload::HopLatency;
 
@@ -26,6 +26,13 @@ impl<S: Scheme> TestBench<S> {
     /// Builds a bench over `tree` with interest threshold `c` and the
     /// paper's TTL/push-lead/hop-latency defaults.
     pub fn new(tree: SearchTree, scheme: S, threshold_c: u32) -> Self {
+        TestBench::with_probe(tree, scheme, threshold_c, ProbeSink::disabled())
+    }
+
+    /// Like [`TestBench::new`] with a probe observing the bench's protocol
+    /// traffic — e.g. a [`dup_proto::CaptureProbe`] for step-by-step trace
+    /// assertions (see the `figure2_walkthrough` example).
+    pub fn with_probe(tree: SearchTree, scheme: S, threshold_c: u32, probe: ProbeSink) -> Self {
         let ttl = SimDuration::from_mins(60);
         let mut metrics = Metrics::new(100);
         metrics.start_recording();
@@ -37,6 +44,7 @@ impl<S: Scheme> TestBench<S> {
             hop_latency: HopLatency::paper_default(),
             latency_rng: stream_rng(0xBE7C, "testkit-latency"),
             fifo: std::collections::HashMap::new(),
+            probe,
             tree,
         };
         TestBench {
@@ -78,7 +86,11 @@ impl<S: Scheme> TestBench<S> {
     /// Publishes the next index version at its scheduled instant and lets
     /// the scheme push it.
     pub fn refresh(&mut self) -> IndexRecord {
-        let due = self.world.authority.next_refresh_at().max(self.engine.now());
+        let due = self
+            .world
+            .authority
+            .next_refresh_at()
+            .max(self.engine.now());
         self.engine.schedule(due, Ev::Refresh);
         self.drain();
         self.world.authority.current()
@@ -92,9 +104,18 @@ impl<S: Scheme> TestBench<S> {
             Ev::Deliver {
                 from,
                 to,
+                class,
                 msg: Msg::Scheme(m),
             } => {
                 if world.tree.is_alive(to) {
+                    let now = eng.now();
+                    world
+                        .probe
+                        .emit(now, || dup_proto::ProbeEvent::MsgDelivered {
+                            from,
+                            to,
+                            class,
+                        });
                     let mut ctx = Ctx { world, engine: eng };
                     scheme.on_scheme_msg(&mut ctx, from, to, m);
                 }
@@ -132,7 +153,11 @@ impl<S: Scheme> TestBench<S> {
             graceful,
             replacement: Some(replacement),
             adopted_children,
-            joined: if root_changed { Some(replacement) } else { None },
+            joined: if root_changed {
+                Some(replacement)
+            } else {
+                None
+            },
             join_below: None,
             root_changed,
         };

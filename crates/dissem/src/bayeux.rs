@@ -189,7 +189,10 @@ mod tests {
         // All ancestors hold the full member id — no collapsing.
         let mut node = leaf;
         loop {
-            assert!(h.scheme.member_list(node).contains(&leaf), "missing at {node}");
+            assert!(
+                h.scheme.member_list(node).contains(&leaf),
+                "missing at {node}"
+            );
             match h.world.tree.parent(node) {
                 Some(p) => node = p,
                 None => break,

@@ -4,7 +4,10 @@
 
 use dup_overlay::{NodeId, SearchTree};
 use dup_proto::scheme::{Ctx, Ev, Msg, Scheme, World};
-use dup_proto::{AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, MsgClass};
+use dup_proto::{
+    AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, MsgClass, ProbeEvent,
+    ProbeSink,
+};
 use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
 use dup_workload::HopLatency;
 
@@ -38,6 +41,7 @@ impl<S: Scheme> TopicHost<S> {
             hop_latency: HopLatency::paper_default(),
             latency_rng: stream_rng(seed, &format!("dissem-latency/{label}")),
             fifo: std::collections::HashMap::new(),
+            probe: ProbeSink::disabled(),
             tree,
         };
         TopicHost {
@@ -45,6 +49,17 @@ impl<S: Scheme> TopicHost<S> {
             engine: Engine::new(),
             scheme,
         }
+    }
+
+    /// Attaches `probe` to this topic's world; subsequent subscription,
+    /// maintenance, and publish traffic flows into it.
+    pub fn attach_probe(&mut self, probe: ProbeSink) {
+        self.world.probe = probe;
+    }
+
+    /// Probe events emitted by this topic so far (0 with no probe).
+    pub fn probe_events(&self) -> u64 {
+        self.world.probe.emitted()
     }
 
     /// Current simulated time inside this topic's event stream.
@@ -108,10 +123,19 @@ impl<S: Scheme> TopicHost<S> {
         let world = &mut self.world;
         let scheme = &mut self.scheme;
         self.engine.run(|eng, ev| match ev {
-            Ev::Deliver { from, to, msg } => {
+            Ev::Deliver {
+                from,
+                to,
+                class,
+                msg,
+            } => {
                 if !world.tree.is_alive(to) {
                     return;
                 }
+                let now = eng.now();
+                world
+                    .probe
+                    .emit(now, || ProbeEvent::MsgDelivered { from, to, class });
                 inspect(to, &msg, eng.now());
                 if let Msg::Scheme(m) = msg {
                     let mut ctx = Ctx { world, engine: eng };

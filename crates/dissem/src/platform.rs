@@ -208,6 +208,26 @@ impl<S: DisseminationScheme> DisseminationPlatform<S> {
         &self.topics[idx]
     }
 
+    /// Attaches `probe` to one topic's host: its subscription, maintenance,
+    /// and publish traffic flows into the probe (node ids in events are the
+    /// topic's dense tree ids, not ring ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown key.
+    pub fn attach_probe(&mut self, key: u64, probe: dup_proto::ProbeSink) {
+        self.topic_mut(key).host.attach_probe(probe);
+    }
+
+    /// Probe events emitted by one topic so far (0 with no probe attached).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown key.
+    pub fn probe_events(&self, key: u64) -> u64 {
+        self.topic(key).host.probe_events()
+    }
+
     /// Subscribes a ring member to a topic.
     pub fn subscribe(&mut self, ring_node: NodeId, key: u64) {
         let topic = self.topic_mut(key);
@@ -362,8 +382,7 @@ mod tests {
     #[test]
     fn scribe_baseline_produces_relay_copies_dup_does_not() {
         let keys = [0xA5u64];
-        let mut dup: DisseminationPlatform<DupScheme> =
-            DisseminationPlatform::new(256, &keys, 5);
+        let mut dup: DisseminationPlatform<DupScheme> = DisseminationPlatform::new(256, &keys, 5);
         let mut scribe: DisseminationPlatform<CupScheme> =
             DisseminationPlatform::new(256, &keys, 5);
         let nodes = members(&dup);
@@ -485,8 +504,7 @@ mod bayeux_platform_tests {
     #[test]
     fn bayeux_state_dwarfs_dup_state() {
         let key = [0x5CA1Eu64];
-        let mut dup: DisseminationPlatform<DupScheme> =
-            DisseminationPlatform::new(256, &key, 31);
+        let mut dup: DisseminationPlatform<DupScheme> = DisseminationPlatform::new(256, &key, 31);
         let mut bayeux: DisseminationPlatform<BayeuxScheme> =
             DisseminationPlatform::new(256, &key, 31);
         let nodes: Vec<NodeId> = dup.nodes().collect();

@@ -16,17 +16,27 @@
 //!   --reps <n>       independent replications per sweep point (default 1;
 //!                    latency CIs then come from replication means)
 //!   --out <dir>      also write <dir>/<experiment>.json
+//!   --trace <file>   run one probed simulation and dump a JSONL event
+//!                    trace to <file> (then exit unless experiments are
+//!                    explicitly listed)
+//!   --trace-scheme <pcx|cup|dup>   scheme traced by --trace (default dup)
+//!   --trace-sample <secs>          time-series sample interval (default 600)
 //! ```
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dup_harness::{all_experiments, experiment_by_name, HarnessOpts, Scale};
+use dup_core::run_simulation_kind;
+use dup_harness::{all_experiments, experiment_by_name, HarnessOpts, Scale, SchemeKind};
+use dup_proto::{JsonlProbe, ProbeSink};
 
 fn main() -> ExitCode {
     let mut opts = HarnessOpts::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_scheme = SchemeKind::Dup;
+    let mut trace_sample = 600.0;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +59,19 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => return usage("--out needs a directory"),
             },
+            "--trace" => match args.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => return usage("--trace needs a file path"),
+            },
+            "--trace-scheme" => match args.next().map(|s| s.parse()) {
+                Some(Ok(kind)) => trace_scheme = kind,
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--trace-scheme needs pcx, cup, or dup"),
+            },
+            "--trace-sample" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(secs) if secs >= 0.0 => trace_sample = secs,
+                _ => return usage("--trace-sample needs a non-negative number"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown option {other}"));
@@ -57,11 +80,25 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &trace_out {
+        if let Err(msg) = run_trace(&opts, trace_scheme, trace_sample, path) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        // A trace run stands alone unless experiments were also requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
     let paper_set = ["table2", "fig4", "table3", "fig5", "fig6", "fig7", "fig8"];
     let names: Vec<String> = if selected.is_empty() {
         paper_set.iter().map(|s| s.to_string()).collect()
     } else if selected.iter().any(|s| s == "all") {
-        all_experiments().iter().map(|(n, _)| n.to_string()).collect()
+        all_experiments()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect()
     } else {
         selected
     };
@@ -98,8 +135,7 @@ fn main() -> ExitCode {
                         "seed": opts.seed,
                         "results": output.json,
                     });
-                    if let Err(e) = writeln!(f, "{}", serde_json::to_string_pretty(&doc).unwrap())
-                    {
+                    if let Err(e) = writeln!(f, "{}", serde_json::to_string_pretty(&doc).unwrap()) {
                         eprintln!("write {} failed: {e}", path.display());
                     }
                 }
@@ -110,13 +146,43 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs one probed simulation at the configured scale and streams every
+/// probe event to `path` as JSON Lines.
+fn run_trace(
+    opts: &HarnessOpts,
+    kind: SchemeKind,
+    sample_secs: f64,
+    path: &PathBuf,
+) -> Result<(), String> {
+    let mut cfg = opts.scale.base_config(opts.seed);
+    cfg.probe.sample_every_secs = sample_secs;
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    let probe = JsonlProbe::new(std::io::BufWriter::new(file));
+    let started = std::time::Instant::now();
+    let report = run_simulation_kind(&cfg, kind, ProbeSink::attach(probe));
+    println!(
+        "trace: {} scale={:?} seed={} -> {} ({} events, {} samples, {} queries, {:.1?})\n",
+        kind,
+        opts.scale,
+        opts.seed,
+        path.display(),
+        report.probe_events,
+        report.samples.len(),
+        report.queries,
+        started.elapsed()
+    );
+    Ok(())
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
     eprintln!(
         "usage: dup-experiments [--full|--bench-scale] [--seed N] [--jobs N] [--reps N] \
-         [--out DIR] [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all]..."
+         [--out DIR] [--trace FILE] [--trace-scheme pcx|cup|dup] [--trace-sample SECS] \
+         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -1,13 +1,15 @@
 //! Shared experiment infrastructure: scaling presets, scheme dispatch, and
 //! a parallel sweep runner.
 
-use parking_lot::Mutex;
 use serde::Serialize;
+use std::sync::Mutex;
 
-use dup_core::DupScheme;
+use dup_core::run_simulation_kind;
 use dup_overlay::TopologyParams;
-use dup_proto::{run_simulation, CupScheme, PcxScheme, RunConfig, RunReport, TopologySource};
+use dup_proto::{ProbeSink, RunConfig, RunReport, TopologySource};
 use dup_sim::stream_seed;
+
+pub use dup_core::SchemeKind;
 
 /// Experiment scale preset.
 ///
@@ -136,38 +138,11 @@ impl HarnessOpts {
     }
 }
 
-/// The three schemes under comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub enum SchemeKind {
-    /// Path caching with expiration (baseline).
-    Pcx,
-    /// Controlled update propagation (baseline).
-    Cup,
-    /// Dynamic-tree update propagation (the paper's contribution).
-    Dup,
-}
-
-impl SchemeKind {
-    /// All three, in the paper's presentation order.
-    pub const ALL: [SchemeKind; 3] = [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            SchemeKind::Pcx => "PCX",
-            SchemeKind::Cup => "CUP",
-            SchemeKind::Dup => "DUP",
-        }
-    }
-}
-
-/// Runs one simulation with the given scheme kind.
+/// Runs one simulation with the given scheme kind (no probe). Kept as the
+/// harness's historical entry point; dispatch itself now lives in
+/// [`dup_core::run_simulation_kind`].
 pub fn scheme_run(kind: SchemeKind, cfg: &RunConfig) -> RunReport {
-    match kind {
-        SchemeKind::Pcx => run_simulation(cfg, PcxScheme::new()),
-        SchemeKind::Cup => run_simulation(cfg, CupScheme::new()),
-        SchemeKind::Dup => run_simulation(cfg, DupScheme::new()),
-    }
+    run_simulation_kind(cfg, kind, ProbeSink::disabled())
 }
 
 /// Reports for all three schemes on one configuration.
@@ -241,21 +216,21 @@ where
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = opts.worker_count().min(n.max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = work(&points[i]);
-                results.lock()[i] = Some(r);
+                results.lock().unwrap()[i] = Some(r);
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     results
         .into_inner()
+        .expect("experiment worker panicked")
         .into_iter()
         .map(|r| r.expect("every point produced a result"))
         .collect()
@@ -294,7 +269,10 @@ pub fn all_experiments() -> Vec<(&'static str, Runner)> {
         ("ext-policy", crate::extensions::run_policy as Runner),
         ("ext-cup-halo", crate::extensions::run_cup_halo as Runner),
         ("ext-tails", crate::extensions::run_tails as Runner),
-        ("ext-cup-economic", crate::extensions::run_cup_economic as Runner),
+        (
+            "ext-cup-economic",
+            crate::extensions::run_cup_economic as Runner,
+        ),
     ]
 }
 

@@ -24,13 +24,7 @@ fn triple_row(table: &mut TextTable, label: String, t: &Triple) {
 
 fn triple_header() -> TextTable {
     TextTable::new([
-        "point",
-        "PCX lat",
-        "CUP lat",
-        "DUP lat",
-        "PCX cost",
-        "CUP/PCX",
-        "DUP/PCX",
+        "point", "PCX lat", "CUP lat", "DUP lat", "PCX cost", "CUP/PCX", "DUP/PCX",
     ])
 }
 
@@ -102,9 +96,7 @@ pub fn run_staleness(opts: &HarnessOpts) -> ExperimentOutput {
 pub fn run_chord(opts: &HarnessOpts) -> ExperimentOutput {
     let sources = ["random-tree", "chord"];
     let results = crate::experiment::run_parallel(opts, sources.to_vec(), |&source| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("ext-chord", source));
+        let mut cfg = opts.scale.base_config(opts.point_seed("ext-chord", source));
         if source == "chord" {
             cfg.topology = TopologySource::Chord {
                 nodes: opts.scale.nodes(),
@@ -139,13 +131,14 @@ pub fn run_placement(opts: &HarnessOpts) -> ExperimentOutput {
         ("shallow-first", RankPlacement::ByDepthShallowFirst),
         ("deep-first", RankPlacement::ByDepthDeepFirst),
     ];
-    let results = crate::experiment::run_parallel(opts, placements.to_vec(), |&(name, placement)| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("ext-placement", name));
-        cfg.rank_placement = placement;
-        (name, run_triple(&cfg))
-    });
+    let results =
+        crate::experiment::run_parallel(opts, placements.to_vec(), |&(name, placement)| {
+            let mut cfg = opts
+                .scale
+                .base_config(opts.point_seed("ext-placement", name));
+            cfg.rank_placement = placement;
+            (name, run_triple(&cfg))
+        });
     let mut table = triple_header();
     let mut json = Vec::new();
     for (name, t) in &results {
@@ -273,13 +266,7 @@ pub fn run_tails(opts: &HarnessOpts) -> ExperimentOutput {
         (lambda, run_triple(&cfg))
     });
     let mut table = TextTable::new([
-        "λ (q/s)",
-        "PCX p50",
-        "PCX p95",
-        "PCX p99",
-        "DUP p50",
-        "DUP p95",
-        "DUP p99",
+        "λ (q/s)", "PCX p50", "PCX p95", "PCX p99", "DUP p50", "DUP p95", "DUP p99",
     ]);
     let mut json = Vec::new();
     for (lambda, t) in &results {

@@ -45,7 +45,9 @@ pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
             push_hops: [t.cup.push_hops, t.dup.push_hops],
         }
     });
-    let mut table = TextTable::new(["nodes", "PCX cost", "CUP/PCX", "DUP/PCX", "CUP push", "DUP push"]);
+    let mut table = TextTable::new([
+        "nodes", "PCX cost", "CUP/PCX", "DUP/PCX", "CUP push", "DUP push",
+    ]);
     for p in &points {
         table.row([
             p.nodes.to_string(),

@@ -55,7 +55,13 @@ pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
             interested: t.dup.final_interested_nodes,
         }
     });
-    let mut a = TextTable::new(["θ", "PCX latency", "CUP latency", "DUP latency", "interested"]);
+    let mut a = TextTable::new([
+        "θ",
+        "PCX latency",
+        "CUP latency",
+        "DUP latency",
+        "interested",
+    ]);
     let mut b = TextTable::new(["θ", "PCX cost", "CUP/PCX", "DUP/PCX"]);
     for p in &points {
         a.row([

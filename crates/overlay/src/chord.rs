@@ -288,7 +288,10 @@ mod tests {
         // Key one past a member maps to the next member.
         assert_eq!(r.authority(members[5].0.wrapping_add(1)), members[6].1);
         // Key beyond the largest id wraps to the smallest.
-        assert_eq!(r.authority(members.last().unwrap().0.wrapping_add(1)), members[0].1);
+        assert_eq!(
+            r.authority(members.last().unwrap().0.wrapping_add(1)),
+            members[0].1
+        );
     }
 
     #[test]
@@ -350,9 +353,8 @@ mod tests {
         let key = 42u64;
         let (tree, ring_ids) = r.search_tree_compact(key);
         // Dense index of a ring node.
-        let dense = |node: NodeId| {
-            NodeId::from_index(ring_ids.iter().position(|&x| x == node).unwrap())
-        };
+        let dense =
+            |node: NodeId| NodeId::from_index(ring_ids.iter().position(|&x| x == node).unwrap());
         let mut rng = stream_rng(9, "from");
         for _ in 0..32 {
             let from = ring_ids[rng.gen_range(0..128)];

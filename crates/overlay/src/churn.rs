@@ -71,7 +71,11 @@ mod tests {
         );
         assert_eq!(ChurnOp::JoinLeaf { parent: NodeId(0) }.removed_node(), None);
         assert_eq!(
-            ChurnOp::JoinBetween { parent: NodeId(0), child: NodeId(1) }.removed_node(),
+            ChurnOp::JoinBetween {
+                parent: NodeId(0),
+                child: NodeId(1)
+            }
+            .removed_node(),
             None
         );
     }

@@ -91,7 +91,13 @@ mod tests {
     fn random_tree_respects_size_and_degree() {
         let mut rng = stream_rng(1, "topo");
         for &(n, d) in &[(1usize, 4usize), (2, 1), (100, 2), (4096, 4), (777, 10)] {
-            let t = random_search_tree(TopologyParams { nodes: n, max_degree: d }, &mut rng);
+            let t = random_search_tree(
+                TopologyParams {
+                    nodes: n,
+                    max_degree: d,
+                },
+                &mut rng,
+            );
             t.check_invariants();
             assert_eq!(t.len(), n);
             for node in t.live_nodes() {
@@ -106,8 +112,20 @@ mod tests {
 
     #[test]
     fn random_tree_is_deterministic_per_seed() {
-        let a = random_search_tree(TopologyParams { nodes: 500, max_degree: 4 }, &mut stream_rng(9, "t"));
-        let b = random_search_tree(TopologyParams { nodes: 500, max_degree: 4 }, &mut stream_rng(9, "t"));
+        let a = random_search_tree(
+            TopologyParams {
+                nodes: 500,
+                max_degree: 4,
+            },
+            &mut stream_rng(9, "t"),
+        );
+        let b = random_search_tree(
+            TopologyParams {
+                nodes: 500,
+                max_degree: 4,
+            },
+            &mut stream_rng(9, "t"),
+        );
         for id in a.live_nodes() {
             assert_eq!(a.parent(id), b.parent(id));
         }
@@ -115,18 +133,31 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = random_search_tree(TopologyParams { nodes: 500, max_degree: 4 }, &mut stream_rng(1, "t"));
-        let b = random_search_tree(TopologyParams { nodes: 500, max_degree: 4 }, &mut stream_rng(2, "t"));
-        let differs = a
-            .live_nodes()
-            .any(|id| a.parent(id) != b.parent(id));
+        let a = random_search_tree(
+            TopologyParams {
+                nodes: 500,
+                max_degree: 4,
+            },
+            &mut stream_rng(1, "t"),
+        );
+        let b = random_search_tree(
+            TopologyParams {
+                nodes: 500,
+                max_degree: 4,
+            },
+            &mut stream_rng(2, "t"),
+        );
+        let differs = a.live_nodes().any(|id| a.parent(id) != b.parent(id));
         assert!(differs);
     }
 
     #[test]
     fn degree_one_is_a_chain() {
         let t = random_search_tree(
-            TopologyParams { nodes: 10, max_degree: 1 },
+            TopologyParams {
+                nodes: 10,
+                max_degree: 1,
+            },
             &mut stream_rng(3, "chain"),
         );
         t.check_invariants();
@@ -138,7 +169,13 @@ mod tests {
     fn larger_degree_means_shallower_trees() {
         let mut rng = stream_rng(5, "depth");
         let avg_depth = |d: usize, rng: &mut _| {
-            let t = random_search_tree(TopologyParams { nodes: 4096, max_degree: d }, rng);
+            let t = random_search_tree(
+                TopologyParams {
+                    nodes: 4096,
+                    max_degree: d,
+                },
+                rng,
+            );
             t.live_nodes().map(|n| t.depth(n) as f64).sum::<f64>() / t.len() as f64
         };
         let d2 = avg_depth(2, &mut rng);
@@ -165,7 +202,10 @@ mod tests {
     #[should_panic(expected = "at least the root")]
     fn zero_nodes_panics() {
         random_search_tree(
-            TopologyParams { nodes: 0, max_degree: 4 },
+            TopologyParams {
+                nodes: 0,
+                max_degree: 4,
+            },
             &mut stream_rng(0, "x"),
         );
     }
@@ -174,7 +214,10 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_degree_panics() {
         random_search_tree(
-            TopologyParams { nodes: 4, max_degree: 0 },
+            TopologyParams {
+                nodes: 4,
+                max_degree: 0,
+            },
             &mut stream_rng(0, "x"),
         );
     }

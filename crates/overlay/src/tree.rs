@@ -94,8 +94,7 @@ impl SearchTree {
         };
         let reached = tree.recompute_depths_from(root);
         assert_eq!(
-            reached,
-            tree.alive,
+            reached, tree.alive,
             "parent table is not connected (cycle or forest)"
         );
         tree
@@ -410,14 +409,14 @@ mod tests {
     pub(crate) fn figure1() -> SearchTree {
         let n = |i: u32| Some(NodeId(i));
         SearchTree::from_parents(&[
-            None,  // N1
-            n(0),  // N2 <- N1
-            n(1),  // N3 <- N2
-            n(2),  // N4 <- N3
-            n(2),  // N5 <- N3
-            n(4),  // N6 <- N5
-            n(5),  // N7 <- N6
-            n(5),  // N8 <- N6
+            None, // N1
+            n(0), // N2 <- N1
+            n(1), // N3 <- N2
+            n(2), // N4 <- N3
+            n(2), // N5 <- N3
+            n(4), // N6 <- N5
+            n(5), // N7 <- N6
+            n(5), // N8 <- N6
         ])
     }
 

@@ -95,7 +95,10 @@ mod tests {
     fn install_and_lookup() {
         let mut c = CacheStore::new(4);
         assert!(c.install(NodeId(2), record(1, 100)));
-        assert_eq!(c.valid_at(NodeId(2), SimTime::from_secs(50)), Some(record(1, 100)));
+        assert_eq!(
+            c.valid_at(NodeId(2), SimTime::from_secs(50)),
+            Some(record(1, 100))
+        );
         assert_eq!(c.valid_at(NodeId(2), SimTime::from_secs(100)), None);
         assert_eq!(c.valid_at(NodeId(1), SimTime::ZERO), None);
     }

@@ -113,6 +113,28 @@ impl ChurnConfig {
     }
 }
 
+/// Observability configuration for a run.
+///
+/// Controls only the *periodic sampling* schedule; whether any events are
+/// recorded at all is decided by attaching a probe at run time (see
+/// [`crate::run_simulation_probed`]), so serialized configs stay free of
+/// non-data probe state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeConfig {
+    /// Interval (simulated seconds) between time-series samples collected
+    /// into [`crate::RunReport::samples`]; `0` (the default) disables
+    /// sampling.
+    pub sample_every_secs: f64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            sample_every_secs: 0.0,
+        }
+    }
+}
+
 /// When a run stops.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum StopRule {
@@ -161,6 +183,10 @@ pub struct RunConfig {
     /// Hard cap on processed events (backstop; `None` = engine default of
     /// effectively unlimited).
     pub max_events: Option<u64>,
+    /// Observability sampling schedule (defaults to disabled, so configs
+    /// serialized before this field existed still deserialize).
+    #[serde(default)]
+    pub probe: ProbeConfig,
 }
 
 impl RunConfig {
@@ -180,6 +206,30 @@ impl RunConfig {
             churn: None,
             latency_batch: 500,
             max_events: None,
+            probe: ProbeConfig::default(),
+        }
+    }
+
+    /// A builder over the Table I defaults: override what an experiment
+    /// varies, keep everything else at the paper's values, and get
+    /// validation at [`RunConfigBuilder::build`] instead of at run start.
+    ///
+    /// Prefer this over mutating `paper_default` fields in place.
+    ///
+    /// ```
+    /// use dup_proto::RunConfig;
+    ///
+    /// let cfg = RunConfig::builder(7)
+    ///     .nodes(512)
+    ///     .lambda(4.0)
+    ///     .warmup_secs(3600.0)
+    ///     .duration_secs(20_000.0)
+    ///     .build();
+    /// assert_eq!(cfg.topology.node_count(), 512);
+    /// ```
+    pub fn builder(seed: u64) -> RunConfigBuilder {
+        RunConfigBuilder {
+            cfg: RunConfig::paper_default(seed),
         }
     }
 
@@ -212,7 +262,10 @@ impl RunConfig {
             self.protocol.push_lead_secs < self.protocol.ttl_secs,
             "push lead must be below TTL"
         );
-        assert!(self.latency_batch > 0, "latency batch size must be positive");
+        assert!(
+            self.latency_batch > 0,
+            "latency batch size must be positive"
+        );
         if let ArrivalKind::Pareto { alpha } = self.arrivals {
             assert!(alpha > 1.0 && alpha < 2.0, "Pareto alpha must be in (1,2)");
         }
@@ -221,6 +274,127 @@ impl RunConfig {
             assert!(c.weight_total() > 0.0, "churn weights must not all be zero");
         }
         assert!(self.topology.node_count() >= 1, "need at least one node");
+        assert!(
+            self.probe.sample_every_secs >= 0.0,
+            "probe sample interval must be non-negative"
+        );
+    }
+}
+
+/// Builder for [`RunConfig`], created by [`RunConfig::builder`].
+///
+/// Starts from [`RunConfig::paper_default`] and overrides one knob per
+/// setter; [`RunConfigBuilder::build`] validates the result.
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Replaces the topology source.
+    pub fn topology(mut self, topology: TopologySource) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Resizes the network, preserving the current max degree when the
+    /// source is a random tree (other sources are replaced by a random tree
+    /// of the paper's degree).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.topology = match self.cfg.topology {
+            TopologySource::RandomTree(p) => {
+                TopologySource::RandomTree(TopologyParams { nodes: n, ..p })
+            }
+            _ => TopologySource::RandomTree(TopologyParams {
+                nodes: n,
+                ..TopologyParams::paper_default()
+            }),
+        };
+        self
+    }
+
+    /// Sets the network-wide query arrival rate λ (queries per second).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.cfg.lambda = lambda;
+        self
+    }
+
+    /// Sets the inter-arrival distribution.
+    pub fn arrivals(mut self, arrivals: ArrivalKind) -> Self {
+        self.cfg.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the Zipf exponent θ for query origins.
+    pub fn zipf_theta(mut self, theta: f64) -> Self {
+        self.cfg.zipf_theta = theta;
+        self
+    }
+
+    /// Sets how Zipf ranks map onto nodes.
+    pub fn rank_placement(mut self, placement: RankPlacement) -> Self {
+        self.cfg.rank_placement = placement;
+        self
+    }
+
+    /// Replaces the shared protocol constants.
+    pub fn protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.cfg.protocol = protocol;
+        self
+    }
+
+    /// Sets the warm-up period (simulated seconds, excluded from metrics).
+    pub fn warmup_secs(mut self, secs: f64) -> Self {
+        self.cfg.warmup_secs = secs;
+        self
+    }
+
+    /// Sets the measured window after warm-up (simulated seconds).
+    pub fn duration_secs(mut self, secs: f64) -> Self {
+        self.cfg.duration_secs = secs;
+        self
+    }
+
+    /// Sets the stop rule.
+    pub fn stop(mut self, stop: StopRule) -> Self {
+        self.cfg.stop = stop;
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) the churn process.
+    pub fn churn(mut self, churn: Option<ChurnConfig>) -> Self {
+        self.cfg.churn = churn;
+        self
+    }
+
+    /// Sets the batch size for the latency batch-means CI.
+    pub fn latency_batch(mut self, batch: u64) -> Self {
+        self.cfg.latency_batch = batch;
+        self
+    }
+
+    /// Caps processed events (backstop).
+    pub fn max_events(mut self, cap: Option<u64>) -> Self {
+        self.cfg.max_events = cap;
+        self
+    }
+
+    /// Sets the probe time-series sampling interval (simulated seconds;
+    /// `0` disables sampling).
+    pub fn sample_every_secs(mut self, secs: f64) -> Self {
+        self.cfg.probe.sample_every_secs = secs;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters, with the same messages as
+    /// [`RunConfig::validate`].
+    pub fn build(self) -> RunConfig {
+        self.cfg.validate();
+        self.cfg
     }
 }
 
@@ -267,6 +441,52 @@ mod tests {
     fn churn_balanced_weights() {
         let c = ChurnConfig::balanced(0.1);
         assert_eq!(c.weight_total(), 4.0);
+    }
+
+    #[test]
+    fn builder_overrides_only_named_knobs() {
+        let cfg = RunConfig::builder(3)
+            .nodes(256)
+            .lambda(8.0)
+            .churn(Some(ChurnConfig::balanced(0.05)))
+            .sample_every_secs(600.0)
+            .build();
+        assert_eq!(cfg.seed, 3);
+        assert_eq!(cfg.topology.node_count(), 256);
+        assert_eq!(cfg.lambda, 8.0);
+        assert_eq!(cfg.probe.sample_every_secs, 600.0);
+        // Untouched knobs keep their Table I values.
+        assert_eq!(cfg.zipf_theta, 0.8);
+        assert_eq!(cfg.protocol.ttl_secs, 3600.0);
+    }
+
+    #[test]
+    fn builder_nodes_preserves_max_degree() {
+        let cfg = RunConfig::builder(0).nodes(100).build();
+        match cfg.topology {
+            TopologySource::RandomTree(p) => {
+                assert_eq!(p.nodes, 100);
+                assert_eq!(p.max_degree, TopologyParams::paper_default().max_degree);
+            }
+            other => panic!("expected random tree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn builder_validates_at_build() {
+        RunConfig::builder(0).lambda(0.0).build();
+    }
+
+    #[test]
+    fn probe_config_defaults_off_and_deserializes_when_absent() {
+        assert_eq!(ProbeConfig::default().sample_every_secs, 0.0);
+        // A config serialized before the probe field existed still loads.
+        let mut json = serde_json::to_string(&RunConfig::quick(1)).unwrap();
+        json = json.replace(",\"probe\":{\"sample_every_secs\":0.0}", "");
+        assert!(!json.contains("probe"), "field not stripped: {json}");
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.probe.sample_every_secs, 0.0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use dup_overlay::NodeId;
 
 use crate::index::IndexRecord;
 use crate::ledger::MsgClass;
+use crate::probe::{ProbeEvent, SubscriberStats};
 use crate::scheme::{AppliedChurn, Ctx, Scheme};
 
 /// CUP's wire messages.
@@ -163,10 +164,18 @@ impl CupScheme {
             slot.upstream_registered = true;
             let parent = ctx.tree().parent(node).expect("non-root has a parent");
             ctx.send(node, parent, MsgClass::Control, CupMsg::Register);
+            ctx.emit(|| ProbeEvent::Subscribe {
+                node,
+                subject: node,
+            });
         } else if !needs && slot.upstream_registered {
             slot.upstream_registered = false;
             let parent = ctx.tree().parent(node).expect("non-root has a parent");
             ctx.send(node, parent, MsgClass::Control, CupMsg::Deregister);
+            ctx.emit(|| ProbeEvent::Unsubscribe {
+                node,
+                subject: node,
+            });
         }
     }
 
@@ -278,7 +287,10 @@ impl Scheme for CupScheme {
             // locally (state moves with the key-space handoff).
             self.slot(joined);
             if let Some(below) = change.join_below {
-                let parent = ctx.tree().parent(joined).expect("spliced-in node has a parent");
+                let parent = ctx
+                    .tree()
+                    .parent(joined)
+                    .expect("spliced-in node has a parent");
                 if self.registered_children(parent).contains(&below) {
                     self.remove_registered_child(parent, below);
                     self.add_registered_child(parent, joined);
@@ -313,6 +325,10 @@ impl Scheme for CupScheme {
                     self.slot(child).upstream_registered = true;
                     let parent = ctx.tree().parent(child).expect("re-parented child");
                     ctx.send(child, parent, MsgClass::Control, CupMsg::Register);
+                    ctx.emit(|| ProbeEvent::Subscribe {
+                        node: child,
+                        subject: child,
+                    });
                 }
             }
         }
@@ -330,6 +346,30 @@ impl Scheme for CupScheme {
             }
         }
         Some(reached)
+    }
+
+    fn subscriber_stats(&self, tree: &dup_overlay::SearchTree) -> Option<SubscriberStats> {
+        // Registration tree: the root plus every node a push would reach.
+        let reached = self.push_reach(tree).expect("CUP always pushes");
+        let tree_size = reached.len() + 1;
+        let mut lists = 0usize;
+        let mut total = 0usize;
+        for n in tree.live_nodes() {
+            let children = self.registered_children(n);
+            if !children.is_empty() {
+                lists += 1;
+                total += children.len();
+            }
+        }
+        let mean_list_len = if lists == 0 {
+            0.0
+        } else {
+            total as f64 / lists as f64
+        };
+        Some(SubscriberStats {
+            tree_size,
+            mean_list_len,
+        })
     }
 }
 

@@ -136,9 +136,7 @@ impl InterestTracker {
     /// True when `node` currently satisfies the interest policy.
     #[inline]
     pub fn is_interested(&self, node: NodeId) -> bool {
-        self.nodes
-            .get(node.index())
-            .is_some_and(|w| w.interested)
+        self.nodes.get(node.index()).is_some_and(|w| w.interested)
     }
 
     /// Records that `node` received a query at `now`.
@@ -267,7 +265,10 @@ mod tests {
         assert!(!t.observe(n, SimTime::from_secs(2)).became_interested);
         let obs = t.observe(n, SimTime::from_secs(3));
         assert!(obs.became_interested);
-        assert_eq!(obs.schedule_check_at, None, "epoch mode schedules no checks");
+        assert_eq!(
+            obs.schedule_check_at, None,
+            "epoch mode schedules no checks"
+        );
         assert!(t.is_interested(n));
     }
 

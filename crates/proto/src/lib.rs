@@ -45,16 +45,23 @@ pub mod interest;
 pub mod ledger;
 pub mod metrics;
 pub mod pcx;
+pub mod probe;
 pub mod runner;
 pub mod scheme;
 
 pub use cache::CacheStore;
-pub use config::{ArrivalKind, ChurnConfig, ProtocolConfig, RunConfig, StopRule, TopologySource};
+pub use config::{
+    ArrivalKind, ChurnConfig, ProbeConfig, ProtocolConfig, RunConfig, RunConfigBuilder, StopRule,
+    TopologySource,
+};
 pub use cup::{CupPushPolicy, CupScheme};
 pub use index::{AuthorityClock, IndexRecord, Version};
 pub use interest::{InterestPolicy, InterestTracker};
 pub use ledger::{CostLedger, MsgClass};
 pub use metrics::{Metrics, RunReport};
 pub use pcx::PcxScheme;
-pub use runner::{run_simulation, Runner};
+pub use probe::{
+    CaptureProbe, JsonlProbe, ProbeEvent, ProbeSink, SubscriberStats, TraceLine, TraceSample,
+};
+pub use runner::{run_simulation, run_simulation_probed, Runner};
 pub use scheme::{AppliedChurn, Ctx, Ev, Msg, Scheme, World};

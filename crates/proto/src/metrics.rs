@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use dup_stats::{BatchMeans, Histogram, Summary, Welford};
 
 use crate::ledger::{CostLedger, MsgClass};
+use crate::probe::TraceSample;
 
 /// Hop-latency histogram geometry: one bucket per hop count, up to 256
 /// hops (far beyond any search-tree depth in the evaluation).
@@ -154,6 +155,8 @@ impl Metrics {
             pushes_delivered: self.pushes_delivered,
             final_live_nodes,
             final_interested_nodes,
+            samples: Vec::new(),
+            probe_events: 0,
         }
     }
 }
@@ -208,6 +211,14 @@ pub struct RunReport {
     pub final_live_nodes: usize,
     /// Nodes satisfying the interest policy when the run ended.
     pub final_interested_nodes: usize,
+    /// Periodic time-series samples, when [`crate::ProbeConfig`] enabled
+    /// them (empty otherwise, and absent from older serialized reports).
+    #[serde(default)]
+    pub samples: Vec<TraceSample>,
+    /// Probe events emitted over the whole run (0 with no probe attached);
+    /// lets an external capture be reconciled against the report.
+    #[serde(default)]
+    pub probe_events: u64,
 }
 
 impl RunReport {
@@ -273,6 +284,8 @@ impl RunReport {
                 .sum::<usize>()
                 + reports.len() / 2)
                 / reports.len(),
+            samples: reports.iter().flat_map(|r| r.samples.clone()).collect(),
+            probe_events: reports.iter().map(|r| r.probe_events).sum(),
         }
     }
 }
@@ -375,10 +388,7 @@ mod aggregate_tests {
 
     #[test]
     fn aggregate_means_and_sums() {
-        let reports = vec![
-            report("DUP", 1.0, 0.4, 100),
-            report("DUP", 3.0, 0.6, 100),
-        ];
+        let reports = vec![report("DUP", 1.0, 0.4, 100), report("DUP", 3.0, 0.6, 100)];
         let agg = RunReport::aggregate(&reports);
         assert_eq!(agg.scheme, "DUP");
         assert_eq!(agg.latency_hops.mean, 2.0);

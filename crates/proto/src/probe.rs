@@ -1,0 +1,424 @@
+//! The protocol-level probe vocabulary and sinks.
+//!
+//! The runner, the scheme context, and the protocol hosts all emit
+//! [`ProbeEvent`]s through a [`ProbeSink`] attached to the shared
+//! [`crate::World`]. With no probe attached (the default), emission is a
+//! branch on a `None` — the event is never even constructed, so the
+//! simulation hot path pays nothing for the observability layer.
+//!
+//! Three sinks cover the common cases:
+//!
+//! * [`CaptureProbe`] — an in-memory capture buffer tests share with the
+//!   running simulation through a cloneable handle.
+//! * [`JsonlProbe`] — one JSON object per line to any [`std::io::Write`]
+//!   (the harness binary's `--trace out.jsonl`).
+//! * [`dup_sim::RingProbe`] — bounded most-recent-events buffer from the
+//!   simulation kernel, usable here because [`Probe`] is generic.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use dup_overlay::NodeId;
+use dup_sim::{Probe, SimTime};
+
+use crate::ledger::MsgClass;
+
+/// One observable protocol occurrence.
+///
+/// Events mirror the measurement sites of [`crate::Metrics`] one-to-one
+/// where both exist (queries, hop charges), so a capture of a zero-warm-up
+/// run reconciles exactly with the [`crate::RunReport`] counters — a
+/// property the integration tests assert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProbeEvent {
+    /// A node issued a query.
+    QueryIssued {
+        /// The querying node.
+        origin: NodeId,
+    },
+    /// A query found a valid index copy.
+    QueryServed {
+        /// The querying node.
+        origin: NodeId,
+        /// The node that served the copy (the origin itself on a local hit).
+        server: NodeId,
+        /// Request hops traveled before the copy was found.
+        hops: u32,
+        /// True when the served version was already superseded.
+        stale: bool,
+    },
+    /// A message was sent over one overlay hop (emitted at the send, when
+    /// the hop is charged to the cost ledger).
+    MsgSent {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Cost class of the message.
+        class: MsgClass,
+    },
+    /// A message arrived at a live node (messages to departed nodes are
+    /// lost, so deliveries can undercount sends under churn).
+    MsgDelivered {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Cost class of the message.
+        class: MsgClass,
+    },
+    /// A node's cache slot accepted a (newer) index version.
+    CacheInsert {
+        /// The caching node.
+        node: NodeId,
+    },
+    /// A node consulted its cache and found its copy expired (lazy expiry:
+    /// emitted on observation, not at the expiration instant).
+    CacheExpire {
+        /// The node holding the expired copy.
+        node: NodeId,
+    },
+    /// A subscription (DUP `subscribe`, CUP `register`) took effect at a
+    /// node.
+    Subscribe {
+        /// The node whose subscriber state changed.
+        node: NodeId,
+        /// The subscriber being announced upstream.
+        subject: NodeId,
+    },
+    /// A subscription was withdrawn (DUP `unsubscribe`, CUP `deregister`).
+    Unsubscribe {
+        /// The node whose subscriber state changed.
+        node: NodeId,
+        /// The entry being withdrawn.
+        subject: NodeId,
+    },
+    /// DUP `substitute`: a branch representative changed.
+    Substitute {
+        /// The node announcing the change upstream.
+        node: NodeId,
+        /// The entry being replaced.
+        old: NodeId,
+        /// Its replacement.
+        new: NodeId,
+    },
+    /// A node joined the overlay.
+    ChurnJoin {
+        /// The new node.
+        node: NodeId,
+    },
+    /// A node left the overlay.
+    ChurnLeave {
+        /// The departed node.
+        node: NodeId,
+        /// True for an announced leave, false for a silent failure.
+        graceful: bool,
+    },
+    /// A periodic time-series sample (see [`TraceSample`]).
+    Sample(TraceSample),
+}
+
+/// A periodic snapshot of the structures the paper's §III maintains,
+/// collected every [`crate::ProbeConfig::sample_every_secs`] simulated
+/// seconds and surfaced in [`crate::RunReport::samples`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Simulated seconds since the run started.
+    pub at_secs: f64,
+    /// Live overlay nodes.
+    pub live_nodes: usize,
+    /// Nodes currently satisfying the interest policy.
+    pub interested_nodes: usize,
+    /// Cache slots holding a currently valid copy.
+    pub cache_valid: usize,
+    /// Nodes in the scheme's propagation structure (DUP tree / CUP
+    /// registration tree), authority included; 0 for schemes without one.
+    pub tree_size: usize,
+    /// Mean subscriber-list (or registered-children) length over nodes with
+    /// non-empty lists; 0 when the scheme keeps no such state.
+    pub mean_list_len: f64,
+}
+
+/// A scheme's self-description of its propagation structure, feeding
+/// [`TraceSample::tree_size`] and [`TraceSample::mean_list_len`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubscriberStats {
+    /// Nodes in the propagation structure, authority included.
+    pub tree_size: usize,
+    /// Mean subscriber-list length over nodes with non-empty lists.
+    pub mean_list_len: f64,
+}
+
+/// The probe attachment point carried by [`crate::World`].
+///
+/// Wraps an optional boxed [`Probe`] so the disabled case (the default) is
+/// one `Option` check with the event closure never called. Also counts
+/// emitted events, which [`crate::RunReport::probe_events`] reports so
+/// captures can be reconciled against it.
+#[derive(Default)]
+pub struct ProbeSink {
+    probe: Option<Box<dyn Probe<ProbeEvent> + Send>>,
+    emitted: u64,
+}
+
+impl std::fmt::Debug for ProbeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeSink")
+            .field("enabled", &self.probe.is_some())
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+impl ProbeSink {
+    /// A sink with no probe attached — every emission is a no-op.
+    pub fn disabled() -> Self {
+        ProbeSink::default()
+    }
+
+    /// Wraps a probe.
+    pub fn new(probe: Box<dyn Probe<ProbeEvent> + Send>) -> Self {
+        ProbeSink {
+            probe: Some(probe),
+            emitted: 0,
+        }
+    }
+
+    /// Convenience for attaching an unboxed probe.
+    pub fn attach<P: Probe<ProbeEvent> + Send + 'static>(probe: P) -> Self {
+        ProbeSink::new(Box::new(probe))
+    }
+
+    /// True when a probe is attached.
+    pub fn enabled(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// Events emitted so far (0 while disabled).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Emits an event lazily: `make` runs only when a probe is attached.
+    #[inline]
+    pub fn emit(&mut self, at: SimTime, make: impl FnOnce() -> ProbeEvent) {
+        if let Some(probe) = &mut self.probe {
+            probe.record(at, &make());
+            self.emitted += 1;
+        }
+    }
+
+    /// Flushes the attached probe's buffered output, if any.
+    pub fn flush(&mut self) {
+        if let Some(probe) = &mut self.probe {
+            probe.flush();
+        }
+    }
+}
+
+/// A cloneable in-memory capture buffer.
+///
+/// Clone the handle, attach one copy via [`ProbeSink::attach`], keep the
+/// other: after the run, [`CaptureProbe::events`] returns everything the
+/// simulation emitted. The shared buffer is behind a mutex, which is
+/// uncontended here (simulations are single-threaded) — it only buys `Send`.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureProbe {
+    events: Arc<Mutex<Vec<(SimTime, ProbeEvent)>>>,
+}
+
+impl CaptureProbe {
+    /// Creates an empty capture buffer.
+    pub fn new() -> Self {
+        CaptureProbe::default()
+    }
+
+    /// A copy of every captured `(time, event)` pair, in emission order.
+    pub fn events(&self) -> Vec<(SimTime, ProbeEvent)> {
+        self.events.lock().expect("capture probe poisoned").clone()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("capture probe poisoned").len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counts captured events matching `pred`.
+    pub fn count(&self, pred: impl Fn(&ProbeEvent) -> bool) -> u64 {
+        self.events
+            .lock()
+            .expect("capture probe poisoned")
+            .iter()
+            .filter(|(_, e)| pred(e))
+            .count() as u64
+    }
+}
+
+impl Probe<ProbeEvent> for CaptureProbe {
+    fn record(&mut self, at: SimTime, event: &ProbeEvent) {
+        self.events
+            .lock()
+            .expect("capture probe poisoned")
+            .push((at, event.clone()));
+    }
+}
+
+/// Streams events as JSON Lines: one `{"at_secs": …, "event": …}` object
+/// per line, flushed at end of run. This is the format behind the harness
+/// binary's `--trace out.jsonl`.
+pub struct JsonlProbe<W: Write> {
+    out: W,
+    /// First serialization error, if any (reported once, then silent — a
+    /// broken trace sink must not abort the simulation).
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlProbe<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonlProbe { out, error: None }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+/// One trace line, as serialized by [`JsonlProbe`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TraceLine {
+    /// Simulated seconds since the run started.
+    pub at_secs: f64,
+    /// The event.
+    pub event: ProbeEvent,
+}
+
+impl<W: Write> Probe<ProbeEvent> for JsonlProbe<W> {
+    fn record(&mut self, at: SimTime, event: &ProbeEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = TraceLine {
+            at_secs: at.as_secs_f64(),
+            event: event.clone(),
+        };
+        let result = serde_json::to_string(&line)
+            .map_err(std::io::Error::other)
+            .and_then(|json| writeln!(self.out, "{json}"));
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(from: u32, to: u32, class: MsgClass) -> ProbeEvent {
+        ProbeEvent::MsgSent {
+            from: NodeId(from),
+            to: NodeId(to),
+            class,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_never_builds_events() {
+        let mut sink = ProbeSink::disabled();
+        let mut built = false;
+        sink.emit(SimTime::ZERO, || {
+            built = true;
+            sent(0, 1, MsgClass::Control)
+        });
+        assert!(!built, "disabled sink must not construct events");
+        assert_eq!(sink.emitted(), 0);
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn capture_counts_and_orders() {
+        let capture = CaptureProbe::new();
+        let mut sink = ProbeSink::attach(capture.clone());
+        sink.emit(SimTime::from_secs(1), || sent(0, 1, MsgClass::Request));
+        sink.emit(SimTime::from_secs(2), || sent(1, 0, MsgClass::Reply));
+        assert_eq!(sink.emitted(), 2);
+        assert_eq!(capture.len(), 2);
+        let events = capture.events();
+        assert_eq!(events[0].0, SimTime::from_secs(1));
+        assert_eq!(
+            capture.count(|e| matches!(
+                e,
+                ProbeEvent::MsgSent {
+                    class: MsgClass::Reply,
+                    ..
+                }
+            )),
+            1
+        );
+    }
+
+    #[test]
+    fn jsonl_probe_writes_one_line_per_event() {
+        let mut probe = JsonlProbe::new(Vec::new());
+        probe.record(SimTime::from_secs(3), &sent(2, 5, MsgClass::Push));
+        probe.record(
+            SimTime::from_secs(4),
+            &ProbeEvent::QueryIssued { origin: NodeId(9) },
+        );
+        assert!(probe.error().is_none());
+        let text = String::from_utf8(probe.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: TraceLine = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.at_secs, 3.0);
+        assert_eq!(first.event, sent(2, 5, MsgClass::Push));
+    }
+
+    #[test]
+    fn probe_event_serde_roundtrip() {
+        let events = vec![
+            ProbeEvent::QueryServed {
+                origin: NodeId(1),
+                server: NodeId(2),
+                hops: 3,
+                stale: true,
+            },
+            ProbeEvent::Substitute {
+                node: NodeId(2),
+                old: NodeId(5),
+                new: NodeId(2),
+            },
+            ProbeEvent::Sample(TraceSample {
+                at_secs: 10.0,
+                live_nodes: 8,
+                interested_nodes: 2,
+                cache_valid: 3,
+                tree_size: 3,
+                mean_list_len: 1.5,
+            }),
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: ProbeEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+}

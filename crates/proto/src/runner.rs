@@ -22,11 +22,22 @@ use crate::index::AuthorityClock;
 use crate::interest::InterestTracker;
 use crate::ledger::MsgClass;
 use crate::metrics::{Metrics, RunReport};
+use crate::probe::{ProbeEvent, ProbeSink, TraceSample};
 use crate::scheme::{send_msg, AppliedChurn, Ctx, Ev, Msg, Scheme, World};
 
 /// Runs one simulation to completion and returns its report.
 pub fn run_simulation<S: Scheme>(cfg: &RunConfig, scheme: S) -> RunReport {
     Runner::new(cfg.clone(), scheme).run()
+}
+
+/// Runs one simulation with a probe attached, returning its report.
+///
+/// Identical dynamics to [`run_simulation`] — probes observe, they never
+/// influence — plus every protocol event flows into `probe` and, when
+/// [`crate::ProbeConfig::sample_every_secs`] is positive, periodic
+/// [`TraceSample`]s land in [`RunReport::samples`].
+pub fn run_simulation_probed<S: Scheme>(cfg: &RunConfig, scheme: S, probe: ProbeSink) -> RunReport {
+    Runner::with_probe(cfg.clone(), scheme, probe).run()
 }
 
 /// Dense set of live nodes supporting O(1) uniform sampling.
@@ -90,11 +101,18 @@ pub struct Runner<S: Scheme> {
     live: LiveSet,
     warmup_end: SimTime,
     horizon: SimTime,
+    /// Periodic time-series samples collected so far (see [`Ev::Sample`]).
+    samples: Vec<TraceSample>,
 }
 
 impl<S: Scheme> Runner<S> {
-    /// Builds the world from `cfg`.
+    /// Builds the world from `cfg` with no probe attached.
     pub fn new(cfg: RunConfig, scheme: S) -> Self {
+        Runner::with_probe(cfg, scheme, ProbeSink::disabled())
+    }
+
+    /// Builds the world from `cfg` with `probe` receiving every event.
+    pub fn with_probe(cfg: RunConfig, scheme: S, probe: ProbeSink) -> Self {
         cfg.validate();
         let seed = cfg.seed;
         let tree = match &cfg.topology {
@@ -122,6 +140,7 @@ impl<S: Scheme> Runner<S> {
             hop_latency: HopLatency::new(cfg.protocol.hop_latency_mean_secs),
             latency_rng: stream_rng(seed, "hop-latency"),
             fifo: std::collections::HashMap::new(),
+            probe,
             tree,
         };
         let arrivals = match cfg.arrivals {
@@ -146,6 +165,7 @@ impl<S: Scheme> Runner<S> {
             cfg,
             world,
             scheme,
+            samples: Vec::new(),
         }
     }
 
@@ -181,6 +201,10 @@ impl<S: Scheme> Runner<S> {
             let gap = self.next_churn_gap();
             engine.schedule(SimTime::ZERO + gap, Ev::Churn);
         }
+        if self.cfg.probe.sample_every_secs > 0.0 {
+            let every = SimDuration::from_secs_f64(self.cfg.probe.sample_every_secs);
+            engine.schedule(SimTime::ZERO + every, Ev::Sample);
+        }
         if let StopRule::ConvergedCi {
             check_every_secs, ..
         } = self.cfg.stop
@@ -205,13 +229,17 @@ impl<S: Scheme> Runner<S> {
             .live_nodes()
             .filter(|&n| self.world.interest.is_interested(n))
             .count();
-        self.world.metrics.finish(
+        self.world.probe.flush();
+        let mut report = self.world.metrics.finish(
             self.scheme.name(),
             measured.as_secs_f64(),
             engine.events_processed(),
             self.world.tree.len(),
             interested,
-        )
+        );
+        report.samples = std::mem::take(&mut self.samples);
+        report.probe_events = self.world.probe.emitted();
+        report
     }
 
     fn handle(&mut self, eng: &mut Engine<Ev<S::Msg>>, ev: Ev<S::Msg>) {
@@ -222,10 +250,19 @@ impl<S: Scheme> Runner<S> {
                 let gap = self.arrivals.next_gap(&mut self.arrivals_rng);
                 eng.schedule_after(gap, Ev::NextQuery);
             }
-            Ev::Deliver { from, to, msg } => {
+            Ev::Deliver {
+                from,
+                to,
+                class,
+                msg,
+            } => {
                 if !self.world.tree.is_alive(to) {
                     return; // message addressed to a departed node is lost
                 }
+                let now = eng.now();
+                self.world
+                    .probe
+                    .emit(now, || ProbeEvent::MsgDelivered { from, to, class });
                 match msg {
                     Msg::Request {
                         origin,
@@ -318,6 +355,34 @@ impl<S: Scheme> Runner<S> {
                 let gap = self.next_churn_gap();
                 eng.schedule_after(gap, Ev::Churn);
             }
+            Ev::Sample => {
+                let sample = self.take_sample(eng.now());
+                self.samples.push(sample);
+                self.world
+                    .probe
+                    .emit(eng.now(), || ProbeEvent::Sample(sample));
+                let every = SimDuration::from_secs_f64(self.cfg.probe.sample_every_secs);
+                eng.schedule_after(every, Ev::Sample);
+            }
+        }
+    }
+
+    /// Snapshots the live structures for one time-series point.
+    fn take_sample(&self, now: SimTime) -> TraceSample {
+        let interested = self
+            .world
+            .tree
+            .live_nodes()
+            .filter(|&n| self.world.interest.is_interested(n))
+            .count();
+        let stats = self.scheme.subscriber_stats(&self.world.tree);
+        TraceSample {
+            at_secs: now.as_secs_f64(),
+            live_nodes: self.live.len(),
+            interested_nodes: interested,
+            cache_valid: self.world.cache.valid_count(now),
+            tree_size: stats.map_or(0, |s| s.tree_size),
+            mean_list_len: stats.map_or(0.0, |s| s.mean_list_len),
         }
     }
 
@@ -330,6 +395,18 @@ impl<S: Scheme> Runner<S> {
             // rank_map redirections keep this unreachable in practice;
             // fall back to the authority defensively.
             self.world.tree.root()
+        }
+    }
+
+    /// Emits [`ProbeEvent::CacheExpire`] when `node` consulted its cache and
+    /// found only an expired copy. Expiry is lazy — there is no per-slot
+    /// timer — so the probe reports it at the moment it is *observed*, which
+    /// is also when it affects the protocol.
+    fn note_expiry_if_observed(&mut self, now: SimTime, node: NodeId, served: bool) {
+        if !served && self.world.probe.enabled() && self.world.cache.raw(node).is_some() {
+            self.world
+                .probe
+                .emit(now, || ProbeEvent::CacheExpire { node });
         }
     }
 
@@ -352,19 +429,30 @@ impl<S: Scheme> Runner<S> {
             world: &mut self.world,
             engine: eng,
         };
-        self.scheme.on_query_step(&mut ctx, node, prev, riders, forwarding);
+        self.scheme
+            .on_query_step(&mut ctx, node, prev, riders, forwarding);
     }
 
     /// A locally generated query at `node`.
     fn begin_query(&mut self, eng: &mut Engine<Ev<S::Msg>>, node: NodeId) {
         let now = eng.now();
         let served = self.world.serving_record(node, now);
+        self.world
+            .probe
+            .emit(now, || ProbeEvent::QueryIssued { origin: node });
+        self.note_expiry_if_observed(now, node, served.is_some());
         let mut riders = Vec::new();
         self.observe_query(eng, node, None, &mut riders, served.is_none());
         if let Some(record) = served {
             let stale = record.is_stale_versus(self.world.authority.current().version);
             self.world.metrics.record_query_served(0, stale);
             self.world.metrics.record_query_completed(0.0);
+            self.world.probe.emit(now, || ProbeEvent::QueryServed {
+                origin: node,
+                server: node,
+                hops: 0,
+                stale,
+            });
         } else {
             let parent = self
                 .world
@@ -401,12 +489,19 @@ impl<S: Scheme> Runner<S> {
     ) {
         let now = eng.now();
         let served = self.world.serving_record(to, now);
+        self.note_expiry_if_observed(now, to, served.is_some());
         self.observe_query(eng, to, Some(from), &mut riders, served.is_none());
         if let Some(record) = served {
             let stale = record.is_stale_versus(self.world.authority.current().version);
             self.world
                 .metrics
                 .record_query_served(visited.len() as u32, stale);
+            self.world.probe.emit(now, || ProbeEvent::QueryServed {
+                origin,
+                server: to,
+                hops: visited.len() as u32,
+                stale,
+            });
             let target = visited.pop().expect("request visited at least the origin");
             send_msg(
                 &mut self.world,
@@ -453,7 +548,12 @@ impl<S: Scheme> Runner<S> {
         mut remaining: Vec<NodeId>,
         issued_at: SimTime,
     ) {
-        self.world.cache.install(to, record);
+        if self.world.cache.install(to, record) {
+            let now = eng.now();
+            self.world
+                .probe
+                .emit(now, || ProbeEvent::CacheInsert { node: to });
+        }
         if remaining.is_empty() {
             let elapsed = eng.now().saturating_since(issued_at);
             self.world
@@ -492,6 +592,18 @@ impl<S: Scheme> Runner<S> {
             Some(change) => change,
             None => return,
         };
+        let now = eng.now();
+        if let Some(node) = change.removed {
+            let graceful = change.graceful;
+            self.world
+                .probe
+                .emit(now, || ProbeEvent::ChurnLeave { node, graceful });
+        }
+        if let Some(node) = change.joined {
+            self.world
+                .probe
+                .emit(now, || ProbeEvent::ChurnJoin { node });
+        }
         let mut ctx = Ctx {
             world: &mut self.world,
             engine: eng,
@@ -590,7 +702,11 @@ impl<S: Scheme> Runner<S> {
             graceful,
             replacement: Some(replacement),
             adopted_children,
-            joined: if root_changed { Some(replacement) } else { None },
+            joined: if root_changed {
+                Some(replacement)
+            } else {
+                None
+            },
             join_below: None,
             root_changed,
         }

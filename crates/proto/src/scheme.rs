@@ -18,6 +18,7 @@ use crate::index::{AuthorityClock, IndexRecord};
 use crate::interest::InterestTracker;
 use crate::ledger::MsgClass;
 use crate::metrics::Metrics;
+use crate::probe::{ProbeEvent, ProbeSink, SubscriberStats};
 
 /// A message in flight between two overlay nodes.
 #[derive(Debug, Clone)]
@@ -65,6 +66,9 @@ pub enum Ev<M> {
         from: NodeId,
         /// Receiving node.
         to: NodeId,
+        /// Cost class the hop was charged under (carried so the probe can
+        /// classify the delivery without re-deriving it from the payload).
+        class: MsgClass,
         /// The payload.
         msg: Msg<M>,
     },
@@ -81,6 +85,9 @@ pub enum Ev<M> {
     EndWarmup,
     /// Periodic convergence check for [`crate::StopRule::ConvergedCi`].
     CiCheck,
+    /// Periodic probe time-series sample (scheduled only when
+    /// [`crate::ProbeConfig::sample_every_secs`] is positive).
+    Sample,
 }
 
 /// Shared world state every scheme operates on.
@@ -105,6 +112,10 @@ pub struct World {
     /// assume — a `substitute` overtaking the `subscribe` that created its
     /// target entry would be dropped as stale.
     pub fifo: HashMap<(NodeId, NodeId), SimTime>,
+    /// The observability attachment point. Disabled by default; every
+    /// emission site goes through [`ProbeSink::emit`], which skips event
+    /// construction entirely when no probe is attached.
+    pub probe: ProbeSink,
 }
 
 impl World {
@@ -158,7 +169,14 @@ impl<M> Ctx<'_, M> {
 
     /// Installs `record` into `node`'s cache (no-op against a newer copy).
     pub fn install(&mut self, node: NodeId, record: IndexRecord) -> bool {
-        self.world.cache.install(node, record)
+        let accepted = self.world.cache.install(node, record);
+        if accepted {
+            let now = self.engine.now();
+            self.world
+                .probe
+                .emit(now, || ProbeEvent::CacheInsert { node });
+        }
+        accepted
     }
 
     /// The record `node` could serve right now.
@@ -172,6 +190,15 @@ impl<M> Ctx<'_, M> {
     /// overlay hop regardless of search-tree distance).
     pub fn send(&mut self, from: NodeId, to: NodeId, class: MsgClass, msg: M) {
         send_msg(self.world, self.engine, from, to, class, Msg::Scheme(msg));
+    }
+
+    /// Emits a probe event at the current simulated time. The closure runs
+    /// only when a probe is attached, so emission sites cost nothing in the
+    /// default (disabled) configuration.
+    #[inline]
+    pub fn emit(&mut self, make: impl FnOnce() -> ProbeEvent) {
+        let now = self.engine.now();
+        self.world.probe.emit(now, make);
     }
 }
 
@@ -187,15 +214,27 @@ pub(crate) fn send_msg<M>(
 ) {
     debug_assert!(from != to, "node {from} sending to itself");
     world.metrics.charge_hop(class);
+    let now = engine.now();
+    world
+        .probe
+        .emit(now, || ProbeEvent::MsgSent { from, to, class });
     let delay = world.hop_latency.sample(&mut world.latency_rng);
-    let mut at = engine.now() + delay;
+    let mut at = now + delay;
     // Enforce FIFO per ordered node pair.
     let slot = world.fifo.entry((from, to)).or_insert(SimTime::ZERO);
     if at <= *slot {
         at = *slot + SimDuration::from_nanos(1);
     }
     *slot = at;
-    engine.schedule(at, Ev::Deliver { from, to, msg });
+    engine.schedule(
+        at,
+        Ev::Deliver {
+            from,
+            to,
+            class,
+            msg,
+        },
+    );
 }
 
 /// A topology change as applied by the runner, with everything a scheme
@@ -281,6 +320,13 @@ pub trait Scheme: Sized {
     fn push_reach(&self, _tree: &SearchTree) -> Option<Vec<NodeId>> {
         None
     }
+
+    /// A snapshot of the scheme's propagation structure for the probe's
+    /// periodic time-series samples; `None` (the default) when the scheme
+    /// maintains no such structure (PCX).
+    fn subscriber_stats(&self, _tree: &SearchTree) -> Option<SubscriberStats> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +348,7 @@ mod tests {
             hop_latency: dup_workload::HopLatency::paper_default(),
             latency_rng: stream_rng(1, "scheme-test"),
             fifo: HashMap::new(),
+            probe: ProbeSink::disabled(),
             tree,
         }
     }
@@ -342,13 +389,32 @@ mod tests {
         let mut w = world();
         let mut engine: Engine<Ev<u32>> = Engine::new();
         for i in 0..50u32 {
-            send_msg(&mut w, &mut engine, NodeId(1), NodeId(0), MsgClass::Push, Msg::Scheme(i));
+            send_msg(
+                &mut w,
+                &mut engine,
+                NodeId(1),
+                NodeId(0),
+                MsgClass::Push,
+                Msg::Scheme(i),
+            );
         }
-        send_msg(&mut w, &mut engine, NodeId(2), NodeId(0), MsgClass::Push, Msg::Scheme(999));
+        send_msg(
+            &mut w,
+            &mut engine,
+            NodeId(2),
+            NodeId(0),
+            MsgClass::Push,
+            Msg::Scheme(999),
+        );
         let mut first_from_2_at = None;
         let mut last_from_1_at = None;
         engine.run(|eng, ev| {
-            if let Ev::Deliver { from, msg: Msg::Scheme(_), .. } = ev {
+            if let Ev::Deliver {
+                from,
+                msg: Msg::Scheme(_),
+                ..
+            } = ev
+            {
                 if from == NodeId(2) {
                     first_from_2_at = Some(eng.now());
                 } else {
@@ -366,7 +432,14 @@ mod tests {
     fn send_charges_exactly_one_hop() {
         let mut w = world();
         let mut engine: Engine<Ev<u32>> = Engine::new();
-        send_msg(&mut w, &mut engine, NodeId(1), NodeId(0), MsgClass::Reply, Msg::Scheme(7));
+        send_msg(
+            &mut w,
+            &mut engine,
+            NodeId(1),
+            NodeId(0),
+            MsgClass::Reply,
+            Msg::Scheme(7),
+        );
         assert_eq!(w.metrics.ledger().hops(MsgClass::Reply), 1);
         assert_eq!(w.metrics.ledger().total_hops(), 1);
     }

@@ -13,11 +13,11 @@ use dup_workload::RankPlacement;
 /// A random but fast-to-run configuration.
 fn config_strategy() -> impl Strategy<Value = RunConfig> {
     (
-        0u64..1000,                         // seed
-        8usize..96,                         // nodes
-        1usize..6,                          // max degree
-        0.05f64..8.0,                       // lambda
-        0.0f64..3.0,                        // theta
+        0u64..1000,                                             // seed
+        8usize..96,                                             // nodes
+        1usize..6,                                              // max degree
+        0.05f64..8.0,                                           // lambda
+        0.0f64..3.0,                                            // theta
         prop_oneof![Just(None), (0.01f64..0.2).prop_map(Some)], // churn
         prop_oneof![
             Just(ArrivalKind::Exponential),

@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod probe;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Engine, RunOutcome};
+pub use probe::{FnProbe, NoopProbe, Probe, RingProbe};
 pub use queue::EventQueue;
 pub use rng::{stream_rng, stream_seed, StreamRng};
 pub use time::{SimDuration, SimTime};

@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn stream_seed_is_stable() {
         // Regression pin: if this changes, every recorded experiment changes.
-        assert_eq!(stream_seed(0, ""), splitmix64(splitmix64(0) ^ 0xcbf2_9ce4_8422_2325));
+        assert_eq!(
+            stream_seed(0, ""),
+            splitmix64(splitmix64(0) ^ 0xcbf2_9ce4_8422_2325)
+        );
         let pinned = stream_seed(42, "arrivals");
         assert_eq!(pinned, stream_seed(42, "arrivals"));
     }

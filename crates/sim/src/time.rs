@@ -234,7 +234,10 @@ mod tests {
 
     #[test]
     fn constructors_agree() {
-        assert_eq!(SimTime::from_secs(2), SimTime::from_nanos(2 * NANOS_PER_SEC));
+        assert_eq!(
+            SimTime::from_secs(2),
+            SimTime::from_nanos(2 * NANOS_PER_SEC)
+        );
         assert_eq!(SimTime::from_secs_f64(2.0), SimTime::from_secs(2));
         assert_eq!(SimDuration::from_mins(60), SimDuration::from_secs(3600));
     }

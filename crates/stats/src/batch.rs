@@ -121,14 +121,20 @@ mod tests {
         // Deterministic LCG uniform stream.
         let mut state = 99u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let mut bm = BatchMeans::new(100);
         for _ in 0..20_000 {
             bm.push(next());
         }
-        assert!(bm.converged(10, 0.05), "rel hw = {}", bm.ci_95().relative_half_width());
+        assert!(
+            bm.converged(10, 0.05),
+            "rel hw = {}",
+            bm.ci_95().relative_half_width()
+        );
         assert!((bm.mean() - 0.5).abs() < 0.02);
         assert!(bm.ci_95().contains(0.5));
     }

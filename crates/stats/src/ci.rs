@@ -177,7 +177,9 @@ mod tests {
         // LCG keeps this test stable.
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let trials = 2000;

@@ -109,8 +109,15 @@ impl Histogram {
     ///
     /// Panics when geometries differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

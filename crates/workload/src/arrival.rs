@@ -225,8 +225,12 @@ mod tests {
         };
         let mut pois = PoissonArrivals::new(1.0);
         let mut par = ParetoArrivals::new(1.2, 1.0);
-        let pg: Vec<f64> = (0..n).map(|_| pois.next_gap(&mut rng).as_secs_f64()).collect();
-        let ag: Vec<f64> = (0..n).map(|_| par.next_gap(&mut rng).as_secs_f64()).collect();
+        let pg: Vec<f64> = (0..n)
+            .map(|_| pois.next_gap(&mut rng).as_secs_f64())
+            .collect();
+        let ag: Vec<f64> = (0..n)
+            .map(|_| par.next_gap(&mut rng).as_secs_f64())
+            .collect();
         assert!(cv2(&ag) > 3.0 * cv2(&pg), "{} vs {}", cv2(&ag), cv2(&pg));
     }
 

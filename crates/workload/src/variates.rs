@@ -77,10 +77,7 @@ mod tests {
         // P(X > t) = e^{-rate t}; check at t = 1 with rate 1.
         let mut r = rng();
         let n = 100_000;
-        let tail = (0..n)
-            .filter(|_| exp_variate(&mut r, 1.0) > 1.0)
-            .count() as f64
-            / n as f64;
+        let tail = (0..n).filter(|_| exp_variate(&mut r, 1.0) > 1.0).count() as f64 / n as f64;
         assert!((tail - (-1.0f64).exp()).abs() < 0.01, "tail {tail}");
     }
 

@@ -90,7 +90,9 @@ impl ZipfSelector {
         let u: f64 = rng.gen();
         // partition_point returns the first index with cdf > u, i.e. the
         // smallest rank whose cumulative probability exceeds the draw.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 

@@ -20,17 +20,13 @@ fn main() {
         "churn (/s)", "PCX lat", "DUP lat", "PCX cost", "DUP cost", "DUP ctrl", "final nodes"
     );
     for rate in [0.0, 0.02, 0.1, 0.5, 1.0] {
-        let mut cfg = RunConfig::paper_default(0xC0_FFEE);
-        cfg.topology = TopologySource::RandomTree(TopologyParams {
-            nodes: 1024,
-            max_degree: 4,
-        });
-        cfg.lambda = 2.0;
-        cfg.warmup_secs = 7_200.0;
-        cfg.duration_secs = 30_000.0;
-        if rate > 0.0 {
-            cfg.churn = Some(ChurnConfig::balanced(rate));
-        }
+        let cfg = RunConfig::builder(0xC0_FFEE)
+            .nodes(1024)
+            .lambda(2.0)
+            .warmup_secs(7_200.0)
+            .duration_secs(30_000.0)
+            .churn((rate > 0.0).then(|| ChurnConfig::balanced(rate)))
+            .build();
         let t = dup_p2p::compare_schemes(&cfg);
         println!(
             "{:>10}  {:>9.4} {:>9.4}  {:>9.4} {:>9.4}  {:>10} {:>11}",

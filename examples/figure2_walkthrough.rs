@@ -7,12 +7,69 @@
 //! Uses the protocol-level test bench (no workload, no routing — just the
 //! DUP maintenance protocol) to walk the exact scenario the paper uses to
 //! explain DUP: N6 subscribes, then N4, then N6 leaves, printing every
-//! node's subscriber list and the push fan-out after each step.
+//! node's subscriber list and the push fan-out after each step. A
+//! [`CaptureProbe`] is attached to the bench, so each step also prints the
+//! probe event trace — the subscribe flow up the virtual path, and the
+//! direct one-hop push that follows.
 
 use dup_core::testkit::{paper_example_tree, TestBench};
 use dup_p2p::prelude::*;
 
 const NAMES: [&str; 8] = ["N1", "N2", "N3", "N4", "N5", "N6", "N7", "N8"];
+
+fn name(n: NodeId) -> &'static str {
+    NAMES[n.index()]
+}
+
+/// Renders one probe event as a trace line (`None` for event types this
+/// walkthrough doesn't narrate).
+fn fmt_event(ev: &ProbeEvent) -> Option<String> {
+    use dup_p2p::proto::MsgClass;
+    Some(match ev {
+        ProbeEvent::Subscribe { node, subject } => {
+            format!("subscribe({}) processed at {}", name(*subject), name(*node))
+        }
+        ProbeEvent::Unsubscribe { node, subject } => {
+            format!(
+                "unsubscribe({}) processed at {}",
+                name(*subject),
+                name(*node)
+            )
+        }
+        ProbeEvent::Substitute { node, old, new } => {
+            format!(
+                "substitute({} → {}) sent upstream by {}",
+                name(*old),
+                name(*new),
+                name(*node)
+            )
+        }
+        ProbeEvent::MsgDelivered { from, to, class } => match class {
+            MsgClass::Push => format!(
+                "push delivered {} → {} (direct hop)",
+                name(*from),
+                name(*to)
+            ),
+            MsgClass::Control => format!("control hop {} → {}", name(*from), name(*to)),
+            _ => return None,
+        },
+        ProbeEvent::CacheInsert { node } => {
+            format!("fresh copy installed at {}", name(*node))
+        }
+        _ => return None,
+    })
+}
+
+/// Prints every probe event captured since the last call.
+fn show_trace(capture: &CaptureProbe, cursor: &mut usize) {
+    let events = capture.events();
+    for (_, ev) in &events[*cursor..] {
+        if let Some(line) = fmt_event(ev) {
+            println!("    trace: {line}");
+        }
+    }
+    *cursor = events.len();
+}
 
 fn show(bench: &TestBench<DupScheme>, step: &str) {
     println!("--- {step}");
@@ -23,10 +80,7 @@ fn show(bench: &TestBench<DupScheme>, step: &str) {
         }
         let list = bench.scheme.s_list(node);
         if !list.is_empty() {
-            let entries: Vec<String> = list
-                .iter()
-                .map(|e| NAMES[e.index()].to_string())
-                .collect();
+            let entries: Vec<String> = list.iter().map(|e| NAMES[e.index()].to_string()).collect();
             println!("  {name}: s_list = [{}]", entries.join(", "));
         }
     }
@@ -46,8 +100,16 @@ fn show(bench: &TestBench<DupScheme>, step: &str) {
 
 fn main() {
     // The paper's Figure 1 search tree: N1 is the authority;
-    // N1–N2–N3–{N4, N5}; N5–N6–{N7, N8}.
-    let mut bench = TestBench::new(paper_example_tree(), DupScheme::new(), 2);
+    // N1–N2–N3–{N4, N5}; N5–N6–{N7, N8}. A capture probe records every
+    // protocol event the bench emits.
+    let capture = CaptureProbe::new();
+    let mut bench = TestBench::with_probe(
+        paper_example_tree(),
+        DupScheme::new(),
+        2,
+        ProbeSink::attach(capture.clone()),
+    );
+    let mut cursor = 0usize;
     let (n1, n3, n4, n6) = (NodeId(0), NodeId(2), NodeId(3), NodeId(5));
 
     println!("Figure 2 of the paper, replayed on the DUP implementation.\n");
@@ -58,8 +120,10 @@ fn main() {
     bench.make_interested(n6);
     bench.drain();
     show(&bench, "(a) N6 subscribes");
+    show_trace(&capture, &mut cursor);
     let before = bench.push_hops();
     bench.refresh();
+    show_trace(&capture, &mut cursor);
     println!(
         "  refresh pushed the new version in {} hop(s) — PCX would spend 8 hops\n",
         bench.push_hops() - before
@@ -70,8 +134,10 @@ fn main() {
     bench.make_interested(n4);
     bench.drain();
     show(&bench, "(b) N4 subscribes; N3 becomes the fan-out point");
+    show_trace(&capture, &mut cursor);
     let before = bench.push_hops();
     bench.refresh();
+    show_trace(&capture, &mut cursor);
     println!(
         "  refresh pushed N1→N3→{{N4,N6}} in {} hops — CUP would spend 5\n",
         bench.push_hops() - before
@@ -82,8 +148,14 @@ fn main() {
     bench.drop_interest(n6);
     bench.drain();
     show(&bench, "(c) N6 unsubscribes; tree collapses to N1→N4");
+    show_trace(&capture, &mut cursor);
 
     assert_eq!(bench.scheme.s_list(n1), &[n4]);
     assert_eq!(bench.scheme.s_list(n3), &[n4]);
-    println!("Every intermediate state matched §III of the paper.");
+    assert_eq!(capture.len() as u64, bench.world.probe.emitted());
+    println!(
+        "Every intermediate state matched §III of the paper \
+         ({} probe events captured).",
+        capture.len()
+    );
 }

@@ -15,16 +15,14 @@
 use dup_p2p::prelude::*;
 
 fn run_at(lambda: f64) -> dup_p2p::Triple {
-    let mut cfg = RunConfig::paper_default(0xF1A5);
-    cfg.topology = TopologySource::RandomTree(TopologyParams {
-        nodes: 2048,
-        max_degree: 4,
-    });
-    cfg.zipf_theta = 2.5; // strong hot spot
-    cfg.arrivals = ArrivalKind::Pareto { alpha: 1.05 }; // bursty, trace-like
-    cfg.lambda = lambda;
-    cfg.warmup_secs = 7_200.0;
-    cfg.duration_secs = 40_000.0;
+    let cfg = RunConfig::builder(0xF1A5)
+        .nodes(2048)
+        .zipf_theta(2.5) // strong hot spot
+        .arrivals(ArrivalKind::Pareto { alpha: 1.05 }) // bursty, trace-like
+        .lambda(lambda)
+        .warmup_secs(7_200.0)
+        .duration_secs(40_000.0)
+        .build();
     dup_p2p::compare_schemes(&cfg)
 }
 

@@ -12,17 +12,22 @@
 
 use dup_dissem::{BayeuxScheme, CupScheme, DisseminationPlatform, DisseminationScheme, DupScheme};
 use dup_overlay::NodeId;
+use dup_p2p::prelude::{CaptureProbe, ProbeSink};
 
 const TOPICS: [(u64, usize); 4] = [
-    (0xA11CE, 3),   // niche topic: 3 subscribers
-    (0xB0B, 16),    // small community
-    (0xCA21, 64),   // popular topic
-    (0xD00D, 256),  // half the network
+    (0xA11CE, 3),  // niche topic: 3 subscribers
+    (0xB0B, 16),   // small community
+    (0xCA21, 64),  // popular topic
+    (0xD00D, 256), // half the network
 ];
 
 fn run<S: DisseminationScheme>(seed: u64) {
     let keys: Vec<u64> = TOPICS.iter().map(|&(k, _)| k).collect();
     let mut platform: DisseminationPlatform<S> = DisseminationPlatform::new(512, &keys, seed);
+    // Observe the busiest topic through the probe layer: every message
+    // delivery inside 0xD00D's tree lands in this capture.
+    let capture = CaptureProbe::new();
+    platform.attach_probe(0xD00D, ProbeSink::attach(capture.clone()));
     let nodes: Vec<NodeId> = platform.nodes().collect();
     for &(key, count) in &TOPICS {
         for i in 0..count {
@@ -63,8 +68,13 @@ fn run<S: DisseminationScheme>(seed: u64) {
     }
     let stats = platform.state_stats();
     println!(
-        "  per-node state: max {} entries/topic, {} entries total, {:.2} mean (non-empty)\n",
+        "  per-node state: max {} entries/topic, {} entries total, {:.2} mean (non-empty)",
         stats.max_entries_per_topic, stats.total_entries, stats.mean_nonempty
+    );
+    assert_eq!(capture.len() as u64, platform.probe_events(0xD00D));
+    println!(
+        "  probe on topic 0xd00d captured {} delivery events\n",
+        capture.len()
     );
 }
 

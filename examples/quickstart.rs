@@ -14,14 +14,12 @@ use dup_p2p::prelude::*;
 fn main() {
     // Start from the paper's defaults and scale the network down so the
     // example finishes in about a second.
-    let mut cfg = RunConfig::paper_default(42);
-    cfg.topology = TopologySource::RandomTree(TopologyParams {
-        nodes: 1024,
-        max_degree: 4,
-    });
-    cfg.lambda = 2.0; // 2 queries/s network-wide
-    cfg.warmup_secs = 7_200.0; // 2 TTLs of warm-up, excluded from metrics
-    cfg.duration_secs = 30_000.0; // ~8.5 simulated hours measured
+    let cfg = RunConfig::builder(42)
+        .nodes(1024)
+        .lambda(2.0) // 2 queries/s network-wide
+        .warmup_secs(7_200.0) // 2 TTLs of warm-up, excluded from metrics
+        .duration_secs(30_000.0) // ~8.5 simulated hours measured
+        .build();
 
     println!(
         "n={} nodes, λ={} q/s, θ={}, c={}, TTL={}s — measuring {}s after {}s warm-up\n",

@@ -54,13 +54,14 @@ pub use dup_harness::{run_triple as compare_schemes, Triple};
 
 /// The commonly used types in one import.
 pub mod prelude {
-    pub use dup_core::{audit_quiescent, DupMsg, DupScheme};
+    pub use dup_core::{audit_quiescent, run_simulation_kind, DupMsg, DupScheme, SchemeKind};
     pub use dup_overlay::{ChordRing, NodeId, SearchTree, TopologyParams};
     pub use dup_proto::{
-        run_simulation, ArrivalKind, ChurnConfig, CupScheme, InterestPolicy, PcxScheme,
-        ProtocolConfig, RunConfig, RunReport, StopRule, TopologySource,
+        run_simulation, run_simulation_probed, ArrivalKind, CaptureProbe, ChurnConfig, CupScheme,
+        InterestPolicy, JsonlProbe, PcxScheme, ProbeConfig, ProbeEvent, ProbeSink, ProtocolConfig,
+        RunConfig, RunConfigBuilder, RunReport, StopRule, TopologySource, TraceSample,
     };
-    pub use dup_sim::{SimDuration, SimTime};
+    pub use dup_sim::{NoopProbe, Probe, RingProbe, SimDuration, SimTime};
     pub use dup_workload::RankPlacement;
 }
 

@@ -36,7 +36,11 @@ fn fig4_shapes() {
         let lat = p["latency"].as_array().unwrap();
         let pcx = lat[0].as_f64().unwrap();
         let dup = lat[2].as_f64().unwrap();
-        assert!(dup <= pcx + 1e-9, "DUP latency above PCX at λ={}", p["lambda"]);
+        assert!(
+            dup <= pcx + 1e-9,
+            "DUP latency above PCX at λ={}",
+            p["lambda"]
+        );
     }
 }
 
@@ -89,6 +93,10 @@ fn ext_staleness_pcx_dominates() {
         let stale = p["stale"].as_array().unwrap();
         let pcx = stale[0].as_f64().unwrap();
         let dup = stale[2].as_f64().unwrap();
-        assert!(dup <= pcx + 1e-9, "DUP staler than PCX at λ={}", p["lambda"]);
+        assert!(
+            dup <= pcx + 1e-9,
+            "DUP staler than PCX at λ={}",
+            p["lambda"]
+        );
     }
 }

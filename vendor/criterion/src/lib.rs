@@ -1,0 +1,169 @@
+//! Minimal offline drop-in for the subset of `criterion` this workspace
+//! uses: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `iter`, `iter_batched`, and `BatchSize`.
+//!
+//! Measurement is deliberately simple — per-sample wall-clock timing with an
+//! adaptive inner iteration count — and reports median / min / max to
+//! stdout. No statistical regression analysis, plots, or saved baselines;
+//! compare medians across runs by hand or with `scripts/` tooling.
+//!
+//! See `vendor/README.md` for why these stubs exist.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored; present for
+    /// source compatibility with upstream `criterion_main!` expansions).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, 10, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for source
+/// compatibility; the vendored driver always times per-batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, adapting the inner iteration count so each sample
+    /// spans at least ~1 ms.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let once = Instant::now();
+        black_box(routine());
+        let est = once.elapsed();
+        let inner = iters_for(est);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / inner);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn iters_for(est: Duration) -> u32 {
+    if est >= Duration::from_millis(1) {
+        1
+    } else {
+        let est_nanos = est.as_nanos().max(1);
+        ((1_000_000 / est_nanos) as u32).clamp(1, 10_000)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {id}: no samples");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "bench {id}: median {median:?} (min {:?}, max {:?}, {} samples)",
+        sorted[0],
+        sorted[sorted.len() - 1],
+        sorted.len()
+    );
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,573 @@
+//! Minimal offline drop-in for the subset of `proptest` this workspace uses.
+//!
+//! Random-input testing without shrinking: `proptest! { fn f(x in strat) }`
+//! expands to a `#[test]` that samples each strategy deterministically
+//! (seeded from the test path and case index) and runs the body. Supported
+//! strategy combinators: ranges, `Just`, `any`, `prop_map`, `prop_oneof!`
+//! (weighted or plain), tuples up to 10 elements, and `collection::vec`.
+//! Failures panic immediately and print the failing case number; re-running
+//! reproduces it exactly.
+//!
+//! See `vendor/README.md` for why these stubs exist.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Everything tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+    pub use crate as prop;
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{LenRange, Strategy, TestRng};
+
+    /// Strategy producing vectors whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len_excl: usize,
+    }
+
+    /// `Vec` strategy with element strategy `element` and length in `len`.
+    pub fn vec<S: Strategy, R: LenRange>(element: S, len: R) -> VecStrategy<S> {
+        let (min_len, max_len_excl) = len.bounds();
+        assert!(max_len_excl > min_len, "empty vec length range");
+        VecStrategy {
+            element,
+            min_len,
+            max_len_excl,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below(self.min_len as u64, self.max_len_excl as u64) as usize;
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Length ranges accepted by [`collection::vec`].
+pub trait LenRange {
+    /// `(min, max_exclusive)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl LenRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl LenRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl LenRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+/// Per-block configuration, mirroring `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases after applying the `PROPTEST_CASES` env override (a hard cap,
+    /// letting slow machines or quick CI runs dial everything down at once).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(cap) => self.cases.min(cap),
+            None => self.cases,
+        }
+    }
+}
+
+/// Deterministic per-test RNG (SplitMix64 over a path+case hash).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case, derived from the test path and case index.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + (((self.next_u64() as u128).wrapping_mul((hi - lo) as u128)) >> 64) as u64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Numeric types samplable from ranges and via [`any`].
+pub trait SampleValue: Sized + Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn in_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+
+    /// Successor, for inclusive upper bounds.
+    fn successor(self) -> Self;
+
+    /// Draw from the full type domain.
+    fn full(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_value_int {
+    ($($t:ty),*) => {$(
+        impl SampleValue for $t {
+            fn in_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                debug_assert!(span > 0, "empty strategy range");
+                let draw = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (lo as i128 + draw as i128) as $t
+            }
+
+            fn successor(self) -> Self {
+                self + 1
+            }
+
+            fn full(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleValue for f64 {
+    fn in_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        lo + rng.unit_f64() * (hi - lo)
+    }
+
+    fn successor(self) -> Self {
+        self
+    }
+
+    fn full(rng: &mut TestRng) -> Self {
+        // Bounded rather than bit-pattern random: tests here use any::<f64>()
+        // (if at all) for ordinary magnitudes, not NaN fuzzing.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+impl SampleValue for bool {
+    fn in_range(rng: &mut TestRng, _lo: Self, _hi: Self) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn successor(self) -> Self {
+        self
+    }
+
+    fn full(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: SampleValue + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::in_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleValue + PartialOrd> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::in_range(rng, *self.start(), self.end().successor())
+    }
+}
+
+/// Full-domain strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: SampleValue>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: SampleValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::full(rng)
+    }
+}
+
+/// Type-erased strategy, used by [`prop_oneof!`] to mix arm types.
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+/// Erases a strategy's type.
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+    BoxedStrategy {
+        sample: Rc::new(move |rng| strategy.sample_value(rng)),
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// Weighted union of strategies, the engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof needs a positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(0, total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.sample_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+ ))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+/// A failed or rejected test case, mirroring `proptest::test_runner`'s
+/// error type closely enough for bodies that thread it through `?`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A hard failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// A rejected input (treated as a failure here; the vendored runner
+    /// does not resample).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The test-definition macro. Expands each `fn name(x in strat, y: Type) ..`
+/// into a `#[test]` running `cases` deterministic samples; bodies may use
+/// `?` on [`TestCaseResult`]s.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: splits the block into functions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $crate::__proptest_case! {
+                @munch ($cfg) $(#[$meta])* fn $name [] ($($params)*) $body
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one parameter at a time,
+/// accepting both `pat in strategy` and `ident: Type` (sugar for
+/// `ident in any::<Type>()`), then emits the `#[test]`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (@munch $cfgp:tt $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($pat:pat in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case! {
+            @munch $cfgp $(#[$meta])* fn $name [$($acc)* {$pat, $strat}] ($($rest)*) $body
+        }
+    };
+    (@munch $cfgp:tt $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($pat:pat in $strat:expr) $body:block) => {
+        $crate::__proptest_case! {
+            @munch $cfgp $(#[$meta])* fn $name [$($acc)* {$pat, $strat}] () $body
+        }
+    };
+    (@munch $cfgp:tt $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($id:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case! {
+            @munch $cfgp $(#[$meta])* fn $name [$($acc)* {$id, $crate::any::<$ty>()}] ($($rest)*) $body
+        }
+    };
+    (@munch $cfgp:tt $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+        ($id:ident : $ty:ty) $body:block) => {
+        $crate::__proptest_case! {
+            @munch $cfgp $(#[$meta])* fn $name [$($acc)* {$id, $crate::any::<$ty>()}] () $body
+        }
+    };
+    (@munch ($cfg:expr) $(#[$meta:meta])* fn $name:ident
+        [$({$pat:pat, $strat:expr})*] () $body:block) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases = __config.effective_cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __guard = $crate::CaseReporter {
+                    test: stringify!($name),
+                    case: __case,
+                };
+                $(let $pat = $crate::Strategy::sample_value(&($strat), &mut __rng);)*
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__e) = __outcome {
+                    panic!("property failed: {__e}");
+                }
+                ::core::mem::forget(__guard);
+            }
+        }
+    };
+}
+
+/// Prints which case failed when a test body panics (no shrinking; the RNG
+/// is deterministic, so the case number is the reproduction recipe).
+#[doc(hidden)]
+pub struct CaseReporter {
+    /// Test name.
+    pub test: &'static str,
+    /// Case index.
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest (vendored): `{}` failed on deterministic case {}",
+                self.test, self.case
+            );
+        }
+    }
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted or plain choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($strat))),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_sampling() {
+        let strat = (0u64..100, 0.0f64..1.0).prop_map(|(a, b)| (a, b));
+        let mut r1 = crate::TestRng::for_case("x", 3);
+        let mut r2 = crate::TestRng::for_case("x", 3);
+        assert_eq!(
+            crate::Strategy::sample_value(&strat, &mut r1).0,
+            crate::Strategy::sample_value(&strat, &mut r2).0
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: ranges, oneof, vec, map.
+        fn macro_pipeline(
+            x in 1usize..10,
+            choice in prop_oneof![1 => Just(0u8), 1 => Just(1u8), 2 => Just(2u8)],
+            xs in prop::collection::vec(any::<u64>(), 1..4),
+        ) {
+            prop_assert!(x >= 1 && x < 10);
+            prop_assert!(choice <= 2);
+            prop_assert!(!xs.is_empty() && xs.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Minimal offline drop-in for the subset of `rand_distr` this workspace
+//! could reach for. The workspace currently implements its own variates
+//! (see `crates/workload/src/variates.rs`), so only a couple of common
+//! distributions are provided for dev use.
+//!
+//! See `vendor/README.md` for why these stubs exist.
+
+use rand::RngCore;
+
+/// Sampling interface mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Normal distribution via Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistError;
+
+impl Normal {
+    /// Builds a normal distribution; `std_dev` must be non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
+        if std_dev >= 0.0 {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(DistError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        use rand::Rng;
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Builds an exponential distribution; `lambda` must be positive.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(DistError)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        use rand::Rng;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+}

@@ -1,0 +1,166 @@
+//! The value tree every serializable type lowers to.
+
+/// A self-describing value, the meeting point between serialization and
+/// deserialization in the vendored serde stack. JSON-shaped: maps have
+/// string keys (numeric/bool keys are stringified on the way in).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `None` and non-finite floats via `nullable_f64`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entry for `key` in a map, if present.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (accepts any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer payload (accepts stringified keys and exact
+    /// floats, which appear when maps round-trip through JSON).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) => u64::try_from(*v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Some(*v as u64),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Signed integer payload, with the same coercions as [`Self::as_u64`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) => i64::try_from(*v).ok(),
+            Content::F64(v) if v.fract() == 0.0 => Some(*v as i64),
+            Content::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array payload.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Whether this is an object (map).
+    pub fn is_object(&self) -> bool {
+        matches!(self, Content::Map(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Content::Seq(_))
+    }
+}
+
+impl std::fmt::Display for Content {
+    /// Compact JSON rendering, matching `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Content::Null => f.write_str("null"),
+            Content::Bool(b) => write!(f, "{b}"),
+            Content::U64(v) => write!(f, "{v}"),
+            Content::I64(v) => write!(f, "{v}"),
+            Content::F64(v) if !v.is_finite() => f.write_str("null"),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() < 1e15 => write!(f, "{v:.1}"),
+            Content::F64(v) => write!(f, "{v}"),
+            Content::Str(s) => write!(f, "{s:?}"),
+            Content::Seq(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Content::Map(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{k:?}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+const NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    /// Map lookup; yields `Null` for missing keys or non-map receivers,
+    /// matching `serde_json::Value` indexing.
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    /// Array lookup; yields `Null` when out of bounds or not an array.
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}

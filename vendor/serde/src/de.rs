@@ -1,0 +1,237 @@
+//! Deserialization half of the vendored serde subset.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+use crate::content::Content;
+
+/// Error construction interface, mirroring `serde::de::Error`.
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A deserialization backend. The vendored model is value-based: a backend
+/// yields one [`Content`] tree and typed impls lift values out of it.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes the backend, yielding its content tree.
+    fn content(self) -> Result<Content, Self::Error>;
+}
+
+/// A deserializable value.
+pub trait Deserialize<'de>: Sized {
+    /// Lifts a value out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Backend over an in-memory [`Content`] tree, generic in the error type so
+/// derived impls can nest it under any outer backend.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.content()?;
+                let v = c
+                    .as_u64()
+                    .ok_or_else(|| D::Error::custom(format_args!(
+                        "expected {}, got {c:?}", stringify!($t)
+                    )))?;
+                <$t>::try_from(v).map_err(|_| D::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.content()?;
+                let v = c
+                    .as_i64()
+                    .ok_or_else(|| D::Error::custom(format_args!(
+                        "expected {}, got {c:?}", stringify!($t)
+                    )))?;
+                <$t>::try_from(v).map_err(|_| D::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = deserializer.content()?;
+        c.as_f64()
+            .ok_or_else(|| D::Error::custom(format_args!("expected f64, got {c:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = deserializer.content()?;
+        c.as_bool()
+            .ok_or_else(|| D::Error::custom(format_args!("expected bool, got {c:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format_args!(
+                "expected string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Null => Ok(()),
+            other => Err(D::Error::custom(format_args!(
+                "expected null, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Null => Ok(None),
+            other => T::deserialize(ContentDeserializer::<D::Error>::new(other)).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|item| T::deserialize(ContentDeserializer::<D::Error>::new(item)))
+                .collect(),
+            other => Err(D::Error::custom(format_args!(
+                "expected sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        <[T; N]>::try_from(items).map_err(|_| {
+            D::Error::custom(format_args!("expected {N}-element sequence, got {len}"))
+        })
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.content()? {
+            Content::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = A::deserialize(ContentDeserializer::<D::Error>::new(it.next().unwrap()))?;
+                let b = B::deserialize(ContentDeserializer::<D::Error>::new(it.next().unwrap()))?;
+                Ok((a, b))
+            }
+            other => Err(D::Error::custom(format_args!(
+                "expected 2-element sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_entries::<D, K, V>(deserializer)?.collect()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_entries::<D, K, V>(deserializer)?.collect()
+    }
+}
+
+/// Shared map-entry decoding: keys arrive as strings and are re-lifted
+/// through `Content::Str`, which numeric key types coerce from.
+#[allow(clippy::type_complexity)]
+fn map_entries<'de, D, K, V>(
+    deserializer: D,
+) -> Result<std::vec::IntoIter<Result<(K, V), D::Error>>, D::Error>
+where
+    D: Deserializer<'de>,
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+{
+    match deserializer.content()? {
+        Content::Map(entries) => Ok(entries
+            .into_iter()
+            .map(|(k, v)| {
+                let key = K::deserialize(ContentDeserializer::<D::Error>::new(Content::Str(k)))?;
+                let value = V::deserialize(ContentDeserializer::<D::Error>::new(v))?;
+                Ok((key, value))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()),
+        other => Err(D::Error::custom(format_args!(
+            "expected map, got {other:?}"
+        ))),
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.content()
+    }
+}

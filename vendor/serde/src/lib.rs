@@ -1,0 +1,32 @@
+//! Minimal offline drop-in for the subset of `serde` this workspace uses.
+//!
+//! The design is value-centric: serialization lowers every value to a
+//! [`Content`] tree through a `Serializer` trait that mirrors the upstream
+//! method surface closely enough for this repo's hand-written impls
+//! (`dup_stats::nullable_f64`), and deserialization lifts values back out of
+//! a `Content` tree. `serde_derive` (also vendored) generates impls against
+//! exactly this surface, and `serde_json` (also vendored) renders and parses
+//! `Content`.
+//!
+//! See `vendor/README.md` for why these stubs exist.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod content;
+pub mod de;
+pub mod ser;
+
+pub use content::Content;
+pub use de::{ContentDeserializer, Deserialize, Deserializer};
+pub use ser::{
+    ContentSerializer, Serialize, SerializeMap, SerializeSeq, SerializeStruct,
+    SerializeStructVariant, Serializer,
+};
+
+/// Lowers any serializable value to a [`Content`] tree.
+///
+/// Infallible for the vendored serializer; the `Result` keeps call sites
+/// source-compatible with fallible upstream serializers.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ser::SerError> {
+    value.serialize(ContentSerializer)
+}

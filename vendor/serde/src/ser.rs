@@ -1,0 +1,546 @@
+//! Serialization half of the vendored serde subset.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::content::Content;
+
+/// Error type of [`ContentSerializer`]. Lowering to [`Content`] cannot fail;
+/// this exists so signatures mirror upstream serde.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError(pub String);
+
+impl std::fmt::Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+/// A serializable value.
+pub trait Serialize {
+    /// Lowers `self` through `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Sequence builder returned by [`Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Appends one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Map builder returned by [`Serializer::serialize_map`].
+pub trait SerializeMap {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Appends one key/value entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Struct builder returned by [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Appends one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Struct-variant builder returned by [`Serializer::serialize_struct_variant`].
+pub trait SerializeStructVariant {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Appends one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A serialization backend. Only [`ContentSerializer`] implements this in the
+/// vendored stack, but hand-written `Serialize` impls and `with`-modules are
+/// generic over it, exactly as with upstream serde.
+pub trait Serializer: Sized {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Sequence builder.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Map builder.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct builder.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct-variant builder.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)` transparently.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit struct.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct transparently.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant (externally tagged).
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a tuple (serialized as a sequence).
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins a struct enum variant (externally tagged).
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+/// The vendored backend: lowers values to a [`Content`] tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContentSerializer;
+
+/// Renders a key content for use as a JSON object key.
+fn key_string(content: Content) -> String {
+    match content {
+        Content::Str(s) => s,
+        Content::U64(v) => v.to_string(),
+        Content::I64(v) => v.to_string(),
+        Content::Bool(b) => b.to_string(),
+        Content::F64(v) => v.to_string(),
+        other => panic!("unsupported map key content: {other:?}"),
+    }
+}
+
+/// Sequence builder for [`ContentSerializer`].
+pub struct ContentSeq(Vec<Content>);
+
+impl SerializeSeq for ContentSeq {
+    type Ok = Content;
+    type Error = SerError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerError> {
+        self.0.push(value.serialize(ContentSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, SerError> {
+        Ok(Content::Seq(self.0))
+    }
+}
+
+/// Map builder for [`ContentSerializer`].
+pub struct ContentMap(Vec<(String, Content)>);
+
+impl SerializeMap for ContentMap {
+    type Ok = Content;
+    type Error = SerError;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), SerError> {
+        let k = key_string(key.serialize(ContentSerializer)?);
+        self.0.push((k, value.serialize(ContentSerializer)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, SerError> {
+        Ok(Content::Map(self.0))
+    }
+}
+
+/// Struct builder for [`ContentSerializer`].
+pub struct ContentStruct(Vec<(String, Content)>);
+
+impl SerializeStruct for ContentStruct {
+    type Ok = Content;
+    type Error = SerError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        self.0
+            .push((name.to_owned(), value.serialize(ContentSerializer)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, SerError> {
+        Ok(Content::Map(self.0))
+    }
+}
+
+/// Struct-variant builder for [`ContentSerializer`].
+pub struct ContentStructVariant {
+    variant: &'static str,
+    fields: Vec<(String, Content)>,
+}
+
+impl SerializeStructVariant for ContentStructVariant {
+    type Ok = Content;
+    type Error = SerError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        self.fields
+            .push((name.to_owned(), value.serialize(ContentSerializer)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, SerError> {
+        Ok(Content::Map(vec![(
+            self.variant.to_owned(),
+            Content::Map(self.fields),
+        )]))
+    }
+}
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = SerError;
+    type SerializeSeq = ContentSeq;
+    type SerializeMap = ContentMap;
+    type SerializeStruct = ContentStruct;
+    type SerializeStructVariant = ContentStructVariant;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, SerError> {
+        Ok(Content::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Content, SerError> {
+        if v >= 0 {
+            Ok(Content::U64(v as u64))
+        } else {
+            Ok(Content::I64(v))
+        }
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Content, SerError> {
+        Ok(Content::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Content, SerError> {
+        Ok(Content::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Content, SerError> {
+        Ok(Content::Str(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Content, SerError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_none(self) -> Result<Content, SerError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Content, SerError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Content, SerError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Content, SerError> {
+        Ok(Content::Str(variant.to_owned()))
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Content, SerError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Content, SerError> {
+        Ok(Content::Map(vec![(
+            variant.to_owned(),
+            value.serialize(ContentSerializer)?,
+        )]))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ContentSeq, SerError> {
+        Ok(ContentSeq(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<ContentSeq, SerError> {
+        Ok(ContentSeq(Vec::with_capacity(len)))
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<ContentMap, SerError> {
+        Ok(ContentMap(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ContentStruct, SerError> {
+        Ok(ContentStruct(Vec::with_capacity(len)))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ContentStructVariant, SerError> {
+        Ok(ContentStructVariant {
+            variant,
+            fields: Vec::with_capacity(len),
+        })
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_tuple(2)?;
+        seq.serialize_element(&self.0)?;
+        seq.serialize_element(&self.1)?;
+        seq.end()
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_tuple(3)?;
+        seq.serialize_element(&self.0)?;
+        seq.serialize_element(&self.1)?;
+        seq.serialize_element(&self.2)?;
+        seq.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Content::Null => serializer.serialize_none(),
+            Content::Bool(b) => serializer.serialize_bool(*b),
+            Content::U64(v) => serializer.serialize_u64(*v),
+            Content::I64(v) => serializer.serialize_i64(*v),
+            Content::F64(v) => serializer.serialize_f64(*v),
+            Content::Str(s) => serializer.serialize_str(s),
+            Content::Seq(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Content::Map(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no `syn`/`quote`, which
+//! are unavailable offline). Supports the shapes this workspace uses:
+//! non-generic named structs, tuple structs, unit structs, and enums with
+//! unit/newtype/tuple/struct variants, plus the field attributes
+//! `#[serde(with = "path")]`, `#[serde(default)]`, and
+//! `#[serde(default = "path")]`.
+//!
+//! See `vendor/README.md` for why these stubs exist.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    with: Option<String>,
+    default: Option<DefaultAttr>,
+}
+
+enum DefaultAttr {
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes attributes; returns serde field attributes found among them.
+    fn eat_attrs(&mut self) -> (Option<String>, Option<DefaultAttr>) {
+        let mut with = None;
+        let mut default = None;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(g.stream());
+                    if inner.eat_ident("serde") {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            parse_serde_args(args.stream(), &mut with, &mut default);
+                        }
+                    }
+                }
+                other => panic!("serde derive: expected [attr], got {other:?}"),
+            }
+        }
+        (with, default)
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, with: &mut Option<String>, default: &mut Option<DefaultAttr>) {
+    let mut c = Cursor::new(stream);
+    while !c.at_end() {
+        let key = c.expect_ident("serde attribute name");
+        match key.as_str() {
+            "with" => {
+                assert!(c.eat_punct('='), "serde derive: with needs = \"path\"");
+                *with = Some(expect_str_literal(&mut c));
+            }
+            "default" => {
+                if c.eat_punct('=') {
+                    *default = Some(DefaultAttr::Path(expect_str_literal(&mut c)));
+                } else {
+                    *default = Some(DefaultAttr::Std);
+                }
+            }
+            other => panic!("serde derive: unsupported serde attribute `{other}`"),
+        }
+        c.eat_punct(',');
+    }
+}
+
+fn expect_str_literal(c: &mut Cursor) -> String {
+    match c.next() {
+        Some(TokenTree::Literal(l)) => {
+            let s = l.to_string();
+            let trimmed = s.trim_matches('"');
+            assert!(
+                s.starts_with('"') && s.ends_with('"'),
+                "serde derive: expected string literal, got {s}"
+            );
+            trimmed.to_owned()
+        }
+        other => panic!("serde derive: expected string literal, got {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_visibility();
+    if c.eat_ident("struct") {
+        let name = c.expect_ident("struct name");
+        forbid_generics(&c, &name);
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: Kind::UnitStruct,
+            },
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    } else if c.eat_ident("enum") {
+        let name = c.expect_ident("enum name");
+        forbid_generics(&c, &name);
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        }
+    } else {
+        panic!("serde derive: only structs and enums are supported");
+    }
+}
+
+fn forbid_generics(c: &Cursor, name: &str) {
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        assert!(
+            p.as_char() != '<',
+            "serde derive: generic type `{name}` is not supported by the vendored derive"
+        );
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let (with, default) = c.eat_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        let name = c.expect_ident("field name");
+        assert!(c.eat_punct(':'), "serde derive: expected : after field `{name}`");
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        while let Some(tok) = c.peek() {
+            if angle_depth == 0 {
+                if let TokenTree::Punct(p) = tok {
+                    if p.as_char() == ',' {
+                        c.next();
+                        break;
+                    }
+                }
+            }
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&c.next().unwrap().to_string());
+        }
+        fields.push(Field {
+            name,
+            ty,
+            with,
+            default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    while let Some(tok) = c.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if saw_tokens {
+                        count += 1;
+                    }
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.eat_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                Shape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                if n == 1 {
+                    Shape::Newtype
+                } else {
+                    Shape::Tuple(n)
+                }
+            }
+            _ => Shape::Unit,
+        };
+        // Explicit discriminants (`= expr`) are irrelevant to serde's
+        // externally tagged encoding; skip to the separating comma.
+        if c.eat_punct('=') {
+            while let Some(tok) = c.peek() {
+                if let TokenTree::Punct(p) = tok {
+                    if p.as_char() == ',' {
+                        break;
+                    }
+                }
+                c.next();
+            }
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "#[allow(unused_mut)] let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                body.push_str(&gen_serialize_field(&f.name, &format!("&self.{}", f.name), f));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+        }
+        Kind::TupleStruct(1) => {
+            body.push_str(&format!(
+                "::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)\n"
+            ));
+        }
+        Kind::TupleStruct(n) => {
+            body.push_str(&format!(
+                "let mut __seq = ::serde::ser::Serializer::serialize_tuple(__serializer, {n})?;\n"
+            ));
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeSeq::serialize_element(&mut __seq, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeSeq::end(__seq)\n");
+        }
+        Kind::UnitStruct => {
+            body.push_str(&format!(
+                "::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n"
+            ));
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Shape::Newtype => body.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", &({})),\n",
+                            binders.join(", "),
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n#[allow(unused_mut)] let mut __state = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        ));
+                        for f in fields {
+                            assert!(
+                                f.with.is_none(),
+                                "serde derive: with-attributes on enum variant fields are unsupported"
+                            );
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{0}\", {0})?;\n",
+                                f.name
+                            ));
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_serialize_field(key: &str, value_expr: &str, f: &Field) -> String {
+    match &f.with {
+        None => format!(
+            "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{key}\", {value_expr})?;\n"
+        ),
+        Some(path) => format!(
+            "{{\nstruct __With<'__a>(&'__a {ty});\n\
+             impl<'__a> ::serde::ser::Serialize for __With<'__a> {{\n\
+             fn serialize<__S2: ::serde::ser::Serializer>(&self, __s2: __S2) -> ::core::result::Result<__S2::Ok, __S2::Error> {{ {path}::serialize(self.0, __s2) }}\n\
+             }}\n\
+             ::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{key}\", &__With({value_expr}))?;\n}}\n",
+            ty = f.ty,
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// `let` staging + merge loop + construction for a list of named fields.
+/// `ctor` is e.g. `Foo` or `Foo::Variant`; `source` is the expression holding
+/// `Vec<(String, Content)>` entries.
+fn gen_named_fields_deserialize(ctor: &str, type_label: &str, fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "let mut __field_{}: ::core::option::Option<_> = ::core::option::Option::None;\n",
+            f.name
+        ));
+    }
+    out.push_str(&format!("for (__k, __v) in {source} {{\nmatch __k.as_str() {{\n"));
+    for f in fields {
+        let expr = match &f.with {
+            None => "::serde::de::Deserialize::deserialize(::serde::de::ContentDeserializer::<__D::Error>::new(__v))?".to_owned(),
+            Some(path) => format!(
+                "{path}::deserialize(::serde::de::ContentDeserializer::<__D::Error>::new(__v))?"
+            ),
+        };
+        out.push_str(&format!(
+            "\"{0}\" => {{ __field_{0} = ::core::option::Option::Some({expr}); }}\n",
+            f.name
+        ));
+    }
+    out.push_str("_ => {}\n}\n}\n");
+    out.push_str(&format!("::core::result::Result::Ok({ctor} {{\n"));
+    for f in fields {
+        let missing = match &f.default {
+            None => format!(
+                "return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(\"missing field `{}` in {type_label}\"))",
+                f.name
+            ),
+            Some(DefaultAttr::Std) => "::core::default::Default::default()".to_owned(),
+            Some(DefaultAttr::Path(path)) => format!("{path}()"),
+        };
+        out.push_str(&format!(
+            "{0}: match __field_{0} {{ ::core::option::Option::Some(__v) => __v, ::core::option::Option::None => {missing} }},\n",
+            f.name
+        ));
+    }
+    out.push_str("})\n");
+    out
+}
+
+fn deser_content_expr(content_expr: &str) -> String {
+    format!(
+        "::serde::de::Deserialize::deserialize(::serde::de::ContentDeserializer::<__D::Error>::new({content_expr}))?"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    body.push_str("let __content = ::serde::de::Deserializer::content(__deserializer)?;\n");
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "let __entries = match __content {{\n::serde::Content::Map(__m) => __m,\n__other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"expected map for {name}, got {{:?}}\", __other))),\n}};\n"
+            ));
+            body.push_str(&gen_named_fields_deserialize(name, name, fields, "__entries"));
+        }
+        Kind::TupleStruct(1) => {
+            body.push_str(&format!(
+                "::core::result::Result::Ok({name}({}))\n",
+                deser_content_expr("__content")
+            ));
+        }
+        Kind::TupleStruct(n) => {
+            body.push_str(&format!(
+                "let __items = match __content {{\n::serde::Content::Seq(__s) if __s.len() == {n} => __s,\n__other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"expected {n}-element sequence for {name}, got {{:?}}\", __other))),\n}};\nlet mut __it = __items.into_iter();\n"
+            ));
+            let elems: Vec<String> = (0..*n)
+                .map(|_| deser_content_expr("__it.next().unwrap()"))
+                .collect();
+            body.push_str(&format!(
+                "::core::result::Result::Ok({name}({}))\n",
+                elems.join(", ")
+            ));
+        }
+        Kind::UnitStruct => {
+            body.push_str(&format!(
+                "match __content {{\n::serde::Content::Null => ::core::result::Result::Ok({name}),\n__other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"expected null for {name}, got {{:?}}\", __other))),\n}}\n"
+            ));
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match __content {\n");
+            body.push_str("::serde::Content::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    body.push_str(&format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"unknown {name} variant {{__other}}\"))),\n}},\n"
+            ));
+            body.push_str("::serde::Content::Map(__m) if __m.len() == 1 => {\nlet (__k, __v) = __m.into_iter().next().unwrap();\nmatch __k.as_str() {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Newtype => {
+                        body.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}({})),\n",
+                            deser_content_expr("__v")
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|_| deser_content_expr("__it.next().unwrap()"))
+                            .collect();
+                        body.push_str(&format!(
+                            "\"{vname}\" => {{\nlet __items = match __v {{\n::serde::Content::Seq(__s) if __s.len() == {n} => __s,\n__other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"expected {n}-element sequence for {name}::{vname}, got {{:?}}\", __other))),\n}};\nlet mut __it = __items.into_iter();\n::core::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        body.push_str(&format!(
+                            "\"{vname}\" => {{\nlet __entries = match __v {{\n::serde::Content::Map(__m2) => __m2,\n__other => return ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"expected map for {name}::{vname}, got {{:?}}\", __other))),\n}};\n{}\n}},\n",
+                            gen_named_fields_deserialize(
+                                &format!("{name}::{vname}"),
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "__entries"
+                            )
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"unknown {name} variant {{__other}}\"))),\n}}\n}},\n"
+            ));
+            body.push_str(&format!(
+                "__other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::std::format!(\"expected {name}, got {{:?}}\", __other))),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\nimpl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+    )
+}

@@ -1,0 +1,168 @@
+//! Minimal offline drop-in for the subset of `serde_json` this workspace
+//! uses: `to_string`, `to_string_pretty`, `to_writer`, `from_str`,
+//! `to_value`, `Value`, and a flat-object `json!` macro.
+//!
+//! `Value` is the vendored serde's [`Content`] tree, so conversions between
+//! typed values and JSON text all meet in one representation. Non-finite
+//! floats render as `null` (upstream serde_json errors instead; this repo
+//! routes them through `nullable_f64` anyway).
+//!
+//! See `vendor/README.md` for why these stubs exist.
+
+use serde::{Content, ContentSerializer, Deserialize, Serialize};
+
+mod parse;
+mod render;
+
+/// A parsed JSON value.
+pub type Value = Content;
+
+/// Error raised by JSON parsing or (never, in practice) serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = value
+        .serialize(ContentSerializer)
+        .map_err(|e| Error(e.to_string()))?;
+    Ok(render::render(&content, None))
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = value
+        .serialize(ContentSerializer)
+        .map_err(|e| Error(e.to_string()))?;
+    Ok(render::render(&content, Some(0)))
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes()).map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string_pretty(value)?;
+    writer.write_all(s.as_bytes()).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses a typed value from JSON text.
+pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
+    let content = parse::parse(s)?;
+    T::deserialize(serde::ContentDeserializer::<Error>::new(content))
+}
+
+/// Lowers any serializable value to a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value
+        .serialize(ContentSerializer)
+        .map_err(|e| Error(e.to_string()))
+}
+
+/// Lifts a typed value out of a [`Value`].
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(serde::ContentDeserializer::<Error>::new(value))
+}
+
+/// Builds a [`Value`] from a flat object/array literal. Values are arbitrary
+/// serializable expressions; nest by building inner values first (the
+/// vendored macro does not recurse into brace literals).
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $(($key.to_string(), $crate::to_value(&$value).unwrap())),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![
+            $($crate::to_value(&$value).unwrap()),*
+        ])
+    };
+    (null) => { $crate::Value::Null };
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi\n\"there\"").unwrap(), "\"hi\\n\\\"there\\\"\"");
+        let v: f64 = from_str("2.25").unwrap();
+        assert_eq!(v, 2.25);
+        let s: String = from_str("\"a\\u0041b\"").unwrap();
+        assert_eq!(s, "aAb");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let xs = vec![1u64, 2, 3];
+        let json = to_string(&xs).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        let back: Vec<u64> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+
+        let opt: Option<f64> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        let back: Option<f64> = from_str("null").unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        let back: f64 = from_str("1.0").unwrap();
+        assert_eq!(back, 1.0);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let inner = vec![1u64, 2];
+        let v = json!({ "a": 1u64, "xs": inner, "s": "txt" });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "{\"a\":1,\"xs\":[1,2],\"s\":\"txt\"}"
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "a": 1u64 });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}

@@ -1,0 +1,110 @@
+//! Content → JSON text.
+
+use serde::Content;
+
+/// Renders `content`; `indent = None` is compact, `Some(level)` pretty.
+pub fn render(content: &Content, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, content, indent);
+    out
+}
+
+fn write_value(out: &mut String, content: &Content, indent: Option<usize>) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => write_seq(out, items, indent),
+        Content::Map(entries) => write_map(out, entries, indent),
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // Upstream serde_json refuses non-finite floats; rendering null keeps
+        // dumps usable and matches what `nullable_f64` produces anyway.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Keep a decimal point so floats stay floats on re-parse.
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, level: usize) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_seq(out: &mut String, items: &[Content], indent: Option<usize>) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(level) = indent {
+            newline_indent(out, level + 1);
+            write_value(out, item, Some(level + 1));
+        } else {
+            write_value(out, item, None);
+        }
+    }
+    if let Some(level) = indent {
+        newline_indent(out, level);
+    }
+    out.push(']');
+}
+
+fn write_map(out: &mut String, entries: &[(String, Content)], indent: Option<usize>) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(level) = indent {
+            newline_indent(out, level + 1);
+            write_escaped(out, k);
+            out.push_str(": ");
+            write_value(out, v, Some(level + 1));
+        } else {
+            write_escaped(out, k);
+            out.push(':');
+            write_value(out, v, None);
+        }
+    }
+    if let Some(level) = indent {
+        newline_indent(out, level);
+    }
+    out.push('}');
+}
