@@ -2,7 +2,9 @@
 //! variate generation, Zipf sampling, topology generation, Chord lookups,
 //! and raw simulation event rates per scheme. These are the ablation
 //! benches DESIGN.md calls out for the design choices (integer clock +
-//! binary-heap queue, inverse-CDF variates, CDF-binary-search Zipf).
+//! slab-heap queue, ziggurat exponential variates, alias-table Zipf).
+//! The `scheme_sim` group is the tracked wall-clock baseline for hot-path
+//! work — compare against the committed `BENCH_scheme_sim.json`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;

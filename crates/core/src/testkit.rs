@@ -7,7 +7,7 @@
 //! protocol API.
 
 use dup_overlay::{NodeId, SearchTree};
-use dup_proto::scheme::{AppliedChurn, Ctx, Ev, Msg, Scheme, World};
+use dup_proto::scheme::{AppliedChurn, Ctx, Ev, FifoClocks, Msg, Scheme, World};
 use dup_proto::{AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, ProbeSink};
 use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
 use dup_workload::HopLatency;
@@ -43,7 +43,7 @@ impl<S: Scheme> TestBench<S> {
             metrics,
             hop_latency: HopLatency::paper_default(),
             latency_rng: stream_rng(0xBE7C, "testkit-latency"),
-            fifo: std::collections::HashMap::new(),
+            fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
             tree,
         };

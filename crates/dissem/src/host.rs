@@ -3,7 +3,7 @@
 //! publishing, instead of the query-workload runner.
 
 use dup_overlay::{NodeId, SearchTree};
-use dup_proto::scheme::{Ctx, Ev, Msg, Scheme, World};
+use dup_proto::scheme::{Ctx, Ev, FifoClocks, Msg, Scheme, World};
 use dup_proto::{
     AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, MsgClass, ProbeEvent,
     ProbeSink,
@@ -40,7 +40,7 @@ impl<S: Scheme> TopicHost<S> {
             metrics,
             hop_latency: HopLatency::paper_default(),
             latency_rng: stream_rng(seed, &format!("dissem-latency/{label}")),
-            fifo: std::collections::HashMap::new(),
+            fifo: FifoClocks::with_capacity(tree.capacity()),
             probe: ProbeSink::disabled(),
             tree,
         };

@@ -1,0 +1,160 @@
+//! The `bench-report` path: wall-clock throughput of the simulation core.
+//!
+//! Criterion benchmarks (`crates/bench`) answer "did this commit get
+//! slower"; this module answers "how fast is the core, in units a reader
+//! can check" — nanoseconds per discrete event and events per second, per
+//! scheme and per queue backend, plus the queue's high-water mark. The
+//! `dup-experiments bench-report` command writes the result as
+//! `BENCH_scheme_sim.json` so the numbers live in the repo next to the
+//! code they measure.
+
+use serde::Serialize;
+
+use dup_core::run_simulation_kind;
+use dup_proto::{ProbeSink, QueueBackendConfig, RunConfig};
+
+use crate::experiment::{HarnessOpts, SchemeKind};
+
+/// Wall-clock measurement of one scheme × queue-backend cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchemeBench {
+    /// Scheme name ("PCX", "CUP", "DUP").
+    pub scheme: String,
+    /// Queue backend the run used ("heap" or "bucketed").
+    pub backend: &'static str,
+    /// Discrete events one run processes (identical across repetitions —
+    /// the simulation is deterministic).
+    pub events: u64,
+    /// Queries served in the measured window.
+    pub queries: u64,
+    /// Event-queue high-water mark.
+    pub peak_queue_depth: u64,
+    /// Median wall-clock time of one run, nanoseconds.
+    pub wall_ns_median: u64,
+    /// Best (minimum) wall-clock time of one run, nanoseconds.
+    pub wall_ns_min: u64,
+    /// Median nanoseconds per discrete event.
+    pub ns_per_event: f64,
+    /// Median events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// The full bench-report document serialized to `BENCH_scheme_sim.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Scale preset the runs used.
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Timed repetitions per cell (median/min over these).
+    pub reps: usize,
+    /// One row per scheme × backend.
+    pub cells: Vec<SchemeBench>,
+}
+
+/// Times one configuration, returning (median, min) wall nanoseconds and
+/// the report of the last run. One untimed warm-up run precedes the timed
+/// repetitions so allocator and cache warm-up do not pollute the median.
+fn time_cell(cfg: &RunConfig, kind: SchemeKind, reps: usize) -> (u64, u64, dup_proto::RunReport) {
+    let _ = run_simulation_kind(cfg, kind, ProbeSink::disabled());
+    let mut times: Vec<u64> = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let started = std::time::Instant::now();
+        let report = run_simulation_kind(cfg, kind, ProbeSink::disabled());
+        times.push(started.elapsed().as_nanos() as u64);
+        last = Some(report);
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let min = times[0];
+    (median, min, last.expect("reps >= 1"))
+}
+
+/// Runs every scheme on both queue backends at `opts.scale` and collects
+/// throughput numbers. `reps` timed repetitions per cell (clamped to ≥ 1).
+pub fn bench_report(opts: &HarnessOpts, reps: usize) -> BenchReport {
+    let reps = reps.max(1);
+    let base = opts.scale.base_config(opts.seed);
+    let mut cells = Vec::new();
+    for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
+        for (backend, label) in [
+            (QueueBackendConfig::Heap, "heap"),
+            (QueueBackendConfig::Bucketed, "bucketed"),
+        ] {
+            let mut cfg = base.clone();
+            cfg.queue.backend = backend;
+            let (median, min, report) = time_cell(&cfg, kind, reps);
+            cells.push(SchemeBench {
+                scheme: report.scheme.clone(),
+                backend: label,
+                events: report.events,
+                queries: report.queries,
+                peak_queue_depth: report.peak_queue_depth,
+                wall_ns_median: median,
+                wall_ns_min: min,
+                ns_per_event: median as f64 / report.events.max(1) as f64,
+                events_per_sec: report.events as f64 * 1e9 / median.max(1) as f64,
+            });
+        }
+    }
+    BenchReport {
+        scale: format!("{:?}", opts.scale),
+        seed: opts.seed,
+        reps,
+        cells,
+    }
+}
+
+/// Renders the report as an aligned text table for the console.
+pub fn render_text(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scheme_sim throughput (scale={}, seed={}, {} reps/cell)\n",
+        report.scale, report.seed, report.reps
+    ));
+    out.push_str(&format!(
+        "{:<8} {:<9} {:>12} {:>12} {:>14} {:>10}\n",
+        "scheme", "backend", "events", "ns/event", "events/sec", "peak_q"
+    ));
+    for c in &report.cells {
+        out.push_str(&format!(
+            "{:<8} {:<9} {:>12} {:>12.1} {:>14.0} {:>10}\n",
+            c.scheme, c.backend, c.events, c.ns_per_event, c.events_per_sec, c.peak_queue_depth
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    #[test]
+    fn bench_report_covers_all_cells_and_is_consistent() {
+        let opts = HarnessOpts {
+            scale: Scale::Bench,
+            seed: 7,
+            ..HarnessOpts::default()
+        };
+        let report = bench_report(&opts, 1);
+        assert_eq!(report.cells.len(), 6); // 3 schemes × 2 backends
+        for cell in &report.cells {
+            assert!(cell.events > 0, "{}: no events", cell.scheme);
+            assert!(cell.ns_per_event > 0.0);
+            assert!(cell.events_per_sec > 0.0);
+            assert!(cell.peak_queue_depth > 0);
+            assert!(cell.wall_ns_min <= cell.wall_ns_median);
+        }
+        // Determinism: both backends process identical event streams.
+        for kind in ["PCX", "CUP", "DUP"] {
+            let pair: Vec<_> = report.cells.iter().filter(|c| c.scheme == kind).collect();
+            assert_eq!(pair[0].events, pair[1].events, "{kind} backends disagree");
+            assert_eq!(pair[0].queries, pair[1].queries);
+            assert_eq!(pair[0].peak_queue_depth, pair[1].peak_queue_depth);
+        }
+        let text = render_text(&report);
+        assert!(text.contains("DUP") && text.contains("bucketed"));
+    }
+}

@@ -7,6 +7,9 @@
 //!               ext-churn ext-staleness ext-chord ext-placement
 //!               ext-policy ext-cup-halo
 //!               or `all` (default: all paper artifacts, no extensions)
+//!               or `bench-report`: time the simulation core per scheme ×
+//!               queue backend and write BENCH_scheme_sim.json (to --out
+//!               DIR, or the current directory)
 //!
 //! OPTIONS
 //!   --full           paper-scale runs (n=4096, 180000 s windows)
@@ -21,6 +24,7 @@
 //!                    explicitly listed)
 //!   --trace-scheme <pcx|cup|dup>   scheme traced by --trace (default dup)
 //!   --trace-sample <secs>          time-series sample interval (default 600)
+//!   --bench-reps <n>    timed repetitions per bench-report cell (default 5)
 //! ```
 
 use std::io::Write as _;
@@ -37,6 +41,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_scheme = SchemeKind::Dup;
     let mut trace_sample = 600.0;
+    let mut bench_reps = 5usize;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +77,10 @@ fn main() -> ExitCode {
                 Some(secs) if secs >= 0.0 => trace_sample = secs,
                 _ => return usage("--trace-sample needs a non-negative number"),
             },
+            "--bench-reps" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(reps) if reps >= 1 => bench_reps = reps,
+                _ => return usage("--bench-reps needs a positive integer"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown option {other}"));
@@ -86,6 +95,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         // A trace run stands alone unless experiments were also requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if selected.iter().any(|s| s == "bench-report") {
+        selected.retain(|s| s != "bench-report");
+        if let Err(msg) = run_bench_report(&opts, bench_reps, out_dir.as_deref()) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        // Like --trace, bench-report stands alone unless experiments were
+        // also requested.
         if selected.is_empty() {
             return ExitCode::SUCCESS;
         }
@@ -146,6 +168,28 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Times the simulation core per scheme × queue backend and writes
+/// `BENCH_scheme_sim.json` (to `out_dir` when given, else the current
+/// directory) plus a console table.
+fn run_bench_report(
+    opts: &HarnessOpts,
+    reps: usize,
+    out_dir: Option<&std::path::Path>,
+) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let report = dup_harness::bench_report(opts, reps);
+    print!("{}", dup_harness::render_bench_report(&report));
+    println!("(bench-report finished in {:.1?})\n", started.elapsed());
+    let dir = out_dir.unwrap_or_else(|| std::path::Path::new("."));
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join("BENCH_scheme_sim.json");
+    let doc = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    std::fs::write(&path, doc + "\n")
+        .map_err(|e| format!("write {} failed: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 /// Runs one probed simulation at the configured scale and streams every
 /// probe event to `path` as JSON Lines.
 fn run_trace(
@@ -182,7 +226,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: dup-experiments [--full|--bench-scale] [--seed N] [--jobs N] [--reps N] \
          [--out DIR] [--trace FILE] [--trace-scheme pcx|cup|dup] [--trace-sample SECS] \
-         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all]..."
+         [--bench-reps N] [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -2,7 +2,6 @@
 //! a parallel sweep runner.
 
 use serde::Serialize;
-use std::sync::Mutex;
 
 use dup_core::run_simulation_kind;
 use dup_overlay::TopologyParams;
@@ -206,6 +205,10 @@ pub fn run_triple_replicated(opts: &HarnessOpts, cfg: &RunConfig) -> Triple {
 /// Runs `work` over `points` on a worker pool, preserving point order in the
 /// result. Each simulation is single-threaded and deterministic; points are
 /// independent, so order of execution cannot affect results.
+///
+/// Work is claimed through a single atomic counter and every worker keeps
+/// its results in a thread-local vector, merged into ordered slots after the
+/// pool joins — no lock is held while points run.
 pub fn run_parallel<P, R, F>(opts: &HarnessOpts, points: Vec<P>, work: F) -> Vec<R>
 where
     P: Sync,
@@ -213,24 +216,32 @@ where
     F: Fn(&P) -> R + Sync,
 {
     let n = points.len();
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = opts.worker_count().min(n.max(1));
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = work(&points[i]);
-                results.lock().unwrap()[i] = Some(r);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, work(&points[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("experiment worker panicked") {
+                slots[i] = Some(r);
+            }
         }
     });
-    results
-        .into_inner()
-        .expect("experiment worker panicked")
+    slots
         .into_iter()
         .map(|r| r.expect("every point produced a result"))
         .collect()
@@ -306,6 +317,18 @@ mod tests {
         };
         let out = run_parallel(&opts, (0..50).collect(), |&x| x * 2);
         assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_covers_every_point_with_more_workers_than_points() {
+        let opts = HarnessOpts {
+            jobs: 16,
+            ..HarnessOpts::default()
+        };
+        let out = run_parallel(&opts, (0..3).collect(), |&x| x + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        let empty: Vec<i32> = run_parallel(&opts, Vec::<i32>::new(), |&x| x);
+        assert!(empty.is_empty());
     }
 
     #[test]

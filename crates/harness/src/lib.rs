@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchreport;
 pub mod experiment;
 pub mod extensions;
 pub mod fig4;
@@ -30,6 +31,7 @@ pub mod report;
 pub mod table2;
 pub mod table3;
 
+pub use benchreport::{bench_report, render_text as render_bench_report, BenchReport, SchemeBench};
 pub use experiment::{
     all_experiments, experiment_by_name, run_parallel, run_triple, run_triple_replicated,
     ExperimentOutput, HarnessOpts, Scale, SchemeKind, Triple,

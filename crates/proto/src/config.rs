@@ -135,6 +135,26 @@ impl Default for ProbeConfig {
     }
 }
 
+/// Which pending-event store the simulation engine uses. Both backends pop
+/// in identical `(time, seq)` order — selection trades constant factors
+/// only, never results (enforced by the backend-equivalence tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueBackendConfig {
+    /// Binary heap, pre-sized by the runner from the expected event volume.
+    #[default]
+    Heap,
+    /// Calendar-queue timing wheel; bucket width and count are derived by
+    /// the runner from the arrival rate and hop latency.
+    Bucketed,
+}
+
+/// Event-queue configuration for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Backend selection (default: pre-sized heap).
+    pub backend: QueueBackendConfig,
+}
+
 /// When a run stops.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum StopRule {
@@ -187,6 +207,10 @@ pub struct RunConfig {
     /// serialized before this field existed still deserialize).
     #[serde(default)]
     pub probe: ProbeConfig,
+    /// Event-queue backend selection (defaults to the pre-sized heap;
+    /// absent from older serialized configs).
+    #[serde(default)]
+    pub queue: QueueConfig,
 }
 
 impl RunConfig {
@@ -207,6 +231,7 @@ impl RunConfig {
             latency_batch: 500,
             max_events: None,
             probe: ProbeConfig::default(),
+            queue: QueueConfig::default(),
         }
     }
 
@@ -383,6 +408,12 @@ impl RunConfigBuilder {
     /// `0` disables sampling).
     pub fn sample_every_secs(mut self, secs: f64) -> Self {
         self.cfg.probe.sample_every_secs = secs;
+        self
+    }
+
+    /// Selects the event-queue backend.
+    pub fn queue_backend(mut self, backend: QueueBackendConfig) -> Self {
+        self.cfg.queue.backend = backend;
         self
     }
 

@@ -157,6 +157,7 @@ impl Metrics {
             final_interested_nodes,
             samples: Vec::new(),
             probe_events: 0,
+            peak_queue_depth: 0,
         }
     }
 }
@@ -219,6 +220,10 @@ pub struct RunReport {
     /// lets an external capture be reconciled against the report.
     #[serde(default)]
     pub probe_events: u64,
+    /// High-water mark of the event queue over the whole run (absent from
+    /// older serialized reports) — sizes the engine's working set.
+    #[serde(default)]
+    pub peak_queue_depth: u64,
 }
 
 impl RunReport {
@@ -286,6 +291,13 @@ impl RunReport {
                 / reports.len(),
             samples: reports.iter().flat_map(|r| r.samples.clone()).collect(),
             probe_events: reports.iter().map(|r| r.probe_events).sum(),
+            // The worst working set seen across replications, not a mean:
+            // the field answers "how big must the queue be".
+            peak_queue_depth: reports
+                .iter()
+                .map(|r| r.peak_queue_depth)
+                .max()
+                .unwrap_or(0),
         }
     }
 }

@@ -11,19 +11,23 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use dup_overlay::{random_search_tree, ChordRing, NodeId, SearchTree};
-use dup_sim::{stream_rng, Engine, RunOutcome, SimDuration, SimTime, StreamRng};
+use dup_sim::{
+    stream_rng, Engine, EventQueue, QueueBackend, RunOutcome, SimDuration, SimTime, StreamRng,
+};
 use dup_workload::{
     exp_variate, ArrivalProcess, Arrivals, HopLatency, RankPlacement, ZipfSelector,
 };
 
 use crate::cache::CacheStore;
-use crate::config::{ArrivalKind, ChurnConfig, RunConfig, StopRule, TopologySource};
+use crate::config::{
+    ArrivalKind, ChurnConfig, QueueBackendConfig, RunConfig, StopRule, TopologySource,
+};
 use crate::index::AuthorityClock;
 use crate::interest::InterestTracker;
 use crate::ledger::MsgClass;
 use crate::metrics::{Metrics, RunReport};
 use crate::probe::{ProbeEvent, ProbeSink, TraceSample};
-use crate::scheme::{send_msg, AppliedChurn, Ctx, Ev, Msg, Scheme, World};
+use crate::scheme::{send_msg, AppliedChurn, Ctx, Ev, FifoClocks, Msg, Scheme, World};
 
 /// Runs one simulation to completion and returns its report.
 pub fn run_simulation<S: Scheme>(cfg: &RunConfig, scheme: S) -> RunReport {
@@ -66,14 +70,23 @@ impl LiveSet {
         self.nodes.push(node);
     }
 
-    fn remove(&mut self, node: NodeId) {
-        let p = self.pos[node.index()];
-        debug_assert_ne!(p, u32::MAX);
+    /// Removes `node`, reporting — instead of panicking on — ids that are
+    /// out of range or not currently live (both indicate a model bug in the
+    /// caller, e.g. double-removing a churn victim).
+    fn remove(&mut self, node: NodeId) -> Result<(), LiveSetError> {
+        let p = *self
+            .pos
+            .get(node.index())
+            .ok_or(LiveSetError::OutOfRange(node))?;
+        if p == u32::MAX {
+            return Err(LiveSetError::NotLive(node));
+        }
         self.pos[node.index()] = u32::MAX;
         self.nodes.swap_remove(p as usize);
         if let Some(&moved) = self.nodes.get(p as usize) {
             self.pos[moved.index()] = p;
         }
+        Ok(())
     }
 
     fn sample(&self, rng: &mut StreamRng) -> NodeId {
@@ -82,6 +95,55 @@ impl LiveSet {
 
     fn len(&self) -> usize {
         self.nodes.len()
+    }
+}
+
+/// A [`LiveSet`] operation referenced a node the set does not hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveSetError {
+    /// The node id was never admitted to the set.
+    OutOfRange(NodeId),
+    /// The node id is known but not currently live.
+    NotLive(NodeId),
+}
+
+impl std::fmt::Display for LiveSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveSetError::OutOfRange(n) => write!(f, "node {n} was never admitted"),
+            LiveSetError::NotLive(n) => write!(f, "node {n} is not live"),
+        }
+    }
+}
+
+impl std::error::Error for LiveSetError {}
+
+/// Recycled `Vec<NodeId>` path buffers (`visited`/`remaining`/`riders`),
+/// so steady-state query routing allocates nothing: a request's buffers
+/// return to the pool when its reply completes (or the message is lost to
+/// a departed node), keeping their capacity for the next query.
+#[derive(Debug, Default)]
+struct PathPool {
+    bufs: Vec<Vec<NodeId>>,
+}
+
+impl PathPool {
+    /// Buffers retained across queries; beyond this they are dropped. Two
+    /// buffers (visited + riders) are live per in-flight query, so this
+    /// covers hundreds of concurrent queries before the pool saturates.
+    const MAX_POOLED: usize = 1024;
+
+    #[inline]
+    fn take(&mut self) -> Vec<NodeId> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    #[inline]
+    fn put(&mut self, mut buf: Vec<NodeId>) {
+        if self.bufs.len() < Self::MAX_POOLED {
+            buf.clear();
+            self.bufs.push(buf);
+        }
     }
 }
 
@@ -103,6 +165,7 @@ pub struct Runner<S: Scheme> {
     horizon: SimTime,
     /// Periodic time-series samples collected so far (see [`Ev::Sample`]).
     samples: Vec<TraceSample>,
+    pool: PathPool,
 }
 
 impl<S: Scheme> Runner<S> {
@@ -139,7 +202,7 @@ impl<S: Scheme> Runner<S> {
             metrics: Metrics::new(cfg.latency_batch),
             hop_latency: HopLatency::new(cfg.protocol.hop_latency_mean_secs),
             latency_rng: stream_rng(seed, "hop-latency"),
-            fifo: std::collections::HashMap::new(),
+            fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
             tree,
         };
@@ -166,6 +229,35 @@ impl<S: Scheme> Runner<S> {
             world,
             scheme,
             samples: Vec::new(),
+            pool: PathPool::default(),
+        }
+    }
+
+    /// Builds the event queue per `cfg.queue`, pre-sized from the expected
+    /// event population: one standing timer per node (interest checks,
+    /// refresh, samples) plus queries in flight, each holding a couple of
+    /// messages for a few hop latencies.
+    fn build_queue(&self) -> EventQueue<Ev<S::Msg>> {
+        let nodes = self.world.tree.capacity();
+        let hop = self.cfg.protocol.hop_latency_mean_secs.max(1e-6);
+        let in_flight = (self.cfg.lambda * hop * 16.0).ceil() as usize;
+        match self.cfg.queue.backend {
+            QueueBackendConfig::Heap => EventQueue::with_capacity(nodes + in_flight + 64),
+            QueueBackendConfig::Bucketed => {
+                // Near-future events are message deliveries (~hop latency
+                // out) and arrival ticks; size buckets so each holds about
+                // one event, and the window so deliveries land in the wheel
+                // rather than the overflow heap. Long timers (TTL-scale
+                // interest checks, refreshes) overflow by design.
+                let rate = (self.cfg.lambda * 16.0).max(1.0); // events / sim-second
+                let width = SimDuration::from_secs_f64(1.0 / rate);
+                let window = (4.0 * hop).max(64.0 / rate);
+                let buckets = ((window * rate).ceil() as usize).clamp(64, 1 << 16);
+                EventQueue::with_backend(QueueBackend::Bucketed {
+                    bucket_width: width,
+                    buckets,
+                })
+            }
         }
     }
 
@@ -181,7 +273,7 @@ impl<S: Scheme> Runner<S> {
 
     /// Runs to the horizon (or early CI convergence) and reports.
     pub fn run(mut self) -> RunReport {
-        let mut engine: Engine<Ev<S::Msg>> = Engine::new();
+        let mut engine: Engine<Ev<S::Msg>> = Engine::with_queue(self.build_queue());
         engine.set_horizon(self.horizon);
         if let Some(limit) = self.cfg.max_events {
             engine.set_event_limit(limit);
@@ -239,6 +331,7 @@ impl<S: Scheme> Runner<S> {
         );
         report.samples = std::mem::take(&mut self.samples);
         report.probe_events = self.world.probe.emitted();
+        report.peak_queue_depth = engine.peak_pending() as u64;
         report
     }
 
@@ -257,7 +350,19 @@ impl<S: Scheme> Runner<S> {
                 msg,
             } => {
                 if !self.world.tree.is_alive(to) {
-                    return; // message addressed to a departed node is lost
+                    // Message addressed to a departed node is lost; reclaim
+                    // its path buffers.
+                    match msg {
+                        Msg::Request {
+                            visited, riders, ..
+                        } => {
+                            self.pool.put(visited);
+                            self.pool.put(riders);
+                        }
+                        Msg::Reply { remaining, .. } => self.pool.put(remaining),
+                        Msg::Scheme(_) => {}
+                    }
+                    return;
                 }
                 let now = eng.now();
                 self.world
@@ -441,9 +546,10 @@ impl<S: Scheme> Runner<S> {
             .probe
             .emit(now, || ProbeEvent::QueryIssued { origin: node });
         self.note_expiry_if_observed(now, node, served.is_some());
-        let mut riders = Vec::new();
+        let mut riders = self.pool.take();
         self.observe_query(eng, node, None, &mut riders, served.is_none());
         if let Some(record) = served {
+            self.pool.put(riders);
             let stale = record.is_stale_versus(self.world.authority.current().version);
             self.world.metrics.record_query_served(0, stale);
             self.world.metrics.record_query_completed(0.0);
@@ -459,6 +565,8 @@ impl<S: Scheme> Runner<S> {
                 .tree
                 .parent(node)
                 .expect("the authority always serves its own queries");
+            let mut visited = self.pool.take();
+            visited.push(node);
             send_msg(
                 &mut self.world,
                 eng,
@@ -467,7 +575,7 @@ impl<S: Scheme> Runner<S> {
                 MsgClass::Request,
                 Msg::Request {
                     origin: node,
-                    visited: vec![node],
+                    visited,
                     issued_at: now,
                     riders,
                 },
@@ -492,6 +600,7 @@ impl<S: Scheme> Runner<S> {
         self.note_expiry_if_observed(now, to, served.is_some());
         self.observe_query(eng, to, Some(from), &mut riders, served.is_none());
         if let Some(record) = served {
+            self.pool.put(riders);
             let stale = record.is_stale_versus(self.world.authority.current().version);
             self.world
                 .metrics
@@ -555,6 +664,7 @@ impl<S: Scheme> Runner<S> {
                 .emit(now, || ProbeEvent::CacheInsert { node: to });
         }
         if remaining.is_empty() {
+            self.pool.put(remaining);
             let elapsed = eng.now().saturating_since(issued_at);
             self.world
                 .metrics
@@ -579,6 +689,7 @@ impl<S: Scheme> Runner<S> {
             }
         }
         // Every remaining path node (including the origin) departed.
+        self.pool.put(remaining);
     }
 
     fn next_churn_gap(&mut self) -> SimDuration {
@@ -688,7 +799,9 @@ impl<S: Scheme> Runner<S> {
         };
         self.world.cache.evict(victim);
         self.world.interest.clear(victim);
-        self.live.remove(victim);
+        self.live
+            .remove(victim)
+            .expect("churn victim was sampled from the live set");
         // Hand the departed node's query ranks to uniformly random survivors:
         // redirecting to the takeover parent would drift the query mass
         // toward the root under sustained churn and flatten latencies.
@@ -873,7 +986,7 @@ mod tests {
         );
         let mut set = LiveSet::from_tree(&tree);
         assert_eq!(set.len(), 10);
-        set.remove(NodeId(4));
+        assert_eq!(set.remove(NodeId(4)), Ok(()));
         assert_eq!(set.len(), 9);
         let mut rng = stream_rng(1, "s");
         for _ in 0..100 {
@@ -881,5 +994,44 @@ mod tests {
         }
         set.insert(NodeId(4));
         assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn live_set_remove_reports_bad_ids() {
+        let tree = random_search_tree(
+            TopologyParams {
+                nodes: 4,
+                max_degree: 3,
+            },
+            &mut stream_rng(0, "t"),
+        );
+        let mut set = LiveSet::from_tree(&tree);
+        // Never-admitted id: out of range.
+        assert_eq!(
+            set.remove(NodeId(99)),
+            Err(LiveSetError::OutOfRange(NodeId(99)))
+        );
+        // Double removal: the second call reports instead of panicking,
+        // and the set is unchanged by either failed call.
+        assert_eq!(set.remove(NodeId(2)), Ok(()));
+        assert_eq!(set.remove(NodeId(2)), Err(LiveSetError::NotLive(NodeId(2))));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn bucketed_backend_matches_heap_backend() {
+        use crate::config::QueueBackendConfig;
+        let mut heap_cfg = tiny_cfg(11);
+        heap_cfg.churn = Some(ChurnConfig::balanced(0.02));
+        let mut bucket_cfg = heap_cfg.clone();
+        bucket_cfg.queue.backend = QueueBackendConfig::Bucketed;
+        let a = run_simulation(&heap_cfg, PcxScheme::new());
+        let b = run_simulation(&bucket_cfg, PcxScheme::new());
+        // Reports must agree field-for-field, bit-for-bit.
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "queue backend changed simulation results"
+        );
     }
 }

@@ -7,8 +7,6 @@
 //! links, read/write the local cache, and send messages (each costing one
 //! overlay hop and one sampled transfer delay).
 
-use std::collections::HashMap;
-
 use dup_overlay::{NodeId, SearchTree};
 use dup_sim::{Engine, SimDuration, SimTime, StreamRng};
 use dup_workload::HopLatency;
@@ -111,11 +109,79 @@ pub struct World {
     /// channels are FIFO (as over TCP), which the maintenance protocols
     /// assume — a `substitute` overtaking the `subscribe` that created its
     /// target entry would be dropped as stale.
-    pub fifo: HashMap<(NodeId, NodeId), SimTime>,
+    pub fifo: FifoClocks,
     /// The observability attachment point. Disabled by default; every
     /// emission site goes through [`ProbeSink::emit`], which skips event
     /// construction entirely when no probe is attached.
     pub probe: ProbeSink,
+}
+
+/// Per-channel FIFO clocks: the last scheduled delivery instant for every
+/// ordered `(from, to)` pair that has carried a message.
+///
+/// Hit once per [`send_msg`], i.e. once per simulated message, so the
+/// representation is chosen for the hot path: a dense `Vec` indexed by the
+/// sender's id, holding a short unsorted list of `(destination, clock)`
+/// slots. A node only ever sends to its parent, its children, and (for
+/// DUP's direct pushes) its few subscriber-list entries, so the per-sender
+/// list stays a handful of entries and a linear scan beats hashing a
+/// 64-bit pair key. Slots for departed destinations linger harmlessly,
+/// exactly as the old `HashMap<(NodeId, NodeId), SimTime>` entries did.
+#[derive(Debug, Clone, Default)]
+pub struct FifoClocks {
+    /// `chans[from.index()]` = `(to, last scheduled delivery)` slots.
+    chans: Vec<Vec<(NodeId, SimTime)>>,
+}
+
+impl FifoClocks {
+    /// Creates clocks pre-sized for `nodes` senders (ids may still grow
+    /// beyond this under churn; [`FifoClocks::reserve_slot`] extends).
+    pub fn with_capacity(nodes: usize) -> Self {
+        FifoClocks {
+            chans: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Advances the `(from, to)` channel clock to cover a message sampled
+    /// to arrive at `at`, returning the instant the message may actually be
+    /// delivered: `at` itself when the channel is idle past it, otherwise
+    /// one nanosecond after the channel's last scheduled delivery.
+    #[inline]
+    pub fn reserve_slot(&mut self, from: NodeId, to: NodeId, at: SimTime) -> SimTime {
+        let i = from.index();
+        if i >= self.chans.len() {
+            self.chans.resize(i + 1, Vec::new());
+        }
+        let chan = &mut self.chans[i];
+        for slot in chan.iter_mut() {
+            if slot.0 == to {
+                let granted = if at <= slot.1 {
+                    slot.1 + SimDuration::from_nanos(1)
+                } else {
+                    at
+                };
+                slot.1 = granted;
+                return granted;
+            }
+        }
+        chan.push((to, at));
+        at
+    }
+
+    /// The last scheduled delivery on `(from, to)`, if the channel has ever
+    /// carried a message (tests and audits).
+    pub fn last_scheduled(&self, from: NodeId, to: NodeId) -> Option<SimTime> {
+        self.chans
+            .get(from.index())?
+            .iter()
+            .find(|(t, _)| *t == to)
+            .map(|&(_, at)| at)
+    }
+
+    /// Total live channel slots (diagnostics).
+    pub fn channel_count(&self) -> usize {
+        self.chans.iter().map(Vec::len).sum()
+    }
 }
 
 impl World {
@@ -219,13 +285,8 @@ pub(crate) fn send_msg<M>(
         .probe
         .emit(now, || ProbeEvent::MsgSent { from, to, class });
     let delay = world.hop_latency.sample(&mut world.latency_rng);
-    let mut at = now + delay;
     // Enforce FIFO per ordered node pair.
-    let slot = world.fifo.entry((from, to)).or_insert(SimTime::ZERO);
-    if at <= *slot {
-        at = *slot + SimDuration::from_nanos(1);
-    }
-    *slot = at;
+    let at = world.fifo.reserve_slot(from, to, now + delay);
     engine.schedule(
         at,
         Ev::Deliver {
@@ -347,7 +408,7 @@ mod tests {
             metrics,
             hop_latency: dup_workload::HopLatency::paper_default(),
             latency_rng: stream_rng(1, "scheme-test"),
-            fifo: HashMap::new(),
+            fifo: FifoClocks::default(),
             probe: ProbeSink::disabled(),
             tree,
         }
@@ -442,6 +503,53 @@ mod tests {
         );
         assert_eq!(w.metrics.ledger().hops(MsgClass::Reply), 1);
         assert_eq!(w.metrics.ledger().total_hops(), 1);
+    }
+
+    #[test]
+    fn fifo_clocks_match_hashmap_reference() {
+        // The dense representation must grant exactly the slots the old
+        // `HashMap<(NodeId, NodeId), SimTime>` implementation granted, for
+        // any interleaving of channels and request instants.
+        use std::collections::HashMap;
+        let mut dense = FifoClocks::with_capacity(4);
+        let mut reference: HashMap<(NodeId, NodeId), SimTime> = HashMap::new();
+        let mut state = 0xDEADBEEFu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5000 {
+            let from = NodeId((rng() % 12) as u32);
+            let to = NodeId((rng() % 12) as u32);
+            if from == to {
+                continue;
+            }
+            let at = SimTime::from_nanos(rng() % 1000);
+            let expected = {
+                let slot = reference.entry((from, to)).or_insert(SimTime::ZERO);
+                let granted = if at <= *slot {
+                    *slot + SimDuration::from_nanos(1)
+                } else {
+                    at
+                };
+                *slot = granted;
+                granted
+            };
+            assert_eq!(dense.reserve_slot(from, to, at), expected);
+            assert_eq!(dense.last_scheduled(from, to), Some(expected));
+        }
+        assert_eq!(dense.channel_count(), reference.len());
+    }
+
+    #[test]
+    fn fifo_clocks_grow_past_initial_capacity() {
+        let mut clocks = FifoClocks::with_capacity(2);
+        let at = SimTime::from_secs(1);
+        assert_eq!(clocks.reserve_slot(NodeId(100), NodeId(0), at), at);
+        assert_eq!(clocks.last_scheduled(NodeId(100), NodeId(0)), Some(at));
+        assert_eq!(clocks.last_scheduled(NodeId(101), NodeId(0)), None);
     }
 
     #[test]

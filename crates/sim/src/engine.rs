@@ -1,7 +1,7 @@
 //! The event loop: pops events in `(time, seq)` order and hands them to a
 //! handler that may schedule further events.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, Popped, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 
 /// Why [`Engine::run`] returned.
@@ -41,14 +41,25 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an engine with the clock at zero and no horizon.
     pub fn new() -> Self {
+        Engine::with_queue(EventQueue::new())
+    }
+
+    /// Creates an engine over a caller-configured pending-event queue
+    /// (backend selection and pre-sizing; see [`QueueBackend`]).
+    pub fn with_queue(queue: EventQueue<E>) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             horizon: None,
             event_limit: None,
             events_processed: 0,
             stop_requested: false,
         }
+    }
+
+    /// Creates an engine whose queue uses `backend`.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        Engine::with_queue(EventQueue::with_backend(backend))
     }
 
     /// The current simulated instant.
@@ -66,6 +77,12 @@ impl<E> Engine<E> {
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Largest number of simultaneously pending events seen so far — the
+    /// queue-depth high-water mark reported by the bench pipeline.
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_len()
     }
 
     /// Stops the run once the event whose handler is executing returns.
@@ -126,19 +143,18 @@ impl<E> Engine<E> {
                     return RunOutcome::EventLimit;
                 }
             }
-            let next = match self.queue.peek_time() {
-                Some(t) => t,
-                None => return RunOutcome::Drained,
-            };
-            if let Some(h) = self.horizon {
-                if next >= h {
+            // One queue scan per iteration: the pop and the horizon check
+            // share the minimum-finding work.
+            let (at, event) = match self.queue.pop_before(self.horizon) {
+                Popped::Event(e) => e,
+                Popped::AtOrAfter(_) => {
                     // Park the clock at the horizon so callers can read a
                     // well-defined end time.
-                    self.now = h;
+                    self.now = self.horizon.expect("horizon vanished");
                     return RunOutcome::HorizonReached;
                 }
-            }
-            let (at, event) = self.queue.pop().expect("peeked event vanished");
+                Popped::Empty => return RunOutcome::Drained,
+            };
             debug_assert!(at >= self.now, "event queue violated time order");
             self.now = at;
             self.events_processed += 1;

@@ -1,13 +1,32 @@
-//! The pending-event set: a binary heap keyed by `(time, sequence)`.
+//! The pending-event set: a future-event list keyed by `(time, sequence)`.
 //!
 //! The sequence number breaks ties between events scheduled for the same
 //! instant in FIFO order, which keeps runs deterministic regardless of how
-//! `BinaryHeap` resolves equal keys internally.
+//! the backing store resolves equal keys internally.
+//!
+//! Two interchangeable backends implement the same contract:
+//!
+//! * [`QueueBackend::Heap`] — a binary heap of compact 24-byte keys over a
+//!   slab of payloads; `O(log n)` push/pop, no tuning knobs, the default.
+//!   Keeping payloads out of the heap matters: sift operations move only
+//!   the `(time, seq, slot)` key, not the (much larger) event, so a push
+//!   or pop touches a few cache lines regardless of event size.
+//! * [`QueueBackend::Bucketed`] — a calendar-queue style timing wheel of
+//!   fixed-width buckets over a sliding window, with a spill-over heap for
+//!   events beyond the window. Near-future events (the vast majority in a
+//!   message-passing simulation: deliveries a few hop latencies out) are
+//!   placed and popped in `O(1)` expected time; far-future timers pay one
+//!   heap round-trip through the overflow before migrating into the wheel.
+//!
+//! Both backends pop in exactly `(time, seq)` order — the equivalence is
+//! enforced by property tests here and by end-to-end report-identity tests
+//! in the workspace `tests/` tree.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// An event queued for execution at a given instant.
 struct Scheduled<E> {
@@ -16,9 +35,17 @@ struct Scheduled<E> {
     event: E,
 }
 
+impl<E> Scheduled<E> {
+    /// The total-order key: earliest time first, FIFO within an instant.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -32,17 +59,329 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
+}
+
+/// A compact heap entry: the full ordering key plus the slab slot holding
+/// the payload. Sifts move these 24 bytes, never the event itself.
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    idx: u32,
+}
+
+impl HeapKey {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The heap backend: a binary heap of [`HeapKey`]s over a payload slab with
+/// an embedded free list. Slots are recycled, so the slab's footprint is the
+/// queue's high-water mark, not its push count.
+struct SlabHeap<E> {
+    heap: BinaryHeap<HeapKey>,
+    slab: Vec<Option<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> SlabHeap<E> {
+    fn with_capacity(capacity: usize) -> Self {
+        SlabHeap {
+            heap: BinaryHeap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: SimTime, seq: u64, event: E) {
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(event);
+                i
+            }
+            None => {
+                let i = self.slab.len();
+                assert!(i <= u32::MAX as usize, "pending-event slab overflow");
+                self.slab.push(Some(event));
+                i as u32
+            }
+        };
+        self.heap.push(HeapKey { at, seq, idx });
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let k = self.heap.pop()?;
+        let event = self.slab[k.idx as usize]
+            .take()
+            .expect("heap key pointed at an empty slab slot");
+        self.free.push(k.idx);
+        Some((k.at, event))
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|k| k.at)
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+        self.slab.clear();
+        self.free.clear();
+    }
+}
+
+/// Backend selection (and sizing) for an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Binary heap with `capacity` slots pre-allocated.
+    Heap {
+        /// Pending-event slots to pre-allocate.
+        capacity: usize,
+    },
+    /// Timing wheel of `buckets` buckets, each `bucket_width` wide, plus an
+    /// overflow heap for events beyond the window.
+    Bucketed {
+        /// Width of one bucket (rounded up to a power-of-two nanosecond
+        /// count so bucket indexing is a shift, not a division). Aim for
+        /// roughly one pending event per bucket: `1 / event_rate`.
+        bucket_width: SimDuration,
+        /// Number of wheel buckets; the window covers
+        /// `buckets * bucket_width` of simulated time. Aim for a window a
+        /// few times the typical scheduling delay.
+        buckets: usize,
+    },
+}
+
+impl QueueBackend {
+    /// The default heap backend with no pre-allocation.
+    pub const DEFAULT_HEAP: QueueBackend = QueueBackend::Heap { capacity: 0 };
+}
+
+/// Calendar-queue state: a ring of unsorted buckets over a sliding window
+/// `[win_start, win_start + buckets)` of absolute bucket ids, plus a heap
+/// for everything beyond (or, defensively, before) the window.
+struct BucketWheel<E> {
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// log2 of the bucket width in nanoseconds.
+    width_shift: u32,
+    /// Absolute bucket id of the window start.
+    win_start: u64,
+    /// Absolute bucket id the next pop scans from; only ever moves forward
+    /// within the window except when a push lands behind it. `Cell` so
+    /// `peek` can advance it past empty buckets without `&mut`.
+    cursor: Cell<u64>,
+    /// Events currently in the wheel (not the overflow).
+    in_wheel: usize,
+    overflow: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> BucketWheel<E> {
+    fn new(bucket_width: SimDuration, buckets: usize) -> Self {
+        let width = bucket_width.as_nanos().max(1).next_power_of_two();
+        BucketWheel {
+            buckets: (0..buckets.max(1)).map(|_| Vec::new()).collect(),
+            width_shift: width.trailing_zeros(),
+            win_start: 0,
+            cursor: Cell::new(0),
+            in_wheel: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn bucket_id(&self, at: SimTime) -> u64 {
+        at.as_nanos() >> self.width_shift
+    }
+
+    #[inline]
+    fn push(&mut self, s: Scheduled<E>) {
+        let bid = self.bucket_id(s.at);
+        let n = self.buckets.len() as u64;
+        if bid >= self.win_start && bid < self.win_start + n {
+            self.buckets[(bid % n) as usize].push(s);
+            self.in_wheel += 1;
+            if bid < self.cursor.get() {
+                self.cursor.set(bid);
+            }
+        } else {
+            // Beyond the window (or, defensively, before it — possible only
+            // through direct queue use, never through the engine): the heap
+            // accepts any instant and `pop` compares against the wheel.
+            self.overflow.push(s);
+        }
+    }
+
+    /// Location of the minimum wheel event: `(ring index, item index)`.
+    /// Advances the cursor past empty buckets as a side effect (safe: the
+    /// skipped buckets stay empty until a push resets the cursor).
+    fn wheel_min(&self) -> Option<(usize, usize)> {
+        if self.in_wheel == 0 {
+            return None;
+        }
+        let n = self.buckets.len() as u64;
+        let mut cur = self.cursor.get();
+        loop {
+            debug_assert!(cur < self.win_start + n, "wheel count out of sync");
+            let ring = (cur % n) as usize;
+            let b = &self.buckets[ring];
+            if let Some(min_idx) = Self::scan_min(b) {
+                self.cursor.set(cur);
+                return Some((ring, min_idx));
+            }
+            cur += 1;
+        }
+    }
+
+    /// Index of the `(time, seq)`-minimal event in one (unsorted) bucket.
+    #[inline]
+    fn scan_min(bucket: &[Scheduled<E>]) -> Option<usize> {
+        let mut it = bucket.iter().enumerate();
+        let (mut best_i, first) = it.next()?;
+        let mut best_key = first.key();
+        for (i, s) in it {
+            if s.key() < best_key {
+                best_key = s.key();
+                best_i = i;
+            }
+        }
+        Some(best_i)
+    }
+
+    /// Re-anchors the window at the overflow's earliest event and migrates
+    /// every overflow event that now falls inside it. Called when the wheel
+    /// has drained but events remain.
+    fn refill(&mut self) {
+        let Some(front) = self.overflow.peek() else {
+            return;
+        };
+        let n = self.buckets.len() as u64;
+        self.win_start = self.bucket_id(front.at);
+        self.cursor.set(self.win_start);
+        while let Some(s) = self.overflow.peek() {
+            if self.bucket_id(s.at) >= self.win_start + n {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked event vanished");
+            let ring = (self.bucket_id(s.at) % n) as usize;
+            self.buckets[ring].push(s);
+            self.in_wheel += 1;
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        match self.pop_before(None) {
+            Popped::Event(s) => Some(s),
+            Popped::AtOrAfter(_) | Popped::Empty => None,
+        }
+    }
+
+    /// Single-scan pop-with-horizon: locates the minimum once and either
+    /// removes it (strictly before `limit`) or reports its instant without
+    /// disturbing it. The engine's run loop calls this once per iteration;
+    /// a separate peek-then-pop would scan the minimum's bucket twice.
+    #[inline]
+    fn pop_before(&mut self, limit: Option<SimTime>) -> Popped<Scheduled<E>> {
+        if self.in_wheel == 0 && !self.overflow.is_empty() {
+            self.refill();
+        }
+        let wheel = self.wheel_min();
+        let take_overflow = match (&wheel, self.overflow.peek()) {
+            (None, None) => return Popped::Empty,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (&Some((ring, idx)), Some(o)) => o.key() < self.buckets[ring][idx].key(),
+        };
+        let at = if take_overflow {
+            self.overflow
+                .peek()
+                .expect("overflow candidate vanished")
+                .at
+        } else {
+            let (ring, idx) = wheel.expect("wheel candidate vanished");
+            self.buckets[ring][idx].at
+        };
+        if limit.is_some_and(|h| at >= h) {
+            return Popped::AtOrAfter(at);
+        }
+        if take_overflow {
+            Popped::Event(self.overflow.pop().expect("peeked event vanished"))
+        } else {
+            let (ring, idx) = wheel.expect("wheel candidate vanished");
+            self.in_wheel -= 1;
+            Popped::Event(self.buckets[ring].swap_remove(idx))
+        }
+    }
+
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        let wheel = self
+            .wheel_min()
+            .map(|(ring, idx)| self.buckets[ring][idx].key());
+        let over = self.overflow.peek().map(Scheduled::key);
+        match (wheel, over) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (w, o) => w.or(o),
+        }
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.in_wheel = 0;
+        self.overflow.clear();
+    }
+}
+
+/// The two interchangeable stores behind an [`EventQueue`].
+enum Store<E> {
+    Heap(SlabHeap<E>),
+    Bucketed(BucketWheel<E>),
+}
+
+/// Result of a [`EventQueue::pop_before`] call: the popped event, or why
+/// nothing was popped.
+pub(crate) enum Popped<E> {
+    /// The earliest event, removed from the queue.
+    Event(E),
+    /// The earliest pending event fires at this instant, which is at or
+    /// after the requested limit; it stays queued.
+    AtOrAfter(SimTime),
+    /// No events are pending.
+    Empty,
 }
 
 /// A future-event list ordered by `(time, insertion sequence)`.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    store: Store<E>,
     next_seq: u64,
+    len: usize,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -52,54 +391,124 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty heap-backed queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        Self::with_backend(QueueBackend::DEFAULT_HEAP)
     }
 
-    /// Creates an empty queue with room for `capacity` pending events.
+    /// Creates an empty heap-backed queue with room for `capacity` pending
+    /// events.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_backend(QueueBackend::Heap { capacity })
+    }
+
+    /// Creates an empty queue with the given backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let store = match backend {
+            QueueBackend::Heap { capacity } => Store::Heap(SlabHeap::with_capacity(capacity)),
+            QueueBackend::Bucketed {
+                bucket_width,
+                buckets,
+            } => Store::Bucketed(BucketWheel::new(bucket_width, buckets)),
+        };
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            store,
             next_seq: 0,
+            len: 0,
+            peak_len: 0,
         }
     }
 
     /// Enqueues `event` to fire at `at`. Events with equal instants pop in
     /// the order they were pushed.
+    #[inline]
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        match &mut self.store {
+            Store::Heap(h) => h.push(at, seq, event),
+            Store::Bucketed(w) => w.push(Scheduled { at, seq, event }),
+        }
+        self.len += 1;
+        if self.len > self.peak_len {
+            self.peak_len = self.len;
+        }
     }
 
     /// Removes and returns the earliest pending event.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        let popped = match &mut self.store {
+            Store::Heap(h) => h.pop(),
+            Store::Bucketed(w) => w.pop().map(|s| (s.at, s.event)),
+        };
+        if popped.is_some() {
+            self.len -= 1;
+        }
+        popped
+    }
+
+    /// Removes and returns the earliest pending event if it fires strictly
+    /// before `limit` (`None` = no limit). A single backend scan serves
+    /// both the horizon check and the removal, which matters for the
+    /// bucketed backend where locating the minimum rescans a bucket.
+    #[inline]
+    pub(crate) fn pop_before(&mut self, limit: Option<SimTime>) -> Popped<(SimTime, E)> {
+        let popped = match &mut self.store {
+            Store::Heap(h) => match h.peek_time() {
+                None => Popped::Empty,
+                Some(at) if limit.is_some_and(|l| at >= l) => Popped::AtOrAfter(at),
+                Some(_) => {
+                    let (at, event) = h.pop().expect("peeked event vanished");
+                    Popped::Event((at, event))
+                }
+            },
+            Store::Bucketed(w) => match w.pop_before(limit) {
+                Popped::Event(s) => Popped::Event((s.at, s.event)),
+                Popped::AtOrAfter(at) => Popped::AtOrAfter(at),
+                Popped::Empty => Popped::Empty,
+            },
+        };
+        if let Popped::Event(_) = &popped {
+            self.len -= 1;
+        }
+        popped
     }
 
     /// The instant of the earliest pending event, if any.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        match &self.store {
+            Store::Heap(h) => h.peek_time(),
+            Store::Bucketed(w) => w.peek_key().map(|(at, _)| at),
+        }
     }
 
     /// Number of pending events.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
+    }
+
+    /// Largest number of simultaneously pending events seen so far.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// True when no events are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Drops all pending events (the sequence counter keeps advancing so
     /// determinism is preserved across a clear).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.store {
+            Store::Heap(h) => h.clear(),
+            Store::Bucketed(w) => w.clear(),
+        }
+        self.len = 0;
     }
 }
 
@@ -107,56 +516,162 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Both backends, so every contract test runs against each.
+    fn backends() -> Vec<(&'static str, EventQueue<&'static str>)> {
+        vec![
+            ("heap", EventQueue::new()),
+            (
+                "bucketed",
+                EventQueue::with_backend(QueueBackend::Bucketed {
+                    bucket_width: SimDuration::from_nanos(1 << 28), // ~0.27 s
+                    buckets: 16,
+                }),
+            ),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), "c");
-        q.push(SimTime::from_secs(1), "a");
-        q.push(SimTime::from_secs(2), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for (name, mut q) in backends() {
+            q.push(SimTime::from_secs(3), "c");
+            q.push(SimTime::from_secs(1), "a");
+            q.push(SimTime::from_secs(2), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "backend {name}");
+        }
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(5);
-        for i in 0..100 {
-            q.push(t, i);
+        for backend in [
+            QueueBackend::DEFAULT_HEAP,
+            QueueBackend::Bucketed {
+                bucket_width: SimDuration::from_secs(1),
+                buckets: 8,
+            },
+        ] {
+            let mut q = EventQueue::with_backend(backend);
+            let t = SimTime::from_secs(5);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn interleaved_ties_and_times() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(2), "t2-first");
-        q.push(SimTime::from_secs(1), "t1");
-        q.push(SimTime::from_secs(2), "t2-second");
-        assert_eq!(q.pop().unwrap().1, "t1");
-        assert_eq!(q.pop().unwrap().1, "t2-first");
-        assert_eq!(q.pop().unwrap().1, "t2-second");
-        assert!(q.pop().is_none());
+        for (name, mut q) in backends() {
+            q.push(SimTime::from_secs(2), "t2-first");
+            q.push(SimTime::from_secs(1), "t1");
+            q.push(SimTime::from_secs(2), "t2-second");
+            assert_eq!(q.pop().unwrap().1, "t1", "backend {name}");
+            assert_eq!(q.pop().unwrap().1, "t2-first", "backend {name}");
+            assert_eq!(q.pop().unwrap().1, "t2-second", "backend {name}");
+            assert!(q.pop().is_none(), "backend {name}");
+        }
     }
 
     #[test]
     fn peek_time_sees_earliest() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(9), ());
-        q.push(SimTime::from_secs(4), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
-        assert_eq!(q.len(), 2);
+        for (name, mut q) in backends() {
+            assert_eq!(q.peek_time(), None, "backend {name}");
+            q.push(SimTime::from_secs(9), "a");
+            q.push(SimTime::from_secs(4), "b");
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)), "backend {name}");
+            assert_eq!(q.len(), 2, "backend {name}");
+        }
     }
 
     #[test]
     fn clear_empties_but_keeps_working() {
+        for (name, mut q) in backends() {
+            q.push(SimTime::from_secs(1), "a");
+            q.clear();
+            assert!(q.is_empty(), "backend {name}");
+            q.push(SimTime::from_secs(2), "b");
+            assert_eq!(
+                q.pop(),
+                Some((SimTime::from_secs(2), "b")),
+                "backend {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(1), 1);
-        q.clear();
-        assert!(q.is_empty());
-        q.push(SimTime::from_secs(2), 2);
-        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2)));
+        for s in 0..10u64 {
+            q.push(SimTime::from_secs(s), s);
+        }
+        for _ in 0..4 {
+            q.pop();
+        }
+        q.push(SimTime::from_secs(99), 99);
+        assert_eq!(q.peak_len(), 10);
+        assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn bucketed_window_rotation_preserves_order() {
+        // Events far beyond the window live in the overflow until the wheel
+        // drains, then migrate; order must survive several rotations.
+        let mut q = EventQueue::with_backend(QueueBackend::Bucketed {
+            bucket_width: SimDuration::from_nanos(1024),
+            buckets: 4,
+        });
+        let times: Vec<u64> = (0..200).map(|i| (i * 7919) % 100_000).collect();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(*t), i);
+        }
+        let mut sorted: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        sorted.sort();
+        let popped: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| (t.as_nanos(), e))
+            .collect();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn bucketed_interleaved_push_pop_matches_heap() {
+        // Deterministic pseudo-random interleaving of pushes and pops (with
+        // monotone non-decreasing push times, as the engine guarantees)
+        // produces identical sequences from both backends.
+        let mut heap = EventQueue::new();
+        let mut wheel = EventQueue::with_backend(QueueBackend::Bucketed {
+            bucket_width: SimDuration::from_nanos(4096),
+            buckets: 8,
+        });
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        for i in 0..2000u64 {
+            if rng() % 3 != 0 {
+                let at = now + rng() % 100_000;
+                heap.push(SimTime::from_nanos(at), i);
+                wheel.push(SimTime::from_nanos(at), i);
+            } else {
+                let a = heap.pop();
+                let b = wheel.pop();
+                assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = t.as_nanos();
+                }
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

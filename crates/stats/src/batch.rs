@@ -13,12 +13,20 @@ use crate::ci::ConfidenceInterval;
 use crate::welford::Welford;
 
 /// Streaming batch-means accumulator.
+///
+/// `push` sits on the simulation's per-query hot path, so the raw stream
+/// and the open batch are tracked as plain count/sum pairs (two adds per
+/// observation); the Welford recurrence — whose per-push division buys
+/// numerical stability the variance needs — runs only over the batch
+/// means, once every `batch_size` observations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchMeans {
     batch_size: u64,
-    current: Welford,
+    current_count: u64,
+    current_sum: f64,
     batches: Welford,
-    all: Welford,
+    raw_count: u64,
+    raw_sum: f64,
 }
 
 impl BatchMeans {
@@ -32,19 +40,25 @@ impl BatchMeans {
         assert!(batch_size > 0, "batch size must be positive");
         BatchMeans {
             batch_size,
-            current: Welford::new(),
+            current_count: 0,
+            current_sum: 0.0,
             batches: Welford::new(),
-            all: Welford::new(),
+            raw_count: 0,
+            raw_sum: 0.0,
         }
     }
 
     /// Adds one raw observation.
+    #[inline]
     pub fn push(&mut self, x: f64) {
-        self.all.push(x);
-        self.current.push(x);
-        if self.current.count() == self.batch_size {
-            self.batches.push(self.current.mean());
-            self.current = Welford::new();
+        self.raw_count += 1;
+        self.raw_sum += x;
+        self.current_count += 1;
+        self.current_sum += x;
+        if self.current_count == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_count = 0;
+            self.current_sum = 0.0;
         }
     }
 
@@ -55,17 +69,17 @@ impl BatchMeans {
 
     /// Number of raw observations, including those in the open batch.
     pub fn raw_count(&self) -> u64 {
-        self.all.count()
+        self.raw_count
     }
 
-    /// Grand mean over *all* raw observations (not just closed batches).
+    /// Grand mean over *all* raw observations (not just closed batches);
+    /// 0.0 with no observations.
     pub fn mean(&self) -> f64 {
-        self.all.mean()
-    }
-
-    /// Accumulator over every raw observation.
-    pub fn raw(&self) -> &Welford {
-        &self.all
+        if self.raw_count == 0 {
+            0.0
+        } else {
+            self.raw_sum / self.raw_count as f64
+        }
     }
 
     /// 95 % confidence interval built from the completed batch means. The

@@ -24,12 +24,18 @@ pub enum RankPlacement {
     ByDepthDeepFirst,
 }
 
-/// Samples ranks `0..n` with Zipf-like probabilities via inverse-CDF binary
-/// search (O(log n) per draw after O(n) setup).
+/// Samples ranks `0..n` with Zipf-like probabilities via a Walker/Vose
+/// alias table: O(1) per draw after O(n) setup, one uniform variate per
+/// sample — the same RNG consumption as the inverse-CDF search it replaced,
+/// so other seeded streams are unperturbed.
 #[derive(Debug, Clone)]
 pub struct ZipfSelector {
-    /// Cumulative probabilities; `cdf[i]` = P(rank ≤ i). Last entry is 1.0.
-    cdf: Vec<f64>,
+    /// Exact per-rank probabilities (the paper's formula).
+    probs: Vec<f64>,
+    /// Alias table: a draw landing in column `i` yields rank `i` when its
+    /// fractional part is below `cut[i]`, else rank `alias[i]`.
+    cut: Vec<f64>,
+    alias: Vec<u32>,
     theta: f64,
 }
 
@@ -45,24 +51,55 @@ impl ZipfSelector {
             theta >= 0.0 && theta.is_finite(),
             "Zipf exponent must be non-negative and finite, got {theta}"
         );
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for i in 1..=n {
-            acc += (i as f64).powf(-theta);
-            cdf.push(acc);
+        assert!(
+            n <= u32::MAX as usize,
+            "rank count exceeds alias-table range"
+        );
+        let mut probs: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-theta)).collect();
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
         }
-        let total = acc;
-        for c in &mut cdf {
-            *c /= total;
+        // Vose's alias construction: pair each under-full column (scaled
+        // probability < 1) with an over-full one donating its excess.
+        let mut cut = vec![0.0; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut scaled: Vec<f64> = probs.iter().map(|p| p * n as f64).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
         }
-        // Guard against rounding keeping the last entry below 1.0.
-        *cdf.last_mut().expect("n > 0") = 1.0;
-        ZipfSelector { cdf, theta }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            cut[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Rounding leftovers: whichever stack drains last holds columns
+        // whose scaled mass is 1 up to float error — they keep themselves.
+        for i in small.into_iter().chain(large) {
+            cut[i as usize] = 1.0;
+        }
+        ZipfSelector {
+            probs,
+            cut,
+            alias,
+            theta,
+        }
     }
 
     /// Number of ranks.
     pub fn len(&self) -> usize {
-        self.cdf.len()
+        self.probs.len()
     }
 
     /// Always false: construction requires at least one rank. Present so
@@ -78,21 +115,22 @@ impl ZipfSelector {
 
     /// Probability of rank `i` (0-based).
     pub fn probability(&self, i: usize) -> f64 {
-        if i == 0 {
-            self.cdf[0]
-        } else {
-            self.cdf[i] - self.cdf[i - 1]
-        }
+        self.probs[i]
     }
 
     /// Draws a 0-based rank.
+    #[inline]
     pub fn sample(&self, rng: &mut StreamRng) -> usize {
         let u: f64 = rng.gen();
-        // partition_point returns the first index with cdf > u, i.e. the
-        // smallest rank whose cumulative probability exceeds the draw.
-        self.cdf
-            .partition_point(|&c| c <= u)
-            .min(self.cdf.len() - 1)
+        // One uniform drives both choices: the integer part picks the
+        // column, the fractional part decides column-vs-alias.
+        let x = u * self.probs.len() as f64;
+        let col = (x as usize).min(self.probs.len() - 1);
+        if x - (col as f64) < self.cut[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
     }
 }
 
@@ -185,6 +223,45 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_theta_panics() {
         ZipfSelector::new(4, -1.0);
+    }
+
+    #[test]
+    fn alias_table_encodes_exact_probabilities() {
+        // Reconstructing each rank's mass from the alias table must give
+        // back the paper's formula: column i contributes cut[i]/n to rank i
+        // and (1 - cut[i])/n to rank alias[i].
+        for theta in [0.0, 0.8, 1.3, 4.0] {
+            let n = 257; // deliberately not a power of two
+            let z = ZipfSelector::new(n, theta);
+            let mut reconstructed = vec![0.0f64; n];
+            for col in 0..n {
+                reconstructed[col] += z.cut[col] / n as f64;
+                reconstructed[z.alias[col] as usize] += (1.0 - z.cut[col]) / n as f64;
+            }
+            for (i, &mass) in reconstructed.iter().enumerate() {
+                assert!(
+                    (mass - z.probability(i)).abs() < 1e-12,
+                    "θ={theta} rank {i}: {mass} vs {}",
+                    z.probability(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_consumes_one_draw() {
+        // The alias sampler must draw exactly one f64 per sample, so the
+        // arrivals/churn streams sharing a master seed stay unperturbed.
+        let z = ZipfSelector::new(100, 0.8);
+        let mut a = stream_rng(5, "draws");
+        let mut b = stream_rng(5, "draws");
+        for _ in 0..1000 {
+            z.sample(&mut a);
+            let _: f64 = b.gen();
+        }
+        let next_a: f64 = a.gen();
+        let next_b: f64 = b.gen();
+        assert_eq!(next_a, next_b);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Determinism and queue-backend equivalence at experiment scale.
+//!
+//! The hot-path overhaul (dense FIFO clocks, pooled path buffers, alias
+//! Zipf sampling, bucketed event queue) must not change *what* the
+//! simulator computes, only how fast. Two guarantees are pinned here:
+//!
+//! 1. **Golden determinism** — identical seeds produce bit-identical
+//!    `RunReport`s, run to run and against golden values recorded when
+//!    this suite was written. A change to any seeded stream (topology,
+//!    arrivals, Zipf, churn, latency) shows up as a diff here and must be
+//!    deliberate.
+//! 2. **Backend equivalence** — the heap and bucketed (calendar) event
+//!    queues obey the same `(time, seq)` contract, so PCX, CUP, and DUP
+//!    produce byte-identical reports on either backend at Bench scale,
+//!    including under churn.
+
+use dup_p2p::harness::{HarnessOpts, Scale, SchemeKind};
+use dup_p2p::proto::{ChurnConfig, ProbeSink, QueueBackendConfig, RunReport};
+
+fn run(cfg: &dup_p2p::proto::RunConfig, kind: SchemeKind) -> RunReport {
+    dup_p2p::core::run_simulation_kind(cfg, kind, ProbeSink::disabled())
+}
+
+fn canonical_json(report: &RunReport) -> String {
+    serde_json::to_string(report).expect("reports serialize")
+}
+
+#[test]
+fn backends_agree_for_all_schemes_at_bench_scale() {
+    let opts = HarnessOpts {
+        scale: Scale::Bench,
+        seed: 20_0805,
+        ..HarnessOpts::default()
+    };
+    let mut heap_cfg = opts.scale.base_config(opts.seed);
+    heap_cfg.churn = Some(ChurnConfig::balanced(0.02));
+    let mut bucket_cfg = heap_cfg.clone();
+    bucket_cfg.queue.backend = QueueBackendConfig::Bucketed;
+    assert_eq!(heap_cfg.queue.backend, QueueBackendConfig::Heap);
+    for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
+        let heap = run(&heap_cfg, kind);
+        let bucketed = run(&bucket_cfg, kind);
+        assert_eq!(
+            canonical_json(&heap),
+            canonical_json(&bucketed),
+            "{kind:?}: queue backend changed the simulation"
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_give_bit_identical_reports() {
+    let cfg = Scale::Bench.base_config(99);
+    for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
+        let a = run(&cfg, kind);
+        let b = run(&cfg, kind);
+        assert_eq!(canonical_json(&a), canonical_json(&b), "{kind:?} differs");
+        // Float equality must hold at the bit level, not just display.
+        assert_eq!(a.latency_hops.mean.to_bits(), b.latency_hops.mean.to_bits());
+        assert_eq!(a.avg_query_cost.to_bits(), b.avg_query_cost.to_bits());
+    }
+}
+
+/// Golden values recorded from the current implementation. These pin the
+/// exact event/query streams: any change to the seeded RNG consumption,
+/// event ordering, or workload sampling fails loudly here. When a change
+/// is *intentional* (e.g. a new sampling algorithm), re-record via:
+///
+/// ```text
+/// cargo test -p dup-p2p --test perf_determinism -- --nocapture golden
+/// ```
+///
+/// and update the constants.
+#[test]
+fn golden_report_values_are_stable() {
+    let cfg = Scale::Bench.base_config(424_242);
+    let dup = run(&cfg, SchemeKind::Dup);
+    let pcx = run(&cfg, SchemeKind::Pcx);
+    println!(
+        "golden: dup events={} queries={} latency_bits={:#x} cost_bits={:#x} peak={}",
+        dup.events,
+        dup.queries,
+        dup.latency_hops.mean.to_bits(),
+        dup.avg_query_cost.to_bits(),
+        dup.peak_queue_depth,
+    );
+    println!(
+        "golden: pcx events={} queries={} latency_bits={:#x} cost_bits={:#x} peak={}",
+        pcx.events,
+        pcx.queries,
+        pcx.latency_hops.mean.to_bits(),
+        pcx.avg_query_cost.to_bits(),
+        pcx.peak_queue_depth,
+    );
+    assert_eq!(dup.events, GOLDEN_DUP.0, "DUP event count drifted");
+    assert_eq!(dup.queries, GOLDEN_DUP.1, "DUP query count drifted");
+    assert_eq!(
+        dup.latency_hops.mean.to_bits(),
+        GOLDEN_DUP.2,
+        "DUP latency drifted"
+    );
+    assert_eq!(
+        dup.avg_query_cost.to_bits(),
+        GOLDEN_DUP.3,
+        "DUP cost drifted"
+    );
+    assert_eq!(dup.peak_queue_depth, GOLDEN_DUP.4, "DUP peak depth drifted");
+    assert_eq!(pcx.events, GOLDEN_PCX.0, "PCX event count drifted");
+    assert_eq!(pcx.queries, GOLDEN_PCX.1, "PCX query count drifted");
+    assert_eq!(
+        pcx.latency_hops.mean.to_bits(),
+        GOLDEN_PCX.2,
+        "PCX latency drifted"
+    );
+    assert_eq!(
+        pcx.avg_query_cost.to_bits(),
+        GOLDEN_PCX.3,
+        "PCX cost drifted"
+    );
+    assert_eq!(pcx.peak_queue_depth, GOLDEN_PCX.4, "PCX peak depth drifted");
+}
+
+/// (events, queries, latency_hops.mean bits, avg_query_cost bits, peak
+/// queue depth) for `Scale::Bench.base_config(424_242)`.
+const GOLDEN_DUP: (u64, u64, u64, u64, u64) =
+    (13_320, 7_914, 0x3f9e47091f3f775d, 0x3fbe1da16a4b6f57, 49);
+const GOLDEN_PCX: (u64, u64, u64, u64, u64) =
+    (13_461, 7_914, 0x3fb8195c5208ab50, 0x3fc8195c5208ab50, 7);
