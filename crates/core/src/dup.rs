@@ -46,12 +46,76 @@ struct DupNode {
 #[derive(Debug, Clone, Default)]
 pub struct DupScheme {
     nodes: Vec<DupNode>,
+    /// When `Some`, a lease epoch is open: every subscriber-list entry
+    /// confirmed by keep-alive traffic is recorded here as `(owner, entry)`,
+    /// and [`DupScheme::end_lease_epoch`] sweeps the rest.
+    lease: Option<std::collections::HashSet<(NodeId, NodeId)>>,
+    /// Fault-injection mutation switch (see
+    /// [`DupScheme::set_break_substitute_merge`]).
+    break_substitute_merge: bool,
 }
 
 impl DupScheme {
     /// Creates the scheme.
     pub fn new() -> Self {
         DupScheme::default()
+    }
+
+    /// Deliberately breaks the `substitute` merge rule: instead of merging
+    /// the replacement into the existing list (no-op when the old entry is
+    /// already gone, deduplicate when the new entry is already present), the
+    /// broken handler applies the substitution blindly — so a substitute
+    /// that was duplicated in transit, or that lost a race against a
+    /// subscribe cascade which already installed the replacement, leaves a
+    /// duplicate or stale entry behind. This is a **mutation switch for
+    /// verifying the verifier** — the fuzz harness flips it to confirm the
+    /// invariant/oracle layer actually catches broken maintenance. Never
+    /// enable it in an experiment.
+    pub fn set_break_substitute_merge(&mut self, broken: bool) {
+        self.break_substitute_merge = broken;
+    }
+
+    /// Opens a lease epoch: from now until [`DupScheme::end_lease_epoch`],
+    /// the scheme records which subscriber-list entries are confirmed by
+    /// subscription keep-alives ([`DupScheme::reassert`] cascades). This
+    /// models the paper's soft-state keep-alive messages: entries are leases
+    /// that must be renewed, so upstream state orphaned by lost
+    /// `unsubscribe`/`substitute` messages eventually expires.
+    pub fn begin_lease_epoch(&mut self) {
+        self.lease = Some(std::collections::HashSet::new());
+    }
+
+    /// Closes the lease epoch opened by [`DupScheme::begin_lease_epoch`]:
+    /// every entry that is dead or went unconfirmed during the epoch is
+    /// expired, with the usual resync cascade informing upstream nodes. A
+    /// no-op when no epoch is open.
+    pub fn end_lease_epoch(&mut self, ctx: &mut Ctx<'_, DupMsg>) {
+        let touched = match self.lease.take() {
+            Some(t) => t,
+            None => return,
+        };
+        let live: Vec<NodeId> = ctx.tree().live_nodes().collect();
+        for node in live {
+            let expired: Vec<NodeId> = self
+                .s_list(node)
+                .iter()
+                .copied()
+                .filter(|&e| !ctx.tree().is_alive(e) || !touched.contains(&(node, e)))
+                .collect();
+            if expired.is_empty() {
+                continue;
+            }
+            self.with_resync(ctx, node, |list| {
+                list.retain(|e| !expired.contains(e));
+            });
+        }
+    }
+
+    /// Records `(node, entry)` as renewed within the open lease epoch.
+    fn mark_lease(&mut self, node: NodeId, entry: NodeId) {
+        if let Some(touched) = self.lease.as_mut() {
+            touched.insert((node, entry));
+        }
     }
 
     fn slot(&mut self, node: NodeId) -> &mut Vec<NodeId> {
@@ -168,7 +232,12 @@ impl DupScheme {
     /// failures (the virtual-path analogue of the paper's keep-alive
     /// messages to the authority).
     pub fn reassert(&mut self, ctx: &mut Ctx<'_, DupMsg>, node: NodeId) {
-        if !self.is_subscribed(node) || node == ctx.root() {
+        if !self.is_subscribed(node) {
+            return;
+        }
+        // The node's own entry is its subscription — it renews itself.
+        self.mark_lease(node, node);
+        if node == ctx.root() {
             return;
         }
         if let Some(parent) = ctx.tree().parent(node) {
@@ -331,6 +400,13 @@ impl DupScheme {
         self.slot(node).push(entry);
     }
 
+    /// Test-only: wipes a node's subscriber list without any cascade —
+    /// simulates upstream state orphaned by wholesale message loss.
+    #[cfg(test)]
+    pub(crate) fn test_clear_list(&mut self, node: NodeId) {
+        self.slot(node).clear();
+    }
+
     /// Nodes currently receiving pushes, discovered by walking entry edges
     /// from the root (relay fan-out nodes included). Also used by audits.
     pub fn push_set(&self, tree: &SearchTree) -> Vec<NodeId> {
@@ -423,6 +499,14 @@ impl Scheme for DupScheme {
                     return;
                 }
                 if let Some(covering) = self.covering_entry(ctx.tree(), to, subject) {
+                    // The assertion renews the lease on the entry it names.
+                    // A merely-covering ancestor entry is NOT renewed: if it
+                    // is a real fan-out (or subscriber) its own cascade will
+                    // re-assert it this epoch; if not, it is stale and must
+                    // expire.
+                    if covering == subject {
+                        self.mark_lease(to, covering);
+                    }
                     // Already covered: this virtual-path segment is intact,
                     // but a re-asserted subscription (failure repair, §III-C
                     // cases 3/4, or a keep-alive round) may be healing a
@@ -447,6 +531,7 @@ impl Scheme for DupScheme {
                     }
                     return;
                 }
+                self.mark_lease(to, subject);
                 self.subsuming_add(ctx, to, subject);
             }
             // Figure 3 event (E).
@@ -455,6 +540,18 @@ impl Scheme for DupScheme {
             }
             // Figure 3 event (C).
             DupMsg::Substitute { old, new } => {
+                if self.break_substitute_merge {
+                    // Deliberately broken variant (see
+                    // `set_break_substitute_merge`): apply the substitution
+                    // blindly instead of merging it into existing state. A
+                    // duplicated or late substitute then inserts `new` a
+                    // second time (or resurrects it after a raced removal).
+                    self.with_resync(ctx, to, |list| {
+                        list.retain(|&e| e != old);
+                        list.push(new);
+                    });
+                    return;
+                }
                 self.with_resync(ctx, to, |list| {
                     if let Some(pos) = list.iter().position(|&e| e == old) {
                         if list.contains(&new) {

@@ -53,8 +53,10 @@
 pub mod audit;
 pub mod dup;
 pub mod kind;
+pub mod oracle;
 pub mod testkit;
 
 pub use audit::{audit_quiescent, AuditError};
 pub use dup::{DupMsg, DupScheme};
 pub use kind::{run_simulation_kind, SchemeKind};
+pub use oracle::{check_tree_invariants, InvariantReport, OracleMismatch};

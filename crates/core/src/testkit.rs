@@ -7,7 +7,7 @@
 //! protocol API.
 
 use dup_overlay::{NodeId, SearchTree};
-use dup_proto::scheme::{AppliedChurn, Ctx, Ev, FifoClocks, Msg, Scheme, World};
+use dup_proto::scheme::{AppliedChurn, Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
 use dup_proto::{AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, ProbeSink};
 use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
 use dup_workload::HopLatency;
@@ -45,6 +45,7 @@ impl<S: Scheme> TestBench<S> {
             latency_rng: stream_rng(0xBE7C, "testkit-latency"),
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
+            faults: FaultState::disabled(),
             tree,
         };
         TestBench {

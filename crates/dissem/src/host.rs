@@ -3,7 +3,7 @@
 //! publishing, instead of the query-workload runner.
 
 use dup_overlay::{NodeId, SearchTree};
-use dup_proto::scheme::{Ctx, Ev, FifoClocks, Msg, Scheme, World};
+use dup_proto::scheme::{Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
 use dup_proto::{
     AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, MsgClass, ProbeEvent,
     ProbeSink,
@@ -42,6 +42,7 @@ impl<S: Scheme> TopicHost<S> {
             latency_rng: stream_rng(seed, &format!("dissem-latency/{label}")),
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe: ProbeSink::disabled(),
+            faults: FaultState::disabled(),
             tree,
         };
         TopicHost {

@@ -10,6 +10,9 @@
 //!               or `bench-report`: time the simulation core per scheme ×
 //!               queue backend and write BENCH_scheme_sim.json (to --out
 //!               DIR, or the current directory)
+//!               or `fuzz`: run seeded fault-injection scenarios per scheme
+//!               and verify each against the invariant/oracle layer (see
+//!               EXPERIMENTS.md); exits nonzero when any scenario fails
 //!
 //! OPTIONS
 //!   --full           paper-scale runs (n=4096, 180000 s windows)
@@ -25,6 +28,14 @@
 //!   --trace-scheme <pcx|cup|dup>   scheme traced by --trace (default dup)
 //!   --trace-sample <secs>          time-series sample interval (default 600)
 //!   --bench-reps <n>    timed repetitions per bench-report cell (default 5)
+//!   --fuzz-seeds <n>    scenarios per scheme for `fuzz` (default 16; seeds
+//!                       derive from --seed)
+//!   --fuzz-seed <u64>   replay exactly one scenario seed (as printed by a
+//!                       failing campaign) instead of a full seed set
+//!   --fuzz-scheme <pcx|cup|dup>   restrict `fuzz` to one scheme
+//!                                 (default: all three)
+//!   --fuzz-mutate       enable the deliberately broken substitute-merge
+//!                       rule, to demonstrate the harness catches it
 //! ```
 
 use std::io::Write as _;
@@ -42,6 +53,10 @@ fn main() -> ExitCode {
     let mut trace_scheme = SchemeKind::Dup;
     let mut trace_sample = 600.0;
     let mut bench_reps = 5usize;
+    let mut fuzz_seeds = 16usize;
+    let mut fuzz_seed: Option<u64> = None;
+    let mut fuzz_scheme: Option<SchemeKind> = None;
+    let mut fuzz_mutate = false;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +96,20 @@ fn main() -> ExitCode {
                 Some(reps) if reps >= 1 => bench_reps = reps,
                 _ => return usage("--bench-reps needs a positive integer"),
             },
+            "--fuzz-seeds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => fuzz_seeds = n,
+                _ => return usage("--fuzz-seeds needs a positive integer"),
+            },
+            "--fuzz-seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => fuzz_seed = Some(seed),
+                None => return usage("--fuzz-seed needs an integer"),
+            },
+            "--fuzz-scheme" => match args.next().map(|s| s.parse()) {
+                Some(Ok(kind)) => fuzz_scheme = Some(kind),
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--fuzz-scheme needs pcx, cup, or dup"),
+            },
+            "--fuzz-mutate" => fuzz_mutate = true,
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown option {other}"));
@@ -108,6 +137,30 @@ fn main() -> ExitCode {
         }
         // Like --trace, bench-report stands alone unless experiments were
         // also requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if selected.iter().any(|s| s == "fuzz") {
+        selected.retain(|s| s != "fuzz");
+        match run_fuzz_cmd(
+            &opts,
+            fuzz_seeds,
+            fuzz_seed,
+            fuzz_scheme,
+            fuzz_mutate,
+            out_dir.as_deref(),
+        ) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::FAILURE,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Like --trace, fuzz stands alone unless experiments were also
+        // requested.
         if selected.is_empty() {
             return ExitCode::SUCCESS;
         }
@@ -190,6 +243,50 @@ fn run_bench_report(
     Ok(())
 }
 
+/// Runs a seeded fault-injection fuzz campaign (or a single-seed replay)
+/// and verifies every scenario; returns `Ok(true)` when all passed. Writes
+/// `FUZZ_report.json` when `--out` is given.
+fn run_fuzz_cmd(
+    opts: &HarnessOpts,
+    fuzz_seeds: usize,
+    fuzz_seed: Option<u64>,
+    fuzz_scheme: Option<SchemeKind>,
+    mutate: bool,
+    out_dir: Option<&std::path::Path>,
+) -> Result<bool, String> {
+    let schemes: Vec<SchemeKind> = match fuzz_scheme {
+        Some(kind) => vec![kind],
+        None => SchemeKind::ALL.to_vec(),
+    };
+    let started = std::time::Instant::now();
+    let report = match fuzz_seed {
+        // Replay one printed scenario seed exactly.
+        Some(seed) => dup_harness::FuzzReport {
+            master_seed: opts.seed,
+            scenarios: schemes
+                .iter()
+                .map(|&kind| dup_harness::run_scenario(kind, seed, mutate))
+                .collect(),
+        },
+        None => dup_harness::run_fuzz(opts.seed, fuzz_seeds, &schemes, mutate),
+    };
+    print!("{}", dup_harness::render_fuzz_report(&report));
+    if mutate {
+        println!("(--fuzz-mutate active: failures above prove the harness catches corruption)");
+    }
+    println!("(fuzz finished in {:.1?})\n", started.elapsed());
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let path = dir.join("FUZZ_report.json");
+        let doc = serde_json::to_string_pretty(&report).expect("fuzz report serializes");
+        std::fs::write(&path, doc + "\n")
+            .map_err(|e| format!("write {} failed: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(report.failures().is_empty())
+}
+
 /// Runs one probed simulation at the configured scale and streams every
 /// probe event to `path` as JSON Lines.
 fn run_trace(
@@ -226,7 +323,9 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: dup-experiments [--full|--bench-scale] [--seed N] [--jobs N] [--reps N] \
          [--out DIR] [--trace FILE] [--trace-scheme pcx|cup|dup] [--trace-sample SECS] \
-         [--bench-reps N] [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report]..."
+         [--bench-reps N] [--fuzz-seeds N] [--fuzz-seed N] [--fuzz-scheme pcx|cup|dup] \
+         [--fuzz-mutate] \
+         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

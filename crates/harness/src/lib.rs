@@ -27,6 +27,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fuzz;
 pub mod report;
 pub mod table2;
 pub mod table3;
@@ -35,5 +36,9 @@ pub use benchreport::{bench_report, render_text as render_bench_report, BenchRep
 pub use experiment::{
     all_experiments, experiment_by_name, run_parallel, run_triple, run_triple_replicated,
     ExperimentOutput, HarnessOpts, Scale, SchemeKind, Triple,
+};
+pub use fuzz::{
+    render_fuzz_report, run_fuzz, run_scenario, scenario_config, scenario_seeds, FuzzReport,
+    ScenarioResult,
 };
 pub use report::TextTable;

@@ -113,6 +113,82 @@ impl ChurnConfig {
     }
 }
 
+/// A half-open window of simulated time `[start_secs, end_secs)` during
+/// which fault injection is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Window start (simulated seconds).
+    pub start_secs: f64,
+    /// Window end (simulated seconds, exclusive).
+    pub end_secs: f64,
+}
+
+impl FaultWindow {
+    /// True when `at_secs` falls inside the window.
+    pub fn contains(&self, at_secs: f64) -> bool {
+        at_secs >= self.start_secs && at_secs < self.end_secs
+    }
+}
+
+/// Deterministic fault-injection configuration (disabled by default).
+///
+/// When enabled, every message passing through the delivery path draws its
+/// fate from a dedicated seeded stream (`stream_rng(seed, "faults")`): it
+/// may be dropped, duplicated, or held back by an extra delay. Extra delays
+/// are applied *before* the per-channel FIFO reservation, so channels stay
+/// FIFO (as over TCP) — faults reorder traffic across channels, never
+/// within one. `churn_boost` scales the churn rate inside the windows,
+/// scripting bursts of topology change.
+///
+/// With the default configuration the fault layer draws **nothing** from
+/// any RNG stream and changes no behavior, so the determinism goldens in
+/// `tests/perf_determinism.rs` are unaffected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability a message is silently dropped in transit.
+    pub drop_p: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_p: f64,
+    /// Probability a message is held back by an extra uniform delay.
+    pub delay_p: f64,
+    /// Upper bound of the extra delay (simulated seconds).
+    pub max_extra_delay_secs: f64,
+    /// Multiplier applied to the churn rate while a window is active
+    /// (`1.0` = no boost); scripts churn bursts.
+    pub churn_boost: f64,
+    /// Windows during which faults apply. Empty (the default) means the
+    /// whole run — but with all probabilities at zero and `churn_boost` at
+    /// one, the layer is inert either way.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            delay_p: 0.0,
+            max_extra_delay_secs: 0.0,
+            churn_boost: 1.0,
+            windows: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when this configuration can affect a run at all. The runner
+    /// skips every fault check (and every RNG draw) when false.
+    pub fn is_enabled(&self) -> bool {
+        self.drop_p > 0.0 || self.duplicate_p > 0.0 || self.delay_p > 0.0 || self.churn_boost != 1.0
+    }
+
+    /// True when faults apply at `at_secs`: inside any window, or always
+    /// when no windows are configured.
+    pub fn active_at(&self, at_secs: f64) -> bool {
+        self.windows.is_empty() || self.windows.iter().any(|w| w.contains(at_secs))
+    }
+}
+
 /// Observability configuration for a run.
 ///
 /// Controls only the *periodic sampling* schedule; whether any events are
@@ -211,6 +287,10 @@ pub struct RunConfig {
     /// absent from older serialized configs).
     #[serde(default)]
     pub queue: QueueConfig,
+    /// Deterministic fault injection (defaults to disabled; absent from
+    /// older serialized configs).
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl RunConfig {
@@ -232,6 +312,7 @@ impl RunConfig {
             max_events: None,
             probe: ProbeConfig::default(),
             queue: QueueConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 
@@ -303,6 +384,39 @@ impl RunConfig {
             self.probe.sample_every_secs >= 0.0,
             "probe sample interval must be non-negative"
         );
+        let f = &self.faults;
+        for (name, p) in [
+            ("drop", f.drop_p),
+            ("duplicate", f.duplicate_p),
+            ("delay", f.delay_p),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "fault {name} probability must be in [0,1]"
+            );
+        }
+        assert!(
+            f.drop_p + f.duplicate_p + f.delay_p <= 1.0,
+            "fault probabilities must sum to at most 1"
+        );
+        assert!(
+            f.max_extra_delay_secs >= 0.0 && f.max_extra_delay_secs.is_finite(),
+            "fault extra delay must be non-negative and finite"
+        );
+        assert!(
+            f.delay_p == 0.0 || f.max_extra_delay_secs > 0.0,
+            "fault delay probability needs a positive max extra delay"
+        );
+        assert!(
+            f.churn_boost > 0.0 && f.churn_boost.is_finite(),
+            "fault churn boost must be positive and finite"
+        );
+        for w in &f.windows {
+            assert!(
+                w.start_secs >= 0.0 && w.end_secs > w.start_secs,
+                "fault window must satisfy 0 <= start < end"
+            );
+        }
     }
 }
 
@@ -417,6 +531,12 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Replaces the fault-injection configuration.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Panics
@@ -518,6 +638,92 @@ mod tests {
         assert!(!json.contains("probe"), "field not stripped: {json}");
         let back: RunConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.probe.sample_every_secs, 0.0);
+    }
+
+    #[test]
+    fn fault_config_defaults_off_and_deserializes_when_absent() {
+        let d = FaultConfig::default();
+        assert!(!d.is_enabled());
+        assert!(d.active_at(0.0), "no windows means always in-window");
+        // A config serialized before the faults field existed still loads.
+        let mut json = serde_json::to_string(&RunConfig::quick(1)).unwrap();
+        let needle = format!(",\"faults\":{}", serde_json::to_string(&d).unwrap());
+        json = json.replace(&needle, "");
+        assert!(!json.contains("faults"), "field not stripped: {json}");
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, FaultConfig::default());
+    }
+
+    #[test]
+    fn fault_windows_gate_activity() {
+        let f = FaultConfig {
+            drop_p: 0.1,
+            windows: vec![
+                FaultWindow {
+                    start_secs: 100.0,
+                    end_secs: 200.0,
+                },
+                FaultWindow {
+                    start_secs: 500.0,
+                    end_secs: 600.0,
+                },
+            ],
+            ..FaultConfig::default()
+        };
+        assert!(f.is_enabled());
+        assert!(!f.active_at(99.9));
+        assert!(f.active_at(100.0));
+        assert!(f.active_at(199.9));
+        assert!(!f.active_at(200.0), "windows are half-open");
+        assert!(f.active_at(550.0));
+        assert!(!f.active_at(1000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault drop probability")]
+    fn out_of_range_fault_probability_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.faults.drop_p = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn fault_probabilities_must_partition() {
+        let mut c = RunConfig::quick(0);
+        c.faults.drop_p = 0.6;
+        c.faults.duplicate_p = 0.6;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fault window")]
+    fn inverted_fault_window_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.faults.windows.push(FaultWindow {
+            start_secs: 10.0,
+            end_secs: 5.0,
+        });
+        c.validate();
+    }
+
+    #[test]
+    fn builder_sets_faults() {
+        let cfg = RunConfig::builder(0)
+            .faults(FaultConfig {
+                drop_p: 0.05,
+                duplicate_p: 0.02,
+                delay_p: 0.1,
+                max_extra_delay_secs: 2.0,
+                churn_boost: 4.0,
+                windows: vec![FaultWindow {
+                    start_secs: 0.0,
+                    end_secs: 1000.0,
+                }],
+            })
+            .build();
+        assert!(cfg.faults.is_enabled());
+        assert_eq!(cfg.faults.windows.len(), 1);
     }
 
     #[test]

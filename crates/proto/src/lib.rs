@@ -51,8 +51,8 @@ pub mod scheme;
 
 pub use cache::CacheStore;
 pub use config::{
-    ArrivalKind, ChurnConfig, ProbeConfig, ProtocolConfig, QueueBackendConfig, QueueConfig,
-    RunConfig, RunConfigBuilder, StopRule, TopologySource,
+    ArrivalKind, ChurnConfig, FaultConfig, FaultWindow, ProbeConfig, ProtocolConfig,
+    QueueBackendConfig, QueueConfig, RunConfig, RunConfigBuilder, StopRule, TopologySource,
 };
 pub use cup::{CupPushPolicy, CupScheme};
 pub use index::{AuthorityClock, IndexRecord, Version};
@@ -63,5 +63,5 @@ pub use pcx::PcxScheme;
 pub use probe::{
     CaptureProbe, JsonlProbe, ProbeEvent, ProbeSink, SubscriberStats, TraceLine, TraceSample,
 };
-pub use runner::{run_simulation, run_simulation_probed, LiveSetError, Runner};
-pub use scheme::{AppliedChurn, Ctx, Ev, FifoClocks, Msg, Scheme, World};
+pub use runner::{run_simulation, run_simulation_probed, LiveSetError, Runner, SettledRun};
+pub use scheme::{AppliedChurn, Ctx, Ev, FaultState, FaultStats, FifoClocks, Msg, Scheme, World};

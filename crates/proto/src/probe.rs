@@ -116,6 +116,37 @@ pub enum ProbeEvent {
         /// True for an announced leave, false for a silent failure.
         graceful: bool,
     },
+    /// The fault layer dropped a message in transit (the hop was still
+    /// charged: the sender paid for a send that was lost).
+    FaultDrop {
+        /// Sending node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Cost class of the lost message.
+        class: MsgClass,
+    },
+    /// The fault layer delivered a second copy of a message.
+    FaultDuplicate {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Cost class of the duplicated message.
+        class: MsgClass,
+    },
+    /// The fault layer held a message back by an extra delay (channels stay
+    /// FIFO; the delay reorders traffic across channels only).
+    FaultDelay {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Cost class of the delayed message.
+        class: MsgClass,
+        /// Extra transit time added on top of the sampled hop latency.
+        extra_secs: f64,
+    },
     /// A periodic time-series sample (see [`TraceSample`]).
     Sample(TraceSample),
 }
@@ -414,6 +445,22 @@ mod tests {
                 tree_size: 3,
                 mean_list_len: 1.5,
             }),
+            ProbeEvent::FaultDrop {
+                from: NodeId(1),
+                to: NodeId(2),
+                class: MsgClass::Control,
+            },
+            ProbeEvent::FaultDuplicate {
+                from: NodeId(3),
+                to: NodeId(4),
+                class: MsgClass::Push,
+            },
+            ProbeEvent::FaultDelay {
+                from: NodeId(5),
+                to: NodeId(6),
+                class: MsgClass::Request,
+                extra_secs: 1.25,
+            },
         ];
         for e in events {
             let json = serde_json::to_string(&e).unwrap();

@@ -27,7 +27,7 @@ use crate::interest::InterestTracker;
 use crate::ledger::MsgClass;
 use crate::metrics::{Metrics, RunReport};
 use crate::probe::{ProbeEvent, ProbeSink, TraceSample};
-use crate::scheme::{send_msg, AppliedChurn, Ctx, Ev, FifoClocks, Msg, Scheme, World};
+use crate::scheme::{send_msg, AppliedChurn, Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
 
 /// Runs one simulation to completion and returns its report.
 pub fn run_simulation<S: Scheme>(cfg: &RunConfig, scheme: S) -> RunReport {
@@ -166,6 +166,24 @@ pub struct Runner<S: Scheme> {
     /// Periodic time-series samples collected so far (see [`Ev::Sample`]).
     samples: Vec<TraceSample>,
     pool: PathPool,
+    /// True during the post-horizon settle phase of [`Runner::run_settled`]:
+    /// only message deliveries are processed; every periodic driver
+    /// (queries, refreshes, churn, samples, interest checks) is skipped and
+    /// not rescheduled, so the event set drains to quiescence.
+    settling: bool,
+}
+
+/// The outcome of [`Runner::run_settled`]: the ordinary report plus the
+/// final protocol state, quiesced and ready for invariant audits and the
+/// differential oracle.
+pub struct SettledRun<S: Scheme> {
+    /// The run's report, identical to what [`Runner::run`] would return
+    /// (metrics are finalized *before* the settle phase).
+    pub report: RunReport,
+    /// The scheme's final state after settling.
+    pub scheme: S,
+    /// The shared world after settling.
+    pub world: World,
 }
 
 impl<S: Scheme> Runner<S> {
@@ -204,6 +222,7 @@ impl<S: Scheme> Runner<S> {
             latency_rng: stream_rng(seed, "hop-latency"),
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
+            faults: FaultState::from_config(cfg.faults.clone(), stream_rng(seed, "faults")),
             tree,
         };
         let arrivals = match cfg.arrivals {
@@ -230,6 +249,7 @@ impl<S: Scheme> Runner<S> {
             scheme,
             samples: Vec::new(),
             pool: PathPool::default(),
+            settling: false,
         }
     }
 
@@ -274,6 +294,52 @@ impl<S: Scheme> Runner<S> {
     /// Runs to the horizon (or early CI convergence) and reports.
     pub fn run(mut self) -> RunReport {
         let mut engine: Engine<Ev<S::Msg>> = Engine::with_queue(self.build_queue());
+        self.run_main(&mut engine)
+    }
+
+    /// Like [`Runner::run`], but after the horizon it disarms the fault
+    /// layer, drains every in-flight message, and hands the scheme to
+    /// `heal` for `heal_phases` rounds of recovery traffic (the event set
+    /// is drained to quiescence after each call). Returns the report
+    /// together with the final state so callers can audit it.
+    ///
+    /// The report is finalized *before* settling, so it matches what
+    /// [`Runner::run`] would have returned; settle/heal traffic affects
+    /// only the returned state, never the metrics.
+    pub fn run_settled<F>(mut self, heal_phases: usize, mut heal: F) -> SettledRun<S>
+    where
+        F: FnMut(&mut S, &mut Ctx<'_, S::Msg>, usize),
+    {
+        let mut engine: Engine<Ev<S::Msg>> = Engine::with_queue(self.build_queue());
+        let report = self.run_main(&mut engine);
+        self.settling = true;
+        self.world.faults.disarm();
+        // Push the horizon out far enough that every queued event —
+        // in-flight deliveries and TTL-scale timers alike — is popped
+        // (timers are skipped without rescheduling while settling).
+        engine.set_horizon(engine.now() + SimDuration::from_secs_f64(1e9));
+        engine.run(|eng, ev| self.handle(eng, ev));
+        for phase in 0..heal_phases {
+            {
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    engine: &mut engine,
+                };
+                heal(&mut self.scheme, &mut ctx, phase);
+            }
+            engine.run(|eng, ev| self.handle(eng, ev));
+        }
+        SettledRun {
+            report,
+            scheme: self.scheme,
+            world: self.world,
+        }
+    }
+
+    /// Schedules the standing drivers and runs the main event loop to the
+    /// horizon, returning the finalized report. Shared by [`Runner::run`]
+    /// and [`Runner::run_settled`].
+    fn run_main(&mut self, engine: &mut Engine<Ev<S::Msg>>) -> RunReport {
         engine.set_horizon(self.horizon);
         if let Some(limit) = self.cfg.max_events {
             engine.set_event_limit(limit);
@@ -281,7 +347,7 @@ impl<S: Scheme> Runner<S> {
         {
             let mut ctx = Ctx {
                 world: &mut self.world,
-                engine: &mut engine,
+                engine: &mut *engine,
             };
             self.scheme.init(&mut ctx);
         }
@@ -290,7 +356,7 @@ impl<S: Scheme> Runner<S> {
         let first_gap = self.arrivals.next_gap(&mut self.arrivals_rng);
         engine.schedule(SimTime::ZERO + first_gap, Ev::NextQuery);
         if self.cfg.churn.is_some() {
-            let gap = self.next_churn_gap();
+            let gap = self.next_churn_gap(SimTime::ZERO);
             engine.schedule(SimTime::ZERO + gap, Ev::Churn);
         }
         if self.cfg.probe.sample_every_secs > 0.0 {
@@ -336,6 +402,11 @@ impl<S: Scheme> Runner<S> {
     }
 
     fn handle(&mut self, eng: &mut Engine<Ev<S::Msg>>, ev: Ev<S::Msg>) {
+        if self.settling && !matches!(ev, Ev::Deliver { .. }) {
+            // Settle phase: periodic drivers are retired, not rescheduled;
+            // only in-flight (and heal) messages still deliver.
+            return;
+        }
         match ev {
             Ev::NextQuery => {
                 let origin = self.sample_origin();
@@ -457,7 +528,7 @@ impl<S: Scheme> Runner<S> {
             }
             Ev::Churn => {
                 self.apply_churn(eng);
-                let gap = self.next_churn_gap();
+                let gap = self.next_churn_gap(eng.now());
                 eng.schedule_after(gap, Ev::Churn);
             }
             Ev::Sample => {
@@ -692,14 +763,21 @@ impl<S: Scheme> Runner<S> {
         self.pool.put(remaining);
     }
 
-    fn next_churn_gap(&mut self) -> SimDuration {
-        let rate = self.cfg.churn.expect("churn event without config").rate;
+    /// The gap to the next churn event. The fault layer's scripted windows
+    /// boost the rate while active (same draw count either way, so the
+    /// churn stream stays aligned with unboosted runs).
+    fn next_churn_gap(&mut self, now: SimTime) -> SimDuration {
+        let rate = self.cfg.churn.expect("churn event without config").rate
+            * self.world.faults.churn_rate_factor(now.as_secs_f64());
         SimDuration::from_secs_f64(exp_variate(&mut self.churn_rng, rate))
     }
 
     fn apply_churn(&mut self, eng: &mut Engine<Ev<S::Msg>>) {
         let cfg = self.cfg.churn.expect("churn event without config");
-        let change = match self.pick_churn_op(&cfg) {
+        let change = self
+            .pick_churn_op(&cfg)
+            .unwrap_or_else(|e| panic!("churn bookkeeping out of sync: {e}"));
+        let change = match change {
             Some(change) => change,
             None => return,
         };
@@ -722,15 +800,17 @@ impl<S: Scheme> Runner<S> {
         self.scheme.on_churn(&mut ctx, &change);
     }
 
-    /// Chooses and applies one topology change; returns its description.
-    fn pick_churn_op(&mut self, cfg: &ChurnConfig) -> Option<AppliedChurn> {
+    /// Chooses and applies one topology change; returns its description, or
+    /// an error when the live-set bookkeeping disagrees with the tree (a
+    /// model bug, surfaced instead of swallowed).
+    fn pick_churn_op(&mut self, cfg: &ChurnConfig) -> Result<Option<AppliedChurn>, LiveSetError> {
         let total = cfg.weight_total();
         let draw: f64 = self.churn_rng.gen::<f64>() * total;
         if draw < cfg.w_join_leaf {
             let parent = self.live.sample(&mut self.churn_rng);
             let joined = self.world.tree.add_leaf(parent);
             self.admit(joined);
-            Some(AppliedChurn {
+            Ok(Some(AppliedChurn {
                 removed: None,
                 graceful: true,
                 replacement: None,
@@ -738,16 +818,16 @@ impl<S: Scheme> Runner<S> {
                 joined: Some(joined),
                 join_below: None,
                 root_changed: false,
-            })
+            }))
         } else if draw < cfg.w_join_leaf + cfg.w_join_between {
             if self.live.len() < 2 {
-                return None;
+                return Ok(None);
             }
             let child = self.sample_non_root();
             let parent = self.world.tree.parent(child).expect("non-root has parent");
             let joined = self.world.tree.insert_between(parent, child);
             self.admit(joined);
-            Some(AppliedChurn {
+            Ok(Some(AppliedChurn {
                 removed: None,
                 graceful: true,
                 replacement: None,
@@ -755,14 +835,14 @@ impl<S: Scheme> Runner<S> {
                 joined: Some(joined),
                 join_below: Some(child),
                 root_changed: false,
-            })
+            }))
         } else {
             let graceful = draw < cfg.w_join_leaf + cfg.w_join_between + cfg.w_leave;
             if self.live.len() < 2 {
-                return None;
+                return Ok(None);
             }
             let victim = self.live.sample(&mut self.churn_rng);
-            Some(self.remove_node(victim, graceful))
+            self.remove_node(victim, graceful).map(Some)
         }
     }
 
@@ -784,8 +864,16 @@ impl<S: Scheme> Runner<S> {
     }
 
     /// Applies a leave/failure, including authority failover, and fixes the
-    /// shared tables and the Zipf rank map.
-    fn remove_node(&mut self, victim: NodeId, graceful: bool) -> AppliedChurn {
+    /// shared tables and the Zipf rank map. The live-set removal result is
+    /// checked *before* the tree is mutated and propagated to the caller —
+    /// a double-remove (the victim already gone from the live set) must
+    /// surface as an error, not corrupt the tree or panic deep inside.
+    fn remove_node(
+        &mut self,
+        victim: NodeId,
+        graceful: bool,
+    ) -> Result<AppliedChurn, LiveSetError> {
+        self.live.remove(victim)?;
         let root_changed = victim == self.world.tree.root();
         let (replacement, adopted_children) = if root_changed {
             let children = self.world.tree.children(victim).to_vec();
@@ -799,9 +887,6 @@ impl<S: Scheme> Runner<S> {
         };
         self.world.cache.evict(victim);
         self.world.interest.clear(victim);
-        self.live
-            .remove(victim)
-            .expect("churn victim was sampled from the live set");
         // Hand the departed node's query ranks to uniformly random survivors:
         // redirecting to the takeover parent would drift the query mass
         // toward the root under sustained churn and flatten latencies.
@@ -810,7 +895,7 @@ impl<S: Scheme> Runner<S> {
                 self.rank_map[i] = self.live.sample(&mut self.churn_rng);
             }
         }
-        AppliedChurn {
+        Ok(AppliedChurn {
             removed: Some(victim),
             graceful,
             replacement: Some(replacement),
@@ -822,7 +907,7 @@ impl<S: Scheme> Runner<S> {
             },
             join_below: None,
             root_changed,
-        }
+        })
     }
 }
 
@@ -1016,6 +1101,100 @@ mod tests {
         assert_eq!(set.remove(NodeId(2)), Ok(()));
         assert_eq!(set.remove(NodeId(2)), Err(LiveSetError::NotLive(NodeId(2))));
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn double_remove_during_churn_window_reports_not_panics() {
+        use crate::config::FaultWindow;
+        let mut cfg = tiny_cfg(12);
+        cfg.churn = Some(ChurnConfig::balanced(0.05));
+        cfg.faults.churn_boost = 4.0;
+        cfg.faults.windows.push(FaultWindow {
+            start_secs: 0.0,
+            end_secs: 6000.0,
+        });
+        let mut runner = Runner::new(cfg, PcxScheme::new());
+        // The scripted window boosts the churn rate inside it only.
+        assert_eq!(runner.world.faults.churn_rate_factor(10.0), 4.0);
+        assert_eq!(runner.world.faults.churn_rate_factor(9000.0), 1.0);
+        let root = runner.world.tree.root();
+        let victim = runner
+            .world
+            .tree
+            .live_nodes()
+            .find(|&n| n != root)
+            .expect("a non-root node exists");
+        assert!(runner.remove_node(victim, true).is_ok());
+        // The double-remove is reported before any tree mutation happens.
+        let before = runner.world.tree.len();
+        match runner.remove_node(victim, true) {
+            Err(LiveSetError::NotLive(n)) => assert_eq!(n, victim),
+            other => panic!("expected NotLive, got {other:?}"),
+        }
+        assert_eq!(runner.world.tree.len(), before, "tree mutated on error");
+        assert_eq!(runner.live.len(), 63);
+    }
+
+    #[test]
+    fn faulted_runs_complete_and_are_deterministic() {
+        use crate::config::FaultConfig;
+        let mut cfg = tiny_cfg(13);
+        cfg.churn = Some(ChurnConfig::balanced(0.02));
+        cfg.faults = FaultConfig {
+            drop_p: 0.05,
+            duplicate_p: 0.05,
+            delay_p: 0.1,
+            max_extra_delay_secs: 5.0,
+            ..FaultConfig::default()
+        };
+        let a = run_simulation(&cfg, PcxScheme::new());
+        let b = run_simulation(&cfg, PcxScheme::new());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "fault injection broke per-seed determinism"
+        );
+        assert!(a.queries > 1000);
+        // Faults change the dynamics relative to the fault-free run...
+        let base = {
+            let mut c = cfg.clone();
+            c.faults = FaultConfig::default();
+            run_simulation(&c, PcxScheme::new())
+        };
+        assert_ne!(
+            a.latency_hops.mean.to_bits(),
+            base.latency_hops.mean.to_bits(),
+            "faults had no effect"
+        );
+        // ...but leave the fault-free run untouched (the workload streams
+        // are not perturbed by the presence of the layer).
+        let base2 = {
+            let mut c = cfg.clone();
+            c.faults = FaultConfig::default();
+            run_simulation(&c, PcxScheme::new())
+        };
+        assert_eq!(
+            serde_json::to_string(&base).unwrap(),
+            serde_json::to_string(&base2).unwrap()
+        );
+    }
+
+    #[test]
+    fn run_settled_report_matches_plain_run() {
+        use crate::config::FaultConfig;
+        let mut cfg = tiny_cfg(14);
+        cfg.faults = FaultConfig {
+            drop_p: 0.05,
+            ..FaultConfig::default()
+        };
+        let plain = run_simulation(&cfg, PcxScheme::new());
+        let settled = Runner::new(cfg, PcxScheme::new()).run_settled(2, |_, _, _| {});
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&settled.report).unwrap(),
+            "settling must not leak into the report"
+        );
+        assert!(settled.world.faults.stats().dropped > 0);
     }
 
     #[test]

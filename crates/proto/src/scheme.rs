@@ -7,11 +7,14 @@
 //! links, read/write the local cache, and send messages (each costing one
 //! overlay hop and one sampled transfer delay).
 
+use rand::Rng;
+
 use dup_overlay::{NodeId, SearchTree};
 use dup_sim::{Engine, SimDuration, SimTime, StreamRng};
 use dup_workload::HopLatency;
 
 use crate::cache::CacheStore;
+use crate::config::FaultConfig;
 use crate::index::{AuthorityClock, IndexRecord};
 use crate::interest::InterestTracker;
 use crate::ledger::MsgClass;
@@ -114,6 +117,122 @@ pub struct World {
     /// emission site goes through [`ProbeSink::emit`], which skips event
     /// construction entirely when no probe is attached.
     pub probe: ProbeSink,
+    /// The deterministic fault layer (disabled by default: one boolean
+    /// check per send, no RNG draws, no behavior change).
+    pub faults: FaultState,
+}
+
+/// Counters of fault-layer interventions over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped in transit.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages held back by an extra delay.
+    pub delayed: u64,
+}
+
+impl FaultStats {
+    /// Total interventions.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed
+    }
+}
+
+/// What the fault layer decided for one message.
+enum FaultAction {
+    /// Deliver normally.
+    Pass,
+    /// Lose the message.
+    Drop,
+    /// Deliver a second copy.
+    Duplicate,
+    /// Add the given extra transit delay (seconds).
+    Delay(f64),
+}
+
+/// Runtime state of the deterministic fault layer carried by [`World`].
+///
+/// Built from [`FaultConfig`] with its own seeded stream
+/// (`stream_rng(seed, "faults")`), so enabling faults perturbs no other
+/// stream — and when the config is disabled (the default) the layer draws
+/// nothing at all, keeping fault-free runs bit-identical to builds without
+/// the layer.
+#[derive(Debug)]
+pub struct FaultState {
+    cfg: FaultConfig,
+    rng: StreamRng,
+    armed: bool,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// An inert fault layer (the default for tests and plain runs).
+    pub fn disabled() -> Self {
+        FaultState::from_config(FaultConfig::default(), dup_sim::stream_rng(0, "faults"))
+    }
+
+    /// Builds the layer from a run's fault configuration and its dedicated
+    /// RNG stream.
+    pub fn from_config(cfg: FaultConfig, rng: StreamRng) -> Self {
+        let armed = cfg.is_enabled();
+        FaultState {
+            cfg,
+            rng,
+            armed,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// True when the layer can still intervene.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Permanently disarms the layer (used by the post-run settle phase so
+    /// healing traffic flows fault-free).
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+
+    /// Intervention counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The factor to multiply the churn rate by at `at_secs` (scripted
+    /// churn bursts; 1.0 outside windows or when disarmed).
+    pub fn churn_rate_factor(&self, at_secs: f64) -> f64 {
+        if self.armed && self.cfg.active_at(at_secs) {
+            self.cfg.churn_boost
+        } else {
+            1.0
+        }
+    }
+
+    /// Draws the fate of one message sent at `at_secs`. Only called while
+    /// armed; draws one uniform (two for a delay).
+    fn decide(&mut self, at_secs: f64) -> FaultAction {
+        if !self.cfg.active_at(at_secs) {
+            return FaultAction::Pass;
+        }
+        let u: f64 = self.rng.gen();
+        if u < self.cfg.drop_p {
+            self.stats.dropped += 1;
+            FaultAction::Drop
+        } else if u < self.cfg.drop_p + self.cfg.duplicate_p {
+            self.stats.duplicated += 1;
+            FaultAction::Duplicate
+        } else if u < self.cfg.drop_p + self.cfg.duplicate_p + self.cfg.delay_p {
+            self.stats.delayed += 1;
+            let v: f64 = self.rng.gen();
+            FaultAction::Delay(v * self.cfg.max_extra_delay_secs)
+        } else {
+            FaultAction::Pass
+        }
+    }
 }
 
 /// Per-channel FIFO clocks: the last scheduled delivery instant for every
@@ -254,7 +373,10 @@ impl<M> Ctx<'_, M> {
     /// `class` and delivers after a sampled transfer delay. `to` may be any
     /// node the sender knows (DUP's direct pushes rely on this being one
     /// overlay hop regardless of search-tree distance).
-    pub fn send(&mut self, from: NodeId, to: NodeId, class: MsgClass, msg: M) {
+    pub fn send(&mut self, from: NodeId, to: NodeId, class: MsgClass, msg: M)
+    where
+        M: Clone,
+    {
         send_msg(self.world, self.engine, from, to, class, Msg::Scheme(msg));
     }
 
@@ -270,7 +392,15 @@ impl<M> Ctx<'_, M> {
 
 /// Schedules any message with hop charging and sampled latency. Shared by
 /// the runner (requests/replies) and [`Ctx::send`] (scheme messages).
-pub(crate) fn send_msg<M>(
+///
+/// This is the single choke point all message traffic passes through, so
+/// the fault layer lives here: an armed [`FaultState`] may drop the
+/// message, deliver it twice, or hold it back by an extra delay. The extra
+/// delay is added *before* the FIFO reservation, so each ordered channel
+/// stays FIFO (as over TCP) — faults reorder traffic across channels,
+/// never within one. Drops still charge the hop: the sender paid for a
+/// send that was lost in transit.
+pub(crate) fn send_msg<M: Clone>(
     world: &mut World,
     engine: &mut Engine<Ev<M>>,
     from: NodeId,
@@ -285,8 +415,48 @@ pub(crate) fn send_msg<M>(
         .probe
         .emit(now, || ProbeEvent::MsgSent { from, to, class });
     let delay = world.hop_latency.sample(&mut world.latency_rng);
+    let mut arrive = now + delay;
+    let mut duplicate = false;
+    if world.faults.armed() {
+        match world.faults.decide(now.as_secs_f64()) {
+            FaultAction::Pass => {}
+            FaultAction::Drop => {
+                world
+                    .probe
+                    .emit(now, || ProbeEvent::FaultDrop { from, to, class });
+                return;
+            }
+            FaultAction::Duplicate => duplicate = true,
+            FaultAction::Delay(extra_secs) => {
+                world.probe.emit(now, || ProbeEvent::FaultDelay {
+                    from,
+                    to,
+                    class,
+                    extra_secs,
+                });
+                arrive += SimDuration::from_secs_f64(extra_secs);
+            }
+        }
+    }
     // Enforce FIFO per ordered node pair.
-    let at = world.fifo.reserve_slot(from, to, now + delay);
+    let at = world.fifo.reserve_slot(from, to, arrive);
+    if duplicate {
+        world
+            .probe
+            .emit(now, || ProbeEvent::FaultDuplicate { from, to, class });
+        // The copy takes the next FIFO slot on the same channel, arriving
+        // right behind the original.
+        let at2 = world.fifo.reserve_slot(from, to, arrive);
+        engine.schedule(
+            at2,
+            Ev::Deliver {
+                from,
+                to,
+                class,
+                msg: msg.clone(),
+            },
+        );
+    }
     engine.schedule(
         at,
         Ev::Deliver {
@@ -410,6 +580,7 @@ mod tests {
             latency_rng: stream_rng(1, "scheme-test"),
             fifo: FifoClocks::default(),
             probe: ProbeSink::disabled(),
+            faults: FaultState::disabled(),
             tree,
         }
     }
@@ -550,6 +721,177 @@ mod tests {
         assert_eq!(clocks.reserve_slot(NodeId(100), NodeId(0), at), at);
         assert_eq!(clocks.last_scheduled(NodeId(100), NodeId(0)), Some(at));
         assert_eq!(clocks.last_scheduled(NodeId(101), NodeId(0)), None);
+    }
+
+    fn armed_faults(cfg: FaultConfig) -> FaultState {
+        FaultState::from_config(cfg, stream_rng(77, "faults"))
+    }
+
+    #[test]
+    fn fault_drop_loses_messages_but_charges_hops() {
+        let mut w = world();
+        w.faults = armed_faults(FaultConfig {
+            drop_p: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut engine: Engine<Ev<u32>> = Engine::new();
+        for i in 0..10u32 {
+            send_msg(
+                &mut w,
+                &mut engine,
+                NodeId(1),
+                NodeId(0),
+                MsgClass::Control,
+                Msg::Scheme(i),
+            );
+        }
+        let mut delivered = 0u32;
+        engine.run(|_, _| delivered += 1);
+        assert_eq!(delivered, 0, "drop_p=1 must lose every message");
+        assert_eq!(w.faults.stats().dropped, 10);
+        assert_eq!(
+            w.metrics.ledger().hops(MsgClass::Control),
+            10,
+            "dropped sends still cost the sender a hop"
+        );
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_twice_in_order() {
+        let mut w = world();
+        w.faults = armed_faults(FaultConfig {
+            duplicate_p: 1.0,
+            ..FaultConfig::default()
+        });
+        let mut engine: Engine<Ev<u32>> = Engine::new();
+        for i in 0..20u32 {
+            send_msg(
+                &mut w,
+                &mut engine,
+                NodeId(1),
+                NodeId(0),
+                MsgClass::Push,
+                Msg::Scheme(i),
+            );
+        }
+        let mut received = Vec::new();
+        engine.run(|_, ev| {
+            if let Ev::Deliver {
+                msg: Msg::Scheme(i),
+                ..
+            } = ev
+            {
+                received.push(i);
+            }
+        });
+        let expected: Vec<u32> = (0..20).flat_map(|i| [i, i]).collect();
+        assert_eq!(received, expected, "each copy follows its original, FIFO");
+        assert_eq!(w.faults.stats().duplicated, 20);
+    }
+
+    #[test]
+    fn fault_delay_keeps_channels_fifo() {
+        let mut w = world();
+        w.faults = armed_faults(FaultConfig {
+            delay_p: 0.5,
+            max_extra_delay_secs: 50.0,
+            ..FaultConfig::default()
+        });
+        let mut engine: Engine<Ev<u32>> = Engine::new();
+        for i in 0..100u32 {
+            send_msg(
+                &mut w,
+                &mut engine,
+                NodeId(1),
+                NodeId(0),
+                MsgClass::Control,
+                Msg::Scheme(i),
+            );
+        }
+        let mut received = Vec::new();
+        engine.run(|_, ev| {
+            if let Ev::Deliver {
+                msg: Msg::Scheme(i),
+                ..
+            } = ev
+            {
+                received.push(i);
+            }
+        });
+        assert_eq!(
+            received,
+            (0..100).collect::<Vec<_>>(),
+            "extra delays must not reorder a single channel"
+        );
+        assert!(w.faults.stats().delayed > 0);
+    }
+
+    #[test]
+    fn fault_windows_scope_interventions() {
+        let mut w = world();
+        w.faults = armed_faults(FaultConfig {
+            drop_p: 1.0,
+            windows: vec![crate::config::FaultWindow {
+                start_secs: 10.0,
+                end_secs: 20.0,
+            }],
+            ..FaultConfig::default()
+        });
+        let mut engine: Engine<Ev<u32>> = Engine::new();
+        // At t=0 (outside the window) the message passes.
+        send_msg(
+            &mut w,
+            &mut engine,
+            NodeId(1),
+            NodeId(0),
+            MsgClass::Control,
+            Msg::Scheme(0),
+        );
+        let mut delivered = 0u32;
+        engine.run(|_, _| delivered += 1);
+        assert_eq!(delivered, 1);
+        assert_eq!(w.faults.stats().dropped, 0);
+        // Inside the window the same config drops.
+        engine.schedule(SimTime::from_secs(15), Ev::NextQuery);
+        let mut sent_in_window = false;
+        engine.run(|eng, ev| {
+            if matches!(ev, Ev::NextQuery) && !sent_in_window {
+                sent_in_window = true;
+                send_msg(
+                    &mut w,
+                    eng,
+                    NodeId(1),
+                    NodeId(0),
+                    MsgClass::Control,
+                    Msg::Scheme(1),
+                );
+            } else {
+                delivered += 1;
+            }
+        });
+        assert_eq!(delivered, 1, "in-window message must be dropped");
+        assert_eq!(w.faults.stats().dropped, 1);
+    }
+
+    #[test]
+    fn disarmed_faults_draw_nothing() {
+        // The disabled layer must consume zero RNG draws: the stream handed
+        // to it stays untouched, protecting every determinism golden.
+        let mut w = world();
+        let mut engine: Engine<Ev<u32>> = Engine::new();
+        send_msg(
+            &mut w,
+            &mut engine,
+            NodeId(1),
+            NodeId(0),
+            MsgClass::Control,
+            Msg::Scheme(0),
+        );
+        let mut untouched = stream_rng(0, "faults");
+        let inert: f64 = w.faults.rng.gen();
+        let reference: f64 = untouched.gen();
+        assert_eq!(inert, reference, "disabled fault layer consumed a draw");
+        assert_eq!(w.faults.stats(), FaultStats::default());
     }
 
     #[test]

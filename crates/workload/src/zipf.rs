@@ -264,6 +264,64 @@ mod tests {
         assert_eq!(next_a, next_b);
     }
 
+    /// Upper critical value of the χ² distribution with `dof` degrees of
+    /// freedom at roughly the 99.9th percentile, via the Wilson–Hilferty
+    /// cube-root normal approximation (accurate to a fraction of a percent
+    /// for dof ≥ 5, far tighter than the margin used below).
+    fn chi2_crit_999(dof: usize) -> f64 {
+        let d = dof as f64;
+        let z = 3.09; // Φ⁻¹(0.999)
+        let t = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+        d * t * t * t
+    }
+
+    #[test]
+    fn chi_squared_goodness_of_fit_per_rank() {
+        // Exactness of the alias sampler against the closed-form per-rank
+        // probabilities: Pearson's χ² statistic over *every* rank, for
+        // several (n, θ) pairs spanning uniform-ish to heavily skewed
+        // regimes. Seeds are fixed, so this is a deterministic regression
+        // gate, but the 99.9% critical value documents how extreme the
+        // pinned draw would be if the table or the sampler were biased.
+        let draws = 200_000usize;
+        for (n, theta) in [(10usize, 0.5f64), (50, 1.0), (100, 0.8), (20, 2.0)] {
+            let z = ZipfSelector::new(n, theta);
+            let mut rng = stream_rng(8_0520, &format!("zipf-chi2/{n}/{theta}"));
+            let mut counts = vec![0u64; n];
+            for _ in 0..draws {
+                counts[z.sample(&mut rng)] += 1;
+            }
+            // Pool tail ranks so every cell has expected count ≥ 5, the
+            // standard validity condition for the χ² approximation.
+            let mut stat = 0.0f64;
+            let mut dof = 0usize;
+            let (mut pooled_obs, mut pooled_exp) = (0.0f64, 0.0f64);
+            for (i, &count) in counts.iter().enumerate() {
+                let expect = z.probability(i) * draws as f64;
+                if expect >= 5.0 {
+                    let diff = count as f64 - expect;
+                    stat += diff * diff / expect;
+                    dof += 1;
+                } else {
+                    pooled_obs += count as f64;
+                    pooled_exp += expect;
+                }
+            }
+            if pooled_exp > 0.0 {
+                let diff = pooled_obs - pooled_exp;
+                stat += diff * diff / pooled_exp;
+                dof += 1;
+            }
+            let crit = chi2_crit_999(dof - 1);
+            assert!(
+                stat < crit,
+                "(n={n}, θ={theta}): χ²={stat:.1} exceeds the 99.9% critical \
+                 value {crit:.1} with {} cells — sampler is biased",
+                dof
+            );
+        }
+    }
+
     #[test]
     fn sample_never_out_of_range() {
         let z = ZipfSelector::new(7, 0.8);

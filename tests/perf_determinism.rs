@@ -15,7 +15,7 @@
 //!    including under churn.
 
 use dup_p2p::harness::{HarnessOpts, Scale, SchemeKind};
-use dup_p2p::proto::{ChurnConfig, ProbeSink, QueueBackendConfig, RunReport};
+use dup_p2p::proto::{ChurnConfig, InterestPolicy, ProbeSink, QueueBackendConfig, RunReport};
 
 fn run(cfg: &dup_p2p::proto::RunConfig, kind: SchemeKind) -> RunReport {
     dup_p2p::core::run_simulation_kind(cfg, kind, ProbeSink::disabled())
@@ -44,6 +44,40 @@ fn backends_agree_for_all_schemes_at_bench_scale() {
             canonical_json(&heap),
             canonical_json(&bucketed),
             "{kind:?}: queue backend changed the simulation"
+        );
+    }
+}
+
+/// Backend equivalence under a TTL-expiry-heavy regime. A long index TTL
+/// with the sliding-window interest policy schedules cancellation clocks
+/// far past the horizon and then repeatedly supersedes them as queries
+/// renew interest, so the bucketed queue's far-future overflow ring and
+/// its cancel/reschedule path carry most of the load — a code path the
+/// Bench-scale test above barely touches. Both backends must still agree
+/// byte-for-byte, for every scheme, with churn retiring timer subjects
+/// mid-flight.
+#[test]
+fn backends_agree_under_expiry_heavy_workload() {
+    let opts = HarnessOpts {
+        scale: Scale::Bench,
+        seed: 19_0214,
+        ..HarnessOpts::default()
+    };
+    let mut heap_cfg = opts.scale.base_config(opts.seed);
+    heap_cfg.protocol.ttl_secs = 7_200.0;
+    heap_cfg.protocol.push_lead_secs = 30.0;
+    heap_cfg.protocol.interest_policy = InterestPolicy::SlidingWindow;
+    heap_cfg.churn = Some(ChurnConfig::balanced(0.04));
+    heap_cfg.validate();
+    let mut bucket_cfg = heap_cfg.clone();
+    bucket_cfg.queue.backend = QueueBackendConfig::Bucketed;
+    for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
+        let heap = run(&heap_cfg, kind);
+        let bucketed = run(&bucket_cfg, kind);
+        assert_eq!(
+            canonical_json(&heap),
+            canonical_json(&bucketed),
+            "{kind:?}: queue backend diverged under expiry-heavy workload"
         );
     }
 }
