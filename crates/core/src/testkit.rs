@@ -8,7 +8,9 @@
 
 use dup_overlay::{NodeId, SearchTree};
 use dup_proto::scheme::{AppliedChurn, Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
-use dup_proto::{AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, ProbeSink};
+use dup_proto::{
+    AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, ProbeSink, TraceCtx,
+};
 use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
 use dup_workload::HopLatency;
 
@@ -46,6 +48,7 @@ impl<S: Scheme> TestBench<S> {
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
             faults: FaultState::disabled(),
+            trace: TraceCtx::new(),
             tree,
         };
         TestBench {
@@ -73,6 +76,9 @@ impl<S: Scheme> TestBench<S> {
         for _ in 0..=self.world.interest.threshold() {
             self.world.interest.observe(node, now);
         }
+        if self.world.probe.enabled() {
+            self.world.trace.begin_maintenance();
+        }
         let mut riders = Vec::new();
         self.with_ctx(|s, ctx| s.on_query_step(ctx, node, None, &mut riders, false));
     }
@@ -81,6 +87,9 @@ impl<S: Scheme> TestBench<S> {
     /// interest-decay check would after a quiet TTL.
     pub fn drop_interest(&mut self, node: NodeId) {
         self.world.interest.clear(node);
+        if self.world.probe.enabled() {
+            self.world.trace.begin_maintenance();
+        }
         self.with_ctx(|s, ctx| s.on_interest_lost(ctx, node));
     }
 
@@ -106,9 +115,12 @@ impl<S: Scheme> TestBench<S> {
                 from,
                 to,
                 class,
+                cause,
                 msg: Msg::Scheme(m),
             } => {
+                world.trace.note_delivered();
                 if world.tree.is_alive(to) {
+                    world.trace.enter(cause);
                     let now = eng.now();
                     world
                         .probe
@@ -116,6 +128,7 @@ impl<S: Scheme> TestBench<S> {
                             from,
                             to,
                             class,
+                            span: cause.span,
                         });
                     let mut ctx = Ctx { world, engine: eng };
                     scheme.on_scheme_msg(&mut ctx, from, to, m);
@@ -123,6 +136,17 @@ impl<S: Scheme> TestBench<S> {
             }
             Ev::Refresh => {
                 let record = world.authority.refresh(eng.now());
+                if world.probe.enabled() {
+                    world.trace.begin_update(record.version.0);
+                    let origin = world.tree.root();
+                    let version = record.version.0;
+                    world
+                        .probe
+                        .emit(eng.now(), || dup_proto::ProbeEvent::UpdatePublished {
+                            node: origin,
+                            version,
+                        });
+                }
                 let mut ctx = Ctx { world, engine: eng };
                 scheme.on_refresh(&mut ctx, record);
             }
@@ -162,6 +186,9 @@ impl<S: Scheme> TestBench<S> {
             join_below: None,
             root_changed,
         };
+        if self.world.probe.enabled() {
+            self.world.trace.begin_maintenance();
+        }
         self.with_ctx(|s, ctx| s.on_churn(ctx, &change));
         change
     }
@@ -181,6 +208,9 @@ impl<S: Scheme> TestBench<S> {
             join_below: Some(child),
             root_changed: false,
         };
+        if self.world.probe.enabled() {
+            self.world.trace.begin_maintenance();
+        }
         self.with_ctx(|s, ctx| s.on_churn(ctx, &change));
         joined
     }
@@ -199,6 +229,9 @@ impl<S: Scheme> TestBench<S> {
             join_below: None,
             root_changed: false,
         };
+        if self.world.probe.enabled() {
+            self.world.trace.begin_maintenance();
+        }
         self.with_ctx(|s, ctx| s.on_churn(ctx, &change));
         joined
     }

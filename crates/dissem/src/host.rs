@@ -6,7 +6,7 @@ use dup_overlay::{NodeId, SearchTree};
 use dup_proto::scheme::{Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
 use dup_proto::{
     AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, MsgClass, ProbeEvent,
-    ProbeSink,
+    ProbeSink, Registry, TraceCtx,
 };
 use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
 use dup_workload::HopLatency;
@@ -43,6 +43,7 @@ impl<S: Scheme> TopicHost<S> {
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe: ProbeSink::disabled(),
             faults: FaultState::disabled(),
+            trace: TraceCtx::new(),
             tree,
         };
         TopicHost {
@@ -82,6 +83,9 @@ impl<S: Scheme> TopicHost<S> {
     pub fn subscribe(&mut self, node: NodeId) {
         let now = self.engine.now();
         self.world.interest.observe(node, now);
+        if self.world.probe.enabled() {
+            self.world.trace.begin_maintenance();
+        }
         let mut riders = Vec::new();
         self.with_ctx(|s, ctx| s.on_query_step(ctx, node, None, &mut riders, false));
         self.drain(|_, _, _| {});
@@ -90,6 +94,9 @@ impl<S: Scheme> TopicHost<S> {
     /// Unsubscribes `node` (idempotent) and settles.
     pub fn unsubscribe(&mut self, node: NodeId) {
         self.world.interest.clear(node);
+        if self.world.probe.enabled() {
+            self.world.trace.begin_maintenance();
+        }
         self.with_ctx(|s, ctx| s.on_interest_lost(ctx, node));
         self.drain(|_, _, _| {});
     }
@@ -114,6 +121,14 @@ impl<S: Scheme> TopicHost<S> {
         let record = self.world.authority.publish(now);
         let root = self.world.tree.root();
         self.world.cache.install(root, record);
+        if self.world.probe.enabled() {
+            self.world.trace.begin_update(record.version.0);
+            let version = record.version.0;
+            self.world.probe.emit(now, || ProbeEvent::UpdatePublished {
+                node: root,
+                version,
+            });
+        }
         self.with_ctx(|s, ctx| s.on_refresh(ctx, record));
         self.drain(&mut inspect);
         record
@@ -128,15 +143,21 @@ impl<S: Scheme> TopicHost<S> {
                 from,
                 to,
                 class,
+                cause,
                 msg,
             } => {
+                world.trace.note_delivered();
                 if !world.tree.is_alive(to) {
                     return;
                 }
+                world.trace.enter(cause);
                 let now = eng.now();
-                world
-                    .probe
-                    .emit(now, || ProbeEvent::MsgDelivered { from, to, class });
+                world.probe.emit(now, || ProbeEvent::MsgDelivered {
+                    from,
+                    to,
+                    class,
+                    span: cause.span,
+                });
                 inspect(to, &msg, eng.now());
                 if let Msg::Scheme(m) = msg {
                     let mut ctx = Ctx { world, engine: eng };
@@ -150,6 +171,38 @@ impl<S: Scheme> TopicHost<S> {
     /// Total hops charged so far for `class`.
     pub fn hops(&self, class: MsgClass) -> u64 {
         self.world.metrics.ledger().hops(class)
+    }
+
+    /// Publishes this topic's hop ledger and probe activity into `registry`
+    /// under `topic=<label>`, so multi-topic platforms can expose one
+    /// Prometheus endpoint across all their hosts.
+    pub fn export_metrics(&self, registry: &mut Registry, topic: &str) {
+        registry.describe(
+            "dup_topic_hops_total",
+            "Overlay hops charged within a topic, by message class",
+        );
+        for class in [
+            MsgClass::Request,
+            MsgClass::Reply,
+            MsgClass::Push,
+            MsgClass::Control,
+        ] {
+            let class_label = format!("{class:?}").to_lowercase();
+            registry.inc_counter(
+                "dup_topic_hops_total",
+                &[("topic", topic), ("msg_class", class_label.as_str())],
+                self.hops(class),
+            );
+        }
+        registry.describe(
+            "dup_topic_probe_events_total",
+            "Probe events emitted by a topic",
+        );
+        registry.inc_counter(
+            "dup_topic_probe_events_total",
+            &[("topic", topic)],
+            self.probe_events(),
+        );
     }
 }
 
@@ -207,5 +260,24 @@ mod tests {
         let mut h = host();
         h.charge(MsgClass::Request, 5);
         assert_eq!(h.hops(MsgClass::Request), 5);
+    }
+
+    #[test]
+    fn export_metrics_publishes_topic_hops() {
+        let mut h = host();
+        h.subscribe(NodeId(14));
+        h.publish(|_, _, _| {});
+        let mut reg = Registry::new();
+        h.export_metrics(&mut reg, "news");
+        let text = reg.render_prometheus();
+        let control = h.hops(MsgClass::Control);
+        let push = h.hops(MsgClass::Push);
+        assert!(control > 0 && push > 0);
+        assert!(text.contains(&format!(
+            "dup_topic_hops_total{{msg_class=\"control\",topic=\"news\"}} {control}"
+        )));
+        assert!(text.contains(&format!(
+            "dup_topic_hops_total{{msg_class=\"push\",topic=\"news\"}} {push}"
+        )));
     }
 }

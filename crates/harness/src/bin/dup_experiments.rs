@@ -13,6 +13,13 @@
 //!               or `fuzz`: run seeded fault-injection scenarios per scheme
 //!               and verify each against the invariant/oracle layer (see
 //!               EXPERIMENTS.md); exits nonzero when any scenario fails
+//!               or `trace-report`: run one fully traced simulation
+//!               (scheme from --trace-scheme, default dup), reconstruct
+//!               per-update propagation trees with a latency decomposition,
+//!               and write TRACE_<scheme>_perfetto.json (load it in
+//!               ui.perfetto.dev) plus TRACE_<scheme>_metrics.prom
+//!               (Prometheus text format) to --out DIR or the current
+//!               directory
 //!
 //! OPTIONS
 //!   --full           paper-scale runs (n=4096, 180000 s windows)
@@ -142,6 +149,19 @@ fn main() -> ExitCode {
         }
     }
 
+    if selected.iter().any(|s| s == "trace-report") {
+        selected.retain(|s| s != "trace-report");
+        if let Err(msg) = run_trace_report(&opts, trace_scheme, trace_sample, out_dir.as_deref()) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        // Like --trace, trace-report stands alone unless experiments were
+        // also requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
     if selected.iter().any(|s| s == "fuzz") {
         selected.retain(|s| s != "fuzz");
         match run_fuzz_cmd(
@@ -243,6 +263,36 @@ fn run_bench_report(
     Ok(())
 }
 
+/// Runs one fully traced simulation, prints the propagation-tree summary,
+/// and writes the Perfetto JSON and Prometheus text artifacts.
+fn run_trace_report(
+    opts: &HarnessOpts,
+    kind: SchemeKind,
+    sample_secs: f64,
+    out_dir: Option<&std::path::Path>,
+) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let tr = dup_harness::trace_report(opts, kind, sample_secs);
+    print!("{}", dup_harness::render_trace_report(&tr));
+    println!("(trace-report finished in {:.1?})\n", started.elapsed());
+    let dir = out_dir.unwrap_or_else(|| std::path::Path::new("."));
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let scheme = kind.name().to_lowercase();
+    let perfetto_path = dir.join(format!("TRACE_{scheme}_perfetto.json"));
+    let doc = serde_json::to_string(&tr.perfetto).expect("perfetto doc serializes");
+    std::fs::write(&perfetto_path, doc + "\n")
+        .map_err(|e| format!("write {} failed: {e}", perfetto_path.display()))?;
+    println!(
+        "wrote {} (load it in ui.perfetto.dev)",
+        perfetto_path.display()
+    );
+    let prom_path = dir.join(format!("TRACE_{scheme}_metrics.prom"));
+    std::fs::write(&prom_path, &tr.prometheus)
+        .map_err(|e| format!("write {} failed: {e}", prom_path.display()))?;
+    println!("wrote {}", prom_path.display());
+    Ok(())
+}
+
 /// Runs a seeded fault-injection fuzz campaign (or a single-seed replay)
 /// and verifies every scenario; returns `Ok(true)` when all passed. Writes
 /// `FUZZ_report.json` when `--out` is given.
@@ -325,7 +375,7 @@ fn usage(err: &str) -> ExitCode {
          [--out DIR] [--trace FILE] [--trace-scheme pcx|cup|dup] [--trace-sample SECS] \
          [--bench-reps N] [--fuzz-seeds N] [--fuzz-seed N] [--fuzz-scheme pcx|cup|dup] \
          [--fuzz-mutate] \
-         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz]..."
+         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|trace-report]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -31,6 +31,7 @@ pub mod fuzz;
 pub mod report;
 pub mod table2;
 pub mod table3;
+pub mod tracereport;
 
 pub use benchreport::{bench_report, render_text as render_bench_report, BenchReport, SchemeBench};
 pub use experiment::{
@@ -42,3 +43,4 @@ pub use fuzz::{
     ScenarioResult,
 };
 pub use report::TextTable;
+pub use tracereport::{render_trace_report, trace_report, ProgressProbe, TraceReport};

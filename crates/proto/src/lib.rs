@@ -48,6 +48,8 @@ pub mod pcx;
 pub mod probe;
 pub mod runner;
 pub mod scheme;
+pub mod telemetry;
+pub mod trace;
 
 pub use cache::CacheStore;
 pub use config::{
@@ -65,3 +67,8 @@ pub use probe::{
 };
 pub use runner::{run_simulation, run_simulation_probed, LiveSetError, Runner, SettledRun};
 pub use scheme::{AppliedChurn, Ctx, Ev, FaultState, FaultStats, FifoClocks, Msg, Scheme, World};
+pub use telemetry::Registry;
+pub use trace::{
+    perfetto_trace, EdgeKind, PropEdge, SpanInfo, TraceCollector, TraceCtx, TraceSummary,
+    UpdateTrace,
+};

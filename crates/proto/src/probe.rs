@@ -50,7 +50,10 @@ pub enum ProbeEvent {
         stale: bool,
     },
     /// A message was sent over one overlay hop (emitted at the send, when
-    /// the hop is charged to the cost ledger).
+    /// the hop is charged to the cost ledger). Carries the message's causal
+    /// identity (see [`crate::trace::SpanInfo`]) and enough timing to
+    /// decompose per-hop latency: delivery time − send time − `transit_secs`
+    /// is the FIFO/fault hold.
     MsgSent {
         /// Sending node.
         from: NodeId,
@@ -58,6 +61,23 @@ pub enum ProbeEvent {
         to: NodeId,
         /// Cost class of the message.
         class: MsgClass,
+        /// Trace this message belongs to (update version, or a tagged
+        /// query/maintenance root; see [`crate::trace`]).
+        #[serde(default)]
+        trace: u64,
+        /// The message's own span id (0 = identity was off at send time).
+        #[serde(default)]
+        span: u64,
+        /// The span that caused this send (0 = trace root).
+        #[serde(default)]
+        parent: u64,
+        /// The sampled transfer delay, before FIFO queueing and faults.
+        #[serde(default)]
+        transit_secs: f64,
+        /// True when sender and receiver are search-tree neighbours at send
+        /// time — false marks a DUP short-cut.
+        #[serde(default)]
+        tree_edge: bool,
     },
     /// A message arrived at a live node (messages to departed nodes are
     /// lost, so deliveries can undercount sends under churn).
@@ -68,11 +88,25 @@ pub enum ProbeEvent {
         to: NodeId,
         /// Cost class of the message.
         class: MsgClass,
+        /// Span id of the arriving message (matches its `MsgSent`).
+        #[serde(default)]
+        span: u64,
     },
     /// A node's cache slot accepted a (newer) index version.
     CacheInsert {
         /// The caching node.
         node: NodeId,
+        /// The installed version.
+        #[serde(default)]
+        version: u64,
+    },
+    /// The authority published a new index version (the root event of an
+    /// update-propagation trace).
+    UpdatePublished {
+        /// The publishing node (the authority).
+        node: NodeId,
+        /// The published version.
+        version: u64,
     },
     /// A node consulted its cache and found its copy expired (lazy expiry:
     /// emitted on observation, not at the expiration instant).
@@ -170,6 +204,12 @@ pub struct TraceSample {
     /// Mean subscriber-list (or registered-children) length over nodes with
     /// non-empty lists; 0 when the scheme keeps no such state.
     pub mean_list_len: f64,
+    /// Events pending in the engine's queue at sample time (backpressure).
+    #[serde(default)]
+    pub queue_depth: usize,
+    /// Messages sent but not yet delivered at sample time.
+    #[serde(default)]
+    pub in_flight_msgs: u64,
 }
 
 /// A scheme's self-description of its propagation structure, feeding
@@ -368,6 +408,11 @@ mod tests {
             from: NodeId(from),
             to: NodeId(to),
             class,
+            trace: 9,
+            span: 2,
+            parent: 1,
+            transit_secs: 0.25,
+            tree_edge: true,
         }
     }
 
@@ -444,7 +489,17 @@ mod tests {
                 cache_valid: 3,
                 tree_size: 3,
                 mean_list_len: 1.5,
+                queue_depth: 17,
+                in_flight_msgs: 4,
             }),
+            ProbeEvent::UpdatePublished {
+                node: NodeId(0),
+                version: 12,
+            },
+            ProbeEvent::CacheInsert {
+                node: NodeId(3),
+                version: 12,
+            },
             ProbeEvent::FaultDrop {
                 from: NodeId(1),
                 to: NodeId(2),
@@ -467,5 +522,25 @@ mod tests {
             let back: ProbeEvent = serde_json::from_str(&json).unwrap();
             assert_eq!(back, e);
         }
+    }
+
+    #[test]
+    fn pre_trace_serialization_still_deserializes() {
+        // Traces and samples recorded before the causal-identity fields
+        // existed must keep loading: the new fields all default.
+        let old = r#"{"MsgSent":{"from":1,"to":2,"class":"Push"}}"#;
+        let e: ProbeEvent = serde_json::from_str(old).unwrap();
+        assert!(matches!(
+            e,
+            ProbeEvent::MsgSent {
+                span: 0,
+                tree_edge: false,
+                ..
+            }
+        ));
+        let old_sample = r#"{"at_secs":1.0,"live_nodes":4,"interested_nodes":1,"cache_valid":2,"tree_size":2,"mean_list_len":1.0}"#;
+        let s: TraceSample = serde_json::from_str(old_sample).unwrap();
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.in_flight_msgs, 0);
     }
 }

@@ -28,6 +28,7 @@ use crate::ledger::MsgClass;
 use crate::metrics::{Metrics, RunReport};
 use crate::probe::{ProbeEvent, ProbeSink, TraceSample};
 use crate::scheme::{send_msg, AppliedChurn, Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
+use crate::trace::TraceCtx;
 
 /// Runs one simulation to completion and returns its report.
 pub fn run_simulation<S: Scheme>(cfg: &RunConfig, scheme: S) -> RunReport {
@@ -223,6 +224,7 @@ impl<S: Scheme> Runner<S> {
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
             faults: FaultState::from_config(cfg.faults.clone(), stream_rng(seed, "faults")),
+            trace: TraceCtx::new(),
             tree,
         };
         let arrivals = match cfg.arrivals {
@@ -418,8 +420,10 @@ impl<S: Scheme> Runner<S> {
                 from,
                 to,
                 class,
+                cause,
                 msg,
             } => {
+                self.world.trace.note_delivered();
                 if !self.world.tree.is_alive(to) {
                     // Message addressed to a departed node is lost; reclaim
                     // its path buffers.
@@ -435,10 +439,16 @@ impl<S: Scheme> Runner<S> {
                     }
                     return;
                 }
+                // Sends made while handling this delivery become its causal
+                // children.
+                self.world.trace.enter(cause);
                 let now = eng.now();
-                self.world
-                    .probe
-                    .emit(now, || ProbeEvent::MsgDelivered { from, to, class });
+                self.world.probe.emit(now, || ProbeEvent::MsgDelivered {
+                    from,
+                    to,
+                    class,
+                    span: cause.span,
+                });
                 match msg {
                     Msg::Request {
                         origin,
@@ -465,6 +475,11 @@ impl<S: Scheme> Runner<S> {
                 // interest policy, quiet nodes lapse now — before the new
                 // version is pushed, so just-lapsed nodes unsubscribe first.
                 if self.world.interest.policy() == crate::interest::InterestPolicy::Epoch {
+                    if self.world.probe.enabled() {
+                        // Lapse traffic forms its own maintenance trace, not
+                        // part of the update about to publish.
+                        self.world.trace.begin_maintenance();
+                    }
                     let lapsed = self.world.interest.roll_epoch();
                     for node in lapsed {
                         if !self.world.tree.is_alive(node) {
@@ -478,6 +493,19 @@ impl<S: Scheme> Runner<S> {
                     }
                 }
                 let record = self.world.authority.refresh(eng.now());
+                if self.world.probe.enabled() {
+                    // Root the update's propagation trace at the publish:
+                    // every push the scheme now sends joins this trace.
+                    self.world.trace.begin_update(record.version.0);
+                    let origin = self.world.tree.root();
+                    let version = record.version.0;
+                    self.world
+                        .probe
+                        .emit(eng.now(), || ProbeEvent::UpdatePublished {
+                            node: origin,
+                            version,
+                        });
+                }
                 {
                     let mut ctx = Ctx {
                         world: &mut self.world,
@@ -496,6 +524,9 @@ impl<S: Scheme> Runner<S> {
                     eng.schedule(at, Ev::InterestCheck { node });
                 }
                 if outcome.lapsed {
+                    if self.world.probe.enabled() {
+                        self.world.trace.begin_maintenance();
+                    }
                     let mut ctx = Ctx {
                         world: &mut self.world,
                         engine: eng,
@@ -527,12 +558,15 @@ impl<S: Scheme> Runner<S> {
                 }
             }
             Ev::Churn => {
+                if self.world.probe.enabled() {
+                    self.world.trace.begin_maintenance();
+                }
                 self.apply_churn(eng);
                 let gap = self.next_churn_gap(eng.now());
                 eng.schedule_after(gap, Ev::Churn);
             }
             Ev::Sample => {
-                let sample = self.take_sample(eng.now());
+                let sample = self.take_sample(eng.now(), eng.pending());
                 self.samples.push(sample);
                 self.world
                     .probe
@@ -544,7 +578,8 @@ impl<S: Scheme> Runner<S> {
     }
 
     /// Snapshots the live structures for one time-series point.
-    fn take_sample(&self, now: SimTime) -> TraceSample {
+    /// `queue_depth` is the engine's pending event count at sample time.
+    fn take_sample(&self, now: SimTime, queue_depth: usize) -> TraceSample {
         let interested = self
             .world
             .tree
@@ -559,6 +594,8 @@ impl<S: Scheme> Runner<S> {
             cache_valid: self.world.cache.valid_count(now),
             tree_size: stats.map_or(0, |s| s.tree_size),
             mean_list_len: stats.map_or(0.0, |s| s.mean_list_len),
+            queue_depth,
+            in_flight_msgs: self.world.trace.in_flight(),
         }
     }
 
@@ -611,6 +648,9 @@ impl<S: Scheme> Runner<S> {
 
     /// A locally generated query at `node`.
     fn begin_query(&mut self, eng: &mut Engine<Ev<S::Msg>>, node: NodeId) {
+        if self.world.probe.enabled() {
+            self.world.trace.begin_query();
+        }
         let now = eng.now();
         let served = self.world.serving_record(node, now);
         self.world
@@ -730,9 +770,10 @@ impl<S: Scheme> Runner<S> {
     ) {
         if self.world.cache.install(to, record) {
             let now = eng.now();
+            let version = record.version.0;
             self.world
                 .probe
-                .emit(now, || ProbeEvent::CacheInsert { node: to });
+                .emit(now, || ProbeEvent::CacheInsert { node: to, version });
         }
         if remaining.is_empty() {
             self.pool.put(remaining);

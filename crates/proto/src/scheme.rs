@@ -20,6 +20,7 @@ use crate::interest::InterestTracker;
 use crate::ledger::MsgClass;
 use crate::metrics::Metrics;
 use crate::probe::{ProbeEvent, ProbeSink, SubscriberStats};
+use crate::trace::{SpanInfo, TraceCtx};
 
 /// A message in flight between two overlay nodes.
 #[derive(Debug, Clone)]
@@ -70,6 +71,11 @@ pub enum Ev<M> {
         /// Cost class the hop was charged under (carried so the probe can
         /// classify the delivery without re-deriving it from the payload).
         class: MsgClass,
+        /// The message's causal identity ([`SpanInfo::NONE`] while tracing
+        /// is off). The runner restores it as the current trace context
+        /// before dispatching, so sends made by the handler become children
+        /// of this delivery.
+        cause: SpanInfo,
         /// The payload.
         msg: Msg<M>,
     },
@@ -120,6 +126,10 @@ pub struct World {
     /// The deterministic fault layer (disabled by default: one boolean
     /// check per send, no RNG draws, no behavior change).
     pub faults: FaultState,
+    /// Causal trace state: span allocation (only while a probe is
+    /// attached), the current causal context, and the in-flight message
+    /// counter feeding [`crate::TraceSample::in_flight_msgs`].
+    pub trace: TraceCtx,
 }
 
 /// Counters of fault-layer interventions over a run.
@@ -357,9 +367,10 @@ impl<M> Ctx<'_, M> {
         let accepted = self.world.cache.install(node, record);
         if accepted {
             let now = self.engine.now();
-            self.world
-                .probe
-                .emit(now, || ProbeEvent::CacheInsert { node });
+            self.world.probe.emit(now, || ProbeEvent::CacheInsert {
+                node,
+                version: record.version.0,
+            });
         }
         accepted
     }
@@ -411,10 +422,27 @@ pub(crate) fn send_msg<M: Clone>(
     debug_assert!(from != to, "node {from} sending to itself");
     world.metrics.charge_hop(class);
     let now = engine.now();
-    world
-        .probe
-        .emit(now, || ProbeEvent::MsgSent { from, to, class });
     let delay = world.hop_latency.sample(&mut world.latency_rng);
+    // Causal identity is assigned only while a probe is attached; the
+    // disabled path pays one branch and stamps SpanInfo::NONE.
+    let cause = if world.probe.enabled() {
+        let cause = world.trace.child();
+        let tree_edge = world.tree.parent(to) == Some(from) || world.tree.parent(from) == Some(to);
+        let transit_secs = delay.as_secs_f64();
+        world.probe.emit(now, || ProbeEvent::MsgSent {
+            from,
+            to,
+            class,
+            trace: cause.trace,
+            span: cause.span,
+            parent: cause.parent,
+            transit_secs,
+            tree_edge,
+        });
+        cause
+    } else {
+        SpanInfo::NONE
+    };
     let mut arrive = now + delay;
     let mut duplicate = false;
     if world.faults.armed() {
@@ -447,22 +475,26 @@ pub(crate) fn send_msg<M: Clone>(
         // The copy takes the next FIFO slot on the same channel, arriving
         // right behind the original.
         let at2 = world.fifo.reserve_slot(from, to, arrive);
+        world.trace.note_sent();
         engine.schedule(
             at2,
             Ev::Deliver {
                 from,
                 to,
                 class,
+                cause,
                 msg: msg.clone(),
             },
         );
     }
+    world.trace.note_sent();
     engine.schedule(
         at,
         Ev::Deliver {
             from,
             to,
             class,
+            cause,
             msg,
         },
     );
@@ -581,6 +613,7 @@ mod tests {
             fifo: FifoClocks::default(),
             probe: ProbeSink::disabled(),
             faults: FaultState::disabled(),
+            trace: TraceCtx::new(),
             tree,
         }
     }

@@ -1,0 +1,415 @@
+//! A process-wide metrics registry with a Prometheus text exporter.
+//!
+//! Counters, gauges, and histograms (built on [`dup_stats::Histogram`], so
+//! per-shard histograms from parallel sweeps combine via
+//! [`dup_stats::Histogram::merge`]) keyed by metric name plus a rendered
+//! label set (`scheme`, `msg_class`, …). The runner publishes a finished
+//! [`RunReport`] with [`Registry::record_run`]; the trace layer publishes a
+//! [`crate::trace::TraceSummary`] with [`Registry::record_trace_summary`];
+//! [`Registry::render_prometheus`] emits the text exposition format.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use dup_stats::Histogram;
+
+use crate::ledger::MsgClass;
+use crate::metrics::RunReport;
+
+/// A metric instance: name plus its rendered, sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    /// Pre-rendered `{k="v",…}` (empty for label-free metrics). Labels are
+    /// sorted at construction so equal sets always collide.
+    labels: String,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+        pairs.sort();
+        let labels = if pairs.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        };
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// Escapes a label value per the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// A histogram metric: bucketed counts plus the exact sum of observations
+/// (the `_sum` series Prometheus expects, which bucket midpoints cannot
+/// recover).
+#[derive(Debug, Clone)]
+struct HistogramMetric {
+    hist: Histogram,
+    sum: f64,
+}
+
+/// The registry: every metric published during a run or report pass.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, HistogramMetric>,
+    help: BTreeMap<String, &'static str>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers one-line help text for `name` (rendered as `# HELP`).
+    pub fn describe(&mut self, name: &str, help: &'static str) {
+        self.help.insert(name.to_string(), help);
+    }
+
+    /// Adds `by` to the counter `name{labels}`.
+    pub fn inc_counter(&mut self, name: &str, labels: &[(&str, &str)], by: u64) {
+        *self
+            .counters
+            .entry(MetricKey::new(name, labels))
+            .or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name{labels}`.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), value);
+    }
+
+    /// Merges `hist` (with `sum` = exact sum of its observations, in the
+    /// metric's unit) into the histogram `name{labels}`, creating it on
+    /// first use. Same-key publishes must share bucket geometry — exactly
+    /// the [`Histogram::merge`] contract, which lets per-shard histograms
+    /// from parallel sweeps land in one series.
+    pub fn observe_histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+        sum: f64,
+    ) {
+        let key = MetricKey::new(name, labels);
+        match self.histograms.get_mut(&key) {
+            Some(m) => {
+                m.hist.merge(hist);
+                m.sum += sum;
+            }
+            None => {
+                self.histograms.insert(
+                    key,
+                    HistogramMetric {
+                        hist: hist.clone(),
+                        sum,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Number of registered metric instances (all types).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes a finished run's counters and gauges under
+    /// `scheme=<name>`.
+    pub fn record_run(&mut self, report: &RunReport) {
+        let scheme = report.scheme.clone();
+        let labels: &[(&str, &str)] = &[("scheme", scheme.as_str())];
+        self.describe(
+            "dup_queries_total",
+            "Queries answered during the measured window",
+        );
+        self.inc_counter("dup_queries_total", labels, report.queries);
+        self.describe("dup_hops_total", "Overlay hops charged, by message class");
+        for (class, hops) in [
+            (MsgClass::Request, report.request_hops),
+            (MsgClass::Reply, report.reply_hops),
+            (MsgClass::Push, report.push_hops),
+            (MsgClass::Control, report.control_hops),
+        ] {
+            let class_label = format!("{class:?}").to_lowercase();
+            self.inc_counter(
+                "dup_hops_total",
+                &[
+                    ("scheme", scheme.as_str()),
+                    ("msg_class", class_label.as_str()),
+                ],
+                hops,
+            );
+        }
+        self.describe(
+            "dup_pushes_delivered_total",
+            "Push messages delivered to live nodes",
+        );
+        self.inc_counter(
+            "dup_pushes_delivered_total",
+            labels,
+            report.pushes_delivered,
+        );
+        self.describe("dup_events_total", "Discrete events the engine processed");
+        self.inc_counter("dup_events_total", labels, report.events);
+        self.describe(
+            "dup_probe_events_total",
+            "Events emitted through the probe layer",
+        );
+        self.inc_counter("dup_probe_events_total", labels, report.probe_events);
+
+        self.describe(
+            "dup_sim_seconds",
+            "Simulated seconds in the measured window",
+        );
+        self.set_gauge("dup_sim_seconds", labels, report.sim_secs);
+        self.describe("dup_latency_hops_mean", "Mean query latency in hops");
+        self.set_gauge("dup_latency_hops_mean", labels, report.latency_hops.mean);
+        for (name, v) in [
+            ("dup_latency_hops_p50", report.latency_p50_hops),
+            ("dup_latency_hops_p95", report.latency_p95_hops),
+            ("dup_latency_hops_p99", report.latency_p99_hops),
+        ] {
+            if v.is_finite() {
+                self.set_gauge(name, labels, v);
+            }
+        }
+        self.describe(
+            "dup_avg_query_cost",
+            "Mean overlay hops spent per query, all classes",
+        );
+        self.set_gauge("dup_avg_query_cost", labels, report.avg_query_cost);
+        self.describe(
+            "dup_stale_fraction",
+            "Fraction of queries served a superseded version",
+        );
+        self.set_gauge("dup_stale_fraction", labels, report.stale_fraction);
+        self.describe(
+            "dup_local_hit_fraction",
+            "Fraction of queries served from the local cache",
+        );
+        self.set_gauge("dup_local_hit_fraction", labels, report.local_hit_fraction);
+        self.describe("dup_live_nodes", "Live overlay nodes at the end of the run");
+        self.set_gauge("dup_live_nodes", labels, report.final_live_nodes as f64);
+        self.describe(
+            "dup_interested_nodes",
+            "Interested nodes at the end of the run",
+        );
+        self.set_gauge(
+            "dup_interested_nodes",
+            labels,
+            report.final_interested_nodes as f64,
+        );
+        self.describe("dup_peak_queue_depth", "Event-queue depth high-water mark");
+        self.set_gauge(
+            "dup_peak_queue_depth",
+            labels,
+            report.peak_queue_depth as f64,
+        );
+        if let Some(last) = report.samples.last() {
+            self.describe(
+                "dup_in_flight_msgs",
+                "In-flight messages at the last sample",
+            );
+            self.set_gauge("dup_in_flight_msgs", labels, last.in_flight_msgs as f64);
+            self.describe("dup_queue_depth", "Pending events at the last sample");
+            self.set_gauge("dup_queue_depth", labels, last.queue_depth as f64);
+        }
+    }
+
+    /// Publishes a trace summary's edge counts and latency-decomposition
+    /// histograms under `scheme=<name>`.
+    pub fn record_trace_summary(&mut self, summary: &crate::trace::TraceSummary, scheme: &str) {
+        let labels: &[(&str, &str)] = &[("scheme", scheme)];
+        self.describe(
+            "dup_traced_updates_total",
+            "Published updates with a reconstructed trace",
+        );
+        self.inc_counter("dup_traced_updates_total", labels, summary.updates as u64);
+        self.describe(
+            "dup_trace_edges_total",
+            "Delivered push edges, by search-tree relation",
+        );
+        for (kind, n) in [
+            ("tree_hop", summary.tree_hop_edges),
+            ("short_cut", summary.shortcut_edges),
+        ] {
+            self.inc_counter(
+                "dup_trace_edges_total",
+                &[("scheme", scheme), ("kind", kind)],
+                n,
+            );
+        }
+        self.describe(
+            "dup_trace_lost_pushes_total",
+            "Push sends that never arrived",
+        );
+        self.inc_counter("dup_trace_lost_pushes_total", labels, summary.lost_pushes);
+        self.describe("dup_trace_max_depth", "Longest propagation chain observed");
+        self.set_gauge("dup_trace_max_depth", labels, f64::from(summary.max_depth));
+        for (name, help, hist) in [
+            (
+                "dup_push_transit_seconds",
+                "Sampled per-hop transfer delay of delivered pushes",
+                &summary.transit,
+            ),
+            (
+                "dup_push_hold_seconds",
+                "Per-hop FIFO/fault hold beyond sampled transit",
+                &summary.hold,
+            ),
+            (
+                "dup_install_delay_seconds",
+                "Publish-to-cache-install delay per reached node",
+                &summary.install_delay,
+            ),
+        ] {
+            self.describe(name, help);
+            let sum = hist.approx_mean() * (hist.total() - hist.overflow()) as f64;
+            self.observe_histogram(name, labels, hist, sum);
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        let header = |out: &mut String, name: &str, kind: &str, last: &mut String| {
+            if *last != name {
+                if let Some(help) = self.help.get(name) {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                }
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                *last = name.to_string();
+            }
+        };
+        for (key, value) in &self.counters {
+            header(&mut out, &key.name, "counter", &mut last_name);
+            let _ = writeln!(out, "{}{} {}", key.name, key.labels, value);
+        }
+        for (key, value) in &self.gauges {
+            header(&mut out, &key.name, "gauge", &mut last_name);
+            let _ = writeln!(out, "{}{} {}", key.name, key.labels, value);
+        }
+        for (key, m) in &self.histograms {
+            header(&mut out, &key.name, "histogram", &mut last_name);
+            // Cumulative buckets; only occupied edges are listed (the text
+            // format allows any sorted subset as long as +Inf is present).
+            let inner = key.labels.trim_start_matches('{').trim_end_matches('}');
+            let with = |extra: String| {
+                if inner.is_empty() {
+                    format!("{{{extra}}}")
+                } else {
+                    format!("{{{inner},{extra}}}")
+                }
+            };
+            let mut cum = 0u64;
+            for i in 0..m.hist.buckets() {
+                let c = m.hist.bucket_count(i);
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let le = (i as f64 + 1.0) * m.hist.bucket_width();
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    key.name,
+                    with(format!("le=\"{le}\"")),
+                    cum
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                key.name,
+                with("le=\"+Inf\"".to_string()),
+                m.hist.total()
+            );
+            let _ = writeln!(out, "{}_sum{} {}", key.name, key.labels, m.sum);
+            let _ = writeln!(out, "{}_count{} {}", key.name, key.labels, m.hist.total());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let mut reg = Registry::new();
+        reg.describe("x_total", "a counter");
+        reg.inc_counter("x_total", &[("scheme", "DUP")], 3);
+        reg.inc_counter("x_total", &[("scheme", "DUP")], 2);
+        reg.inc_counter("x_total", &[("scheme", "PCX")], 1);
+        reg.set_gauge("y", &[], 1.5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP x_total a counter"));
+        assert!(text.contains("# TYPE x_total counter"));
+        assert!(text.contains("x_total{scheme=\"DUP\"} 5"));
+        assert!(text.contains("x_total{scheme=\"PCX\"} 1"));
+        assert!(text.contains("y 1.5"));
+        // One TYPE line per metric name, not per label set.
+        assert_eq!(text.matches("# TYPE x_total").count(), 1);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut reg = Registry::new();
+        reg.inc_counter("m", &[("b", "2"), ("a", "1")], 1);
+        reg.inc_counter("m", &[("a", "1"), ("b", "2")], 1);
+        assert!(reg.render_prometheus().contains("m{a=\"1\",b=\"2\"} 2"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let mut reg = Registry::new();
+        let mut h = Histogram::new(0.5, 4);
+        h.record(0.2);
+        h.record(0.7);
+        h.record(0.8);
+        h.record(9.0); // overflow
+        reg.observe_histogram("lat_seconds", &[("scheme", "DUP")], &h, 10.75);
+        // A second shard merges into the same series.
+        let mut h2 = Histogram::new(0.5, 4);
+        h2.record(0.1);
+        reg.observe_histogram("lat_seconds", &[("scheme", "DUP")], &h2, 0.25);
+        let text = reg.render_prometheus();
+        assert!(text.contains("lat_seconds_bucket{scheme=\"DUP\",le=\"0.5\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{scheme=\"DUP\",le=\"1\"} 4"));
+        assert!(text.contains("lat_seconds_bucket{scheme=\"DUP\",le=\"+Inf\"} 5"));
+        assert!(text.contains("lat_seconds_sum{scheme=\"DUP\"} 11"));
+        assert!(text.contains("lat_seconds_count{scheme=\"DUP\"} 5"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut reg = Registry::new();
+        reg.set_gauge("g", &[("path", "a\"b\\c")], 1.0);
+        assert!(reg
+            .render_prometheus()
+            .contains("g{path=\"a\\\"b\\\\c\"} 1"));
+    }
+}

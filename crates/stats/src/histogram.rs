@@ -71,6 +71,11 @@ impl Histogram {
         self.counts.len()
     }
 
+    /// Width of each regular bucket.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+
     /// The value at quantile `q` in `[0, 1]`, estimated as the upper edge of
     /// the bucket where the cumulative count crosses `q * total`. Returns
     /// `None` when empty or when the quantile lands in the overflow bucket.
@@ -88,6 +93,48 @@ impl Histogram {
             }
         }
         None
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, linearly interpolated within
+    /// the bucket where the cumulative count crosses `q * total` (assuming
+    /// observations spread uniformly inside each bucket). Smoother than
+    /// [`Histogram::quantile`], which snaps to bucket upper edges — the
+    /// difference matters when many shards merge into wide buckets. Returns
+    /// `None` when empty or when the quantile lands in the overflow bucket.
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= target {
+                let within = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return Some((i as f64 + within) * self.bucket_width);
+            }
+            cum = next;
+        }
+        None
+    }
+
+    /// Interpolated median ([`Histogram::quantile_interpolated`] at 0.5).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile_interpolated(0.5)
+    }
+
+    /// Interpolated 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile_interpolated(0.95)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile_interpolated(0.99)
     }
 
     /// Mean estimated from bucket midpoints (overflow excluded).
@@ -201,5 +248,59 @@ mod tests {
         let mut a = Histogram::new(0.5, 4);
         let b = Histogram::new(1.0, 4);
         a.merge(&b);
+    }
+
+    #[test]
+    fn interpolated_quantiles_of_uniform() {
+        let mut h = Histogram::new(1.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0); // uniform over [0, 10)
+        }
+        // Interpolation recovers the underlying uniform within a bucket.
+        assert!((h.quantile_interpolated(0.5).unwrap() - 5.0).abs() < 1e-12);
+        assert!((h.p95().unwrap() - 9.5).abs() < 1e-12);
+        assert!((h.p99().unwrap() - 9.9).abs() < 1e-12);
+        // q=0 lands at the lower edge of the first occupied bucket, q=1 at
+        // the upper edge of the last.
+        assert_eq!(h.quantile_interpolated(0.0), Some(0.0));
+        assert_eq!(h.quantile_interpolated(1.0), Some(10.0));
+        assert_eq!(Histogram::new(1.0, 1).quantile_interpolated(0.5), None);
+    }
+
+    #[test]
+    fn interpolated_quantile_in_overflow_is_none() {
+        let mut h = Histogram::new(1.0, 1);
+        h.record(10.0);
+        assert_eq!(h.quantile_interpolated(0.5), None);
+        // Half in range, half overflow: p50 resolves, p99 does not.
+        h.record(0.5);
+        assert!(h.quantile_interpolated(0.25).is_some());
+        assert_eq!(h.quantile_interpolated(0.99), None);
+    }
+
+    #[test]
+    fn merged_shards_match_single_histogram_quantiles() {
+        // Per-shard histograms combined with `merge` must answer quantile
+        // queries exactly as one histogram fed the union of observations —
+        // the property `run_parallel` shard reports rely on.
+        let mut whole = Histogram::new(0.25, 40);
+        let mut shards: Vec<Histogram> = (0..4).map(|_| Histogram::new(0.25, 40)).collect();
+        for i in 0..400 {
+            let x = (i as f64 * 7919.0) % 10.0;
+            whole.record(x);
+            shards[i % 4].record(x);
+        }
+        let mut merged = Histogram::new(0.25, 40);
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.total(), whole.total());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                merged.quantile_interpolated(q),
+                whole.quantile_interpolated(q)
+            );
+            assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
     }
 }

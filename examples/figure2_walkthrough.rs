@@ -44,7 +44,9 @@ fn fmt_event(ev: &ProbeEvent) -> Option<String> {
                 name(*node)
             )
         }
-        ProbeEvent::MsgDelivered { from, to, class } => match class {
+        ProbeEvent::MsgDelivered {
+            from, to, class, ..
+        } => match class {
             MsgClass::Push => format!(
                 "push delivered {} → {} (direct hop)",
                 name(*from),
@@ -53,7 +55,7 @@ fn fmt_event(ev: &ProbeEvent) -> Option<String> {
             MsgClass::Control => format!("control hop {} → {}", name(*from), name(*to)),
             _ => return None,
         },
-        ProbeEvent::CacheInsert { node } => {
+        ProbeEvent::CacheInsert { node, .. } => {
             format!("fresh copy installed at {}", name(*node))
         }
         _ => return None,

@@ -124,6 +124,65 @@ fn samples_populate_without_probe() {
     assert!(last.live_nodes > 0);
 }
 
+/// `JsonlProbe` round-trip: the same deterministic run streamed through a
+/// JSONL file on disk re-reads into exactly the event stream a
+/// `CaptureProbe` saw — same length, same per-class counts, same events in
+/// the same order at the same times.
+#[test]
+fn jsonl_probe_roundtrips_through_file() {
+    let cfg = RunConfig::builder(21)
+        .nodes(128)
+        .warmup_secs(0.0)
+        .duration_secs(5_000.0)
+        .latency_batch(50)
+        .sample_every_secs(1_000.0)
+        .build();
+
+    // Reference run into an in-memory capture.
+    let capture = CaptureProbe::new();
+    let capture_report =
+        run_simulation_kind(&cfg, SchemeKind::Dup, ProbeSink::attach(capture.clone()));
+
+    // Identical run streamed to a JSONL file.
+    let path = std::env::temp_dir().join(format!("dup_probe_rt_{}.jsonl", std::process::id()));
+    let file = std::fs::File::create(&path).expect("create temp trace file");
+    let jsonl_report = run_simulation_kind(
+        &cfg,
+        SchemeKind::Dup,
+        ProbeSink::attach(JsonlProbe::new(std::io::BufWriter::new(file))),
+    );
+    assert_eq!(
+        serde_json::to_string(&capture_report).unwrap(),
+        serde_json::to_string(&jsonl_report).unwrap(),
+        "same config and seed must yield identical reports"
+    );
+
+    // Re-read the file and reconcile against the capture.
+    let text = std::fs::read_to_string(&path).expect("read temp trace file");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<dup_p2p::proto::TraceLine> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every line parses"))
+        .collect();
+    let events = capture.events();
+    assert_eq!(lines.len(), events.len(), "event counts reconcile");
+    assert_eq!(lines.len() as u64, capture_report.probe_events);
+    for (line, (at, event)) in lines.iter().zip(&events) {
+        assert_eq!(line.at_secs, at.as_secs_f64());
+        assert_eq!(&line.event, event);
+    }
+
+    // The per-class ledger reconciles with the re-read stream too.
+    let sent = |class: MsgClass| {
+        lines
+            .iter()
+            .filter(|l| matches!(l.event, ProbeEvent::MsgSent { class: c, .. } if c == class))
+            .count() as u64
+    };
+    assert_eq!(sent(MsgClass::Push), capture_report.push_hops);
+    assert_eq!(sent(MsgClass::Control), capture_report.control_hops);
+}
+
 /// The paper's Figure 2(a) as a probe trace: N6's subscription climbs the
 /// virtual path N6→N5→N3→N2→N1 hop by hop, and the refresh that follows is
 /// one direct push N1→N6.
@@ -161,6 +220,7 @@ fn figure2_trace_shows_virtual_path_then_one_hop_push() {
                 from,
                 to,
                 class: MsgClass::Control,
+                ..
             } => Some((*from, *to)),
             _ => None,
         })
@@ -175,27 +235,22 @@ fn figure2_trace_shows_virtual_path_then_one_hop_push() {
         .iter()
         .map(|(_, e)| e.clone())
         .collect();
-    let pushes: Vec<&ProbeEvent> = after
+    let pushes: Vec<(NodeId, NodeId)> = after
         .iter()
-        .filter(|e| {
-            matches!(
-                e,
-                ProbeEvent::MsgDelivered {
-                    class: MsgClass::Push,
-                    ..
-                }
-            )
+        .filter_map(|e| match e {
+            ProbeEvent::MsgDelivered {
+                from,
+                to,
+                class: MsgClass::Push,
+                ..
+            } => Some((*from, *to)),
+            _ => None,
         })
         .collect();
-    assert_eq!(
-        pushes,
-        vec![&ProbeEvent::MsgDelivered {
-            from: n1,
-            to: n6,
-            class: MsgClass::Push
-        }]
-    );
-    assert!(after.contains(&ProbeEvent::CacheInsert { node: n6 }));
+    assert_eq!(pushes, vec![(n1, n6)]);
+    assert!(after
+        .iter()
+        .any(|e| matches!(e, ProbeEvent::CacheInsert { node, .. } if *node == n6)));
 
     // The bench's emitted counter agrees with what the capture saw.
     assert_eq!(capture.len() as u64, bench.world.probe.emitted());

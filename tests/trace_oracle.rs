@@ -1,0 +1,212 @@
+//! The tracer as a verified artifact: propagation trees reconstructed from
+//! the probe stream must match the differential oracle's predictions.
+//!
+//! For every refresh of a traced DUP bench, the reconstructed
+//! [`dup_p2p::proto::UpdateTrace`] has to agree with the PR-3 oracle on two
+//! independent characterizations of the DUP tree:
+//!
+//! * the set of nodes the push reached, plus the root, equals the NCA
+//!   closure of `subscribed ∪ {root}` (§III-B), and
+//! * the delivered edge set equals the push edges implied by walking the
+//!   oracle's expected subscriber lists down from the root.
+
+use std::collections::BTreeSet;
+
+use dup_core::oracle::{expected_lists, nca_closure, oracle_diff};
+use dup_core::testkit::{paper_example_tree, TestBench};
+use dup_p2p::prelude::*;
+use dup_p2p::proto::{EdgeKind, TraceCollector, UpdateTrace};
+
+/// The push edges the oracle predicts for one refresh: walk the expected
+/// subscriber lists down from the root; every non-self entry is one direct
+/// push hop.
+fn oracle_push_edges(
+    tree: &SearchTree,
+    subscribed: &BTreeSet<NodeId>,
+) -> BTreeSet<(NodeId, NodeId)> {
+    let lists = expected_lists(tree, subscribed);
+    let mut edges = BTreeSet::new();
+    let mut stack = vec![tree.root()];
+    while let Some(n) = stack.pop() {
+        for &e in &lists[n.index()] {
+            if e != n {
+                edges.insert((n, e));
+                stack.push(e);
+            }
+        }
+    }
+    edges
+}
+
+/// Publishes the next version, rebuilds the collector from the full capture,
+/// and asserts the reconstructed propagation tree equals the oracle's
+/// prediction for the current interest state.
+fn refresh_and_check(
+    bench: &mut TestBench<DupScheme>,
+    capture: &CaptureProbe,
+    subscribed: &BTreeSet<NodeId>,
+) -> UpdateTrace {
+    let version = bench.refresh().version.0;
+    let collector = TraceCollector::from_events(&capture.events());
+    let trace = collector
+        .propagation_tree(version)
+        .expect("publish observed for the refreshed version");
+    let tree = &bench.world.tree;
+
+    assert!(
+        trace.is_tree(),
+        "v{version}: delivered edges are not a tree"
+    );
+    assert_eq!(trace.lost, 0, "v{version}: fault-free bench lost a push");
+    assert_eq!(trace.origin, tree.root(), "v{version}: wrong origin");
+
+    // Characterization 1: reached ∪ {root} is the NCA closure.
+    let mut seeds = subscribed.clone();
+    seeds.insert(tree.root());
+    let closure = nca_closure(tree, &seeds);
+    let mut reached = trace.reached();
+    reached.insert(tree.root());
+    assert_eq!(reached, closure, "v{version}: reached set ≠ NCA closure");
+
+    // Characterization 2: the edge set is exactly the oracle's push walk.
+    assert_eq!(
+        trace.edge_set(),
+        oracle_push_edges(tree, subscribed),
+        "v{version}: edge set ≠ oracle push edges"
+    );
+
+    // Edge-kind classification agrees with the (quiescent) search tree.
+    for e in &trace.edges {
+        let neighbours = tree.parent(e.to) == Some(e.from) || tree.parent(e.from) == Some(e.to);
+        assert_eq!(
+            e.kind == EdgeKind::TreeHop,
+            neighbours,
+            "v{version}: edge {}→{} misclassified as {:?}",
+            e.from,
+            e.to,
+            e.kind
+        );
+    }
+
+    // And the protocol state itself still satisfies the differential oracle.
+    let mismatches = oracle_diff(&bench.scheme, tree);
+    assert!(mismatches.is_empty(), "v{version}: {mismatches:?}");
+    trace
+}
+
+/// Figure 2 as a traced run: the reconstructed trees track the oracle
+/// through every interest change on the paper's six-node example.
+#[test]
+fn traced_trees_match_oracle_on_paper_example() {
+    let capture = CaptureProbe::new();
+    let mut bench = TestBench::with_probe(
+        paper_example_tree(),
+        DupScheme::new(),
+        2,
+        ProbeSink::attach(capture.clone()),
+    );
+    let (n1, n3, n4, n6) = (NodeId(0), NodeId(2), NodeId(3), NodeId(5));
+    let mut subscribed = BTreeSet::new();
+
+    // Nobody subscribed: the push tree is just the root.
+    let trace = refresh_and_check(&mut bench, &capture, &subscribed);
+    assert!(trace.edges.is_empty());
+
+    // Figure 2(a): N6 alone — one direct short-cut push N1→N6.
+    bench.make_interested(n6);
+    bench.drain();
+    subscribed.insert(n6);
+    let trace = refresh_and_check(&mut bench, &capture, &subscribed);
+    assert_eq!(trace.edge_set(), [(n1, n6)].into_iter().collect());
+    assert_eq!(trace.edges[0].kind, EdgeKind::ShortCut);
+
+    // Figure 2(b): N4 joins — N3 becomes the fan-out point.
+    bench.make_interested(n4);
+    bench.drain();
+    subscribed.insert(n4);
+    let trace = refresh_and_check(&mut bench, &capture, &subscribed);
+    assert_eq!(
+        trace.edge_set(),
+        [(n1, n3), (n3, n4), (n3, n6)].into_iter().collect()
+    );
+    assert_eq!(trace.max_depth(), 2);
+
+    // N6 leaves: the fan-out collapses back to one direct push.
+    bench.drop_interest(n6);
+    bench.drain();
+    subscribed.remove(&n6);
+    let trace = refresh_and_check(&mut bench, &capture, &subscribed);
+    assert_eq!(trace.edge_set(), [(n1, n4)].into_iter().collect());
+
+    // N4 leaves too: back to an empty tree.
+    bench.drop_interest(n4);
+    bench.drain();
+    subscribed.remove(&n4);
+    let trace = refresh_and_check(&mut bench, &capture, &subscribed);
+    assert!(trace.edges.is_empty());
+}
+
+/// A three-level, twelve-leaf tree with a scattered subscriber set, checked
+/// through interest changes and churn: the traced tree follows the oracle at
+/// every step.
+#[test]
+fn traced_trees_match_oracle_under_churn() {
+    // Root with 3 subtrees, each an inner node with 4 leaves.
+    let mut tree = SearchTree::new_root();
+    let root = tree.root();
+    let mut inners = Vec::new();
+    let mut leaves = Vec::new();
+    for _ in 0..3 {
+        let inner = tree.add_leaf(root);
+        inners.push(inner);
+        for _ in 0..4 {
+            leaves.push(tree.add_leaf(inner));
+        }
+    }
+    let capture = CaptureProbe::new();
+    let mut bench = TestBench::with_probe(
+        tree,
+        DupScheme::new(),
+        2,
+        ProbeSink::attach(capture.clone()),
+    );
+    let mut subscribed: BTreeSet<NodeId> = BTreeSet::new();
+
+    // Two leaves under the first inner node, one under the second.
+    for &n in &[leaves[0], leaves[1], leaves[4]] {
+        bench.make_interested(n);
+        bench.drain();
+        subscribed.insert(n);
+    }
+    let trace = refresh_and_check(&mut bench, &capture, &subscribed);
+    // inners[0] must fan out; leaves[4] is reached by a short-cut from root.
+    assert!(trace.reached().contains(&inners[0]));
+    assert!(!trace.reached().contains(&inners[1]));
+
+    // A new leaf joins under the third inner node and subscribes.
+    let newcomer = bench.join_leaf(inners[2]);
+    bench.drain();
+    bench.make_interested(newcomer);
+    bench.drain();
+    subscribed.insert(newcomer);
+    refresh_and_check(&mut bench, &capture, &subscribed);
+
+    // A node splices into the path above inners[0]: the short-cuts must
+    // still skip it (it is neither subscribed nor a fan-out point).
+    let spliced = bench.join_between(root, inners[0]);
+    bench.drain();
+    let trace = refresh_and_check(&mut bench, &capture, &subscribed);
+    assert!(!trace.reached().contains(&spliced));
+
+    // Graceful departure of an unsubscribed leaf, then of a subscriber.
+    bench.remove(leaves[7], true);
+    bench.drain();
+    refresh_and_check(&mut bench, &capture, &subscribed);
+
+    bench.remove(leaves[1], true);
+    bench.drain();
+    subscribed.remove(&leaves[1]);
+    let trace = refresh_and_check(&mut bench, &capture, &subscribed);
+    // With one subscriber left under inners[0], the fan-out point is gone.
+    assert!(!trace.reached().contains(&inners[0]));
+}
