@@ -32,6 +32,23 @@ pub enum DupMsg {
     Push(IndexRecord),
 }
 
+/// Counters of lease-driven repair activity, reported by the chaos
+/// harness and exported to telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Lease-tick rounds processed ([`Scheme::on_lease_tick`]).
+    pub lease_rounds: u64,
+    /// Subscriber-list entries expired for want of renewal.
+    pub lease_expirations: u64,
+    /// Subscribed nodes whose cached index lagged the authority at a
+    /// lease boundary — their push path had broken and was re-asserted.
+    pub orphan_repairs: u64,
+    /// Subscribed nodes with no cached copy at all at a lease boundary —
+    /// degraded to PCX-style operation (TTL expiry + query refetch) until
+    /// the re-assertion rebuilds their virtual path.
+    pub lease_fallbacks: u64,
+}
+
 /// Per-node DUP state: the subscriber list.
 ///
 /// Invariants (checked by [`crate::audit`]): entries are unique; every entry
@@ -53,6 +70,8 @@ pub struct DupScheme {
     /// Fault-injection mutation switch (see
     /// [`DupScheme::set_break_substitute_merge`]).
     break_substitute_merge: bool,
+    /// Lease/repair activity counters (see [`RepairStats`]).
+    repair: RepairStats,
 }
 
 impl DupScheme {
@@ -105,6 +124,10 @@ impl DupScheme {
             if expired.is_empty() {
                 continue;
             }
+            for &entry in &expired {
+                self.repair.lease_expirations += 1;
+                ctx.emit(|| ProbeEvent::LeaseExpired { node, entry });
+            }
             self.with_resync(ctx, node, |list| {
                 list.retain(|e| !expired.contains(e));
             });
@@ -116,6 +139,11 @@ impl DupScheme {
         if let Some(touched) = self.lease.as_mut() {
             touched.insert((node, entry));
         }
+    }
+
+    /// Lease/repair activity counters so far.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repair
     }
 
     fn slot(&mut self, node: NodeId) -> &mut Vec<NodeId> {
@@ -491,7 +519,7 @@ impl Scheme for DupScheme {
         self.push_to_entries(ctx, root, record);
     }
 
-    fn on_scheme_msg(&mut self, ctx: &mut Ctx<'_, DupMsg>, _from: NodeId, to: NodeId, msg: DupMsg) {
+    fn on_scheme_msg(&mut self, ctx: &mut Ctx<'_, DupMsg>, from: NodeId, to: NodeId, msg: DupMsg) {
         match msg {
             // Figure 3 event (B).
             DupMsg::Subscribe { subject } => {
@@ -563,9 +591,56 @@ impl Scheme for DupScheme {
                 });
             }
             DupMsg::Push(record) => {
+                // A delivered push doubles as a keep-alive for the edge
+                // that carried it: the sender's entry for `to` is renewed
+                // without any extra lease traffic.
+                self.mark_lease(from, to);
                 ctx.install(to, record);
                 self.push_to_entries(ctx, to, record);
             }
+        }
+    }
+
+    /// One lease period boundary (driven by [`dup_proto::Ev::LeaseTick`]
+    /// when the reliability layer is enabled, or by harness heal phases):
+    ///
+    /// 1. Close the previous keep-alive epoch, expiring every
+    ///    subscriber-list entry that went unrenewed — this is the parent
+    ///    side of orphan detection (a dead or unreachable downstream
+    ///    neighbor stops renewing and its lease lapses).
+    /// 2. Open the next epoch.
+    /// 3. Have every subscribed node inspect its own push path and
+    ///    re-assert its subscription up the search tree. A node whose
+    ///    cached index **lags** the authority lost its push path — the
+    ///    re-assertion is an orphan repair; a node with **no** cached copy
+    ///    has degraded to PCX-style operation (TTL expiry + query refetch)
+    ///    until the virtual path is rebuilt.
+    ///
+    /// Every step is idempotent: on a healthy tree the tick only renews
+    /// leases and sends keep-alive subscribes that are absorbed en route.
+    fn on_lease_tick(&mut self, ctx: &mut Ctx<'_, DupMsg>) {
+        self.repair.lease_rounds += 1;
+        self.end_lease_epoch(ctx);
+        self.begin_lease_epoch();
+        let authority = ctx.world.authority.current().version;
+        let subscribed: Vec<NodeId> = ctx
+            .tree()
+            .live_nodes()
+            .filter(|&n| n != ctx.root() && self.is_subscribed(n))
+            .collect();
+        for node in subscribed {
+            match ctx.world.cache.raw(node) {
+                Some(r) if !r.is_stale_versus(authority) => {}
+                Some(_) => {
+                    self.repair.orphan_repairs += 1;
+                    ctx.emit(|| ProbeEvent::OrphanRepair { node });
+                }
+                None => {
+                    self.repair.lease_fallbacks += 1;
+                    ctx.emit(|| ProbeEvent::LeaseFallback { node });
+                }
+            }
+            self.reassert(ctx, node);
         }
     }
 
@@ -990,6 +1065,100 @@ mod tests {
         let before = b.push_hops();
         b.refresh();
         assert_eq!(b.push_hops() - before, 3);
+    }
+
+    #[test]
+    fn lease_tick_expires_unrenewed_entries() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        // First tick opens an epoch; the reassert cascade renews every
+        // entry on N6's virtual path during it.
+        b.with_ctx(|s, ctx| s.on_lease_tick(ctx));
+        b.drain();
+        // An orphaned entry injected mid-epoch (as a lost unsubscribe or
+        // substitute would leave behind) is never renewed...
+        b.scheme.test_inject_entry(N3, N4);
+        b.with_ctx(|s, ctx| s.on_lease_tick(ctx));
+        b.drain();
+        // ...so the next boundary expires exactly that entry.
+        assert_eq!(b.scheme.s_list(N3), &[N6]);
+        assert_eq!(b.scheme.repair_stats().lease_expirations, 1);
+        assert_eq!(b.scheme.repair_stats().lease_rounds, 2);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn healthy_tree_survives_lease_ticks_unchanged() {
+        let mut b = bench();
+        for n in [N4, N6, N8] {
+            b.make_interested(n);
+            b.drain();
+        }
+        let lists_before: Vec<Vec<NodeId>> = (0..8)
+            .map(|i| b.scheme.s_list(NodeId(i)).to_vec())
+            .collect();
+        for _ in 0..3 {
+            b.with_ctx(|s, ctx| s.on_lease_tick(ctx));
+            b.drain();
+        }
+        let lists_after: Vec<Vec<NodeId>> = (0..8)
+            .map(|i| b.scheme.s_list(NodeId(i)).to_vec())
+            .collect();
+        assert_eq!(lists_before, lists_after, "ticks must be idempotent");
+        assert_eq!(b.scheme.repair_stats().lease_expirations, 0);
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn push_delivery_renews_the_lease_on_its_edge() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        // Open an epoch without any reassert traffic, then publish: the
+        // only renewal is the push N1→N6 itself.
+        b.with_ctx(|s, ctx| {
+            s.end_lease_epoch(ctx);
+            s.begin_lease_epoch();
+        });
+        b.refresh();
+        b.with_ctx(|s, ctx| s.end_lease_epoch(ctx));
+        // The boundary's local sweep spares the edge that carried the
+        // push (its lease was renewed by the delivery) while expiring the
+        // idle intermediate virtual-path entries.
+        assert_eq!(b.scheme.s_list(N1), &[N6]);
+        assert_eq!(b.scheme.s_list(N5), &[] as &[NodeId]);
+        assert!(b.scheme.repair_stats().lease_expirations > 0);
+        // Draining the expiry cascade then collapses the rest coherently
+        // (nothing re-asserted, so the whole path unwinds).
+        b.drain();
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+    }
+
+    #[test]
+    fn lease_tick_repairs_orphan_and_reports_fallback() {
+        let mut b = bench();
+        b.make_interested(N6);
+        b.drain();
+        b.refresh(); // N6 caches version 2
+        b.make_interested(N4);
+        b.drain(); // N4 subscribed but has no cached copy yet
+                   // Wholesale loss of the root's subscriber state orphans both
+                   // branches: the next publish reaches nobody.
+        b.scheme.test_clear_list(N1);
+        let record = b.refresh();
+        assert_eq!(b.world.cache.raw(N6).map(|r| r.version), Some(Version(2)));
+        b.with_ctx(|s, ctx| s.on_lease_tick(ctx));
+        b.drain();
+        // N6 held a stale copy (orphan repair); N4 held none (fallback).
+        assert_eq!(b.scheme.repair_stats().orphan_repairs, 1);
+        assert_eq!(b.scheme.repair_stats().lease_fallbacks, 1);
+        // The re-assertion rebuilt the tree: the next publish reaches both.
+        audit_quiescent(&b.scheme, &b.world.tree).unwrap();
+        let next = b.refresh();
+        assert!(next.version > record.version);
+        assert_eq!(b.world.cache.raw(N6).map(|r| r.version), Some(next.version));
+        assert_eq!(b.world.cache.raw(N4).map(|r| r.version), Some(next.version));
     }
 
     #[test]

@@ -57,6 +57,6 @@ pub mod oracle;
 pub mod testkit;
 
 pub use audit::{audit_quiescent, AuditError};
-pub use dup::{DupMsg, DupScheme};
+pub use dup::{DupMsg, DupScheme, RepairStats};
 pub use kind::{run_simulation_kind, SchemeKind};
 pub use oracle::{check_tree_invariants, InvariantReport, OracleMismatch};

@@ -9,7 +9,8 @@
 use dup_overlay::{NodeId, SearchTree};
 use dup_proto::scheme::{AppliedChurn, Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
 use dup_proto::{
-    AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, ProbeSink, TraceCtx,
+    AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, ProbeSink, ReliableState,
+    TraceCtx,
 };
 use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
 use dup_workload::HopLatency;
@@ -48,6 +49,7 @@ impl<S: Scheme> TestBench<S> {
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
             faults: FaultState::disabled(),
+            reliable: ReliableState::disabled(),
             trace: TraceCtx::new(),
             tree,
         };

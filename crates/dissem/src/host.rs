@@ -6,7 +6,7 @@ use dup_overlay::{NodeId, SearchTree};
 use dup_proto::scheme::{Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
 use dup_proto::{
     AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, MsgClass, ProbeEvent,
-    ProbeSink, Registry, TraceCtx,
+    ProbeSink, Registry, ReliableState, TraceCtx,
 };
 use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
 use dup_workload::HopLatency;
@@ -43,6 +43,7 @@ impl<S: Scheme> TopicHost<S> {
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe: ProbeSink::disabled(),
             faults: FaultState::disabled(),
+            reliable: ReliableState::disabled(),
             trace: TraceCtx::new(),
             tree,
         };

@@ -13,6 +13,13 @@
 //!               or `fuzz`: run seeded fault-injection scenarios per scheme
 //!               and verify each against the invariant/oracle layer (see
 //!               EXPERIMENTS.md); exits nonzero when any scenario fails
+//!               or `chaos`: run fault→heal→drain convergence scenarios
+//!               with the reliability layer (ack/retransmit, leases,
+//!               orphan repair) enabled; every scheme must re-converge to
+//!               the oracle DUP tree (or replay bit-identically) within
+//!               bounded lease periods; writes CHAOS_report.json and
+//!               CHAOS_metrics.prom to --out DIR; exits nonzero on any
+//!               non-convergence
 //!               or `trace-report`: run one fully traced simulation
 //!               (scheme from --trace-scheme, default dup), reconstruct
 //!               per-update propagation trees with a latency decomposition,
@@ -43,6 +50,12 @@
 //!                                 (default: all three)
 //!   --fuzz-mutate       enable the deliberately broken substitute-merge
 //!                       rule, to demonstrate the harness catches it
+//!   --chaos-seeds <n>   scenarios per scheme for `chaos` (default 16;
+//!                       seeds derive from --seed)
+//!   --chaos-seed <u64>  replay exactly one chaos scenario seed instead of
+//!                       a full seed set
+//!   --chaos-scheme <pcx|cup|dup>  restrict `chaos` to one scheme
+//!                                 (default: all three)
 //! ```
 
 use std::io::Write as _;
@@ -64,6 +77,9 @@ fn main() -> ExitCode {
     let mut fuzz_seed: Option<u64> = None;
     let mut fuzz_scheme: Option<SchemeKind> = None;
     let mut fuzz_mutate = false;
+    let mut chaos_seeds = 16usize;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_scheme: Option<SchemeKind> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +133,19 @@ fn main() -> ExitCode {
                 None => return usage("--fuzz-scheme needs pcx, cup, or dup"),
             },
             "--fuzz-mutate" => fuzz_mutate = true,
+            "--chaos-seeds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => chaos_seeds = n,
+                _ => return usage("--chaos-seeds needs a positive integer"),
+            },
+            "--chaos-seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => chaos_seed = Some(seed),
+                None => return usage("--chaos-seed needs an integer"),
+            },
+            "--chaos-scheme" => match args.next().map(|s| s.parse()) {
+                Some(Ok(kind)) => chaos_scheme = Some(kind),
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--chaos-scheme needs pcx, cup, or dup"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown option {other}"));
@@ -180,6 +209,29 @@ fn main() -> ExitCode {
             }
         }
         // Like --trace, fuzz stands alone unless experiments were also
+        // requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if selected.iter().any(|s| s == "chaos") {
+        selected.retain(|s| s != "chaos");
+        match run_chaos_cmd(
+            &opts,
+            chaos_seeds,
+            chaos_seed,
+            chaos_scheme,
+            out_dir.as_deref(),
+        ) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::FAILURE,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Like --trace, chaos stands alone unless experiments were also
         // requested.
         if selected.is_empty() {
             return ExitCode::SUCCESS;
@@ -337,6 +389,52 @@ fn run_fuzz_cmd(
     Ok(report.failures().is_empty())
 }
 
+/// Runs a reliable fault→heal→drain chaos campaign (or a single-seed
+/// replay) and verifies convergence; returns `Ok(true)` when every
+/// scenario re-converged. Writes `CHAOS_report.json` and
+/// `CHAOS_metrics.prom` when `--out` is given.
+fn run_chaos_cmd(
+    opts: &HarnessOpts,
+    chaos_seeds: usize,
+    chaos_seed: Option<u64>,
+    chaos_scheme: Option<SchemeKind>,
+    out_dir: Option<&std::path::Path>,
+) -> Result<bool, String> {
+    let schemes: Vec<SchemeKind> = match chaos_scheme {
+        Some(kind) => vec![kind],
+        None => SchemeKind::ALL.to_vec(),
+    };
+    let started = std::time::Instant::now();
+    let report = match chaos_seed {
+        // Replay one printed scenario seed exactly.
+        Some(seed) => dup_harness::ChaosReport {
+            master_seed: opts.seed,
+            scenarios: schemes
+                .iter()
+                .map(|&kind| dup_harness::run_chaos_scenario(kind, seed))
+                .collect(),
+        },
+        None => dup_harness::run_chaos(opts.seed, chaos_seeds, &schemes),
+    };
+    print!("{}", dup_harness::render_chaos_report(&report));
+    println!("(chaos finished in {:.1?})\n", started.elapsed());
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let path = dir.join("CHAOS_report.json");
+        let doc = serde_json::to_string_pretty(&report).expect("chaos report serializes");
+        std::fs::write(&path, doc + "\n")
+            .map_err(|e| format!("write {} failed: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        let prom_path = dir.join("CHAOS_metrics.prom");
+        let prom = dup_harness::chaos_registry(&report).render_prometheus();
+        std::fs::write(&prom_path, prom)
+            .map_err(|e| format!("write {} failed: {e}", prom_path.display()))?;
+        println!("wrote {}", prom_path.display());
+    }
+    Ok(report.failures().is_empty())
+}
+
 /// Runs one probed simulation at the configured scale and streams every
 /// probe event to `path` as JSON Lines.
 fn run_trace(
@@ -374,8 +472,8 @@ fn usage(err: &str) -> ExitCode {
         "usage: dup-experiments [--full|--bench-scale] [--seed N] [--jobs N] [--reps N] \
          [--out DIR] [--trace FILE] [--trace-scheme pcx|cup|dup] [--trace-sample SECS] \
          [--bench-reps N] [--fuzz-seeds N] [--fuzz-seed N] [--fuzz-scheme pcx|cup|dup] \
-         [--fuzz-mutate] \
-         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|trace-report]..."
+         [--fuzz-mutate] [--chaos-seeds N] [--chaos-seed N] [--chaos-scheme pcx|cup|dup] \
+         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|chaos|trace-report]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod benchreport;
+pub mod chaos;
 pub mod experiment;
 pub mod extensions;
 pub mod fig4;
@@ -34,6 +35,10 @@ pub mod table3;
 pub mod tracereport;
 
 pub use benchreport::{bench_report, render_text as render_bench_report, BenchReport, SchemeBench};
+pub use chaos::{
+    chaos_config, chaos_registry, chaos_seeds, render_chaos_report, run_chaos, run_chaos_scenario,
+    ChaosReport, ChaosScenarioResult, CHAOS_HEAL_PHASES,
+};
 pub use experiment::{
     all_experiments, experiment_by_name, run_parallel, run_triple, run_triple_replicated,
     ExperimentOutput, HarnessOpts, Scale, SchemeKind, Triple,

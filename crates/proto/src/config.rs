@@ -189,6 +189,71 @@ impl FaultConfig {
     }
 }
 
+/// Reliable-delivery configuration (disabled by default).
+///
+/// When enabled, every scheme message (maintenance and push traffic — the
+/// `Control` and `Push` cost classes) is sent through the reliability
+/// layer: the receiver acknowledges each sequence-numbered message and
+/// suppresses duplicate deliveries, while the sender retransmits on a
+/// deterministic exponential-backoff schedule (seeded jitter, bounded
+/// retry budget). Query requests and replies stay fire-and-forget: the
+/// query path already tolerates loss (the querier simply re-queries),
+/// whereas a lost `substitute` silently corrupts the DUP tree.
+///
+/// `lease_every_secs` additionally schedules a periodic lease tick that
+/// the scheme may use for soft-state renewal and orphan repair (see
+/// [`crate::Scheme::on_lease_tick`]); `0` disables the tick.
+///
+/// With the default configuration the layer draws **nothing** from any
+/// RNG stream and changes no message, so the determinism goldens in
+/// `tests/perf_determinism.rs` are unaffected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConfig {
+    /// Master switch for ack/retransmit tracking of scheme messages.
+    pub enabled: bool,
+    /// Base retransmit timeout (seconds): how long the sender waits for an
+    /// ack before the first retransmission.
+    pub ack_timeout_secs: f64,
+    /// Multiplier applied to the timeout after each retransmission
+    /// (exponential backoff; must be ≥ 1).
+    pub backoff_factor: f64,
+    /// Upper bound on the backed-off timeout (seconds), before jitter.
+    pub max_backoff_secs: f64,
+    /// Jitter fraction in `[0, 1)`: each tracked message draws one uniform
+    /// `u` and every one of its timeouts is scaled by `1 + jitter_frac·u`,
+    /// de-synchronizing retransmit bursts while keeping the per-message
+    /// schedule monotone.
+    pub jitter_frac: f64,
+    /// Retransmission budget: how many times an unacked message is resent
+    /// before the sender gives up (`0` keeps dedup/acks but never resends).
+    pub max_retries: u32,
+    /// Interval (simulated seconds) between lease ticks handed to the
+    /// scheme; `0` (the default) disables the tick.
+    pub lease_every_secs: f64,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            enabled: false,
+            ack_timeout_secs: 2.0,
+            backoff_factor: 2.0,
+            max_backoff_secs: 60.0,
+            jitter_frac: 0.1,
+            max_retries: 5,
+            lease_every_secs: 0.0,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// True when the layer can affect a run at all. The send path skips
+    /// every reliability check (and every RNG draw) when false.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
 /// Observability configuration for a run.
 ///
 /// Controls only the *periodic sampling* schedule; whether any events are
@@ -291,6 +356,10 @@ pub struct RunConfig {
     /// older serialized configs).
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Reliable delivery of scheme messages (defaults to disabled; absent
+    /// from older serialized configs).
+    #[serde(default)]
+    pub reliability: ReliabilityConfig,
 }
 
 impl RunConfig {
@@ -313,6 +382,7 @@ impl RunConfig {
             probe: ProbeConfig::default(),
             queue: QueueConfig::default(),
             faults: FaultConfig::default(),
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -415,6 +485,29 @@ impl RunConfig {
             assert!(
                 w.start_secs >= 0.0 && w.end_secs > w.start_secs,
                 "fault window must satisfy 0 <= start < end"
+            );
+        }
+        let r = &self.reliability;
+        assert!(
+            r.lease_every_secs >= 0.0 && r.lease_every_secs.is_finite(),
+            "reliability lease interval must be non-negative and finite"
+        );
+        if r.enabled {
+            assert!(
+                r.ack_timeout_secs > 0.0 && r.ack_timeout_secs.is_finite(),
+                "reliability ack timeout must be positive and finite"
+            );
+            assert!(
+                r.backoff_factor >= 1.0 && r.backoff_factor.is_finite(),
+                "reliability backoff factor must be at least 1"
+            );
+            assert!(
+                r.max_backoff_secs >= r.ack_timeout_secs,
+                "reliability backoff cap must cover the base timeout"
+            );
+            assert!(
+                (0.0..1.0).contains(&r.jitter_frac),
+                "reliability jitter fraction must be in [0,1)"
             );
         }
     }
@@ -534,6 +627,12 @@ impl RunConfigBuilder {
     /// Replaces the fault-injection configuration.
     pub fn faults(mut self, faults: FaultConfig) -> Self {
         self.cfg.faults = faults;
+        self
+    }
+
+    /// Replaces the reliable-delivery configuration.
+    pub fn reliability(mut self, reliability: ReliabilityConfig) -> Self {
+        self.cfg.reliability = reliability;
         self
     }
 
@@ -704,6 +803,63 @@ mod tests {
             start_secs: 10.0,
             end_secs: 5.0,
         });
+        c.validate();
+    }
+
+    #[test]
+    fn reliability_config_defaults_off_and_deserializes_when_absent() {
+        let d = ReliabilityConfig::default();
+        assert!(!d.is_enabled());
+        assert_eq!(d.lease_every_secs, 0.0);
+        // A config serialized before the reliability field existed still
+        // loads.
+        let mut json = serde_json::to_string(&RunConfig::quick(1)).unwrap();
+        let needle = format!(",\"reliability\":{}", serde_json::to_string(&d).unwrap());
+        json = json.replace(&needle, "");
+        assert!(!json.contains("reliability"), "field not stripped: {json}");
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.reliability, ReliabilityConfig::default());
+    }
+
+    #[test]
+    fn builder_sets_reliability() {
+        let cfg = RunConfig::builder(0)
+            .reliability(ReliabilityConfig {
+                enabled: true,
+                lease_every_secs: 300.0,
+                ..ReliabilityConfig::default()
+            })
+            .build();
+        assert!(cfg.reliability.is_enabled());
+        assert_eq!(cfg.reliability.lease_every_secs, 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff cap must cover")]
+    fn reliability_cap_below_base_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.reliability.enabled = true;
+        c.reliability.ack_timeout_secs = 10.0;
+        c.reliability.max_backoff_secs = 5.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction")]
+    fn reliability_jitter_out_of_range_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.reliability.enabled = true;
+        c.reliability.jitter_frac = 1.0;
+        c.validate();
+    }
+
+    #[test]
+    fn disabled_reliability_skips_range_checks() {
+        // Out-of-range knobs on a disabled layer must not reject the run:
+        // older configs round-tripped through tools that zeroed fields
+        // still load and run unchanged.
+        let mut c = RunConfig::quick(0);
+        c.reliability.ack_timeout_secs = 0.0;
         c.validate();
     }
 

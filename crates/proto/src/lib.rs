@@ -18,6 +18,9 @@
 //! * [`metrics`] — query latency/cost collection with batch-means CIs.
 //! * [`scheme`] — the [`scheme::Scheme`] trait that a consistency scheme
 //!   implements, and the [`scheme::Ctx`] it acts through.
+//! * [`reliable`] — opt-in ack/retransmit delivery for maintenance and
+//!   push traffic: backoff schedules, pending-ack tracking, duplicate
+//!   suppression (disabled by default; draws nothing when off).
 //! * [`runner`] — the discrete-event simulation runner.
 //! * [`pcx`] / [`cup`] — the two baseline schemes.
 //!
@@ -46,6 +49,7 @@ pub mod ledger;
 pub mod metrics;
 pub mod pcx;
 pub mod probe;
+pub mod reliable;
 pub mod runner;
 pub mod scheme;
 pub mod telemetry;
@@ -54,7 +58,8 @@ pub mod trace;
 pub use cache::CacheStore;
 pub use config::{
     ArrivalKind, ChurnConfig, FaultConfig, FaultWindow, ProbeConfig, ProtocolConfig,
-    QueueBackendConfig, QueueConfig, RunConfig, RunConfigBuilder, StopRule, TopologySource,
+    QueueBackendConfig, QueueConfig, ReliabilityConfig, RunConfig, RunConfigBuilder, StopRule,
+    TopologySource,
 };
 pub use cup::{CupPushPolicy, CupScheme};
 pub use index::{AuthorityClock, IndexRecord, Version};
@@ -65,6 +70,7 @@ pub use pcx::PcxScheme;
 pub use probe::{
     CaptureProbe, JsonlProbe, ProbeEvent, ProbeSink, SubscriberStats, TraceLine, TraceSample,
 };
+pub use reliable::{backoff_delay_secs, ReliabilityStats, ReliableState, RetryAction};
 pub use runner::{run_simulation, run_simulation_probed, LiveSetError, Runner, SettledRun};
 pub use scheme::{AppliedChurn, Ctx, Ev, FaultState, FaultStats, FifoClocks, Msg, Scheme, World};
 pub use telemetry::Registry;

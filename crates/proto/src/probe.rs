@@ -181,6 +181,51 @@ pub enum ProbeEvent {
         /// Extra transit time added on top of the sampled hop latency.
         extra_secs: f64,
     },
+    /// The reliability layer retransmitted an unacked tracked message
+    /// (same payload, same causal span as the original send).
+    Retransmit {
+        /// Original sender.
+        from: NodeId,
+        /// Original recipient.
+        to: NodeId,
+        /// Cost class of the message.
+        class: MsgClass,
+        /// The tracked sequence number.
+        seq: u64,
+        /// 1 for the first retransmission.
+        attempt: u32,
+    },
+    /// The reliability layer suppressed a duplicate tracked delivery at
+    /// the receiver (it was still acked — the ack re-covers a possibly
+    /// lost earlier one).
+    DupSuppressed {
+        /// Original sender.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// The duplicated sequence number.
+        seq: u64,
+    },
+    /// A lease epoch expired an unrenewed subscriber-list entry (the
+    /// parent-side half of orphan detection).
+    LeaseExpired {
+        /// The node whose list lost the entry.
+        node: NodeId,
+        /// The expired entry.
+        entry: NodeId,
+    },
+    /// A subscribed node detected a stale or dead push path at a lease
+    /// tick and re-subscribed up the search tree (orphan repair).
+    OrphanRepair {
+        /// The repairing node.
+        node: NodeId,
+    },
+    /// A subscribed node's cached copy fully expired while its push path
+    /// was dead: it now degrades to PCX-style pull until repaired.
+    LeaseFallback {
+        /// The degraded node.
+        node: NodeId,
+    },
     /// A periodic time-series sample (see [`TraceSample`]).
     Sample(TraceSample),
 }
@@ -516,6 +561,24 @@ mod tests {
                 class: MsgClass::Request,
                 extra_secs: 1.25,
             },
+            ProbeEvent::Retransmit {
+                from: NodeId(1),
+                to: NodeId(2),
+                class: MsgClass::Push,
+                seq: 41,
+                attempt: 2,
+            },
+            ProbeEvent::DupSuppressed {
+                from: NodeId(1),
+                to: NodeId(2),
+                seq: 41,
+            },
+            ProbeEvent::LeaseExpired {
+                node: NodeId(3),
+                entry: NodeId(7),
+            },
+            ProbeEvent::OrphanRepair { node: NodeId(7) },
+            ProbeEvent::LeaseFallback { node: NodeId(7) },
         ];
         for e in events {
             let json = serde_json::to_string(&e).unwrap();

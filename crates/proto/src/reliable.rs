@@ -1,0 +1,383 @@
+//! Reliable delivery of scheme messages: ack tracking, deterministic
+//! exponential-backoff retransmission, and duplicate suppression.
+//!
+//! The paper's DUP tree is soft state maintained by `subscribe` /
+//! `unsubscribe` / `substitute` messages; a single lost `substitute` can
+//! orphan an entire subtree behind a short-cut edge. This layer makes the
+//! maintenance and push traffic (the `Control` and `Push` cost classes)
+//! survive the fault layer's drops:
+//!
+//! * The sender wraps each eligible scheme message as
+//!   [`crate::Msg::Tracked`] with a globally unique sequence number, and
+//!   arms a retransmit timer chain ([`crate::Ev::Retry`]) with
+//!   exponential backoff, seeded jitter, and a bounded retry budget.
+//! * The receiver acknowledges **every** physical arrival (a duplicate's
+//!   ack re-covers a possibly lost earlier ack) and suppresses duplicate
+//!   dispatch keyed on `(sender, seq)` — which also absorbs the fault
+//!   layer's own duplicate injections.
+//! * An arriving ack cancels the pending retry timer exactly
+//!   ([`dup_sim::Engine::cancel`]), so the disabled path and the
+//!   quiesced steady state carry no timer load.
+//!
+//! Retransmissions reuse the original message's causal [`crate::SpanInfo`],
+//! so the trace collector attributes recovery deliveries to the update
+//! they repair instead of opening fresh spans.
+//!
+//! Like [`crate::scheme::FaultState`], the layer owns a dedicated seeded
+//! stream (`stream_rng(seed, "reliable")`) and draws **nothing** while
+//! disabled, keeping fault-free runs bit-identical to builds without it.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+
+use dup_overlay::NodeId;
+use dup_sim::{StreamRng, TimerId};
+
+use crate::config::ReliabilityConfig;
+
+/// The retransmit timeout for attempt `attempt` (0-based: attempt 0 is
+/// the wait before the *first* retransmission), in seconds.
+///
+/// The schedule is `min(base · factor^attempt, cap) · (1 + jitter_frac·u)`
+/// where `u = jitter01` is one uniform draw made when the message was
+/// first sent and reused for every attempt — so each message's schedule
+/// is monotone non-decreasing, capped at
+/// `max_backoff_secs · (1 + jitter_frac)`, and fully determined by the
+/// seed that produced `jitter01`. Exposed for the backoff property tests.
+pub fn backoff_delay_secs(cfg: &ReliabilityConfig, attempt: u32, jitter01: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&jitter01), "jitter draw out of range");
+    // powi saturates to +inf for large attempts; min() brings it back.
+    let base = cfg.ack_timeout_secs * cfg.backoff_factor.powi(attempt.min(1000) as i32);
+    base.min(cfg.max_backoff_secs) * (1.0 + cfg.jitter_frac * jitter01)
+}
+
+/// Counters of reliability-layer activity over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Messages sent through the tracked (ack/retransmit) path.
+    pub tracked: u64,
+    /// Retransmissions performed.
+    pub retransmits: u64,
+    /// Acks that retired a pending retry timer.
+    pub acked: u64,
+    /// Duplicate deliveries suppressed at the receiver.
+    pub duplicates_suppressed: u64,
+    /// Messages abandoned after exhausting the retry budget.
+    pub exhausted: u64,
+}
+
+/// Sender-side bookkeeping for one unacked tracked message.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// Handle of the currently scheduled retry timer.
+    timer: TimerId,
+    /// The message's one-time jitter draw (see [`backoff_delay_secs`]).
+    jitter: f64,
+}
+
+/// What the sender should do when a retry timer fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryAction {
+    /// The message was acked (or abandoned) in the meantime; do nothing.
+    Settled,
+    /// Resend the message; the budget is now exhausted, no further timer.
+    ResendFinal,
+    /// Resend the message and schedule the next retry after this delay
+    /// (seconds).
+    ResendAndRearm(f64),
+}
+
+/// Runtime state of the reliability layer carried by [`crate::World`].
+///
+/// Holds both roles of the simulated network in one structure: the
+/// sender-side pending table (sequence numbers are globally unique, so
+/// one map serves every sender) and the receiver-side dedup set keyed on
+/// `(sender, seq)`. Neither collection is ever iterated, so their
+/// `RandomState` hashing cannot perturb determinism.
+#[derive(Debug)]
+pub struct ReliableState {
+    cfg: ReliabilityConfig,
+    rng: StreamRng,
+    armed: bool,
+    next_seq: u64,
+    pending: HashMap<u64, Pending>,
+    seen: HashSet<(NodeId, u64)>,
+    stats: ReliabilityStats,
+}
+
+impl ReliableState {
+    /// An inert reliability layer (the default for tests and plain runs).
+    pub fn disabled() -> Self {
+        ReliableState::from_config(
+            ReliabilityConfig::default(),
+            dup_sim::stream_rng(0, "reliable"),
+        )
+    }
+
+    /// Builds the layer from a run's configuration and its dedicated RNG
+    /// stream.
+    pub fn from_config(cfg: ReliabilityConfig, rng: StreamRng) -> Self {
+        let armed = cfg.is_enabled();
+        ReliableState {
+            cfg,
+            rng,
+            armed,
+            next_seq: 0,
+            pending: HashMap::new(),
+            seen: HashSet::new(),
+            stats: ReliabilityStats::default(),
+        }
+    }
+
+    /// True when scheme sends go through the tracked path.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The configuration the layer was built from.
+    pub fn config(&self) -> &ReliabilityConfig {
+        &self.cfg
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> ReliabilityStats {
+        self.stats
+    }
+
+    /// Assigns the next sequence number and draws the message's one-time
+    /// backoff jitter. Only called while armed; draws exactly one uniform.
+    pub fn begin_tracking(&mut self) -> (u64, f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.tracked += 1;
+        let jitter: f64 = self.rng.gen();
+        (seq, jitter)
+    }
+
+    /// The wait before the first retransmission of a message with the
+    /// given jitter, or `None` when the budget allows no retransmissions.
+    pub fn first_retry_delay_secs(&self, jitter: f64) -> Option<f64> {
+        if self.cfg.max_retries == 0 {
+            None
+        } else {
+            Some(backoff_delay_secs(&self.cfg, 0, jitter))
+        }
+    }
+
+    /// Records the retry timer now standing for `seq` (insert on first
+    /// send, replace on re-arm).
+    pub fn note_timer(&mut self, seq: u64, timer: TimerId, jitter: f64) {
+        self.pending.insert(seq, Pending { timer, jitter });
+    }
+
+    /// Replaces the timer handle of a still-pending `seq` after a re-arm
+    /// (the jitter draw is kept; it is per-message, not per-attempt).
+    pub fn retimer(&mut self, seq: u64, timer: TimerId) {
+        if let Some(p) = self.pending.get_mut(&seq) {
+            p.timer = timer;
+        }
+    }
+
+    /// An ack for `seq` arrived at its sender: retires the pending entry
+    /// and returns the timer to cancel. `None` for late or duplicate acks
+    /// (the message was already settled).
+    pub fn on_ack(&mut self, seq: u64) -> Option<TimerId> {
+        let pending = self.pending.remove(&seq)?;
+        self.stats.acked += 1;
+        Some(pending.timer)
+    }
+
+    /// Drops the pending entry for `seq` without counting an ack (the
+    /// sender departed; its timers die with it).
+    pub fn forget(&mut self, seq: u64) {
+        self.pending.remove(&seq);
+    }
+
+    /// A retry timer for `seq` fired; `attempt` is 1 for the first
+    /// retransmission. Decides whether to resend and whether to re-arm.
+    pub fn on_retry_fire(&mut self, seq: u64, attempt: u32) -> RetryAction {
+        let Some(pending) = self.pending.get(&seq).copied() else {
+            // Acked (the cancel raced the pop) or abandoned.
+            return RetryAction::Settled;
+        };
+        self.stats.retransmits += 1;
+        if attempt >= self.cfg.max_retries {
+            // This resend is the last; a late ack is now a harmless no-op.
+            self.pending.remove(&seq);
+            self.stats.exhausted += 1;
+            RetryAction::ResendFinal
+        } else {
+            RetryAction::ResendAndRearm(backoff_delay_secs(&self.cfg, attempt, pending.jitter))
+        }
+    }
+
+    /// A tracked message arrived at a live receiver. Returns true when it
+    /// is the first copy (dispatch it); false for a suppressed duplicate.
+    /// The caller acks in both cases.
+    pub fn on_tracked_delivery(&mut self, sender: NodeId, seq: u64) -> bool {
+        if self.seen.insert((sender, seq)) {
+            true
+        } else {
+            self.stats.duplicates_suppressed += 1;
+            false
+        }
+    }
+
+    /// Unacked messages currently awaiting a retry timer (diagnostics).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dup_sim::stream_rng;
+
+    fn enabled_cfg() -> ReliabilityConfig {
+        ReliabilityConfig {
+            enabled: true,
+            ack_timeout_secs: 2.0,
+            backoff_factor: 2.0,
+            max_backoff_secs: 10.0,
+            jitter_frac: 0.1,
+            max_retries: 3,
+            lease_every_secs: 0.0,
+        }
+    }
+
+    fn armed() -> ReliableState {
+        ReliableState::from_config(enabled_cfg(), stream_rng(7, "reliable"))
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_capped() {
+        let cfg = enabled_cfg();
+        let mut prev = 0.0;
+        for attempt in 0..40 {
+            let d = backoff_delay_secs(&cfg, attempt, 0.5);
+            assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+            assert!(d <= cfg.max_backoff_secs * (1.0 + cfg.jitter_frac));
+            prev = d;
+        }
+        // The uncapped prefix is the plain geometric schedule.
+        assert_eq!(backoff_delay_secs(&cfg, 0, 0.0), 2.0);
+        assert_eq!(backoff_delay_secs(&cfg, 1, 0.0), 4.0);
+        assert_eq!(backoff_delay_secs(&cfg, 2, 0.0), 8.0);
+        assert_eq!(backoff_delay_secs(&cfg, 3, 0.0), 10.0, "capped");
+    }
+
+    #[test]
+    fn sequences_are_unique_and_jitter_deterministic() {
+        let mut a = armed();
+        let mut b = armed();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let (seq_a, jit_a) = a.begin_tracking();
+            let (seq_b, jit_b) = b.begin_tracking();
+            assert_eq!(seq_a, seq_b);
+            assert_eq!(jit_a, jit_b, "same seed must give the same jitter");
+            assert!((0.0..1.0).contains(&jit_a));
+            assert!(seen.insert(seq_a), "sequence reused");
+        }
+    }
+
+    #[test]
+    fn ack_retires_pending_and_retry_settles() {
+        let mut r = armed();
+        let (seq, jitter) = r.begin_tracking();
+        r.note_timer(seq, TimerId::from_raw(1), jitter);
+        assert_eq!(r.pending_count(), 1);
+        assert_eq!(r.on_ack(seq), Some(TimerId::from_raw(1)));
+        assert_eq!(r.pending_count(), 0);
+        assert_eq!(r.on_ack(seq), None, "duplicate ack is a no-op");
+        assert_eq!(r.on_retry_fire(seq, 1), RetryAction::Settled);
+        assert_eq!(r.stats().acked, 1);
+        assert_eq!(r.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn retry_budget_is_respected() {
+        let mut r = armed();
+        let (seq, jitter) = r.begin_tracking();
+        r.note_timer(seq, TimerId::from_raw(1), jitter);
+        // max_retries = 3: attempts 1 and 2 re-arm, attempt 3 is final.
+        match r.on_retry_fire(seq, 1) {
+            RetryAction::ResendAndRearm(d) => assert!(d > 0.0),
+            other => panic!("expected re-arm, got {other:?}"),
+        }
+        r.note_timer(seq, TimerId::from_raw(2), jitter);
+        assert!(matches!(
+            r.on_retry_fire(seq, 2),
+            RetryAction::ResendAndRearm(_)
+        ));
+        r.note_timer(seq, TimerId::from_raw(3), jitter);
+        assert_eq!(r.on_retry_fire(seq, 3), RetryAction::ResendFinal);
+        assert_eq!(r.pending_count(), 0);
+        assert_eq!(r.stats().retransmits, 3);
+        assert_eq!(r.stats().exhausted, 1);
+        // Nothing left to fire.
+        assert_eq!(r.on_retry_fire(seq, 4), RetryAction::Settled);
+    }
+
+    #[test]
+    fn rearm_delays_grow_with_attempts() {
+        let mut r = ReliableState::from_config(
+            ReliabilityConfig {
+                max_retries: 10,
+                ..enabled_cfg()
+            },
+            stream_rng(9, "reliable"),
+        );
+        let (seq, jitter) = r.begin_tracking();
+        r.note_timer(seq, TimerId::from_raw(1), jitter);
+        let mut prev = r.first_retry_delay_secs(jitter).unwrap();
+        for attempt in 1..8 {
+            match r.on_retry_fire(seq, attempt) {
+                RetryAction::ResendAndRearm(d) => {
+                    assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+                    prev = d;
+                    r.note_timer(seq, TimerId::from_raw(u64::from(attempt)), jitter);
+                }
+                other => panic!("budget 10 ended early at {attempt}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_never_arms_a_timer() {
+        let r = ReliableState::from_config(
+            ReliabilityConfig {
+                max_retries: 0,
+                ..enabled_cfg()
+            },
+            stream_rng(3, "reliable"),
+        );
+        assert_eq!(r.first_retry_delay_secs(0.5), None);
+    }
+
+    #[test]
+    fn dedup_suppresses_second_copy_per_sender() {
+        let mut r = armed();
+        assert!(r.on_tracked_delivery(NodeId(3), 42));
+        assert!(!r.on_tracked_delivery(NodeId(3), 42));
+        assert!(
+            r.on_tracked_delivery(NodeId(4), 42),
+            "dedup is keyed on (sender, seq)"
+        );
+        assert_eq!(r.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn disabled_layer_draws_nothing() {
+        let r = ReliableState::disabled();
+        assert!(!r.armed());
+        let mut untouched = stream_rng(0, "reliable");
+        let mut layer_rng = r.rng;
+        let a: f64 = layer_rng.gen();
+        let b: f64 = untouched.gen();
+        assert_eq!(a, b, "disabled reliability layer consumed a draw");
+    }
+}

@@ -27,7 +27,10 @@ use crate::interest::InterestTracker;
 use crate::ledger::MsgClass;
 use crate::metrics::{Metrics, RunReport};
 use crate::probe::{ProbeEvent, ProbeSink, TraceSample};
-use crate::scheme::{send_msg, AppliedChurn, Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World};
+use crate::reliable::{ReliableState, RetryAction};
+use crate::scheme::{
+    resend_msg, send_msg, AppliedChurn, Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World,
+};
 use crate::trace::TraceCtx;
 
 /// Runs one simulation to completion and returns its report.
@@ -224,6 +227,10 @@ impl<S: Scheme> Runner<S> {
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
             faults: FaultState::from_config(cfg.faults.clone(), stream_rng(seed, "faults")),
+            reliable: ReliableState::from_config(
+                cfg.reliability.clone(),
+                stream_rng(seed, "reliable"),
+            ),
             trace: TraceCtx::new(),
             tree,
         };
@@ -365,6 +372,10 @@ impl<S: Scheme> Runner<S> {
             let every = SimDuration::from_secs_f64(self.cfg.probe.sample_every_secs);
             engine.schedule(SimTime::ZERO + every, Ev::Sample);
         }
+        if self.cfg.reliability.enabled && self.cfg.reliability.lease_every_secs > 0.0 {
+            let every = SimDuration::from_secs_f64(self.cfg.reliability.lease_every_secs);
+            engine.schedule(SimTime::ZERO + every, Ev::LeaseTick);
+        }
         if let StopRule::ConvergedCi {
             check_every_secs, ..
         } = self.cfg.stop
@@ -435,7 +446,7 @@ impl<S: Scheme> Runner<S> {
                             self.pool.put(riders);
                         }
                         Msg::Reply { remaining, .. } => self.pool.put(remaining),
-                        Msg::Scheme(_) => {}
+                        Msg::Scheme(_) | Msg::Tracked { .. } | Msg::Ack { .. } => {}
                     }
                     return;
                 }
@@ -467,6 +478,37 @@ impl<S: Scheme> Runner<S> {
                             engine: eng,
                         };
                         self.scheme.on_scheme_msg(&mut ctx, from, to, m);
+                    }
+                    Msg::Tracked { seq, inner } => {
+                        // Ack every physical arrival: a duplicate's ack
+                        // re-covers a possibly lost earlier ack. Acks ride
+                        // the Control class as plain (untracked) traffic.
+                        send_msg(
+                            &mut self.world,
+                            eng,
+                            to,
+                            from,
+                            MsgClass::Control,
+                            Msg::Ack { seq },
+                        );
+                        if self.world.reliable.on_tracked_delivery(from, seq) {
+                            let mut ctx = Ctx {
+                                world: &mut self.world,
+                                engine: eng,
+                            };
+                            self.scheme.on_scheme_msg(&mut ctx, from, to, inner);
+                        } else {
+                            self.world.probe.emit(now, || ProbeEvent::DupSuppressed {
+                                from,
+                                to,
+                                seq,
+                            });
+                        }
+                    }
+                    Msg::Ack { seq } => {
+                        if let Some(timer) = self.world.reliable.on_ack(seq) {
+                            eng.cancel(timer);
+                        }
                     }
                 }
             }
@@ -573,6 +615,75 @@ impl<S: Scheme> Runner<S> {
                     .emit(eng.now(), || ProbeEvent::Sample(sample));
                 let every = SimDuration::from_secs_f64(self.cfg.probe.sample_every_secs);
                 eng.schedule_after(every, Ev::Sample);
+            }
+            Ev::Retry {
+                from,
+                to,
+                class,
+                seq,
+                attempt,
+                cause,
+                msg,
+            } => {
+                if !self.world.tree.is_alive(from) {
+                    // The sender departed; its unacked state dies with it.
+                    self.world.reliable.forget(seq);
+                    return;
+                }
+                match self.world.reliable.on_retry_fire(seq, attempt) {
+                    RetryAction::Settled => {}
+                    action => {
+                        self.world.probe.emit(eng.now(), || ProbeEvent::Retransmit {
+                            from,
+                            to,
+                            class,
+                            seq,
+                            attempt,
+                        });
+                        if let RetryAction::ResendAndRearm(delay) = action {
+                            let timer = eng.schedule_after(
+                                SimDuration::from_secs_f64(delay),
+                                Ev::Retry {
+                                    from,
+                                    to,
+                                    class,
+                                    seq,
+                                    attempt: attempt + 1,
+                                    cause,
+                                    msg: msg.clone(),
+                                },
+                            );
+                            self.world.reliable.retimer(seq, timer);
+                        }
+                        // The retransmit reuses the original causal span, so
+                        // the trace collector books it as another delivery of
+                        // the same logical message.
+                        resend_msg(
+                            &mut self.world,
+                            eng,
+                            from,
+                            to,
+                            class,
+                            cause,
+                            Msg::Tracked { seq, inner: msg },
+                        );
+                    }
+                }
+            }
+            Ev::LeaseTick => {
+                if self.world.probe.enabled() {
+                    // Lease renewals and repairs form maintenance traces.
+                    self.world.trace.begin_maintenance();
+                }
+                {
+                    let mut ctx = Ctx {
+                        world: &mut self.world,
+                        engine: eng,
+                    };
+                    self.scheme.on_lease_tick(&mut ctx);
+                }
+                let every = SimDuration::from_secs_f64(self.cfg.reliability.lease_every_secs);
+                eng.schedule_after(every, Ev::LeaseTick);
             }
         }
     }

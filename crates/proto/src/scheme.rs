@@ -20,6 +20,7 @@ use crate::interest::InterestTracker;
 use crate::ledger::MsgClass;
 use crate::metrics::Metrics;
 use crate::probe::{ProbeEvent, ProbeSink, SubscriberStats};
+use crate::reliable::ReliableState;
 use crate::trace::{SpanInfo, TraceCtx};
 
 /// A message in flight between two overlay nodes.
@@ -55,6 +56,23 @@ pub enum Msg<M> {
     /// A scheme-specific message (CUP registrations, DUP subscribe /
     /// unsubscribe / substitute, pushes).
     Scheme(M),
+    /// A scheme message sent through the reliability layer (see
+    /// [`crate::ReliabilityConfig`]): carries the sender-assigned sequence
+    /// number the receiver acks and dedups on. Only produced while the
+    /// layer is armed.
+    Tracked {
+        /// Globally unique sequence number assigned at first send.
+        seq: u64,
+        /// The wrapped scheme message.
+        inner: M,
+    },
+    /// Acknowledgement of a [`Msg::Tracked`] delivery, traveling back to
+    /// the sender (charged as [`MsgClass::Control`], subject to the fault
+    /// layer and FIFO like any other message).
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
 }
 
 /// The discrete events of a simulation run.
@@ -95,6 +113,29 @@ pub enum Ev<M> {
     /// Periodic probe time-series sample (scheduled only when
     /// [`crate::ProbeConfig::sample_every_secs`] is positive).
     Sample,
+    /// A reliability-layer retransmit timer for the [`Msg::Tracked`]
+    /// message `seq`. Carries the payload and the original causal span, so
+    /// a retransmission re-enters the network attributed to the update it
+    /// repairs. Cancelled exactly when the ack arrives first.
+    Retry {
+        /// Original sender.
+        from: NodeId,
+        /// Original recipient.
+        to: NodeId,
+        /// Cost class of the original send.
+        class: MsgClass,
+        /// The tracked sequence number.
+        seq: u64,
+        /// 1 for the first retransmission, incremented per resend.
+        attempt: u32,
+        /// The original send's causal identity, reused verbatim.
+        cause: SpanInfo,
+        /// The scheme payload to resend.
+        msg: M,
+    },
+    /// Periodic soft-state lease tick handed to the scheme (scheduled only
+    /// when [`crate::ReliabilityConfig::lease_every_secs`] is positive).
+    LeaseTick,
 }
 
 /// Shared world state every scheme operates on.
@@ -126,6 +167,9 @@ pub struct World {
     /// The deterministic fault layer (disabled by default: one boolean
     /// check per send, no RNG draws, no behavior change).
     pub faults: FaultState,
+    /// The reliable-delivery layer (disabled by default: one boolean
+    /// check per send, no RNG draws, no message changes).
+    pub reliable: ReliableState,
     /// Causal trace state: span allocation (only while a probe is
     /// attached), the current causal context, and the in-flight message
     /// counter feeding [`crate::TraceSample::in_flight_msgs`].
@@ -443,6 +487,72 @@ pub(crate) fn send_msg<M: Clone>(
     } else {
         SpanInfo::NONE
     };
+    // Armed reliability wraps eligible scheme messages (maintenance and
+    // push traffic) so the receiver acks and dedups, and arms the
+    // retransmit timer chain. Query requests and replies stay
+    // fire-and-forget — the query path tolerates loss by re-querying.
+    let msg = if world.reliable.armed() && matches!(class, MsgClass::Control | MsgClass::Push) {
+        if let Msg::Scheme(inner) = msg {
+            let (seq, jitter) = world.reliable.begin_tracking();
+            if let Some(first) = world.reliable.first_retry_delay_secs(jitter) {
+                let timer = engine.schedule_after(
+                    SimDuration::from_secs_f64(first),
+                    Ev::Retry {
+                        from,
+                        to,
+                        class,
+                        seq,
+                        attempt: 1,
+                        cause,
+                        msg: inner.clone(),
+                    },
+                );
+                world.reliable.note_timer(seq, timer, jitter);
+            }
+            Msg::Tracked { seq, inner }
+        } else {
+            msg
+        }
+    } else {
+        msg
+    };
+    dispatch_msg(world, engine, from, to, class, cause, delay, msg);
+}
+
+/// Resends an already-tracked message (the reliability layer's retransmit
+/// path): charges a fresh hop and samples a fresh transfer delay, but
+/// reuses the original causal span — the trace collector sees another
+/// delivery of the same logical message, attributed to the update it
+/// repairs — and arms no new tracking (the caller manages the timer
+/// chain).
+pub(crate) fn resend_msg<M: Clone>(
+    world: &mut World,
+    engine: &mut Engine<Ev<M>>,
+    from: NodeId,
+    to: NodeId,
+    class: MsgClass,
+    cause: SpanInfo,
+    msg: Msg<M>,
+) {
+    world.metrics.charge_hop(class);
+    let delay = world.hop_latency.sample(&mut world.latency_rng);
+    dispatch_msg(world, engine, from, to, class, cause, delay, msg);
+}
+
+/// The shared tail of every send: fault interception, per-channel FIFO
+/// reservation, and delivery scheduling.
+#[allow(clippy::too_many_arguments)] // one send's full context, used twice
+fn dispatch_msg<M: Clone>(
+    world: &mut World,
+    engine: &mut Engine<Ev<M>>,
+    from: NodeId,
+    to: NodeId,
+    class: MsgClass,
+    cause: SpanInfo,
+    delay: SimDuration,
+    msg: Msg<M>,
+) {
+    let now = engine.now();
     let mut arrive = now + delay;
     let mut duplicate = false;
     if world.faults.armed() {
@@ -574,6 +684,13 @@ pub trait Scheme: Sized {
     /// Called when a node's interest lapses — Figure 3 event (D).
     fn on_interest_lost(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _node: NodeId) {}
 
+    /// Called on the periodic lease tick (scheduled only when
+    /// [`crate::ReliabilityConfig::lease_every_secs`] is positive). A
+    /// scheme with soft neighbor state uses this to expire unrenewed
+    /// leases, re-assert its own subscriptions, and repair orphans; the
+    /// default (PCX, CUP) does nothing.
+    fn on_lease_tick(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
     /// Called after the runner applied a topology change.
     fn on_churn(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _change: &AppliedChurn) {}
 
@@ -613,6 +730,7 @@ mod tests {
             fifo: FifoClocks::default(),
             probe: ProbeSink::disabled(),
             faults: FaultState::disabled(),
+            reliable: ReliableState::disabled(),
             trace: TraceCtx::new(),
             tree,
         }
@@ -925,6 +1043,116 @@ mod tests {
         let reference: f64 = untouched.gen();
         assert_eq!(inert, reference, "disabled fault layer consumed a draw");
         assert_eq!(w.faults.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn disabled_reliability_sends_plain_scheme_messages() {
+        let mut w = world();
+        let mut engine: Engine<Ev<u32>> = Engine::new();
+        send_msg(
+            &mut w,
+            &mut engine,
+            NodeId(1),
+            NodeId(0),
+            MsgClass::Control,
+            Msg::Scheme(7),
+        );
+        let mut saw_plain = false;
+        engine.run(|_, ev| match ev {
+            Ev::Deliver {
+                msg: Msg::Scheme(7),
+                ..
+            } => saw_plain = true,
+            other => panic!("unexpected event {other:?}"),
+        });
+        assert!(saw_plain, "disabled layer must not wrap messages");
+        assert_eq!(
+            w.reliable.stats(),
+            crate::reliable::ReliabilityStats::default()
+        );
+    }
+
+    #[test]
+    fn armed_reliability_wraps_and_arms_a_retry_timer() {
+        use crate::config::ReliabilityConfig;
+        let mut w = world();
+        w.reliable = ReliableState::from_config(
+            ReliabilityConfig {
+                enabled: true,
+                ..ReliabilityConfig::default()
+            },
+            stream_rng(5, "reliable"),
+        );
+        let mut engine: Engine<Ev<u32>> = Engine::new();
+        send_msg(
+            &mut w,
+            &mut engine,
+            NodeId(1),
+            NodeId(0),
+            MsgClass::Push,
+            Msg::Scheme(7),
+        );
+        assert_eq!(w.reliable.stats().tracked, 1);
+        assert_eq!(w.reliable.pending_count(), 1);
+        let (mut tracked, mut retries) = (0, 0);
+        engine.run(|_, ev| match ev {
+            Ev::Deliver {
+                msg: Msg::Tracked { seq, inner },
+                ..
+            } => {
+                assert_eq!((seq, inner), (0, 7));
+                tracked += 1;
+            }
+            Ev::Retry { seq, attempt, .. } => {
+                assert_eq!((seq, attempt), (0, 1));
+                retries += 1;
+            }
+            other => panic!("unexpected event {other:?}"),
+        });
+        assert_eq!((tracked, retries), (1, 1));
+    }
+
+    #[test]
+    fn query_traffic_and_acks_stay_untracked() {
+        use crate::config::ReliabilityConfig;
+        let mut w = world();
+        w.reliable = ReliableState::from_config(
+            ReliabilityConfig {
+                enabled: true,
+                ..ReliabilityConfig::default()
+            },
+            stream_rng(5, "reliable"),
+        );
+        let mut engine: Engine<Ev<u32>> = Engine::new();
+        // Reply-class traffic is not an eligible cost class.
+        send_msg(
+            &mut w,
+            &mut engine,
+            NodeId(1),
+            NodeId(0),
+            MsgClass::Reply,
+            Msg::Scheme(1),
+        );
+        // Acks travel as Control but are not Msg::Scheme payloads.
+        send_msg(
+            &mut w,
+            &mut engine,
+            NodeId(0),
+            NodeId(1),
+            MsgClass::Control,
+            Msg::<u32>::Ack { seq: 9 },
+        );
+        assert_eq!(w.reliable.stats().tracked, 0);
+        assert_eq!(w.reliable.pending_count(), 0);
+        let mut delivered = 0;
+        engine.run(|_, ev| match ev {
+            Ev::Deliver {
+                msg: Msg::Scheme(_) | Msg::Ack { .. },
+                ..
+            } => delivered += 1,
+            other => panic!("unexpected event {other:?}"),
+        });
+        assert_eq!(delivered, 2, "neither send may arm a retry");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The event loop: pops events in `(time, seq)` order and hands them to a
 //! handler that may schedule further events.
 
-use crate::queue::{EventQueue, Popped, QueueBackend};
+use crate::queue::{EventQueue, Popped, QueueBackend, TimerId};
 use crate::time::{SimDuration, SimTime};
 
 /// Why [`Engine::run`] returned.
@@ -104,26 +104,35 @@ impl<E> Engine<E> {
         self.event_limit = Some(limit);
     }
 
-    /// Schedules `event` at the absolute instant `at`.
+    /// Schedules `event` at the absolute instant `at`. The returned handle
+    /// can cancel the event via [`Engine::cancel`]; callers that never
+    /// cancel may ignore it.
     ///
     /// # Panics
     ///
     /// Panics if `at` is before the current instant: scheduling into the past
     /// is always a model bug and silently reordering it would corrupt
     /// causality.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    pub fn schedule(&mut self, at: SimTime, event: E) -> TimerId {
         assert!(
             at >= self.now,
             "scheduled event at {at} in the past (now {now})",
             now = self.now
         );
-        self.queue.push(at, event);
+        self.queue.push(at, event)
     }
 
     /// Schedules `event` to fire `delay` after the current instant.
-    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> TimerId {
         let at = self.now + delay;
-        self.queue.push(at, event);
+        self.queue.push(at, event)
+    }
+
+    /// Cancels a scheduled event by handle. Returns true when the event was
+    /// marked for removal (see [`EventQueue::cancel`] for the lazy-deletion
+    /// contract). Cancel only events that have not fired yet.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.queue.cancel(id)
     }
 
     /// Runs until drained, horizon, stop request, or event budget; the
@@ -253,6 +262,34 @@ mod tests {
         eng.run(|eng, _| {
             eng.schedule(SimTime::ZERO, Ev::Tick(0));
         });
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        let doomed = eng.schedule(SimTime::from_secs(2), Ev::Tick(2));
+        eng.schedule(SimTime::from_secs(3), Ev::Tick(3));
+        assert!(eng.cancel(doomed));
+        let mut fired = Vec::new();
+        let outcome = eng.run(|_, Ev::Tick(i)| fired.push(i));
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn handler_can_cancel_a_later_event() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        let retry = eng.schedule(SimTime::from_secs(5), Ev::Tick(5));
+        let mut fired = Vec::new();
+        eng.run(|eng, Ev::Tick(i)| {
+            fired.push(i);
+            if i == 1 {
+                assert!(eng.cancel(retry));
+            }
+        });
+        assert_eq!(fired, vec![1]);
     }
 
     #[test]

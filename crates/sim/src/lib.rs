@@ -44,6 +44,6 @@ pub mod time;
 
 pub use engine::{Engine, RunOutcome};
 pub use probe::{FnProbe, NoopProbe, Probe, RingProbe};
-pub use queue::{EventQueue, QueueBackend};
+pub use queue::{EventQueue, QueueBackend, TimerId};
 pub use rng::{stream_rng, stream_seed, StreamRng};
 pub use time::{SimDuration, SimTime};

@@ -24,9 +24,32 @@
 
 use std::cell::Cell;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::{SimDuration, SimTime};
+
+/// A handle to one queued event, returned by [`EventQueue::push`] and
+/// consumed by [`EventQueue::cancel`]. Wraps the event's unique insertion
+/// sequence number, so handles stay valid (and unambiguous) across any
+/// number of pushes and pops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+impl TimerId {
+    /// Rebuilds a handle from its raw sequence number. Intended for tests
+    /// and bookkeeping layers that fabricate placeholder handles; a raw
+    /// value not obtained from [`TimerId::raw`] on the same queue will
+    /// cancel nothing (or the wrong event), exactly as misusing the handle
+    /// itself would.
+    pub fn from_raw(seq: u64) -> Self {
+        TimerId(seq)
+    }
+
+    /// The handle's raw sequence number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// An event queued for execution at a given instant.
 struct Scheduled<E> {
@@ -134,13 +157,13 @@ impl<E> SlabHeap<E> {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
         let k = self.heap.pop()?;
         let event = self.slab[k.idx as usize]
             .take()
             .expect("heap key pointed at an empty slab slot");
         self.free.push(k.idx);
-        Some((k.at, event))
+        Some((k.at, k.seq, event))
     }
 
     #[inline]
@@ -382,6 +405,11 @@ pub struct EventQueue<E> {
     next_seq: u64,
     len: usize,
     peak_len: usize,
+    /// Sequence numbers cancelled via [`EventQueue::cancel`] but not yet
+    /// swept out of the backend. Lazy deletion: the pop paths discard any
+    /// popped event whose seq is in this set. The sweep lives here, above
+    /// both backends, so cancellation cannot introduce backend divergence.
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -416,13 +444,15 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             len: 0,
             peak_len: 0,
+            cancelled: HashSet::new(),
         }
     }
 
     /// Enqueues `event` to fire at `at`. Events with equal instants pop in
-    /// the order they were pushed.
+    /// the order they were pushed. The returned handle cancels the event via
+    /// [`EventQueue::cancel`]; callers that never cancel may ignore it.
     #[inline]
-    pub fn push(&mut self, at: SimTime, event: E) {
+    pub fn push(&mut self, at: SimTime, event: E) -> TimerId {
         let seq = self.next_seq;
         self.next_seq += 1;
         match &mut self.store {
@@ -433,46 +463,82 @@ impl<E> EventQueue<E> {
         if self.len > self.peak_len {
             self.peak_len = self.len;
         }
+        TimerId(seq)
+    }
+
+    /// Cancels a pending event by handle. Returns true when the event was
+    /// marked for removal, false when the handle was already cancelled or
+    /// never issued by this queue. The event is discarded lazily on its way
+    /// out of the backend, so [`EventQueue::len`] keeps counting it until a
+    /// pop sweeps past its instant.
+    ///
+    /// Cancelling an event that already popped is the caller's bug this
+    /// queue cannot detect (sequence numbers are never reused, so no *other*
+    /// event is ever affected); the stale mark lingers until
+    /// [`EventQueue::clear`].
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
     }
 
     /// Removes and returns the earliest pending event.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let popped = match &mut self.store {
-            Store::Heap(h) => h.pop(),
-            Store::Bucketed(w) => w.pop().map(|s| (s.at, s.event)),
-        };
-        if popped.is_some() {
+        loop {
+            let popped = match &mut self.store {
+                Store::Heap(h) => h.pop(),
+                Store::Bucketed(w) => w.pop().map(|s| (s.at, s.seq, s.event)),
+            };
+            let (at, seq, event) = popped?;
             self.len -= 1;
+            if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
+                continue;
+            }
+            return Some((at, event));
         }
-        popped
     }
 
     /// Removes and returns the earliest pending event if it fires strictly
     /// before `limit` (`None` = no limit). A single backend scan serves
     /// both the horizon check and the removal, which matters for the
     /// bucketed backend where locating the minimum rescans a bucket.
+    ///
+    /// A cancelled event at or after `limit` may still be reported through
+    /// [`Popped::AtOrAfter`] (it is swept only when a pop actually reaches
+    /// it); both backends share this behaviour, and the engine only uses the
+    /// reported instant to park at its horizon.
     #[inline]
     pub(crate) fn pop_before(&mut self, limit: Option<SimTime>) -> Popped<(SimTime, E)> {
-        let popped = match &mut self.store {
-            Store::Heap(h) => match h.peek_time() {
-                None => Popped::Empty,
-                Some(at) if limit.is_some_and(|l| at >= l) => Popped::AtOrAfter(at),
-                Some(_) => {
-                    let (at, event) = h.pop().expect("peeked event vanished");
-                    Popped::Event((at, event))
+        loop {
+            let popped = match &mut self.store {
+                Store::Heap(h) => match h.peek_time() {
+                    None => Popped::Empty,
+                    Some(at) if limit.is_some_and(|l| at >= l) => Popped::AtOrAfter(at),
+                    Some(_) => {
+                        let (at, seq, event) = h.pop().expect("peeked event vanished");
+                        Popped::Event((at, seq, event))
+                    }
+                },
+                Store::Bucketed(w) => match w.pop_before(limit) {
+                    Popped::Event(s) => Popped::Event((s.at, s.seq, s.event)),
+                    Popped::AtOrAfter(at) => Popped::AtOrAfter(at),
+                    Popped::Empty => Popped::Empty,
+                },
+            };
+            match popped {
+                Popped::Event((at, seq, event)) => {
+                    self.len -= 1;
+                    if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
+                        continue;
+                    }
+                    return Popped::Event((at, event));
                 }
-            },
-            Store::Bucketed(w) => match w.pop_before(limit) {
-                Popped::Event(s) => Popped::Event((s.at, s.event)),
-                Popped::AtOrAfter(at) => Popped::AtOrAfter(at),
-                Popped::Empty => Popped::Empty,
-            },
-        };
-        if let Popped::Event(_) = &popped {
-            self.len -= 1;
+                Popped::AtOrAfter(at) => return Popped::AtOrAfter(at),
+                Popped::Empty => return Popped::Empty,
+            }
         }
-        popped
     }
 
     /// The instant of the earliest pending event, if any.
@@ -509,6 +575,7 @@ impl<E> EventQueue<E> {
             Store::Bucketed(w) => w.clear(),
         }
         self.len = 0;
+        self.cancelled.clear();
     }
 }
 
@@ -631,6 +698,64 @@ mod tests {
             .map(|(t, e)| (t.as_nanos(), e))
             .collect();
         assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn cancel_skips_events_on_both_backends() {
+        for (name, mut q) in backends() {
+            let _a = q.push(SimTime::from_secs(1), "a");
+            let b = q.push(SimTime::from_secs(2), "b");
+            let _c = q.push(SimTime::from_secs(3), "c");
+            assert!(q.cancel(b), "backend {name}");
+            assert!(!q.cancel(b), "backend {name}: double cancel");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["a", "c"], "backend {name}");
+        }
+    }
+
+    #[test]
+    fn cancel_of_head_event_is_swept_before_later_events() {
+        for (name, mut q) in backends() {
+            let head = q.push(SimTime::from_secs(1), "head");
+            q.push(SimTime::from_secs(1), "tail");
+            assert!(q.cancel(head), "backend {name}");
+            // len counts the cancelled event until a pop sweeps it.
+            assert_eq!(q.len(), 2, "backend {name}");
+            assert_eq!(q.pop().unwrap().1, "tail", "backend {name}");
+            assert!(q.pop().is_none(), "backend {name}");
+            assert_eq!(q.len(), 0, "backend {name}");
+        }
+    }
+
+    #[test]
+    fn cancel_all_pending_drains_to_empty() {
+        for (name, mut q) in backends() {
+            let ids: Vec<TimerId> = (0..5u64)
+                .map(|s| q.push(SimTime::from_secs(s), "x"))
+                .collect();
+            for id in ids {
+                assert!(q.cancel(id), "backend {name}");
+            }
+            assert!(q.pop().is_none(), "backend {name}");
+            assert!(q.is_empty(), "backend {name}");
+        }
+    }
+
+    #[test]
+    fn cancel_rejects_unissued_ids_and_clear_forgets_marks() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), "a");
+        assert!(!q.cancel(TimerId(999)), "never-issued id");
+        assert!(q.cancel(a));
+        q.clear();
+        // After clear, old marks are forgotten and fresh pushes pop
+        // normally even though their seqs continue past the cleared ones.
+        let b = q.push(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+        // Cancelling an already-popped handle is accepted (the queue cannot
+        // detect it) and harmless: the mark matches no future seq.
+        assert!(q.cancel(b));
+        assert!(q.pop().is_none());
     }
 
     #[test]

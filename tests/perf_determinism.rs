@@ -15,7 +15,10 @@
 //!    including under churn.
 
 use dup_p2p::harness::{HarnessOpts, Scale, SchemeKind};
-use dup_p2p::proto::{ChurnConfig, InterestPolicy, ProbeSink, QueueBackendConfig, RunReport};
+use dup_p2p::proto::{
+    ChurnConfig, FaultConfig, FaultWindow, InterestPolicy, ProbeSink, QueueBackendConfig,
+    ReliabilityConfig, RunReport,
+};
 
 fn run(cfg: &dup_p2p::proto::RunConfig, kind: SchemeKind) -> RunReport {
     dup_p2p::core::run_simulation_kind(cfg, kind, ProbeSink::disabled())
@@ -78,6 +81,63 @@ fn backends_agree_under_expiry_heavy_workload() {
             canonical_json(&heap),
             canonical_json(&bucketed),
             "{kind:?}: queue backend diverged under expiry-heavy workload"
+        );
+    }
+}
+
+/// Backend equivalence with the reliability layer armed and faults live.
+/// Drops force retransmit timers onto the queue, duplicates exercise the
+/// receiver dedup set, and extra delays reorder traffic across channels —
+/// every new code path from the ack/retransmit work (timer scheduling and
+/// cancellation, backoff jitter draws, dedup, lease ticks) must consume
+/// RNG streams and order events identically on both queue backends.
+#[test]
+fn backends_agree_with_faults_and_retransmit() {
+    let opts = HarnessOpts {
+        scale: Scale::Bench,
+        seed: 26_0806,
+        ..HarnessOpts::default()
+    };
+    let mut heap_cfg = opts.scale.base_config(opts.seed);
+    heap_cfg.churn = Some(ChurnConfig::balanced(0.02));
+    heap_cfg.faults = FaultConfig {
+        drop_p: 0.15,
+        duplicate_p: 0.10,
+        delay_p: 0.10,
+        max_extra_delay_secs: 20.0,
+        churn_boost: 2.0,
+        windows: vec![FaultWindow {
+            start_secs: 200.0,
+            end_secs: 900.0,
+        }],
+    };
+    heap_cfg.reliability = ReliabilityConfig {
+        enabled: true,
+        ack_timeout_secs: 3.0,
+        backoff_factor: 2.0,
+        max_backoff_secs: 60.0,
+        jitter_frac: 0.1,
+        max_retries: 5,
+        lease_every_secs: 150.0,
+    };
+    heap_cfg.validate();
+    let mut bucket_cfg = heap_cfg.clone();
+    bucket_cfg.queue.backend = QueueBackendConfig::Bucketed;
+    for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
+        let heap = run(&heap_cfg, kind);
+        let bucketed = run(&bucket_cfg, kind);
+        assert_eq!(
+            canonical_json(&heap),
+            canonical_json(&bucketed),
+            "{kind:?}: queue backend diverged under faults with retransmit enabled"
+        );
+        // Repeating the same backend must also be bit-identical: the
+        // reliability streams may not leak nondeterminism of their own.
+        let again = run(&heap_cfg, kind);
+        assert_eq!(
+            canonical_json(&heap),
+            canonical_json(&again),
+            "{kind:?}: faulted reliable run is not reproducible"
         );
     }
 }

@@ -15,7 +15,9 @@ use std::collections::BTreeSet;
 use dup_core::oracle::{expected_lists, nca_closure, oracle_diff};
 use dup_core::testkit::{paper_example_tree, TestBench};
 use dup_p2p::prelude::*;
-use dup_p2p::proto::{EdgeKind, TraceCollector, UpdateTrace};
+use dup_p2p::proto::{
+    EdgeKind, FaultConfig, MsgClass, ReliabilityConfig, TraceCollector, UpdateTrace,
+};
 
 /// The push edges the oracle predicts for one refresh: walk the expected
 /// subscriber lists down from the root; every non-self entry is one direct
@@ -209,4 +211,113 @@ fn traced_trees_match_oracle_under_churn() {
     let trace = refresh_and_check(&mut bench, &capture, &subscribed);
     // With one subscriber left under inners[0], the fan-out point is gone.
     assert!(!trace.reached().contains(&inners[0]));
+}
+
+/// A dropped push that the reliability layer retransmits must land in the
+/// propagation tree of the **original** update: the retransmission reuses
+/// the first send's span, so the collector books the recovery delivery
+/// under the same trace id instead of opening a phantom update.
+///
+/// The run injects drops only (no fault duplication), so any edge observed
+/// with more than one delivery is necessarily a retransmitted copy of a
+/// message whose ack was lost — double proof that retransmits carry the
+/// original causal identity.
+#[test]
+fn retransmitted_pushes_are_attributed_to_the_original_update() {
+    let mut cfg = RunConfig::builder(0xD0_5E_ED)
+        .nodes(48)
+        .lambda(1.5)
+        .protocol(ProtocolConfig {
+            ttl_secs: 600.0,
+            push_lead_secs: 30.0,
+            threshold_c: 2,
+            ..ProtocolConfig::default()
+        })
+        .warmup_secs(200.0)
+        .duration_secs(2_500.0)
+        .build();
+    cfg.faults = FaultConfig {
+        drop_p: 0.25,
+        ..FaultConfig::default() // empty windows = faulted for the whole run
+    };
+    cfg.reliability = ReliabilityConfig {
+        enabled: true,
+        ack_timeout_secs: 3.0,
+        backoff_factor: 2.0,
+        max_backoff_secs: 60.0,
+        jitter_frac: 0.1,
+        max_retries: 5,
+        lease_every_secs: 0.0,
+    };
+    cfg.validate();
+
+    let capture = CaptureProbe::new();
+    run_simulation_kind(&cfg, SchemeKind::Dup, ProbeSink::attach(capture.clone()));
+    let events = capture.events();
+
+    // The scenario must actually exercise the recovery path.
+    let retransmitted_pushes: Vec<(f64, NodeId, NodeId)> = events
+        .iter()
+        .filter_map(|(at, ev)| match ev {
+            ProbeEvent::Retransmit {
+                from,
+                to,
+                class: MsgClass::Push,
+                ..
+            } => Some((at.as_secs_f64(), *from, *to)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !retransmitted_pushes.is_empty(),
+        "scenario produced no push retransmissions"
+    );
+
+    let collector = TraceCollector::from_events(&events);
+    let versions: BTreeSet<u64> = events
+        .iter()
+        .filter_map(|(_, ev)| match ev {
+            ProbeEvent::UpdatePublished { version, .. } => Some(*version),
+            _ => None,
+        })
+        .collect();
+    let traces: Vec<UpdateTrace> = versions
+        .iter()
+        .filter_map(|&v| collector.propagation_tree(v))
+        .collect();
+    assert!(!traces.is_empty(), "no propagation trees reconstructed");
+
+    // At least one retransmitted push must show up as a *delivered* edge of
+    // an update's tree, completed at or after the retransmission fired —
+    // the recovery was attributed to the update it repaired.
+    let recovered = retransmitted_pushes.iter().any(|&(at, from, to)| {
+        traces.iter().any(|t| {
+            t.edges
+                .iter()
+                .any(|e| e.from == from && e.to == to && e.delivered_secs >= at)
+        })
+    });
+    assert!(
+        recovered,
+        "no retransmitted push was booked into its original update's tree"
+    );
+
+    // With duplicate_p = 0, a second delivery of the same span can only be
+    // a retransmission racing its (lost or late) ack: the collector must
+    // merge it into the existing edge, and the receiver must suppress the
+    // duplicate dispatch rather than re-applying the update.
+    let doubly_delivered = traces
+        .iter()
+        .flat_map(|t| &t.edges)
+        .any(|e| e.deliveries > 1);
+    assert!(
+        doubly_delivered,
+        "expected at least one ack-loss double delivery merged into its edge"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|(_, ev)| matches!(ev, ProbeEvent::DupSuppressed { .. })),
+        "receivers never suppressed a duplicate tracked delivery"
+    );
 }
