@@ -15,6 +15,7 @@ pub fn bench_opts() -> HarnessOpts {
         seed: 42,
         jobs: 1,
         reps: 1,
+        shards: 1,
     }
 }
 

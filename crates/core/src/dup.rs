@@ -49,20 +49,97 @@ pub struct RepairStats {
     pub lease_fallbacks: u64,
 }
 
-/// Per-node DUP state: the subscriber list.
+/// Per-node `(offset, len, capacity)` window into the subscriber-list arena.
+#[derive(Debug, Clone, Copy, Default)]
+struct Span {
+    off: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// Subscriber-list storage as a struct-of-arrays arena.
 ///
-/// Invariants (checked by [`crate::audit`]): entries are unique; every entry
-/// is the node itself or a live strict descendant; at most one entry per
-/// downstream branch.
+/// Invariants on the lists themselves (checked by [`crate::audit`]): entries
+/// are unique; every entry is the node itself or a live strict descendant; at
+/// most one entry per downstream branch.
+///
+/// Layout: every list lives in one shared `Vec<NodeId>`, addressed by a
+/// per-node [`Span`]. The push/deliver hot path only ever *reads* lists
+/// ([`DupScheme::push_to_entries`], [`DupScheme::push_set`],
+/// [`DupScheme::covering_entry`]), so dense 4-byte runs in a single
+/// allocation replace the per-node pointer chase of a `Vec<Vec<NodeId>>`
+/// layout. Mutations are control-plane-rare and go through a reusable
+/// scratch buffer; a list that outgrows its span relocates to the arena tail
+/// with doubled capacity (the abandoned run leaks, which is fine at list
+/// sizes of a handful of entries).
 #[derive(Debug, Clone, Default)]
-struct DupNode {
-    s_list: Vec<NodeId>,
+struct NodeLists {
+    spans: Vec<Span>,
+    arena: Vec<NodeId>,
+    /// Reusable edit buffer for [`NodeLists::edit`].
+    scratch: Vec<NodeId>,
+}
+
+impl NodeLists {
+    /// Grows the span table to cover `node`.
+    fn ensure(&mut self, node: NodeId) {
+        if node.index() >= self.spans.len() {
+            self.spans.resize(node.index() + 1, Span::default());
+        }
+    }
+
+    /// Number of nodes the span table covers.
+    fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The list of `node` (empty when never touched).
+    fn get(&self, node: NodeId) -> &[NodeId] {
+        match self.spans.get(node.index()) {
+            Some(s) => &self.arena[s.off as usize..(s.off + s.len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Overwrites `node`'s list with `items`, relocating to the arena tail
+    /// when the span's capacity is exceeded.
+    fn set(&mut self, node: NodeId, items: &[NodeId]) {
+        self.ensure(node);
+        let span = &mut self.spans[node.index()];
+        if items.len() as u32 > span.cap {
+            span.cap = (items.len() as u32).next_power_of_two();
+            span.off = self.arena.len() as u32;
+            self.arena
+                .resize(self.arena.len() + span.cap as usize, NodeId::from_index(0));
+        }
+        span.len = items.len() as u32;
+        self.arena[span.off as usize..span.off as usize + items.len()].copy_from_slice(items);
+    }
+
+    /// Applies `mutate` to a scratch copy of `node`'s list and writes the
+    /// result back.
+    fn edit(&mut self, node: NodeId, mutate: impl FnOnce(&mut Vec<NodeId>)) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(self.get(node));
+        mutate(&mut scratch);
+        self.set(node, &scratch);
+        self.scratch = scratch;
+    }
+
+    /// Removes and returns `node`'s list.
+    fn take(&mut self, node: NodeId) -> Vec<NodeId> {
+        self.ensure(node);
+        let out = self.get(node).to_vec();
+        self.spans[node.index()].len = 0;
+        out
+    }
 }
 
 /// The DUP scheme state across all nodes.
 #[derive(Debug, Clone, Default)]
 pub struct DupScheme {
-    nodes: Vec<DupNode>,
+    lists: NodeLists,
     /// When `Some`, a lease epoch is open: every subscriber-list entry
     /// confirmed by keep-alive traffic is recorded here as `(owner, entry)`,
     /// and [`DupScheme::end_lease_epoch`] sweeps the rest.
@@ -146,19 +223,9 @@ impl DupScheme {
         self.repair
     }
 
-    fn slot(&mut self, node: NodeId) -> &mut Vec<NodeId> {
-        if node.index() >= self.nodes.len() {
-            self.nodes.resize(node.index() + 1, DupNode::default());
-        }
-        &mut self.nodes[node.index()].s_list
-    }
-
     /// The subscriber list of `node` (audits, tests).
     pub fn s_list(&self, node: NodeId) -> &[NodeId] {
-        self.nodes
-            .get(node.index())
-            .map(|n| n.s_list.as_slice())
-            .unwrap_or(&[])
+        self.lists.get(node)
     }
 
     /// True when `node` has subscribed itself (it appears in its own list).
@@ -191,7 +258,7 @@ impl DupScheme {
         mutate: impl FnOnce(&mut Vec<NodeId>),
     ) {
         let before = self.representative(node);
-        mutate(self.slot(node));
+        self.lists.edit(node, mutate);
         let after = self.representative(node);
         if node == ctx.root() || before == after {
             return;
@@ -281,7 +348,7 @@ impl DupScheme {
     /// Pushes `record` to every subscriber-list entry of `node` except
     /// itself — each a direct, single-hop overlay transfer.
     fn push_to_entries(&mut self, ctx: &mut Ctx<'_, DupMsg>, node: NodeId, record: IndexRecord) {
-        let entries = self.slot(node).clone();
+        let entries = self.s_list(node).to_vec();
         for entry in entries {
             if entry != node && ctx.tree().is_alive(entry) {
                 ctx.send(node, entry, MsgClass::Push, DupMsg::Push(record));
@@ -308,11 +375,10 @@ impl DupScheme {
             })
             .collect();
         let before = self.representative(at);
-        {
-            let list = self.slot(at);
+        self.lists.edit(at, |list| {
             list.retain(|e| !superseded.contains(e));
             Self::add_entry(list, rider);
-        }
+        });
         let after = self.representative(at);
         if at == ctx.root() || before == after {
             return true;
@@ -425,14 +491,14 @@ impl DupScheme {
     /// corruption class is actually detected.
     #[cfg(test)]
     pub(crate) fn test_inject_entry(&mut self, node: NodeId, entry: NodeId) {
-        self.slot(node).push(entry);
+        self.lists.edit(node, |list| list.push(entry));
     }
 
     /// Test-only: wipes a node's subscriber list without any cascade —
     /// simulates upstream state orphaned by wholesale message loss.
     #[cfg(test)]
     pub(crate) fn test_clear_list(&mut self, node: NodeId) {
-        self.slot(node).clear();
+        self.lists.edit(node, |list| list.clear());
     }
 
     /// Nodes currently receiving pushes, discovered by walking entry edges
@@ -440,7 +506,7 @@ impl DupScheme {
     pub fn push_set(&self, tree: &SearchTree) -> Vec<NodeId> {
         let mut reached = Vec::new();
         let mut stack = vec![tree.root()];
-        let mut seen = vec![false; self.nodes.len().max(tree.capacity())];
+        let mut seen = vec![false; self.lists.len().max(tree.capacity())];
         seen[tree.root().index()] = true;
         while let Some(n) = stack.pop() {
             for &e in self.s_list(n) {
@@ -480,7 +546,7 @@ impl Scheme for DupScheme {
             if forwarding {
                 // Join silently and let the request carry the news; the
                 // upstream representative change rides with it.
-                self.slot(node).push(node);
+                self.lists.edit(node, |list| list.push(node));
                 riders.push(node);
             } else {
                 self.with_resync(ctx, node, |list| Self::add_entry(list, node));
@@ -646,7 +712,7 @@ impl Scheme for DupScheme {
 
     fn on_churn(&mut self, ctx: &mut Ctx<'_, DupMsg>, change: &AppliedChurn) {
         if let Some(joined) = change.joined {
-            self.slot(joined);
+            self.lists.ensure(joined);
             if let Some(below) = change.join_below {
                 // A node spliced into an edge becomes an intermediate
                 // virtual-path node: it inherits, locally, the parent's
@@ -666,16 +732,18 @@ impl Scheme for DupScheme {
                             && (e == below || ctx.tree().is_ancestor(joined, e))
                     })
                     .collect();
-                for e in moved {
-                    Self::add_entry(self.slot(joined), e);
-                }
+                self.lists.edit(joined, |list| {
+                    for e in moved {
+                        Self::add_entry(list, e);
+                    }
+                });
             }
             if change.removed.is_none() {
                 return;
             }
         }
         if let Some(removed) = change.removed {
-            let old_list = std::mem::take(self.slot(removed));
+            let old_list = self.lists.take(removed);
             self.repair_after_removal(ctx, change, old_list);
         }
     }

@@ -75,12 +75,53 @@ impl FromStr for SchemeKind {
 /// protocol event. The single dispatch point behind the harness, the
 /// benches, and the examples; pass [`ProbeSink::disabled`] when no trace
 /// is wanted.
+///
+/// With `cfg.shards > 1` the run executes in **parallel ensemble mode**
+/// (see [`run_simulation_sharded`]); the external `probe` is not attached
+/// in that mode — time-series samples still come back in the merged
+/// report, tagged with their shard.
 pub fn run_simulation_kind(cfg: &RunConfig, kind: SchemeKind, probe: ProbeSink) -> RunReport {
+    if cfg.shards > 1 {
+        return run_simulation_sharded(cfg, kind, true);
+    }
     match kind {
         SchemeKind::Pcx => run_simulation_probed(cfg, PcxScheme::new(), probe),
         SchemeKind::Cup => run_simulation_probed(cfg, CupScheme::new(), probe),
         SchemeKind::Dup => run_simulation_probed(cfg, DupScheme::new(), probe),
     }
+}
+
+/// Runs `cfg` as `cfg.shards` independent sub-simulations — one worker
+/// thread and one event queue per shard when `threaded` — and merges the
+/// per-shard [`RunReport`]s deterministically.
+///
+/// Shard `i` runs the same configuration with the derived master seed
+/// `stream_seed(cfg.seed, "shard/i")`, so the ensemble is a set of
+/// independent replications (cross-shard lookahead is infinite: no
+/// messages ever cross, which makes the conservative window protocol of
+/// [`dup_sim::ShardedEngine`] trivially satisfied by running each shard to
+/// completion). The merge is [`RunReport::aggregate`] over the shard
+/// reports in shard order, with samples and queue-depth gauges tagged per
+/// shard — so for a fixed shard count the merged report is **bit-identical**
+/// whether the shards ran on worker threads or sequentially on one.
+pub fn run_simulation_sharded(cfg: &RunConfig, kind: SchemeKind, threaded: bool) -> RunReport {
+    let shards = cfg.shards.max(1);
+    let mut reports = dup_sim::run_shards(shards, threaded, |i| {
+        let mut shard_cfg = cfg.clone();
+        shard_cfg.seed = dup_sim::stream_seed(cfg.seed, &format!("shard/{i}"));
+        shard_cfg.shards = 1;
+        run_simulation_kind(&shard_cfg, kind, ProbeSink::disabled())
+    });
+    for (i, report) in reports.iter_mut().enumerate() {
+        for sample in &mut report.samples {
+            sample.shard = i as u32;
+        }
+    }
+    let merged = RunReport::aggregate(&reports);
+    // One gauge entry per shard: each sub-report contributed exactly one
+    // queue high-water mark.
+    debug_assert_eq!(merged.peak_queue_depth_per_shard.len(), shards);
+    merged
 }
 
 #[cfg(test)]

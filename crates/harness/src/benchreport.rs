@@ -10,17 +10,20 @@
 
 use serde::Serialize;
 
-use dup_core::run_simulation_kind;
+use dup_core::{run_simulation_kind, run_simulation_sharded};
 use dup_proto::{ProbeSink, QueueBackendConfig, RunConfig};
 
 use crate::experiment::{HarnessOpts, SchemeKind};
+
+/// Shard counts the multi-core curve sweeps.
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
 
 /// Wall-clock measurement of one scheme × queue-backend cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct SchemeBench {
     /// Scheme name ("PCX", "CUP", "DUP").
     pub scheme: String,
-    /// Queue backend the run used ("heap" or "bucketed").
+    /// Queue backend the run used ("heap" or "timer-wheel").
     pub backend: &'static str,
     /// Discrete events one run processes (identical across repetitions —
     /// the simulation is deterministic).
@@ -39,6 +42,30 @@ pub struct SchemeBench {
     pub events_per_sec: f64,
 }
 
+/// One point of the multi-core curve: the DUP ensemble at a fixed shard
+/// count, timed with worker threads and again strictly sequentially. The
+/// two runs produce bit-identical merged reports; only wall clock differs.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardBench {
+    /// Scheme name (the curve runs DUP, the paper's headline scheme).
+    pub scheme: String,
+    /// Shard count of the ensemble (1 = the classic single-queue engine).
+    pub shards: usize,
+    /// Total discrete events across all shards.
+    pub events: u64,
+    /// Median wall-clock nanoseconds with one worker thread per shard.
+    pub wall_ns_median_threaded: u64,
+    /// Median wall-clock nanoseconds running the shards back-to-back on
+    /// the calling thread.
+    pub wall_ns_median_sequential: u64,
+    /// Median events per wall-clock second (threaded).
+    pub events_per_sec: f64,
+    /// Sequential / threaded median wall clock — the parallel speedup at
+    /// this shard count. Bounded above by the `cores` the host exposes:
+    /// expect ≈ 1.0 on a single-core host regardless of shard count.
+    pub speedup: f64,
+}
+
 /// The full bench-report document serialized to `BENCH_scheme_sim.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -48,8 +75,14 @@ pub struct BenchReport {
     pub seed: u64,
     /// Timed repetitions per cell (median/min over these).
     pub reps: usize,
-    /// One row per scheme × backend.
+    /// Logical CPUs the measuring host exposed. Speedup claims in
+    /// `shard_curve` are only meaningful relative to this: a curve
+    /// recorded with `cores: 1` measures overhead, not scaling.
+    pub cores: usize,
+    /// One row per scheme × backend (single-shard engine).
     pub cells: Vec<SchemeBench>,
+    /// Threaded-vs-sequential wall clock per shard count.
+    pub shard_curve: Vec<ShardBench>,
 }
 
 /// Times one configuration, returning (median, min) wall nanoseconds and
@@ -80,7 +113,7 @@ pub fn bench_report(opts: &HarnessOpts, reps: usize) -> BenchReport {
     for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
         for (backend, label) in [
             (QueueBackendConfig::Heap, "heap"),
-            (QueueBackendConfig::Bucketed, "bucketed"),
+            (QueueBackendConfig::TimerWheel, "timer-wheel"),
         ] {
             let mut cfg = base.clone();
             cfg.queue.backend = backend;
@@ -98,12 +131,61 @@ pub fn bench_report(opts: &HarnessOpts, reps: usize) -> BenchReport {
             });
         }
     }
+    let shard_curve = shard_curve(&base, reps);
     BenchReport {
         scale: format!("{:?}", opts.scale),
         seed: opts.seed,
         reps,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         cells,
+        shard_curve,
     }
+}
+
+/// Times one sharded DUP ensemble `reps` times, returning the median wall
+/// nanoseconds and the merged report. One untimed warm-up precedes the
+/// timed repetitions, mirroring [`time_cell`].
+fn time_shards(cfg: &RunConfig, threaded: bool, reps: usize) -> (u64, dup_proto::RunReport) {
+    let _ = run_simulation_sharded(cfg, SchemeKind::Dup, threaded);
+    let mut times: Vec<u64> = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let started = std::time::Instant::now();
+        let report = run_simulation_sharded(cfg, SchemeKind::Dup, threaded);
+        times.push(started.elapsed().as_nanos() as u64);
+        last = Some(report);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("reps >= 1"))
+}
+
+/// Measures the DUP ensemble at each [`SHARD_SWEEP`] count, threaded and
+/// sequential, asserting along the way that both orders merged to the same
+/// report (the bit-identity contract of `run_simulation_sharded`).
+fn shard_curve(base: &RunConfig, reps: usize) -> Vec<ShardBench> {
+    SHARD_SWEEP
+        .iter()
+        .map(|&shards| {
+            let mut cfg = base.clone();
+            cfg.shards = shards;
+            let (threaded_ns, report) = time_shards(&cfg, true, reps);
+            let (sequential_ns, sequential_report) = time_shards(&cfg, false, reps);
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                serde_json::to_string(&sequential_report).unwrap(),
+                "threaded and sequential ensembles diverged at {shards} shards"
+            );
+            ShardBench {
+                scheme: report.scheme.clone(),
+                shards,
+                events: report.events,
+                wall_ns_median_threaded: threaded_ns,
+                wall_ns_median_sequential: sequential_ns,
+                events_per_sec: report.events as f64 * 1e9 / threaded_ns.max(1) as f64,
+                speedup: sequential_ns as f64 / threaded_ns.max(1) as f64,
+            }
+        })
+        .collect()
 }
 
 /// Renders the report as an aligned text table for the console.
@@ -121,6 +203,16 @@ pub fn render_text(report: &BenchReport) -> String {
         out.push_str(&format!(
             "{:<8} {:<9} {:>12} {:>12.1} {:>14.0} {:>10}\n",
             c.scheme, c.backend, c.events, c.ns_per_event, c.events_per_sec, c.peak_queue_depth
+        ));
+    }
+    out.push_str(&format!(
+        "\nshard curve ({} logical cores on this host)\n{:<8} {:>7} {:>12} {:>14} {:>9}\n",
+        report.cores, "scheme", "shards", "events", "events/sec", "speedup"
+    ));
+    for s in &report.shard_curve {
+        out.push_str(&format!(
+            "{:<8} {:>7} {:>12} {:>14.0} {:>8.2}x\n",
+            s.scheme, s.shards, s.events, s.events_per_sec, s.speedup
         ));
     }
     out
@@ -154,7 +246,19 @@ mod tests {
             assert_eq!(pair[0].queries, pair[1].queries);
             assert_eq!(pair[0].peak_queue_depth, pair[1].peak_queue_depth);
         }
+        // The multi-core curve covers the fixed shard sweep, and total
+        // work grows with the ensemble size.
+        let counts: Vec<usize> = report.shard_curve.iter().map(|s| s.shards).collect();
+        assert_eq!(counts, vec![1, 2, 4]);
+        for s in &report.shard_curve {
+            assert_eq!(s.scheme, "DUP");
+            assert!(s.events > 0);
+            assert!(s.speedup > 0.0);
+        }
+        assert!(report.shard_curve[2].events > report.shard_curve[0].events);
+        assert!(report.cores >= 1);
         let text = render_text(&report);
-        assert!(text.contains("DUP") && text.contains("bucketed"));
+        assert!(text.contains("DUP") && text.contains("timer-wheel"));
+        assert!(text.contains("shard curve"));
     }
 }

@@ -21,7 +21,7 @@
 //!               CHAOS_metrics.prom to --out DIR; exits nonzero on any
 //!               non-convergence
 //!               or `trace-report`: run one fully traced simulation
-//!               (scheme from --trace-scheme, default dup), reconstruct
+//!               (scheme from --scheme, default dup), reconstruct
 //!               per-update propagation trees with a latency decomposition,
 //!               and write TRACE_<scheme>_perfetto.json (load it in
 //!               ui.perfetto.dev) plus TRACE_<scheme>_metrics.prom
@@ -39,23 +39,25 @@
 //!   --trace <file>   run one probed simulation and dump a JSONL event
 //!                    trace to <file> (then exit unless experiments are
 //!                    explicitly listed)
-//!   --trace-scheme <pcx|cup|dup>   scheme traced by --trace (default dup)
 //!   --trace-sample <secs>          time-series sample interval (default 600)
 //!   --bench-reps <n>    timed repetitions per bench-report cell (default 5)
-//!   --fuzz-seeds <n>    scenarios per scheme for `fuzz` (default 16; seeds
-//!                       derive from --seed)
-//!   --fuzz-seed <u64>   replay exactly one scenario seed (as printed by a
-//!                       failing campaign) instead of a full seed set
-//!   --fuzz-scheme <pcx|cup|dup>   restrict `fuzz` to one scheme
-//!                                 (default: all three)
-//!   --fuzz-mutate       enable the deliberately broken substitute-merge
-//!                       rule, to demonstrate the harness catches it
-//!   --chaos-seeds <n>   scenarios per scheme for `chaos` (default 16;
-//!                       seeds derive from --seed)
-//!   --chaos-seed <u64>  replay exactly one chaos scenario seed instead of
-//!                       a full seed set
-//!   --chaos-scheme <pcx|cup|dup>  restrict `chaos` to one scheme
-//!                                 (default: all three)
+//!   --shards <n>     parallel shard count for experiment runs (ensemble
+//!                    mode: one worker thread and one event queue per
+//!                    shard; default 1 = classic single-queue)
+//!   --seeds <n>      scenarios per scheme for `fuzz`/`chaos` (default 16;
+//!                    scenario seeds derive from --seed)
+//!   --replay <u64>   replay exactly one scenario seed (as printed by a
+//!                    failing campaign) instead of a full seed set
+//!   --scheme <pcx|cup|dup>   restrict `fuzz`/`chaos` to one scheme
+//!                    (default: all three) and select the scheme traced by
+//!                    `trace-report`/`--trace` (default dup)
+//!   --fuzz-mutate    enable the deliberately broken substitute-merge
+//!                    rule, to demonstrate the harness catches it
+//!
+//! The pre-consolidation spellings of the seed-set/scheme family
+//! (`--fuzz-seeds`, `--fuzz-seed`, `--fuzz-scheme`, `--chaos-seeds`,
+//! `--chaos-seed`, `--chaos-scheme`, `--trace-scheme`) remain accepted as
+//! hidden aliases for one release; prefer the uniform spellings above.
 //! ```
 
 use std::io::Write as _;
@@ -63,23 +65,20 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dup_core::run_simulation_kind;
-use dup_harness::{all_experiments, experiment_by_name, HarnessOpts, Scale, SchemeKind};
+use dup_harness::{
+    all_experiments, experiment_by_name, HarnessOpts, Scale, ScenarioArgs, SchemeKind,
+};
 use dup_proto::{JsonlProbe, ProbeSink};
 
 fn main() -> ExitCode {
     let mut opts = HarnessOpts::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
-    let mut trace_scheme = SchemeKind::Dup;
     let mut trace_sample = 600.0;
     let mut bench_reps = 5usize;
-    let mut fuzz_seeds = 16usize;
-    let mut fuzz_seed: Option<u64> = None;
-    let mut fuzz_scheme: Option<SchemeKind> = None;
+    let mut scenario = ScenarioArgs::default();
     let mut fuzz_mutate = false;
-    let mut chaos_seeds = 16usize;
-    let mut chaos_seed: Option<u64> = None;
-    let mut chaos_scheme: Option<SchemeKind> = None;
+    let mut shards = 1usize;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -106,11 +105,6 @@ fn main() -> ExitCode {
                 Some(path) => trace_out = Some(PathBuf::from(path)),
                 None => return usage("--trace needs a file path"),
             },
-            "--trace-scheme" => match args.next().map(|s| s.parse()) {
-                Some(Ok(kind)) => trace_scheme = kind,
-                Some(Err(e)) => return usage(&e),
-                None => return usage("--trace-scheme needs pcx, cup, or dup"),
-            },
             "--trace-sample" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(secs) if secs >= 0.0 => trace_sample = secs,
                 _ => return usage("--trace-sample needs a non-negative number"),
@@ -119,41 +113,26 @@ fn main() -> ExitCode {
                 Some(reps) if reps >= 1 => bench_reps = reps,
                 _ => return usage("--bench-reps needs a positive integer"),
             },
-            "--fuzz-seeds" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n >= 1 => fuzz_seeds = n,
-                _ => return usage("--fuzz-seeds needs a positive integer"),
-            },
-            "--fuzz-seed" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(seed) => fuzz_seed = Some(seed),
-                None => return usage("--fuzz-seed needs an integer"),
-            },
-            "--fuzz-scheme" => match args.next().map(|s| s.parse()) {
-                Some(Ok(kind)) => fuzz_scheme = Some(kind),
-                Some(Err(e)) => return usage(&e),
-                None => return usage("--fuzz-scheme needs pcx, cup, or dup"),
-            },
             "--fuzz-mutate" => fuzz_mutate = true,
-            "--chaos-seeds" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n >= 1 => chaos_seeds = n,
-                _ => return usage("--chaos-seeds needs a positive integer"),
-            },
-            "--chaos-seed" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(seed) => chaos_seed = Some(seed),
-                None => return usage("--chaos-seed needs an integer"),
-            },
-            "--chaos-scheme" => match args.next().map(|s| s.parse()) {
-                Some(Ok(kind)) => chaos_scheme = Some(kind),
-                Some(Err(e)) => return usage(&e),
-                None => return usage("--chaos-scheme needs pcx, cup, or dup"),
+            "--shards" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => return usage("--shards needs a positive integer"),
             },
             "--help" | "-h" => return usage(""),
-            other if other.starts_with('-') => {
-                return usage(&format!("unknown option {other}"));
-            }
+            // The uniform seed-set/scheme family (and its hidden legacy
+            // aliases) parses through the shared struct.
+            other if other.starts_with('-') => match scenario.try_consume(other, &mut args) {
+                Ok(true) => {}
+                Ok(false) => return usage(&format!("unknown option {other}")),
+                Err(e) => return usage(&e),
+            },
             name => selected.push(name.to_string()),
         }
     }
 
+    opts.shards = shards;
+
+    let trace_scheme = scenario.scheme.unwrap_or(SchemeKind::Dup);
     if let Some(path) = &trace_out {
         if let Err(msg) = run_trace(&opts, trace_scheme, trace_sample, path) {
             eprintln!("error: {msg}");
@@ -193,14 +172,7 @@ fn main() -> ExitCode {
 
     if selected.iter().any(|s| s == "fuzz") {
         selected.retain(|s| s != "fuzz");
-        match run_fuzz_cmd(
-            &opts,
-            fuzz_seeds,
-            fuzz_seed,
-            fuzz_scheme,
-            fuzz_mutate,
-            out_dir.as_deref(),
-        ) {
+        match run_fuzz_cmd(&opts, &scenario, fuzz_mutate, out_dir.as_deref()) {
             Ok(true) => {}
             Ok(false) => return ExitCode::FAILURE,
             Err(msg) => {
@@ -217,13 +189,7 @@ fn main() -> ExitCode {
 
     if selected.iter().any(|s| s == "chaos") {
         selected.retain(|s| s != "chaos");
-        match run_chaos_cmd(
-            &opts,
-            chaos_seeds,
-            chaos_seed,
-            chaos_scheme,
-            out_dir.as_deref(),
-        ) {
+        match run_chaos_cmd(&opts, &scenario, out_dir.as_deref()) {
             Ok(true) => {}
             Ok(false) => return ExitCode::FAILURE,
             Err(msg) => {
@@ -350,18 +316,13 @@ fn run_trace_report(
 /// `FUZZ_report.json` when `--out` is given.
 fn run_fuzz_cmd(
     opts: &HarnessOpts,
-    fuzz_seeds: usize,
-    fuzz_seed: Option<u64>,
-    fuzz_scheme: Option<SchemeKind>,
+    scenario: &ScenarioArgs,
     mutate: bool,
     out_dir: Option<&std::path::Path>,
 ) -> Result<bool, String> {
-    let schemes: Vec<SchemeKind> = match fuzz_scheme {
-        Some(kind) => vec![kind],
-        None => SchemeKind::ALL.to_vec(),
-    };
+    let schemes = scenario.schemes();
     let started = std::time::Instant::now();
-    let report = match fuzz_seed {
+    let report = match scenario.replay {
         // Replay one printed scenario seed exactly.
         Some(seed) => dup_harness::FuzzReport {
             master_seed: opts.seed,
@@ -370,7 +331,7 @@ fn run_fuzz_cmd(
                 .map(|&kind| dup_harness::run_scenario(kind, seed, mutate))
                 .collect(),
         },
-        None => dup_harness::run_fuzz(opts.seed, fuzz_seeds, &schemes, mutate),
+        None => dup_harness::run_fuzz(opts.seed, scenario.seeds_or(16), &schemes, mutate),
     };
     print!("{}", dup_harness::render_fuzz_report(&report));
     if mutate {
@@ -395,17 +356,12 @@ fn run_fuzz_cmd(
 /// `CHAOS_metrics.prom` when `--out` is given.
 fn run_chaos_cmd(
     opts: &HarnessOpts,
-    chaos_seeds: usize,
-    chaos_seed: Option<u64>,
-    chaos_scheme: Option<SchemeKind>,
+    scenario: &ScenarioArgs,
     out_dir: Option<&std::path::Path>,
 ) -> Result<bool, String> {
-    let schemes: Vec<SchemeKind> = match chaos_scheme {
-        Some(kind) => vec![kind],
-        None => SchemeKind::ALL.to_vec(),
-    };
+    let schemes = scenario.schemes();
     let started = std::time::Instant::now();
-    let report = match chaos_seed {
+    let report = match scenario.replay {
         // Replay one printed scenario seed exactly.
         Some(seed) => dup_harness::ChaosReport {
             master_seed: opts.seed,
@@ -414,7 +370,7 @@ fn run_chaos_cmd(
                 .map(|&kind| dup_harness::run_chaos_scenario(kind, seed))
                 .collect(),
         },
-        None => dup_harness::run_chaos(opts.seed, chaos_seeds, &schemes),
+        None => dup_harness::run_chaos(opts.seed, scenario.seeds_or(16), &schemes),
     };
     print!("{}", dup_harness::render_chaos_report(&report));
     println!("(chaos finished in {:.1?})\n", started.elapsed());
@@ -470,9 +426,8 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: dup-experiments [--full|--bench-scale] [--seed N] [--jobs N] [--reps N] \
-         [--out DIR] [--trace FILE] [--trace-scheme pcx|cup|dup] [--trace-sample SECS] \
-         [--bench-reps N] [--fuzz-seeds N] [--fuzz-seed N] [--fuzz-scheme pcx|cup|dup] \
-         [--fuzz-mutate] [--chaos-seeds N] [--chaos-seed N] [--chaos-scheme pcx|cup|dup] \
+         [--shards N] [--out DIR] [--trace FILE] [--trace-sample SECS] [--bench-reps N] \
+         [--seeds N] [--replay SEED] [--scheme pcx|cup|dup] [--fuzz-mutate] \
          [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|chaos|trace-report]..."
     );
     if err.is_empty() {

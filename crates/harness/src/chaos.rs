@@ -456,7 +456,7 @@ pub fn render_chaos_report(report: &ChaosReport) -> String {
     for f in &failures {
         let _ = writeln!(
             out,
-            "\nFAILURE seed {} ({}):\n{}replay with:\n  dup-experiments chaos --chaos-seed {} --chaos-scheme {}",
+            "\nFAILURE seed {} ({}):\n{}replay with:\n  dup-experiments chaos --replay {} --scheme {}",
             f.seed,
             f.scheme,
             f.detail,
@@ -562,7 +562,7 @@ mod tests {
         assert!(text.contains("dup_chaos_retransmits_per_scenario_bucket"));
         let rendered = render_chaos_report(&report);
         assert!(rendered.contains("1 passed, 1 failed"));
-        assert!(rendered.contains("--chaos-seed 11 --chaos-scheme cup"));
+        assert!(rendered.contains("--replay 11 --scheme cup"));
         assert!(rendered.contains("lease periods to reconverge"));
     }
 }

@@ -106,6 +106,9 @@ pub struct HarnessOpts {
     /// latency CIs come from the Student-t interval over replication means
     /// instead of within-run batch means.
     pub reps: usize,
+    /// Parallel shard count applied to each run's `RunConfig` (ensemble
+    /// mode; 1 = classic single-queue simulation).
+    pub shards: usize,
 }
 
 impl Default for HarnessOpts {
@@ -115,6 +118,7 @@ impl Default for HarnessOpts {
             seed: 42,
             jobs: 0,
             reps: 1,
+            shards: 1,
         }
     }
 }
@@ -124,6 +128,14 @@ impl HarnessOpts {
     /// point label, so sweep points are independent of execution order.
     pub fn point_seed(&self, experiment: &str, point: &str) -> u64 {
         stream_seed(self.seed, &format!("{experiment}/{point}"))
+    }
+
+    /// Base configuration at this options set's scale, with the shard
+    /// count applied.
+    pub fn base_config(&self, seed: u64) -> RunConfig {
+        let mut cfg = self.scale.base_config(seed);
+        cfg.shards = self.shards;
+        cfg
     }
 
     fn worker_count(&self) -> usize {

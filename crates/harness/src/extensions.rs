@@ -33,9 +33,7 @@ fn triple_header() -> TextTable {
 pub fn run_churn(opts: &HarnessOpts) -> ExperimentOutput {
     let rates = [0.0, 0.01, 0.05, 0.2, 1.0];
     let results = crate::experiment::run_parallel(opts, rates.to_vec(), |&rate| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("ext-churn", &format!("rate={rate}")));
+        let mut cfg = opts.base_config(opts.point_seed("ext-churn", &format!("rate={rate}")));
         if rate > 0.0 {
             cfg.churn = Some(ChurnConfig::balanced(rate));
         }
@@ -63,9 +61,8 @@ pub fn run_churn(opts: &HarnessOpts) -> ExperimentOutput {
 pub fn run_staleness(opts: &HarnessOpts) -> ExperimentOutput {
     let lambdas = opts.scale.lambda_sweep();
     let results = crate::experiment::run_parallel(opts, lambdas, |&lambda| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("ext-staleness", &format!("lambda={lambda}")));
+        let mut cfg =
+            opts.base_config(opts.point_seed("ext-staleness", &format!("lambda={lambda}")));
         cfg.lambda = lambda;
         (lambda, run_triple(&cfg))
     });
@@ -96,7 +93,7 @@ pub fn run_staleness(opts: &HarnessOpts) -> ExperimentOutput {
 pub fn run_chord(opts: &HarnessOpts) -> ExperimentOutput {
     let sources = ["random-tree", "chord"];
     let results = crate::experiment::run_parallel(opts, sources.to_vec(), |&source| {
-        let mut cfg = opts.scale.base_config(opts.point_seed("ext-chord", source));
+        let mut cfg = opts.base_config(opts.point_seed("ext-chord", source));
         if source == "chord" {
             cfg.topology = TopologySource::Chord {
                 nodes: opts.scale.nodes(),
@@ -133,9 +130,7 @@ pub fn run_placement(opts: &HarnessOpts) -> ExperimentOutput {
     ];
     let results =
         crate::experiment::run_parallel(opts, placements.to_vec(), |&(name, placement)| {
-            let mut cfg = opts
-                .scale
-                .base_config(opts.point_seed("ext-placement", name));
+            let mut cfg = opts.base_config(opts.point_seed("ext-placement", name));
             cfg.rank_placement = placement;
             (name, run_triple(&cfg))
         });
@@ -164,7 +159,7 @@ pub fn run_policy(opts: &HarnessOpts) -> ExperimentOutput {
         ("sliding-window", InterestPolicy::SlidingWindow),
     ];
     let results = crate::experiment::run_parallel(opts, policies.to_vec(), |&(name, policy)| {
-        let mut cfg = opts.scale.base_config(opts.point_seed("ext-policy", name));
+        let mut cfg = opts.base_config(opts.point_seed("ext-policy", name));
         cfg.protocol.interest_policy = policy;
         (name, run_triple(&cfg))
     });
@@ -210,7 +205,7 @@ pub fn run_cup_economic(opts: &HarnessOpts) -> ExperimentOutput {
     let variants: Vec<Option<u32>> = vec![None, Some(1), Some(3), Some(10)];
     let results = crate::experiment::run_parallel(opts, variants, |&min| {
         let seed = opts.point_seed("ext-cup-economic", "shared");
-        let cfg: RunConfig = opts.scale.base_config(seed);
+        let cfg: RunConfig = opts.base_config(seed);
         let cup = match min {
             None => run_simulation(&cfg, CupScheme::new()),
             Some(min) => run_simulation(&cfg, CupScheme::with_economic_push(min)),
@@ -259,9 +254,7 @@ pub fn run_cup_economic(opts: &HarnessOpts) -> ExperimentOutput {
 pub fn run_tails(opts: &HarnessOpts) -> ExperimentOutput {
     let lambdas = opts.scale.lambda_sweep();
     let results = crate::experiment::run_parallel(opts, lambdas, |&lambda| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("ext-tails", &format!("lambda={lambda}")));
+        let mut cfg = opts.base_config(opts.point_seed("ext-tails", &format!("lambda={lambda}")));
         cfg.lambda = lambda;
         (lambda, run_triple(&cfg))
     });
@@ -301,7 +294,7 @@ pub fn run_cup_halo(opts: &HarnessOpts) -> ExperimentOutput {
     let variants = ["paper (no relay caching)", "relay-caching halo"];
     let results = crate::experiment::run_parallel(opts, variants.to_vec(), |&variant| {
         let seed = opts.point_seed("ext-cup-halo", "shared");
-        let cfg: RunConfig = opts.scale.base_config(seed);
+        let cfg: RunConfig = opts.base_config(seed);
         let cup = if variant.starts_with("paper") {
             run_simulation(&cfg, CupScheme::new())
         } else {

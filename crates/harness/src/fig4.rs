@@ -38,9 +38,7 @@ pub fn sweep(
 ) -> Vec<Point> {
     let lambdas = opts.scale.lambda_sweep();
     crate::experiment::run_parallel(opts, lambdas, |&lambda| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed(experiment, &format!("lambda={lambda}")));
+        let mut cfg = opts.base_config(opts.point_seed(experiment, &format!("lambda={lambda}")));
         cfg.lambda = lambda;
         cfg.arrivals = arrivals;
         let t = run_triple_replicated(opts, &cfg);

@@ -30,9 +30,7 @@ pub struct Point {
 /// Runs Figure 5.
 pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
     let points = crate::experiment::run_parallel(opts, opts.scale.node_sweep(), |&nodes| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("fig5", &format!("n={nodes}")));
+        let mut cfg = opts.base_config(opts.point_seed("fig5", &format!("n={nodes}")));
         cfg.topology = TopologySource::RandomTree(TopologyParams {
             nodes,
             max_degree: 4,

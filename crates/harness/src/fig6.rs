@@ -31,9 +31,7 @@ pub struct Point {
 /// Runs Figure 6.
 pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
     let points = crate::experiment::run_parallel(opts, DEGREES.to_vec(), |&degree| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("fig6", &format!("D={degree}")));
+        let mut cfg = opts.base_config(opts.point_seed("fig6", &format!("D={degree}")));
         cfg.topology = TopologySource::RandomTree(TopologyParams {
             nodes: opts.scale.nodes(),
             max_degree: degree,

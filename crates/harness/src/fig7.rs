@@ -33,9 +33,7 @@ pub struct Point {
 /// Runs Figure 7.
 pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
     let points = crate::experiment::run_parallel(opts, THETAS.to_vec(), |&theta| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("fig7", &format!("theta={theta}")));
+        let mut cfg = opts.base_config(opts.point_seed("fig7", &format!("theta={theta}")));
         cfg.zipf_theta = theta;
         let t = run_triple_replicated(opts, &cfg);
         Point {

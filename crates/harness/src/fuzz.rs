@@ -238,7 +238,7 @@ pub fn render_fuzz_report(report: &FuzzReport) -> String {
     for f in &failures {
         let _ = writeln!(
             out,
-            "\nFAILURE seed {} ({}):\n{}replay with:\n  dup-experiments fuzz --fuzz-seed {} --fuzz-scheme {}",
+            "\nFAILURE seed {} ({}):\n{}replay with:\n  dup-experiments fuzz --replay {} --scheme {}",
             f.seed,
             f.scheme,
             f.detail,

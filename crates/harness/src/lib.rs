@@ -21,6 +21,7 @@
 
 pub mod benchreport;
 pub mod chaos;
+pub mod cli;
 pub mod experiment;
 pub mod extensions;
 pub mod fig4;
@@ -39,6 +40,7 @@ pub use chaos::{
     chaos_config, chaos_registry, chaos_seeds, render_chaos_report, run_chaos, run_chaos_scenario,
     ChaosReport, ChaosScenarioResult, CHAOS_HEAL_PHASES,
 };
+pub use cli::ScenarioArgs;
 pub use experiment::{
     all_experiments, experiment_by_name, run_parallel, run_triple, run_triple_replicated,
     ExperimentOutput, HarnessOpts, Scale, SchemeKind, Triple,

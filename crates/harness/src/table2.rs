@@ -36,9 +36,7 @@ pub fn run(opts: &HarnessOpts) -> ExperimentOutput {
         }
     }
     let cells = crate::experiment::run_parallel(opts, points, |&(lambda, c)| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed("table2", &format!("lambda={lambda}")));
+        let mut cfg = opts.base_config(opts.point_seed("table2", &format!("lambda={lambda}")));
         cfg.lambda = lambda;
         cfg.protocol.threshold_c = c;
         let report = scheme_run(SchemeKind::Dup, &cfg);

@@ -36,9 +36,8 @@ pub fn sweep(opts: &HarnessOpts, experiment: &'static str) -> Vec<Cell> {
         }
     }
     crate::experiment::run_parallel(opts, points, |&(nodes, lambda)| {
-        let mut cfg = opts
-            .scale
-            .base_config(opts.point_seed(experiment, &format!("n={nodes}/lambda={lambda}")));
+        let mut cfg =
+            opts.base_config(opts.point_seed(experiment, &format!("n={nodes}/lambda={lambda}")));
         cfg.topology = TopologySource::RandomTree(TopologyParams {
             nodes,
             max_degree: 4,

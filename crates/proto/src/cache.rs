@@ -9,27 +9,43 @@
 use dup_overlay::NodeId;
 use dup_sim::SimTime;
 
-use crate::index::IndexRecord;
+use crate::index::{IndexRecord, Version};
 
 /// The cache slots of all nodes, indexed densely by [`NodeId`].
+///
+/// Struct-of-arrays layout: version, creation, and expiry live in parallel
+/// dense arrays with an `occupied` flag array, so the periodic
+/// [`CacheStore::valid_count`] sweep and the validity test in the deliver
+/// hot path read only the arrays they need (`occupied` + `expires`)
+/// instead of striding over `Option<IndexRecord>` slots.
 #[derive(Debug, Clone, Default)]
 pub struct CacheStore {
-    entries: Vec<Option<IndexRecord>>,
+    occupied: Vec<bool>,
+    versions: Vec<Version>,
+    created: Vec<SimTime>,
+    expires: Vec<SimTime>,
 }
 
 impl CacheStore {
     /// Creates a store with `capacity` empty slots.
     pub fn new(capacity: usize) -> Self {
-        CacheStore {
-            entries: vec![None; capacity],
-        }
+        let mut store = CacheStore::default();
+        store.grow(capacity);
+        store
+    }
+
+    fn grow(&mut self, len: usize) {
+        self.occupied.resize(len, false);
+        self.versions.resize(len, Version(0));
+        self.created.resize(len, SimTime::ZERO);
+        self.expires.resize(len, SimTime::ZERO);
     }
 
     /// Grows the store so `node` has a slot (needed when churn allocates new
     /// node ids mid-run).
     pub fn ensure_slot(&mut self, node: NodeId) {
-        if node.index() >= self.entries.len() {
-            self.entries.resize(node.index() + 1, None);
+        if node.index() >= self.occupied.len() {
+            self.grow(node.index() + 1);
         }
     }
 
@@ -38,42 +54,62 @@ impl CacheStore {
     /// Returns true when the slot changed.
     pub fn install(&mut self, node: NodeId, record: IndexRecord) -> bool {
         self.ensure_slot(node);
-        let slot = &mut self.entries[node.index()];
-        match slot {
-            Some(existing) if existing.version >= record.version => false,
-            _ => {
-                *slot = Some(record);
-                true
-            }
+        let i = node.index();
+        if self.occupied[i] && self.versions[i] >= record.version {
+            return false;
         }
+        self.occupied[i] = true;
+        self.versions[i] = record.version;
+        self.created[i] = record.created;
+        self.expires[i] = record.expires;
+        true
     }
 
     /// The valid cached copy at `node`, if any.
     pub fn valid_at(&self, node: NodeId, now: SimTime) -> Option<IndexRecord> {
-        self.entries
-            .get(node.index())
-            .copied()
-            .flatten()
-            .filter(|r| r.is_valid_at(now))
+        let i = node.index();
+        // Validity needs only the flag and expiry arrays; the full record
+        // is assembled after the (usually failing) filter.
+        if *self.occupied.get(i)? && now < self.expires[i] {
+            Some(IndexRecord {
+                version: self.versions[i],
+                created: self.created[i],
+                expires: self.expires[i],
+            })
+        } else {
+            None
+        }
     }
 
     /// The raw slot contents regardless of validity (for inspection/tests).
+    /// An occupied-but-expired slot is still returned — only
+    /// [`CacheStore::evict`] empties a slot.
     pub fn raw(&self, node: NodeId) -> Option<IndexRecord> {
-        self.entries.get(node.index()).copied().flatten()
+        let i = node.index();
+        if *self.occupied.get(i)? {
+            Some(IndexRecord {
+                version: self.versions[i],
+                created: self.created[i],
+                expires: self.expires[i],
+            })
+        } else {
+            None
+        }
     }
 
     /// Clears a node's slot (used when a node departs).
     pub fn evict(&mut self, node: NodeId) {
-        if let Some(slot) = self.entries.get_mut(node.index()) {
-            *slot = None;
+        if let Some(flag) = self.occupied.get_mut(node.index()) {
+            *flag = false;
         }
     }
 
     /// Number of slots currently holding a copy valid at `now`.
     pub fn valid_count(&self, now: SimTime) -> usize {
-        self.entries
+        self.occupied
             .iter()
-            .filter(|e| e.is_some_and(|r| r.is_valid_at(now)))
+            .zip(&self.expires)
+            .filter(|&(&occ, &exp)| occ && now < exp)
             .count()
     }
 }
@@ -81,7 +117,6 @@ impl CacheStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index::Version;
 
     fn record(version: u64, expires_sec: u64) -> IndexRecord {
         IndexRecord {

@@ -284,9 +284,11 @@ pub enum QueueBackendConfig {
     /// Binary heap, pre-sized by the runner from the expected event volume.
     #[default]
     Heap,
-    /// Calendar-queue timing wheel; bucket width and count are derived by
-    /// the runner from the arrival rate and hop latency.
-    Bucketed,
+    /// Hierarchical timer wheel; the runner derives the finest slot width
+    /// from the arrival rate so near-future deliveries place in `O(1)`.
+    /// (Replaces the removed `Bucketed` calendar queue, which benchmarked
+    /// slower than the heap in every cell.)
+    TimerWheel,
 }
 
 /// Event-queue configuration for a run.
@@ -360,6 +362,18 @@ pub struct RunConfig {
     /// from older serialized configs).
     #[serde(default)]
     pub reliability: ReliabilityConfig,
+    /// Number of parallel shards (ensemble mode): `1` (the default, and
+    /// what older serialized configs deserialize to) runs the classic
+    /// single-queue simulation; `S > 1` fans the run out into `S`
+    /// independent sub-simulations with per-shard derived seeds and its
+    /// own event queue each, executed on one worker thread per shard and
+    /// merged deterministically — see `dup_core::run_simulation_kind`.
+    #[serde(default = "default_shards")]
+    pub shards: usize,
+}
+
+fn default_shards() -> usize {
+    1
 }
 
 impl RunConfig {
@@ -383,6 +397,7 @@ impl RunConfig {
             queue: QueueConfig::default(),
             faults: FaultConfig::default(),
             reliability: ReliabilityConfig::default(),
+            shards: 1,
         }
     }
 
@@ -442,6 +457,7 @@ impl RunConfig {
             self.latency_batch > 0,
             "latency batch size must be positive"
         );
+        assert!(self.shards >= 1, "shard count must be at least 1");
         if let ArrivalKind::Pareto { alpha } = self.arrivals {
             assert!(alpha > 1.0 && alpha < 2.0, "Pareto alpha must be in (1,2)");
         }
@@ -633,6 +649,13 @@ impl RunConfigBuilder {
     /// Replaces the reliable-delivery configuration.
     pub fn reliability(mut self, reliability: ReliabilityConfig) -> Self {
         self.cfg.reliability = reliability;
+        self
+    }
+
+    /// Sets the parallel shard count (ensemble mode; `1` = classic
+    /// single-queue run).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
         self
     }
 

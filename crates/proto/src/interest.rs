@@ -33,12 +33,39 @@ pub enum InterestPolicy {
     SlidingWindow,
 }
 
+/// Per-node interest state in struct-of-arrays layout: the Epoch-policy
+/// hot path (`observe`, `roll_epoch`) walks only the dense `epoch_count`
+/// and `interested` arrays, never touching the per-node timestamp deques
+/// the sliding-window policy needs. One index across all arrays = one
+/// node.
 #[derive(Debug, Clone, Default)]
-struct NodeWindow {
-    times: VecDeque<SimTime>,
-    epoch_count: u32,
-    interested: bool,
-    check_pending: bool,
+struct NodeStates {
+    epoch_count: Vec<u32>,
+    interested: Vec<bool>,
+    check_pending: Vec<bool>,
+    /// Observation timestamps; populated only under
+    /// [`InterestPolicy::SlidingWindow`].
+    times: Vec<VecDeque<SimTime>>,
+}
+
+impl NodeStates {
+    fn len(&self) -> usize {
+        self.interested.len()
+    }
+
+    fn resize(&mut self, len: usize) {
+        self.epoch_count.resize(len, 0);
+        self.interested.resize(len, false);
+        self.check_pending.resize(len, false);
+        self.times.resize(len, VecDeque::new());
+    }
+
+    fn reset(&mut self, i: usize) {
+        self.epoch_count[i] = 0;
+        self.interested[i] = false;
+        self.check_pending[i] = false;
+        self.times[i].clear();
+    }
 }
 
 /// Result of observing one query at a node.
@@ -66,7 +93,7 @@ pub struct InterestTracker {
     window: SimDuration,
     threshold: u32,
     policy: InterestPolicy,
-    nodes: Vec<NodeWindow>,
+    nodes: NodeStates,
 }
 
 impl InterestTracker {
@@ -92,11 +119,13 @@ impl InterestTracker {
         capacity: usize,
     ) -> Self {
         assert!(!window.is_zero(), "interest window must be non-zero");
+        let mut nodes = NodeStates::default();
+        nodes.resize(capacity);
         InterestTracker {
             window,
             threshold,
             policy,
-            nodes: vec![NodeWindow::default(); capacity],
+            nodes,
         }
     }
 
@@ -111,12 +140,12 @@ impl InterestTracker {
     pub fn roll_epoch(&mut self) -> Vec<NodeId> {
         debug_assert_eq!(self.policy, InterestPolicy::Epoch);
         let mut lapsed = Vec::new();
-        for (i, w) in self.nodes.iter_mut().enumerate() {
-            if w.interested && w.epoch_count <= self.threshold {
-                w.interested = false;
+        for i in 0..self.nodes.len() {
+            if self.nodes.interested[i] && self.nodes.epoch_count[i] <= self.threshold {
+                self.nodes.interested[i] = false;
                 lapsed.push(NodeId::from_index(i));
             }
-            w.epoch_count = 0;
+            self.nodes.epoch_count[i] = 0;
         }
         lapsed
     }
@@ -129,28 +158,30 @@ impl InterestTracker {
     /// Grows the table so `node` has a slot.
     pub fn ensure_slot(&mut self, node: NodeId) {
         if node.index() >= self.nodes.len() {
-            self.nodes.resize(node.index() + 1, NodeWindow::default());
+            self.nodes.resize(node.index() + 1);
         }
     }
 
     /// True when `node` currently satisfies the interest policy.
     #[inline]
     pub fn is_interested(&self, node: NodeId) -> bool {
-        self.nodes.get(node.index()).is_some_and(|w| w.interested)
+        self.nodes
+            .interested
+            .get(node.index())
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Records that `node` received a query at `now`.
     pub fn observe(&mut self, node: NodeId, now: SimTime) -> Observation {
         self.ensure_slot(node);
-        let window = self.window;
-        let threshold = self.threshold;
-        let policy = self.policy;
-        let w = &mut self.nodes[node.index()];
-        if policy == InterestPolicy::Epoch {
-            w.epoch_count = w.epoch_count.saturating_add(1);
+        let i = node.index();
+        if self.policy == InterestPolicy::Epoch {
+            let count = self.nodes.epoch_count[i].saturating_add(1);
+            self.nodes.epoch_count[i] = count;
             let mut became = false;
-            if !w.interested && w.epoch_count > threshold {
-                w.interested = true;
+            if !self.nodes.interested[i] && count > self.threshold {
+                self.nodes.interested[i] = true;
                 became = true;
             }
             return Observation {
@@ -158,18 +189,20 @@ impl InterestTracker {
                 schedule_check_at: None,
             };
         }
-        Self::prune(w, now, window);
-        w.times.push_back(now);
+        let window = self.window;
+        Self::prune(&mut self.nodes.times[i], now, window);
+        let times = &mut self.nodes.times[i];
+        times.push_back(now);
         let mut became = false;
-        if !w.interested && w.times.len() > threshold as usize {
-            w.interested = true;
+        if !self.nodes.interested[i] && self.nodes.times[i].len() > self.threshold as usize {
+            self.nodes.interested[i] = true;
             became = true;
         }
-        let schedule = if w.interested && !w.check_pending {
-            w.check_pending = true;
+        let schedule = if self.nodes.interested[i] && !self.nodes.check_pending[i] {
+            self.nodes.check_pending[i] = true;
             // The earliest instant the window content can change: when the
             // oldest observation ages out.
-            Some(*w.times.front().expect("just pushed") + window)
+            Some(*self.nodes.times[i].front().expect("just pushed") + window)
         } else {
             None
         };
@@ -182,36 +215,37 @@ impl InterestTracker {
     /// Runs the decay check scheduled for `node`.
     pub fn run_check(&mut self, node: NodeId, now: SimTime) -> CheckOutcome {
         self.ensure_slot(node);
-        let window = self.window;
-        let threshold = self.threshold;
-        let w = &mut self.nodes[node.index()];
-        w.check_pending = false;
-        if !w.interested {
+        let i = node.index();
+        self.nodes.check_pending[i] = false;
+        if !self.nodes.interested[i] {
             return CheckOutcome {
                 lapsed: false,
                 reschedule_at: None,
             };
         }
-        Self::prune(w, now, window);
-        if w.times.len() <= threshold as usize {
-            w.interested = false;
+        let window = self.window;
+        Self::prune(&mut self.nodes.times[i], now, window);
+        if self.nodes.times[i].len() <= self.threshold as usize {
+            self.nodes.interested[i] = false;
             CheckOutcome {
                 lapsed: true,
                 reschedule_at: None,
             }
         } else {
-            w.check_pending = true;
+            self.nodes.check_pending[i] = true;
             CheckOutcome {
                 lapsed: false,
-                reschedule_at: Some(*w.times.front().expect("len > threshold >= 0") + window),
+                reschedule_at: Some(
+                    *self.nodes.times[i].front().expect("len > threshold >= 0") + window,
+                ),
             }
         }
     }
 
     /// Forgets all state for a departed node.
     pub fn clear(&mut self, node: NodeId) {
-        if let Some(w) = self.nodes.get_mut(node.index()) {
-            *w = NodeWindow::default();
+        if node.index() < self.nodes.len() {
+            self.nodes.reset(node.index());
         }
     }
 
@@ -219,15 +253,15 @@ impl InterestTracker {
     pub fn window_len(&mut self, node: NodeId, now: SimTime) -> usize {
         self.ensure_slot(node);
         let window = self.window;
-        let w = &mut self.nodes[node.index()];
-        Self::prune(w, now, window);
-        w.times.len()
+        let times = &mut self.nodes.times[node.index()];
+        Self::prune(times, now, window);
+        times.len()
     }
 
-    fn prune(w: &mut NodeWindow, now: SimTime, window: SimDuration) {
-        while let Some(&front) = w.times.front() {
+    fn prune(times: &mut VecDeque<SimTime>, now: SimTime, window: SimDuration) {
+        while let Some(&front) = times.front() {
             if front + window <= now {
-                w.times.pop_front();
+                times.pop_front();
             } else {
                 break;
             }

@@ -158,6 +158,7 @@ impl Metrics {
             samples: Vec::new(),
             probe_events: 0,
             peak_queue_depth: 0,
+            peak_queue_depth_per_shard: Vec::new(),
         }
     }
 }
@@ -221,9 +222,16 @@ pub struct RunReport {
     #[serde(default)]
     pub probe_events: u64,
     /// High-water mark of the event queue over the whole run (absent from
-    /// older serialized reports) — sizes the engine's working set.
+    /// older serialized reports) — sizes the engine's working set. With
+    /// multiple shards this is the worst depth over *all* per-shard queues
+    /// (see [`RunReport::peak_queue_depth_per_shard`]).
     #[serde(default)]
     pub peak_queue_depth: u64,
+    /// Per-shard event-queue high-water marks, indexed by shard. A
+    /// single-queue run reports one entry; absent (empty) in reports
+    /// serialized before parallel mode existed.
+    #[serde(default)]
+    pub peak_queue_depth_per_shard: Vec<u64>,
 }
 
 impl RunReport {
@@ -298,6 +306,12 @@ impl RunReport {
                 .map(|r| r.peak_queue_depth)
                 .max()
                 .unwrap_or(0),
+            // Concatenated in report order, matching `samples`: aggregating
+            // a sharded run keeps every shard's high-water mark.
+            peak_queue_depth_per_shard: reports
+                .iter()
+                .flat_map(|r| r.peak_queue_depth_per_shard.clone())
+                .collect(),
         }
     }
 }

@@ -250,11 +250,17 @@ pub struct TraceSample {
     /// non-empty lists; 0 when the scheme keeps no such state.
     pub mean_list_len: f64,
     /// Events pending in the engine's queue at sample time (backpressure).
+    /// In sharded runs this is the depth of the *sampling shard's* queue —
+    /// there is one queue per shard, not a global one.
     #[serde(default)]
     pub queue_depth: usize,
     /// Messages sent but not yet delivered at sample time.
     #[serde(default)]
     pub in_flight_msgs: u64,
+    /// The shard this sample was taken on (0 in single-queue runs and in
+    /// reports serialized before parallel mode existed).
+    #[serde(default)]
+    pub shard: u32,
 }
 
 /// A scheme's self-description of its propagation structure, feeding
@@ -536,6 +542,7 @@ mod tests {
                 mean_list_len: 1.5,
                 queue_depth: 17,
                 in_flight_msgs: 4,
+                shard: 0,
             }),
             ProbeEvent::UpdatePublished {
                 node: NodeId(0),

@@ -272,20 +272,18 @@ impl<S: Scheme> Runner<S> {
         let in_flight = (self.cfg.lambda * hop * 16.0).ceil() as usize;
         match self.cfg.queue.backend {
             QueueBackendConfig::Heap => EventQueue::with_capacity(nodes + in_flight + 64),
-            QueueBackendConfig::Bucketed => {
-                // Near-future events are message deliveries (~hop latency
-                // out) and arrival ticks; size buckets so each holds about
-                // one event, and the window so deliveries land in the wheel
-                // rather than the overflow heap. Long timers (TTL-scale
-                // interest checks, refreshes) overflow by design.
-                let rate = (self.cfg.lambda * 16.0).max(1.0); // events / sim-second
-                let width = SimDuration::from_secs_f64(1.0 / rate);
-                let window = (4.0 * hop).max(64.0 / rate);
-                let buckets = ((window * rate).ceil() as usize).clamp(64, 1 << 16);
-                EventQueue::with_backend(QueueBackend::Bucketed {
-                    bucket_width: width,
-                    buckets,
-                })
+            QueueBackendConfig::TimerWheel => {
+                // The wheel wins by parking TTL/lease-scale timers out of
+                // the comparison structure while near-future deliveries
+                // (a few hop latencies out) drop straight into the small
+                // `near` heap. That wants a *coarse* finest slot: several
+                // event inter-arrival times wide (≈ 8/λ simulated seconds,
+                // the measured plateau in the queue_bench sweep), floored
+                // at a few hop latencies so deliveries stay inside the
+                // cursor slot at high arrival rates.
+                let tick =
+                    SimDuration::from_secs_f64((8.0 / self.cfg.lambda.max(1e-3)).max(4.0 * hop));
+                EventQueue::with_backend(QueueBackend::TimerWheel { tick })
             }
         }
     }
@@ -411,6 +409,7 @@ impl<S: Scheme> Runner<S> {
         report.samples = std::mem::take(&mut self.samples);
         report.probe_events = self.world.probe.emitted();
         report.peak_queue_depth = engine.peak_pending() as u64;
+        report.peak_queue_depth_per_shard = vec![report.peak_queue_depth];
         report
     }
 
@@ -707,6 +706,7 @@ impl<S: Scheme> Runner<S> {
             mean_list_len: stats.map_or(0.0, |s| s.mean_list_len),
             queue_depth,
             in_flight_msgs: self.world.trace.in_flight(),
+            shard: 0,
         }
     }
 
@@ -1350,14 +1350,14 @@ mod tests {
     }
 
     #[test]
-    fn bucketed_backend_matches_heap_backend() {
+    fn timer_wheel_backend_matches_heap_backend() {
         use crate::config::QueueBackendConfig;
         let mut heap_cfg = tiny_cfg(11);
         heap_cfg.churn = Some(ChurnConfig::balanced(0.02));
-        let mut bucket_cfg = heap_cfg.clone();
-        bucket_cfg.queue.backend = QueueBackendConfig::Bucketed;
+        let mut wheel_cfg = heap_cfg.clone();
+        wheel_cfg.queue.backend = QueueBackendConfig::TimerWheel;
         let a = run_simulation(&heap_cfg, PcxScheme::new());
-        let b = run_simulation(&bucket_cfg, PcxScheme::new());
+        let b = run_simulation(&wheel_cfg, PcxScheme::new());
         // Reports must agree field-for-field, bit-for-bit.
         assert_eq!(
             serde_json::to_string(&a).unwrap(),

@@ -294,16 +294,26 @@ impl FaultState {
 ///
 /// Hit once per [`send_msg`], i.e. once per simulated message, so the
 /// representation is chosen for the hot path: a dense `Vec` indexed by the
-/// sender's id, holding a short unsorted list of `(destination, clock)`
-/// slots. A node only ever sends to its parent, its children, and (for
-/// DUP's direct pushes) its few subscriber-list entries, so the per-sender
-/// list stays a handful of entries and a linear scan beats hashing a
-/// 64-bit pair key. Slots for departed destinations linger harmlessly,
-/// exactly as the old `HashMap<(NodeId, NodeId), SimTime>` entries did.
+/// sender's id, holding a short unsorted per-sender channel list in
+/// struct-of-arrays form — destination ids in one dense array, clocks in a
+/// parallel one. A node only ever sends to its parent, its children, and
+/// (for DUP's direct pushes) its few subscriber-list entries, so the
+/// destination scan walks a handful of 4-byte ids packed in one cache
+/// line, and the clock array is touched only at the hit index. Slots for
+/// departed destinations linger harmlessly, exactly as the old
+/// `HashMap<(NodeId, NodeId), SimTime>` entries did.
 #[derive(Debug, Clone, Default)]
 pub struct FifoClocks {
-    /// `chans[from.index()]` = `(to, last scheduled delivery)` slots.
-    chans: Vec<Vec<(NodeId, SimTime)>>,
+    /// `chans[from.index()]` = this sender's channel list.
+    chans: Vec<Chan>,
+}
+
+/// One sender's channels: `tos[k]` is the destination of channel `k`,
+/// `ats[k]` its last scheduled delivery instant.
+#[derive(Debug, Clone, Default)]
+struct Chan {
+    tos: Vec<NodeId>,
+    ats: Vec<SimTime>,
 }
 
 impl FifoClocks {
@@ -311,7 +321,7 @@ impl FifoClocks {
     /// beyond this under churn; [`FifoClocks::reserve_slot`] extends).
     pub fn with_capacity(nodes: usize) -> Self {
         FifoClocks {
-            chans: vec![Vec::new(); nodes],
+            chans: vec![Chan::default(); nodes],
         }
     }
 
@@ -323,37 +333,35 @@ impl FifoClocks {
     pub fn reserve_slot(&mut self, from: NodeId, to: NodeId, at: SimTime) -> SimTime {
         let i = from.index();
         if i >= self.chans.len() {
-            self.chans.resize(i + 1, Vec::new());
+            self.chans.resize(i + 1, Chan::default());
         }
         let chan = &mut self.chans[i];
-        for slot in chan.iter_mut() {
-            if slot.0 == to {
-                let granted = if at <= slot.1 {
-                    slot.1 + SimDuration::from_nanos(1)
-                } else {
-                    at
-                };
-                slot.1 = granted;
-                return granted;
-            }
+        if let Some(k) = chan.tos.iter().position(|&t| t == to) {
+            let last = chan.ats[k];
+            let granted = if at <= last {
+                last + SimDuration::from_nanos(1)
+            } else {
+                at
+            };
+            chan.ats[k] = granted;
+            return granted;
         }
-        chan.push((to, at));
+        chan.tos.push(to);
+        chan.ats.push(at);
         at
     }
 
     /// The last scheduled delivery on `(from, to)`, if the channel has ever
     /// carried a message (tests and audits).
     pub fn last_scheduled(&self, from: NodeId, to: NodeId) -> Option<SimTime> {
-        self.chans
-            .get(from.index())?
-            .iter()
-            .find(|(t, _)| *t == to)
-            .map(|&(_, at)| at)
+        let chan = self.chans.get(from.index())?;
+        let k = chan.tos.iter().position(|&t| t == to)?;
+        Some(chan.ats[k])
     }
 
     /// Total live channel slots (diagnostics).
     pub fn channel_count(&self) -> usize {
-        self.chans.iter().map(Vec::len).sum()
+        self.chans.iter().map(|c| c.tos.len()).sum()
     }
 }
 

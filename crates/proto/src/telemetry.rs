@@ -220,12 +220,30 @@ impl Registry {
             labels,
             report.final_interested_nodes as f64,
         );
-        self.describe("dup_peak_queue_depth", "Event-queue depth high-water mark");
+        self.describe(
+            "dup_peak_queue_depth",
+            "Event-queue depth high-water mark (max over shards)",
+        );
         self.set_gauge(
             "dup_peak_queue_depth",
             labels,
             report.peak_queue_depth as f64,
         );
+        // One labeled series per shard queue, so the Prometheus export
+        // stays truthful in parallel mode (the aggregate above is a max,
+        // not a sum, and would otherwise hide per-shard imbalance).
+        self.describe(
+            "dup_peak_queue_depth_shard",
+            "Per-shard event-queue depth high-water mark",
+        );
+        for (i, &depth) in report.peak_queue_depth_per_shard.iter().enumerate() {
+            let shard = i.to_string();
+            self.set_gauge(
+                "dup_peak_queue_depth_shard",
+                &[("scheme", scheme.as_str()), ("shard", shard.as_str())],
+                depth as f64,
+            );
+        }
         if let Some(last) = report.samples.last() {
             self.describe(
                 "dup_in_flight_msgs",

@@ -1,0 +1,85 @@
+//! Queue-backend microbenchmark over the simulator's observed timer
+//! profile: a standing population of ~50 events, mostly near-future
+//! deliveries (~hop latency out) plus arrival ticks and sparse TTL-scale
+//! maintenance timers. Prints ns per push+pop pair for the heap backend
+//! and the timer wheel across a sweep of tick widths.
+//!
+//! Run with: `cargo run --release -p dup-sim --example queue_bench`
+
+use dup_sim::{EventQueue, QueueBackend, SimDuration, SimTime};
+
+/// xorshift64* — deterministic, no dependency on the seeded stream RNG.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One simulated event gap, in nanoseconds, drawn from the production mix:
+/// 70 % deliveries ~ Exp(hop=0.1 s), 20 % arrival ticks ~ Exp(1 s),
+/// 8 % lease-scale timers ~ U[75, 225] s, 2 % TTL-scale ~ U[1800, 5400] s.
+fn gap(rng: &mut Rng) -> u64 {
+    let r = rng.next() % 100;
+    let exp = |rng: &mut Rng, mean: f64| (-mean * (1.0 - rng.f64()).ln() * 1e9) as u64;
+    match r {
+        0..=69 => exp(rng, 0.1),
+        70..=89 => exp(rng, 1.0),
+        90..=97 => 75_000_000_000 + rng.next() % 150_000_000_000,
+        _ => 1_800_000_000_000 + rng.next() % 3_600_000_000_000,
+    }
+}
+
+fn run(mut q: EventQueue<u64>, ops: u64, depth: usize) -> (f64, u64) {
+    let mut rng = Rng(0x9E3779B97F4A7C15);
+    let mut now = 0u64;
+    for i in 0..depth as u64 {
+        let g = gap(&mut rng);
+        q.push(SimTime::from_nanos(now + g), i);
+    }
+    let started = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let (t, v) = q.pop().expect("standing population never drains");
+        now = t.as_nanos();
+        acc ^= v;
+        let g = gap(&mut rng);
+        q.push(SimTime::from_nanos(now + g), i);
+    }
+    let elapsed = started.elapsed().as_nanos() as f64;
+    (elapsed / ops as f64, acc)
+}
+
+fn main() {
+    const OPS: u64 = 4_000_000;
+    const DEPTH: usize = 50;
+    // Warm-up + measure twice, report the better pass.
+    let bench = |backend: QueueBackend| {
+        let mut best = f64::MAX;
+        let mut check = 0;
+        for _ in 0..3 {
+            let (ns, acc) = run(EventQueue::with_backend(backend), OPS, DEPTH);
+            best = best.min(ns);
+            check = acc;
+        }
+        (best, check)
+    };
+    let (heap_ns, heap_acc) = bench(QueueBackend::DEFAULT_HEAP);
+    println!("heap                 {heap_ns:6.1} ns/op");
+    for shift in [20u32, 23, 26, 28, 30, 31, 32, 33, 34, 35, 36, 38] {
+        let tick = SimDuration::from_nanos(1 << shift);
+        let (ns, acc) = bench(QueueBackend::TimerWheel { tick });
+        assert_eq!(acc, heap_acc, "backend divergence at tick 2^{shift}");
+        println!(
+            "wheel tick=2^{shift} ({:>8.3}s) {ns:6.1} ns/op ({:+5.1}%)",
+            tick.as_secs_f64(),
+            (ns / heap_ns - 1.0) * 100.0
+        );
+    }
+}

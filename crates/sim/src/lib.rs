@@ -40,10 +40,12 @@ pub mod engine;
 pub mod probe;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use engine::{Engine, RunOutcome};
 pub use probe::{FnProbe, NoopProbe, Probe, RingProbe};
 pub use queue::{EventQueue, QueueBackend, TimerId};
 pub use rng::{stream_rng, stream_seed, StreamRng};
+pub use shard::{run_shards, ShardCtx, ShardModel, ShardRunReport, ShardedEngine};
 pub use time::{SimDuration, SimTime};

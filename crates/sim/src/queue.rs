@@ -4,25 +4,29 @@
 //! instant in FIFO order, which keeps runs deterministic regardless of how
 //! the backing store resolves equal keys internally.
 //!
-//! Two interchangeable backends implement the same contract:
+//! Two interchangeable backends implement the same contract. Both operate
+//! on compact 24-byte `(time, seq, slot)` keys over a shared payload slab,
+//! so ordering work never moves the (much larger) events themselves:
 //!
-//! * [`QueueBackend::Heap`] — a binary heap of compact 24-byte keys over a
-//!   slab of payloads; `O(log n)` push/pop, no tuning knobs, the default.
-//!   Keeping payloads out of the heap matters: sift operations move only
-//!   the `(time, seq, slot)` key, not the (much larger) event, so a push
-//!   or pop touches a few cache lines regardless of event size.
-//! * [`QueueBackend::Bucketed`] — a calendar-queue style timing wheel of
-//!   fixed-width buckets over a sliding window, with a spill-over heap for
-//!   events beyond the window. Near-future events (the vast majority in a
-//!   message-passing simulation: deliveries a few hop latencies out) are
-//!   placed and popped in `O(1)` expected time; far-future timers pay one
-//!   heap round-trip through the overflow before migrating into the wheel.
+//! * [`QueueBackend::Heap`] — a binary heap of keys; `O(log n)` push/pop,
+//!   no tuning knobs, the default.
+//! * [`QueueBackend::TimerWheel`] — a hierarchical timer wheel: six levels
+//!   of 64 slots each, every level 64× coarser than the one below, with a
+//!   `u64` occupancy bitmap per level so empty slots are skipped with one
+//!   `trailing_zeros`. Near-future events (the vast majority in a
+//!   message-passing simulation: deliveries a few hop latencies out) land
+//!   in the finest level and are placed in `O(1)`; far-future timers
+//!   (TTL-scale refreshes, interest checks) sit in a coarse level and
+//!   cascade toward level zero as the cursor approaches — `O(1)` amortized
+//!   per event per level. A tiny `near` heap holds the events of the slot
+//!   the cursor is draining, so pops stay exact `(time, seq)` order; an
+//!   overflow heap takes the (practically unreachable) instants beyond the
+//!   top level's span.
 //!
 //! Both backends pop in exactly `(time, seq)` order — the equivalence is
 //! enforced by property tests here and by end-to-end report-identity tests
 //! in the workspace `tests/` tree.
 
-use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -51,134 +55,96 @@ impl TimerId {
     }
 }
 
-/// An event queued for execution at a given instant.
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> Scheduled<E> {
-    /// The total-order key: earliest time first, FIFO within an instant.
-    #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
-    }
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
-        other.key().cmp(&self.key())
-    }
-}
-
-/// A compact heap entry: the full ordering key plus the slab slot holding
-/// the payload. Sifts move these 24 bytes, never the event itself.
-struct HeapKey {
+/// A compact queue entry: the full ordering key plus the slab slot holding
+/// the payload. Heap sifts and wheel cascades move these 24 bytes, never
+/// the event itself.
+struct Key {
     at: SimTime,
     seq: u64,
     idx: u32,
 }
 
-impl HeapKey {
+impl Key {
     #[inline]
     fn key(&self) -> (SimTime, u64) {
         (self.at, self.seq)
     }
 }
 
-impl PartialEq for HeapKey {
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.key() == other.key()
     }
 }
-impl Eq for HeapKey {}
+impl Eq for Key {}
 
-impl PartialOrd for HeapKey {
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for HeapKey {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
+        // Reverse so a BinaryHeap (a max-heap) pops the earliest event.
         other.key().cmp(&self.key())
     }
 }
 
-/// The heap backend: a binary heap of [`HeapKey`]s over a payload slab with
-/// an embedded free list. Slots are recycled, so the slab's footprint is the
-/// queue's high-water mark, not its push count.
-struct SlabHeap<E> {
-    heap: BinaryHeap<HeapKey>,
-    slab: Vec<Option<E>>,
+/// The payload store shared by both backends: a slab with an embedded free
+/// list. Slots are recycled, so the slab's footprint is the queue's
+/// high-water mark, not its push count.
+struct Slab<E> {
+    slots: Vec<Option<E>>,
     free: Vec<u32>,
 }
 
-impl<E> SlabHeap<E> {
+impl<E> Slab<E> {
     fn with_capacity(capacity: usize) -> Self {
-        SlabHeap {
-            heap: BinaryHeap::with_capacity(capacity),
-            slab: Vec::with_capacity(capacity),
+        Slab {
+            slots: Vec::with_capacity(capacity),
             free: Vec::new(),
         }
     }
 
     #[inline]
-    fn push(&mut self, at: SimTime, seq: u64, event: E) {
-        let idx = match self.free.pop() {
+    fn insert(&mut self, event: E) -> u32 {
+        match self.free.pop() {
             Some(i) => {
-                self.slab[i as usize] = Some(event);
+                self.slots[i as usize] = Some(event);
                 i
             }
             None => {
-                let i = self.slab.len();
+                let i = self.slots.len();
                 assert!(i <= u32::MAX as usize, "pending-event slab overflow");
-                self.slab.push(Some(event));
+                self.slots.push(Some(event));
                 i as u32
             }
-        };
-        self.heap.push(HeapKey { at, seq, idx });
+        }
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
-        let k = self.heap.pop()?;
-        let event = self.slab[k.idx as usize]
+    fn remove(&mut self, idx: u32) -> E {
+        let event = self.slots[idx as usize]
             .take()
-            .expect("heap key pointed at an empty slab slot");
-        self.free.push(k.idx);
-        Some((k.at, k.seq, event))
-    }
-
-    #[inline]
-    fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|k| k.at)
+            .expect("queue key pointed at an empty slab slot");
+        self.free.push(idx);
+        event
     }
 
     fn clear(&mut self) {
-        self.heap.clear();
-        self.slab.clear();
+        self.slots.clear();
         self.free.clear();
     }
 }
 
 /// Backend selection (and sizing) for an [`EventQueue`].
+///
+/// Marked `#[non_exhaustive]`: match with a wildcard arm so new backends
+/// can be added without a breaking change. The formerly available
+/// `Bucketed` calendar queue was removed after benchmarks showed it slower
+/// than the heap in every cell; [`QueueBackend::TimerWheel`] replaces it.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueBackend {
     /// Binary heap with `capacity` slots pre-allocated.
@@ -186,17 +152,14 @@ pub enum QueueBackend {
         /// Pending-event slots to pre-allocate.
         capacity: usize,
     },
-    /// Timing wheel of `buckets` buckets, each `bucket_width` wide, plus an
-    /// overflow heap for events beyond the window.
-    Bucketed {
-        /// Width of one bucket (rounded up to a power-of-two nanosecond
-        /// count so bucket indexing is a shift, not a division). Aim for
-        /// roughly one pending event per bucket: `1 / event_rate`.
-        bucket_width: SimDuration,
-        /// Number of wheel buckets; the window covers
-        /// `buckets * bucket_width` of simulated time. Aim for a window a
-        /// few times the typical scheduling delay.
-        buckets: usize,
+    /// Hierarchical timer wheel (six levels × 64 slots, bitmap-indexed).
+    TimerWheel {
+        /// Width of one finest-level wheel slot (rounded up to a
+        /// power-of-two nanosecond count so slot indexing is a shift, not
+        /// a division). Aim for roughly the event inter-arrival time, so
+        /// the slot being drained holds about one event; the hierarchy
+        /// covers `64^6` ticks above it, so no window knob is needed.
+        tick: SimDuration,
     },
 }
 
@@ -205,140 +168,212 @@ impl QueueBackend {
     pub const DEFAULT_HEAP: QueueBackend = QueueBackend::Heap { capacity: 0 };
 }
 
-/// Calendar-queue state: a ring of unsorted buckets over a sliding window
-/// `[win_start, win_start + buckets)` of absolute bucket ids, plus a heap
-/// for everything beyond (or, defensively, before) the window.
-struct BucketWheel<E> {
-    buckets: Vec<Vec<Scheduled<E>>>,
-    /// log2 of the bucket width in nanoseconds.
-    width_shift: u32,
-    /// Absolute bucket id of the window start.
-    win_start: u64,
-    /// Absolute bucket id the next pop scans from; only ever moves forward
-    /// within the window except when a push lands behind it. `Cell` so
-    /// `peek` can advance it past empty buckets without `&mut`.
-    cursor: Cell<u64>,
-    /// Events currently in the wheel (not the overflow).
-    in_wheel: usize,
-    overflow: BinaryHeap<Scheduled<E>>,
+/// Slots per wheel level; levels are 64× coarser as they go up.
+const WHEEL_BITS: u32 = 6;
+/// Slots per wheel level (64).
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+/// Wheel levels. Six levels cover `64^6 ≈ 6.9·10^10` ticks beyond the
+/// cursor; with a millisecond tick that is two years of simulated time, so
+/// the overflow heap is a correctness backstop, not a working store.
+const WHEEL_LEVELS: usize = 6;
+
+/// One wheel level: 64 unsorted slots plus an occupancy bitmap, so the
+/// next occupied slot is found with a mask and a `trailing_zeros` instead
+/// of a scan.
+struct WheelLevel {
+    occupied: u64,
+    slots: [Vec<Key>; WHEEL_SLOTS],
 }
 
-impl<E> BucketWheel<E> {
-    fn new(bucket_width: SimDuration, buckets: usize) -> Self {
-        let width = bucket_width.as_nanos().max(1).next_power_of_two();
-        BucketWheel {
-            buckets: (0..buckets.max(1)).map(|_| Vec::new()).collect(),
-            width_shift: width.trailing_zeros(),
-            win_start: 0,
-            cursor: Cell::new(0),
+impl WheelLevel {
+    fn new() -> Self {
+        WheelLevel {
+            occupied: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+/// Hierarchical timer wheel state.
+///
+/// `cursor` is the absolute finest-level slot index the wheel has drained
+/// up to: every event in a slot at or before the cursor lives in `near`
+/// (a tiny key heap), every event after it in the level whose span first
+/// covers its distance from the cursor, and everything beyond the top
+/// level in `overflow`. Invariant: all `near` events precede all wheel
+/// events in time, so the head of `near` is the wheel-or-near minimum and
+/// only the `overflow` head can compete with it.
+struct TimerWheel {
+    /// log2 of the finest-level slot width in nanoseconds.
+    shift: u32,
+    /// Absolute finest-level slot index of the drain cursor.
+    cursor: u64,
+    /// Events at or before the cursor slot, kept sorted descending by
+    /// `(time, seq)` so the minimum pops from the back in `O(1)` and an
+    /// insert is a binary search plus a short contiguous shift — faster
+    /// than heap sifts at the ≤ 50-key populations this simulator runs.
+    near: Vec<Key>,
+    /// Events currently placed in the levels (excludes near and overflow).
+    in_wheel: usize,
+    /// Events beyond the top level's span from the cursor.
+    overflow: BinaryHeap<Key>,
+    levels: Box<[WheelLevel; WHEEL_LEVELS]>,
+}
+
+impl TimerWheel {
+    fn new(tick: SimDuration) -> Self {
+        let width = tick.as_nanos().max(1).next_power_of_two();
+        TimerWheel {
+            shift: width.trailing_zeros(),
+            cursor: 0,
+            near: Vec::new(),
             in_wheel: 0,
             overflow: BinaryHeap::new(),
+            levels: Box::new(std::array::from_fn(|_| WheelLevel::new())),
         }
+    }
+
+    /// The absolute finest-level slot index covering `at`.
+    #[inline]
+    fn slot0(&self, at: SimTime) -> u64 {
+        at.as_nanos() >> self.shift
+    }
+
+    /// The level whose span covers a slot `s` relative to the cursor:
+    /// the position of the highest differing bit, in 6-bit digits.
+    /// Requires `s > cursor`; returns `WHEEL_LEVELS` for overflow.
+    #[inline]
+    fn level_of(&self, s: u64) -> usize {
+        let diff = s ^ self.cursor;
+        ((63 - diff.leading_zeros()) / WHEEL_BITS) as usize
+    }
+
+    /// Inserts into `near`, keeping it sorted descending by `(time, seq)`.
+    #[inline]
+    fn near_insert(&mut self, key: Key) {
+        let k = key.key();
+        let idx = self.near.partition_point(|e| e.key() > k);
+        self.near.insert(idx, key);
     }
 
     #[inline]
-    fn bucket_id(&self, at: SimTime) -> u64 {
-        at.as_nanos() >> self.width_shift
-    }
-
-    #[inline]
-    fn push(&mut self, s: Scheduled<E>) {
-        let bid = self.bucket_id(s.at);
-        let n = self.buckets.len() as u64;
-        if bid >= self.win_start && bid < self.win_start + n {
-            self.buckets[(bid % n) as usize].push(s);
-            self.in_wheel += 1;
-            if bid < self.cursor.get() {
-                self.cursor.set(bid);
-            }
-        } else {
-            // Beyond the window (or, defensively, before it — possible only
-            // through direct queue use, never through the engine): the heap
-            // accepts any instant and `pop` compares against the wheel.
-            self.overflow.push(s);
-        }
-    }
-
-    /// Location of the minimum wheel event: `(ring index, item index)`.
-    /// Advances the cursor past empty buckets as a side effect (safe: the
-    /// skipped buckets stay empty until a push resets the cursor).
-    fn wheel_min(&self) -> Option<(usize, usize)> {
-        if self.in_wheel == 0 {
-            return None;
-        }
-        let n = self.buckets.len() as u64;
-        let mut cur = self.cursor.get();
-        loop {
-            debug_assert!(cur < self.win_start + n, "wheel count out of sync");
-            let ring = (cur % n) as usize;
-            let b = &self.buckets[ring];
-            if let Some(min_idx) = Self::scan_min(b) {
-                self.cursor.set(cur);
-                return Some((ring, min_idx));
-            }
-            cur += 1;
-        }
-    }
-
-    /// Index of the `(time, seq)`-minimal event in one (unsorted) bucket.
-    #[inline]
-    fn scan_min(bucket: &[Scheduled<E>]) -> Option<usize> {
-        let mut it = bucket.iter().enumerate();
-        let (mut best_i, first) = it.next()?;
-        let mut best_key = first.key();
-        for (i, s) in it {
-            if s.key() < best_key {
-                best_key = s.key();
-                best_i = i;
-            }
-        }
-        Some(best_i)
-    }
-
-    /// Re-anchors the window at the overflow's earliest event and migrates
-    /// every overflow event that now falls inside it. Called when the wheel
-    /// has drained but events remain.
-    fn refill(&mut self) {
-        let Some(front) = self.overflow.peek() else {
+    fn push(&mut self, key: Key) {
+        let s = self.slot0(key.at);
+        if s <= self.cursor {
+            // The cursor slot (or earlier — a same-instant cascade or a
+            // direct push into the past) drains through the near list.
+            self.near_insert(key);
             return;
-        };
-        let n = self.buckets.len() as u64;
-        self.win_start = self.bucket_id(front.at);
-        self.cursor.set(self.win_start);
-        while let Some(s) = self.overflow.peek() {
-            if self.bucket_id(s.at) >= self.win_start + n {
-                break;
-            }
-            let s = self.overflow.pop().expect("peeked event vanished");
-            let ring = (self.bucket_id(s.at) % n) as usize;
-            self.buckets[ring].push(s);
-            self.in_wheel += 1;
         }
+        let level = self.level_of(s);
+        if level >= WHEEL_LEVELS {
+            self.overflow.push(key);
+            return;
+        }
+        // All bits above the level match the cursor's, and the level's own
+        // digit exceeds the cursor's, so the ring index never wraps into
+        // already-drained territory.
+        let ring = ((s >> (WHEEL_BITS * level as u32)) & 63) as usize;
+        let lv = &mut self.levels[level];
+        lv.slots[ring].push(key);
+        lv.occupied |= 1 << ring;
+        self.in_wheel += 1;
     }
 
-    #[inline]
-    fn pop(&mut self) -> Option<Scheduled<E>> {
-        match self.pop_before(None) {
-            Popped::Event(s) => Some(s),
-            Popped::AtOrAfter(_) | Popped::Empty => None,
+    /// Ensures `near` holds the earliest wheel events, advancing the
+    /// cursor (and cascading coarse slots) as needed. Returns false when
+    /// the wheel and `near` are both empty; `overflow` is consulted only
+    /// to re-anchor a fully drained wheel.
+    fn fill_near(&mut self) -> bool {
+        loop {
+            if !self.near.is_empty() {
+                return true;
+            }
+            if self.in_wheel == 0 {
+                // Wheel drained: re-anchor at the overflow's earliest
+                // event and migrate everything that now fits the span.
+                if self.overflow.is_empty() {
+                    return false;
+                }
+                let front = self.overflow.peek().expect("peeked event vanished");
+                self.cursor = self.slot0(front.at);
+                while let Some(f) = self.overflow.peek() {
+                    let s = self.slot0(f.at);
+                    if s > self.cursor && self.level_of(s) >= WHEEL_LEVELS {
+                        break;
+                    }
+                    let key = self.overflow.pop().expect("peeked event vanished");
+                    self.push(key);
+                }
+                continue;
+            }
+            // Find the first occupied slot, finest level upward. A coarse
+            // level's events all start after the finer levels' current
+            // window, so the first hit is the earliest.
+            let mut found = None;
+            for level in 0..WHEEL_LEVELS {
+                let cur_ring = ((self.cursor >> (WHEEL_BITS * level as u32)) & 63) as u32;
+                // The cursor's own slot is already drained (level 0) or
+                // cascaded below (coarser levels): search strictly beyond.
+                let mask = if cur_ring == 63 {
+                    0
+                } else {
+                    !0u64 << (cur_ring + 1)
+                };
+                let ready = self.levels[level].occupied & mask;
+                if ready != 0 {
+                    found = Some((level, ready.trailing_zeros() as usize));
+                    break;
+                }
+            }
+            let Some((level, ring)) = found else {
+                debug_assert!(false, "wheel count out of sync with occupancy");
+                return false;
+            };
+            // Advance the cursor to the start of the found slot: replace
+            // the level's digit with `ring`, zero everything below.
+            let w = WHEEL_BITS * level as u32;
+            self.cursor = (((self.cursor >> (w + WHEEL_BITS)) << WHEEL_BITS) | ring as u64) << w;
+            self.levels[level].occupied &= !(1u64 << ring);
+            if level == 0 {
+                // Drain the finest slot into `near` in place, so the slot
+                // keeps its capacity for the next lap. `near` is empty
+                // here (loop condition), so one unstable sort replaces
+                // per-key ordered inserts. Key's `Ord` is reversed, so the
+                // ascending sort yields the descending-by-time layout.
+                let lv = &mut self.levels[0];
+                let slot = &mut lv.slots[ring];
+                self.in_wheel -= slot.len();
+                self.near.append(slot);
+                self.near.sort_unstable();
+            } else {
+                // Cascade a coarse slot down: re-place every key against
+                // the advanced cursor (finer level, or `near` when the key
+                // falls in the cursor slot itself).
+                let keys = std::mem::take(&mut self.levels[level].slots[ring]);
+                self.in_wheel -= keys.len();
+                for k in keys {
+                    self.push(k);
+                }
+            }
         }
     }
 
     /// Single-scan pop-with-horizon: locates the minimum once and either
     /// removes it (strictly before `limit`) or reports its instant without
-    /// disturbing it. The engine's run loop calls this once per iteration;
-    /// a separate peek-then-pop would scan the minimum's bucket twice.
+    /// disturbing it.
     #[inline]
-    fn pop_before(&mut self, limit: Option<SimTime>) -> Popped<Scheduled<E>> {
-        if self.in_wheel == 0 && !self.overflow.is_empty() {
-            self.refill();
+    fn pop_before(&mut self, limit: Option<SimTime>) -> Popped<Key> {
+        if self.near.is_empty() {
+            self.fill_near();
         }
-        let wheel = self.wheel_min();
-        let take_overflow = match (&wheel, self.overflow.peek()) {
+        let take_overflow = match (self.near.last(), self.overflow.peek()) {
             (None, None) => return Popped::Empty,
             (None, Some(_)) => true,
             (Some(_), None) => false,
-            (&Some((ring, idx)), Some(o)) => o.key() < self.buckets[ring][idx].key(),
+            // An early overflow event can undercut the wheel: it was
+            // pushed against an older cursor and is migrated lazily.
+            (Some(n), Some(o)) => o.key() < n.key(),
         };
         let at = if take_overflow {
             self.overflow
@@ -346,45 +381,103 @@ impl<E> BucketWheel<E> {
                 .expect("overflow candidate vanished")
                 .at
         } else {
-            let (ring, idx) = wheel.expect("wheel candidate vanished");
-            self.buckets[ring][idx].at
+            self.near.last().expect("near candidate vanished").at
         };
         if limit.is_some_and(|h| at >= h) {
             return Popped::AtOrAfter(at);
         }
-        if take_overflow {
-            Popped::Event(self.overflow.pop().expect("peeked event vanished"))
+        let key = if take_overflow {
+            self.overflow.pop()
         } else {
-            let (ring, idx) = wheel.expect("wheel candidate vanished");
-            self.in_wheel -= 1;
-            Popped::Event(self.buckets[ring].swap_remove(idx))
-        }
+            self.near.pop()
+        };
+        Popped::Event(key.expect("peeked event vanished"))
     }
 
+    /// The `(time, seq)` of the earliest pending event without disturbing
+    /// the wheel (no cursor movement, no cascades): the near heap's head,
+    /// else a bitmap walk to the first occupied slot and an unsorted scan
+    /// of that one slot, always compared against the overflow head.
     fn peek_key(&self) -> Option<(SimTime, u64)> {
-        let wheel = self
-            .wheel_min()
-            .map(|(ring, idx)| self.buckets[ring][idx].key());
-        let over = self.overflow.peek().map(Scheduled::key);
-        match (wheel, over) {
+        let mut best = self.near.last().map(Key::key);
+        if best.is_none() && self.in_wheel > 0 {
+            for level in 0..WHEEL_LEVELS {
+                let cur_ring = ((self.cursor >> (WHEEL_BITS * level as u32)) & 63) as u32;
+                let mask = if cur_ring == 63 {
+                    0
+                } else {
+                    !0u64 << (cur_ring + 1)
+                };
+                let ready = self.levels[level].occupied & mask;
+                if ready != 0 {
+                    let ring = ready.trailing_zeros() as usize;
+                    best = self.levels[level].slots[ring].iter().map(Key::key).min();
+                    break;
+                }
+            }
+        }
+        let over = self.overflow.peek().map(Key::key);
+        match (best, over) {
             (Some(w), Some(o)) => Some(w.min(o)),
             (w, o) => w.or(o),
         }
     }
 
     fn clear(&mut self) {
-        for b in &mut self.buckets {
-            b.clear();
+        for lv in self.levels.iter_mut() {
+            lv.occupied = 0;
+            for slot in &mut lv.slots {
+                slot.clear();
+            }
         }
-        self.in_wheel = 0;
+        self.near.clear();
         self.overflow.clear();
+        self.in_wheel = 0;
+        // The cursor stays: clearing must not rewind time, so fresh
+        // pushes keep landing relative to where the simulation left off.
     }
 }
 
-/// The two interchangeable stores behind an [`EventQueue`].
-enum Store<E> {
-    Heap(SlabHeap<E>),
-    Bucketed(BucketWheel<E>),
+/// The two interchangeable key stores behind an [`EventQueue`].
+enum Store {
+    Heap(BinaryHeap<Key>),
+    Wheel(TimerWheel),
+}
+
+impl Store {
+    #[inline]
+    fn push(&mut self, key: Key) {
+        match self {
+            Store::Heap(h) => h.push(key),
+            Store::Wheel(w) => w.push(key),
+        }
+    }
+
+    #[inline]
+    fn pop_before(&mut self, limit: Option<SimTime>) -> Popped<Key> {
+        match self {
+            Store::Heap(h) => match h.peek() {
+                None => Popped::Empty,
+                Some(k) if limit.is_some_and(|l| k.at >= l) => Popped::AtOrAfter(k.at),
+                Some(_) => Popped::Event(h.pop().expect("peeked event vanished")),
+            },
+            Store::Wheel(w) => w.pop_before(limit),
+        }
+    }
+
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        match self {
+            Store::Heap(h) => h.peek().map(Key::key),
+            Store::Wheel(w) => w.peek_key(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Store::Heap(h) => h.clear(),
+            Store::Wheel(w) => w.clear(),
+        }
+    }
 }
 
 /// Result of a [`EventQueue::pop_before`] call: the popped event, or why
@@ -401,7 +494,8 @@ pub(crate) enum Popped<E> {
 
 /// A future-event list ordered by `(time, insertion sequence)`.
 pub struct EventQueue<E> {
-    store: Store<E>,
+    store: Store,
+    slab: Slab<E>,
     next_seq: u64,
     len: usize,
     peak_len: usize,
@@ -432,15 +526,15 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue with the given backend.
     pub fn with_backend(backend: QueueBackend) -> Self {
-        let store = match backend {
-            QueueBackend::Heap { capacity } => Store::Heap(SlabHeap::with_capacity(capacity)),
-            QueueBackend::Bucketed {
-                bucket_width,
-                buckets,
-            } => Store::Bucketed(BucketWheel::new(bucket_width, buckets)),
+        let (store, capacity) = match backend {
+            QueueBackend::Heap { capacity } => {
+                (Store::Heap(BinaryHeap::with_capacity(capacity)), capacity)
+            }
+            QueueBackend::TimerWheel { tick } => (Store::Wheel(TimerWheel::new(tick)), 0),
         };
         EventQueue {
             store,
+            slab: Slab::with_capacity(capacity),
             next_seq: 0,
             len: 0,
             peak_len: 0,
@@ -455,10 +549,8 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) -> TimerId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        match &mut self.store {
-            Store::Heap(h) => h.push(at, seq, event),
-            Store::Bucketed(w) => w.push(Scheduled { at, seq, event }),
-        }
+        let idx = self.slab.insert(event);
+        self.store.push(Key { at, seq, idx });
         self.len += 1;
         if self.len > self.peak_len {
             self.peak_len = self.len;
@@ -486,24 +578,16 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest pending event.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        loop {
-            let popped = match &mut self.store {
-                Store::Heap(h) => h.pop(),
-                Store::Bucketed(w) => w.pop().map(|s| (s.at, s.seq, s.event)),
-            };
-            let (at, seq, event) = popped?;
-            self.len -= 1;
-            if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
-                continue;
-            }
-            return Some((at, event));
+        match self.pop_before(None) {
+            Popped::Event(e) => Some(e),
+            Popped::AtOrAfter(_) | Popped::Empty => None,
         }
     }
 
     /// Removes and returns the earliest pending event if it fires strictly
     /// before `limit` (`None` = no limit). A single backend scan serves
-    /// both the horizon check and the removal, which matters for the
-    /// bucketed backend where locating the minimum rescans a bucket.
+    /// both the horizon check and the removal, which matters for the wheel
+    /// backend where locating the minimum can advance the cursor.
     ///
     /// A cancelled event at or after `limit` may still be reported through
     /// [`Popped::AtOrAfter`] (it is swept only when a pop actually reaches
@@ -512,28 +596,14 @@ impl<E> EventQueue<E> {
     #[inline]
     pub(crate) fn pop_before(&mut self, limit: Option<SimTime>) -> Popped<(SimTime, E)> {
         loop {
-            let popped = match &mut self.store {
-                Store::Heap(h) => match h.peek_time() {
-                    None => Popped::Empty,
-                    Some(at) if limit.is_some_and(|l| at >= l) => Popped::AtOrAfter(at),
-                    Some(_) => {
-                        let (at, seq, event) = h.pop().expect("peeked event vanished");
-                        Popped::Event((at, seq, event))
-                    }
-                },
-                Store::Bucketed(w) => match w.pop_before(limit) {
-                    Popped::Event(s) => Popped::Event((s.at, s.seq, s.event)),
-                    Popped::AtOrAfter(at) => Popped::AtOrAfter(at),
-                    Popped::Empty => Popped::Empty,
-                },
-            };
-            match popped {
-                Popped::Event((at, seq, event)) => {
+            match self.store.pop_before(limit) {
+                Popped::Event(k) => {
+                    let event = self.slab.remove(k.idx);
                     self.len -= 1;
-                    if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
+                    if !self.cancelled.is_empty() && self.cancelled.remove(&k.seq) {
                         continue;
                     }
-                    return Popped::Event((at, event));
+                    return Popped::Event((k.at, event));
                 }
                 Popped::AtOrAfter(at) => return Popped::AtOrAfter(at),
                 Popped::Empty => return Popped::Empty,
@@ -544,10 +614,7 @@ impl<E> EventQueue<E> {
     /// The instant of the earliest pending event, if any.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        match &self.store {
-            Store::Heap(h) => h.peek_time(),
-            Store::Bucketed(w) => w.peek_key().map(|(at, _)| at),
-        }
+        self.store.peek_key().map(|(at, _)| at)
     }
 
     /// Number of pending events.
@@ -570,10 +637,8 @@ impl<E> EventQueue<E> {
     /// Drops all pending events (the sequence counter keeps advancing so
     /// determinism is preserved across a clear).
     pub fn clear(&mut self) {
-        match &mut self.store {
-            Store::Heap(h) => h.clear(),
-            Store::Bucketed(w) => w.clear(),
-        }
+        self.store.clear();
+        self.slab.clear();
         self.len = 0;
         self.cancelled.clear();
     }
@@ -588,10 +653,9 @@ mod tests {
         vec![
             ("heap", EventQueue::new()),
             (
-                "bucketed",
-                EventQueue::with_backend(QueueBackend::Bucketed {
-                    bucket_width: SimDuration::from_nanos(1 << 28), // ~0.27 s
-                    buckets: 16,
+                "timer-wheel",
+                EventQueue::with_backend(QueueBackend::TimerWheel {
+                    tick: SimDuration::from_nanos(1 << 20), // ~1 ms
                 }),
             ),
         ]
@@ -612,9 +676,8 @@ mod tests {
     fn ties_break_fifo() {
         for backend in [
             QueueBackend::DEFAULT_HEAP,
-            QueueBackend::Bucketed {
-                bucket_width: SimDuration::from_secs(1),
-                buckets: 8,
+            QueueBackend::TimerWheel {
+                tick: SimDuration::from_secs(1),
             },
         ] {
             let mut q = EventQueue::with_backend(backend);
@@ -681,14 +744,13 @@ mod tests {
     }
 
     #[test]
-    fn bucketed_window_rotation_preserves_order() {
-        // Events far beyond the window live in the overflow until the wheel
-        // drains, then migrate; order must survive several rotations.
-        let mut q = EventQueue::with_backend(QueueBackend::Bucketed {
-            bucket_width: SimDuration::from_nanos(1024),
-            buckets: 4,
+    fn wheel_cascades_preserve_order_across_levels() {
+        // A 1-nanosecond tick puts these instants several levels up the
+        // hierarchy; they must cascade down and pop in exact order.
+        let mut q = EventQueue::with_backend(QueueBackend::TimerWheel {
+            tick: SimDuration::from_nanos(1),
         });
-        let times: Vec<u64> = (0..200).map(|i| (i * 7919) % 100_000).collect();
+        let times: Vec<u64> = (0..500).map(|i| (i * 7919) % 10_000_000).collect();
         for (i, t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(*t), i);
         }
@@ -698,6 +760,28 @@ mod tests {
             .map(|(t, e)| (t.as_nanos(), e))
             .collect();
         assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn wheel_overflow_reanchors_and_preserves_order() {
+        // Instants beyond the top level's span (64^6 ticks at a 1 ns tick
+        // ≈ 68.7 s) land in the overflow heap; draining the wheel must
+        // re-anchor there and keep exact order, including an early
+        // overflow event undercutting later in-wheel pushes.
+        let mut q = EventQueue::with_backend(QueueBackend::TimerWheel {
+            tick: SimDuration::from_nanos(1),
+        });
+        let far = SimTime::from_secs(100); // overflow relative to cursor 0
+        q.push(far, "far");
+        q.push(SimTime::from_secs(1), "near");
+        // After popping "near" the cursor sits at ~1 s; "farther" is still
+        // beyond the span (joins "far" in overflow) while "soon" lands in
+        // the wheel and must undercut both at pop time.
+        assert_eq!(q.pop().unwrap().1, "near");
+        q.push(SimTime::from_secs(101), "farther");
+        q.push(SimTime::from_secs(2), "soon");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["soon", "far", "farther"]);
     }
 
     #[test]
@@ -759,14 +843,13 @@ mod tests {
     }
 
     #[test]
-    fn bucketed_interleaved_push_pop_matches_heap() {
+    fn wheel_interleaved_push_pop_matches_heap() {
         // Deterministic pseudo-random interleaving of pushes and pops (with
         // monotone non-decreasing push times, as the engine guarantees)
         // produces identical sequences from both backends.
         let mut heap = EventQueue::new();
-        let mut wheel = EventQueue::with_backend(QueueBackend::Bucketed {
-            bucket_width: SimDuration::from_nanos(4096),
-            buckets: 8,
+        let mut wheel = EventQueue::with_backend(QueueBackend::TimerWheel {
+            tick: SimDuration::from_nanos(4096),
         });
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut rng = move || {
@@ -779,6 +862,55 @@ mod tests {
         for i in 0..2000u64 {
             if rng() % 3 != 0 {
                 let at = now + rng() % 100_000;
+                heap.push(SimTime::from_nanos(at), i);
+                wheel.push(SimTime::from_nanos(at), i);
+            } else {
+                let a = heap.pop();
+                let b = wheel.pop();
+                assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = t.as_nanos();
+                }
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_mixed_horizons_match_heap() {
+        // The simulator's real timer profile: dense near-future deliveries
+        // (tens of microseconds to ~1 s) mixed with sparse TTL-scale
+        // timers hours out, popped with interleaved pushes so the cursor
+        // crosses every level boundary repeatedly.
+        let mut heap = EventQueue::new();
+        let mut wheel = EventQueue::with_backend(QueueBackend::TimerWheel {
+            tick: SimDuration::from_nanos(1 << 26), // ~67 ms
+        });
+        let mut state = 0xD1B54A32D192ED03u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut now = 0u64;
+        for i in 0..4000u64 {
+            if rng() % 4 != 0 {
+                // 1-in-8: a far timer (up to ~4 hours); else a delivery
+                // within ~2 s.
+                let gap = if rng() % 8 == 0 {
+                    rng() % 14_400_000_000_000
+                } else {
+                    rng() % 2_000_000_000
+                };
+                let at = now + gap;
                 heap.push(SimTime::from_nanos(at), i);
                 wheel.push(SimTime::from_nanos(at), i);
             } else {

@@ -1,0 +1,446 @@
+//! Conservative parallel discrete-event execution.
+//!
+//! [`ShardedEngine`] partitions a model across shards, each owning its own
+//! [`EventQueue`], and advances all shards in lockstep *lookahead windows*:
+//!
+//! 1. Every shard independently processes its local events with timestamps
+//!    inside the current window `[start, start + lookahead)`. Within a
+//!    window shards share no mutable state, so this step may run on one
+//!    thread per shard.
+//! 2. Cross-shard messages emitted during the window are buffered in
+//!    per-shard outboxes. The conservative guarantee — a cross-shard send
+//!    must be timestamped at least `lookahead` after the sender's clock —
+//!    puts every such message at or beyond the window's end, so no shard
+//!    can miss one that it should already have processed.
+//! 3. At the window barrier the outboxes are merged and delivered in a
+//!    canonical order — `(timestamp, source shard, emission index)` — so
+//!    destination queues assign tie-breaking sequence numbers identically
+//!    no matter how many threads ran step 1. Threaded and sequential
+//!    execution are therefore **bit-identical**.
+//!
+//! The window start fast-forwards over idle gaps (to the earliest pending
+//! event across all shards) — a function of simulation state only, so the
+//! schedule of barriers is itself deterministic.
+//!
+//! The module also exposes [`run_shards`], the minimal fan-out primitive
+//! for *ensemble* sharding (independent sub-simulations, no cross-shard
+//! traffic) used by the protocol layer's `RunConfig::shards` mode.
+
+use crate::queue::{EventQueue, Popped, QueueBackend};
+use crate::time::{SimDuration, SimTime};
+
+/// A message crossing shard boundaries, delivered at the next window
+/// barrier.
+#[derive(Debug, Clone)]
+struct CrossMsg<E> {
+    at: SimTime,
+    dst: u32,
+    /// Emission order within the sending shard's window — the final
+    /// tie-breaker of the canonical merge order.
+    idx: u32,
+    event: E,
+}
+
+/// Per-event context handed to [`ShardModel::handle`]: the shard's clock,
+/// its local queue, and the cross-shard outbox.
+pub struct ShardCtx<'a, E> {
+    shard: usize,
+    now: SimTime,
+    lookahead: SimDuration,
+    queue: &'a mut EventQueue<E>,
+    outbox: &'a mut Vec<CrossMsg<E>>,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// The shard executing the current event.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The shard-local clock (the timestamp of the current event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` on this shard at `at` (≥ now; local events have no
+    /// lookahead constraint).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduling into the past");
+        self.queue.push(at, event);
+    }
+
+    /// Sends `event` to shard `dst` for delivery at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at < now + lookahead` — the conservative window
+    /// protocol cannot deliver such a message in time. Model delays must
+    /// respect the lookahead the engine was built with (in the maintenance
+    /// protocols this simulator targets, the natural bound is the
+    /// lease/maintenance tick granularity).
+    pub fn send(&mut self, dst: usize, at: SimTime, event: E) {
+        if dst == self.shard {
+            self.schedule(at, event);
+            return;
+        }
+        assert!(
+            at >= self.now + self.lookahead,
+            "cross-shard send below the lookahead window ({:?} < {:?} + {:?})",
+            at,
+            self.now,
+            self.lookahead
+        );
+        let idx = self.outbox.len() as u32;
+        self.outbox.push(CrossMsg {
+            at,
+            dst: dst as u32,
+            idx,
+            event,
+        });
+    }
+}
+
+/// One shard's model state: handles its own events, emitting follow-ups
+/// through the [`ShardCtx`].
+pub trait ShardModel: Send {
+    /// The event type exchanged within and across shards.
+    type Event: Send;
+
+    /// Processes one event at `ctx.now()`.
+    fn handle(&mut self, event: Self::Event, ctx: &mut ShardCtx<'_, Self::Event>);
+}
+
+struct ShardState<M: ShardModel> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    outbox: Vec<CrossMsg<M::Event>>,
+    events: u64,
+}
+
+/// Aggregate statistics of a [`ShardedEngine`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRunReport {
+    /// Events processed per shard.
+    pub events_per_shard: Vec<u64>,
+    /// Events processed across all shards.
+    pub total_events: u64,
+    /// Cross-shard messages delivered.
+    pub cross_messages: u64,
+    /// Lookahead windows executed (barrier count).
+    pub windows: u64,
+    /// Per-shard event-queue high-water marks.
+    pub peak_queue_depth_per_shard: Vec<u64>,
+}
+
+/// A conservative parallel discrete-event engine (see the module docs for
+/// the window protocol and its determinism argument).
+pub struct ShardedEngine<M: ShardModel> {
+    shards: Vec<ShardState<M>>,
+    lookahead: SimDuration,
+    now: SimTime,
+    windows: u64,
+    cross_messages: u64,
+}
+
+impl<M: ShardModel> ShardedEngine<M> {
+    /// Creates an engine over `models` (one per shard) with the given
+    /// lookahead window, using the default queue backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shards or a zero lookahead (a zero window can never
+    /// make progress).
+    pub fn new(models: Vec<M>, lookahead: SimDuration) -> Self {
+        Self::with_backend(models, lookahead, QueueBackend::DEFAULT_HEAP)
+    }
+
+    /// [`ShardedEngine::new`] with an explicit queue backend for the
+    /// per-shard queues.
+    pub fn with_backend(models: Vec<M>, lookahead: SimDuration, backend: QueueBackend) -> Self {
+        assert!(
+            !models.is_empty(),
+            "a sharded engine needs at least one shard"
+        );
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "a zero lookahead window cannot make progress"
+        );
+        ShardedEngine {
+            shards: models
+                .into_iter()
+                .map(|model| ShardState {
+                    model,
+                    queue: EventQueue::with_backend(backend),
+                    outbox: Vec::new(),
+                    events: 0,
+                })
+                .collect(),
+            lookahead,
+            now: SimTime::ZERO,
+            windows: 0,
+            cross_messages: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Seeds an initial event on `shard` at `at`. Only valid before the
+    /// clock has advanced past `at`.
+    pub fn schedule(&mut self, shard: usize, at: SimTime, event: M::Event) {
+        assert!(at >= self.now, "scheduling into the past");
+        self.shards[shard].queue.push(at, event);
+    }
+
+    /// Earliest pending event time across all shards.
+    fn earliest(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(|s| s.queue.peek_time()).min()
+    }
+
+    /// Runs one shard up to (exclusive) `horizon`. Free function so the
+    /// threaded path can move a disjoint `&mut` per shard into its worker.
+    fn advance(shard: usize, state: &mut ShardState<M>, horizon: SimTime, lookahead: SimDuration) {
+        while let Popped::Event((now, event)) = state.queue.pop_before(Some(horizon)) {
+            state.events += 1;
+            let mut ctx = ShardCtx {
+                shard,
+                now,
+                lookahead,
+                queue: &mut state.queue,
+                outbox: &mut state.outbox,
+            };
+            state.model.handle(event, &mut ctx);
+        }
+    }
+
+    /// Runs one lookahead window: advance every shard to the window end,
+    /// then merge and deliver the cross-shard outboxes in canonical order.
+    /// Returns false when the engine is idle (nothing was pending).
+    fn step(&mut self, threaded: bool) -> bool {
+        // Fast-forward over idle gaps; a function of queue state only, so
+        // threaded and sequential runs see the same barrier schedule.
+        match self.earliest() {
+            Some(t) => self.now = self.now.max(t),
+            None => return false,
+        }
+        let horizon = self.now + self.lookahead;
+        let lookahead = self.lookahead;
+        if threaded && self.shards.len() > 1 {
+            std::thread::scope(|scope| {
+                for (i, state) in self.shards.iter_mut().enumerate() {
+                    scope.spawn(move || Self::advance(i, state, horizon, lookahead));
+                }
+            });
+        } else {
+            for (i, state) in self.shards.iter_mut().enumerate() {
+                Self::advance(i, state, horizon, lookahead);
+            }
+        }
+        // Barrier: canonical (time, source shard, emission index) order
+        // makes destination-queue sequence numbers independent of thread
+        // scheduling.
+        let mut inflight: Vec<(SimTime, u32, u32, CrossMsg<M::Event>)> = Vec::new();
+        for (src, state) in self.shards.iter_mut().enumerate() {
+            for msg in state.outbox.drain(..) {
+                inflight.push((msg.at, src as u32, msg.idx, msg));
+            }
+        }
+        inflight.sort_by_key(|&(at, src, idx, _)| (at, src, idx));
+        self.cross_messages += inflight.len() as u64;
+        for (_, _, _, msg) in inflight {
+            self.shards[msg.dst as usize].queue.push(msg.at, msg.event);
+        }
+        self.now = horizon;
+        self.windows += 1;
+        true
+    }
+
+    /// Runs until every shard's queue drains. `threaded` selects one worker
+    /// thread per shard inside each window; the result is bit-identical
+    /// either way.
+    pub fn run(&mut self, threaded: bool) -> ShardRunReport {
+        while self.step(threaded) {}
+        ShardRunReport {
+            events_per_shard: self.shards.iter().map(|s| s.events).collect(),
+            total_events: self.shards.iter().map(|s| s.events).sum(),
+            cross_messages: self.cross_messages,
+            windows: self.windows,
+            peak_queue_depth_per_shard: self
+                .shards
+                .iter()
+                .map(|s| s.queue.peak_len() as u64)
+                .collect(),
+        }
+    }
+
+    /// Consumes the engine, returning the shard models (for post-run
+    /// inspection of model state).
+    pub fn into_models(self) -> Vec<M> {
+        self.shards.into_iter().map(|s| s.model).collect()
+    }
+}
+
+/// Runs `f(shard)` for `shard` in `0..n`, one scoped worker thread per
+/// shard when `threaded` (inline otherwise), returning results in shard
+/// order. The fan-out primitive for ensemble sharding: each worker runs an
+/// independent sub-simulation, so determinism reduces to each `f` being
+/// deterministic in its argument.
+pub fn run_shards<T, F>(n: usize, threaded: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if !threaded || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n).map(|i| scope.spawn(move || f(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A PHOLD-style workload: every event re-schedules locally and, with
+    /// probability ~1/4, bounces a message to the next shard at exactly the
+    /// lookahead bound plus jitter. Each shard logs `(time, payload)` so
+    /// runs can be compared event-for-event.
+    struct Phold {
+        rng: u64,
+        shard: usize,
+        shards: usize,
+        hops_left: u32,
+        log: Vec<(SimTime, u64)>,
+    }
+
+    impl Phold {
+        fn new(shard: usize, shards: usize, hops: u32) -> Self {
+            Phold {
+                rng: 0x9E37_79B9_7F4A_7C15 ^ (shard as u64) << 17,
+                shard,
+                shards,
+                hops_left: hops,
+                log: Vec::new(),
+            }
+        }
+
+        fn next(&mut self) -> u64 {
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            self.rng
+        }
+    }
+
+    impl ShardModel for Phold {
+        type Event = u64;
+
+        fn handle(&mut self, event: u64, ctx: &mut ShardCtx<'_, u64>) {
+            self.log.push((ctx.now(), event));
+            if self.hops_left == 0 {
+                return;
+            }
+            self.hops_left -= 1;
+            let jitter = SimDuration::from_nanos(self.next() % 1_000_000);
+            if self.next().is_multiple_of(4) {
+                let dst = (self.shard + 1) % self.shards;
+                let at = ctx.now() + SimDuration::from_nanos(10_000_000) + jitter;
+                ctx.send(dst, at, event.wrapping_mul(3).wrapping_add(1));
+            } else {
+                let at = ctx.now() + SimDuration::from_nanos(300_000) + jitter;
+                ctx.schedule(at, event.wrapping_add(1));
+            }
+        }
+    }
+
+    fn phold_engine(shards: usize, hops: u32) -> ShardedEngine<Phold> {
+        let models = (0..shards).map(|i| Phold::new(i, shards, hops)).collect();
+        let mut eng = ShardedEngine::new(models, SimDuration::from_nanos(10_000_000));
+        for i in 0..shards {
+            // Stagger the seeds so windows start with uneven load.
+            eng.schedule(i, SimTime::from_nanos(137 * i as u64), i as u64);
+        }
+        eng
+    }
+
+    #[test]
+    fn threaded_run_is_bit_identical_to_sequential() {
+        let mut seq = phold_engine(4, 400);
+        let seq_report = seq.run(false);
+        let seq_logs: Vec<_> = seq.into_models().into_iter().map(|m| m.log).collect();
+
+        let mut par = phold_engine(4, 400);
+        let par_report = par.run(true);
+        let par_logs: Vec<_> = par.into_models().into_iter().map(|m| m.log).collect();
+
+        assert_eq!(seq_report, par_report);
+        assert_eq!(seq_logs, par_logs);
+        assert!(
+            seq_report.cross_messages > 0,
+            "workload never crossed shards"
+        );
+        assert_eq!(
+            seq_report.total_events,
+            seq_logs.iter().map(|l| l.len() as u64).sum()
+        );
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_a_plain_event_loop() {
+        let mut eng = phold_engine(1, 100);
+        let report = eng.run(true);
+        assert_eq!(report.events_per_shard.len(), 1);
+        assert_eq!(report.cross_messages, 0);
+        assert_eq!(report.total_events, 101);
+    }
+
+    #[test]
+    fn idle_gaps_fast_forward_instead_of_spinning() {
+        struct Sparse;
+        impl ShardModel for Sparse {
+            type Event = ();
+            fn handle(&mut self, _: (), _: &mut ShardCtx<'_, ()>) {}
+        }
+        let mut eng = ShardedEngine::new(vec![Sparse, Sparse], SimDuration::from_nanos(1_000_000));
+        // Three events separated by ~an hour: spinning 1 ms windows across
+        // the gaps would take millions of barriers.
+        eng.schedule(0, SimTime::from_secs(1), ());
+        eng.schedule(1, SimTime::from_secs(3600), ());
+        eng.schedule(0, SimTime::from_secs(7200), ());
+        let report = eng.run(false);
+        assert_eq!(report.total_events, 3);
+        assert!(report.windows <= 3, "spun {} windows", report.windows);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the lookahead window")]
+    fn undershooting_the_lookahead_bound_panics() {
+        struct Eager;
+        impl ShardModel for Eager {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut ShardCtx<'_, ()>) {
+                let at = ctx.now() + SimDuration::from_nanos(1);
+                ctx.send(1, at, ());
+            }
+        }
+        let mut eng = ShardedEngine::new(vec![Eager, Eager], SimDuration::from_nanos(10_000_000));
+        eng.schedule(0, SimTime::ZERO, ());
+        eng.run(false);
+    }
+
+    #[test]
+    fn run_shards_returns_results_in_shard_order() {
+        let seq = run_shards(8, false, |i| i * i);
+        let par = run_shards(8, true, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(seq, (0..8).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

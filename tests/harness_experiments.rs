@@ -9,6 +9,7 @@ fn opts() -> HarnessOpts {
         seed: 7,
         jobs: 0,
         reps: 1,
+        shards: 1,
     }
 }
 

@@ -1,18 +1,22 @@
 //! Determinism and queue-backend equivalence at experiment scale.
 //!
 //! The hot-path overhaul (dense FIFO clocks, pooled path buffers, alias
-//! Zipf sampling, bucketed event queue) must not change *what* the
-//! simulator computes, only how fast. Two guarantees are pinned here:
+//! Zipf sampling, hierarchical timer-wheel event queue) must not change
+//! *what* the simulator computes, only how fast. Two guarantees are
+//! pinned here:
 //!
 //! 1. **Golden determinism** — identical seeds produce bit-identical
 //!    `RunReport`s, run to run and against golden values recorded when
 //!    this suite was written. A change to any seeded stream (topology,
 //!    arrivals, Zipf, churn, latency) shows up as a diff here and must be
 //!    deliberate.
-//! 2. **Backend equivalence** — the heap and bucketed (calendar) event
-//!    queues obey the same `(time, seq)` contract, so PCX, CUP, and DUP
-//!    produce byte-identical reports on either backend at Bench scale,
-//!    including under churn.
+//! 2. **Backend equivalence** — the heap and hierarchical timer-wheel
+//!    event queues obey the same `(time, seq)` contract, so PCX, CUP, and
+//!    DUP produce byte-identical reports on either backend at Bench
+//!    scale, including under churn.
+//! 3. **Parallel equivalence** — ensemble runs with a fixed shard count
+//!    merge to the same report whether shards execute on worker threads
+//!    or sequentially; thread scheduling never reaches the results.
 
 use dup_p2p::harness::{HarnessOpts, Scale, SchemeKind};
 use dup_p2p::proto::{
@@ -37,15 +41,15 @@ fn backends_agree_for_all_schemes_at_bench_scale() {
     };
     let mut heap_cfg = opts.scale.base_config(opts.seed);
     heap_cfg.churn = Some(ChurnConfig::balanced(0.02));
-    let mut bucket_cfg = heap_cfg.clone();
-    bucket_cfg.queue.backend = QueueBackendConfig::Bucketed;
+    let mut wheel_cfg = heap_cfg.clone();
+    wheel_cfg.queue.backend = QueueBackendConfig::TimerWheel;
     assert_eq!(heap_cfg.queue.backend, QueueBackendConfig::Heap);
     for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
         let heap = run(&heap_cfg, kind);
-        let bucketed = run(&bucket_cfg, kind);
+        let wheel = run(&wheel_cfg, kind);
         assert_eq!(
             canonical_json(&heap),
-            canonical_json(&bucketed),
+            canonical_json(&wheel),
             "{kind:?}: queue backend changed the simulation"
         );
     }
@@ -54,9 +58,9 @@ fn backends_agree_for_all_schemes_at_bench_scale() {
 /// Backend equivalence under a TTL-expiry-heavy regime. A long index TTL
 /// with the sliding-window interest policy schedules cancellation clocks
 /// far past the horizon and then repeatedly supersedes them as queries
-/// renew interest, so the bucketed queue's far-future overflow ring and
-/// its cancel/reschedule path carry most of the load — a code path the
-/// Bench-scale test above barely touches. Both backends must still agree
+/// renew interest, so the timer wheel's coarse levels, its cascade path,
+/// and its cancel/reschedule sweep carry most of the load — a code path
+/// the Bench-scale test above barely touches. Both backends must still agree
 /// byte-for-byte, for every scheme, with churn retiring timer subjects
 /// mid-flight.
 #[test]
@@ -72,14 +76,14 @@ fn backends_agree_under_expiry_heavy_workload() {
     heap_cfg.protocol.interest_policy = InterestPolicy::SlidingWindow;
     heap_cfg.churn = Some(ChurnConfig::balanced(0.04));
     heap_cfg.validate();
-    let mut bucket_cfg = heap_cfg.clone();
-    bucket_cfg.queue.backend = QueueBackendConfig::Bucketed;
+    let mut wheel_cfg = heap_cfg.clone();
+    wheel_cfg.queue.backend = QueueBackendConfig::TimerWheel;
     for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
         let heap = run(&heap_cfg, kind);
-        let bucketed = run(&bucket_cfg, kind);
+        let wheel = run(&wheel_cfg, kind);
         assert_eq!(
             canonical_json(&heap),
-            canonical_json(&bucketed),
+            canonical_json(&wheel),
             "{kind:?}: queue backend diverged under expiry-heavy workload"
         );
     }
@@ -121,14 +125,14 @@ fn backends_agree_with_faults_and_retransmit() {
         lease_every_secs: 150.0,
     };
     heap_cfg.validate();
-    let mut bucket_cfg = heap_cfg.clone();
-    bucket_cfg.queue.backend = QueueBackendConfig::Bucketed;
+    let mut wheel_cfg = heap_cfg.clone();
+    wheel_cfg.queue.backend = QueueBackendConfig::TimerWheel;
     for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
         let heap = run(&heap_cfg, kind);
-        let bucketed = run(&bucket_cfg, kind);
+        let wheel = run(&wheel_cfg, kind);
         assert_eq!(
             canonical_json(&heap),
-            canonical_json(&bucketed),
+            canonical_json(&wheel),
             "{kind:?}: queue backend diverged under faults with retransmit enabled"
         );
         // Repeating the same backend must also be bit-identical: the
@@ -220,3 +224,60 @@ const GOLDEN_DUP: (u64, u64, u64, u64, u64) =
     (13_320, 7_914, 0x3f9e47091f3f775d, 0x3fbe1da16a4b6f57, 49);
 const GOLDEN_PCX: (u64, u64, u64, u64, u64) =
     (13_461, 7_914, 0x3fb8195c5208ab50, 0x3fc8195c5208ab50, 7);
+
+/// Parallel ensemble mode: for a fixed shard count, the merged report must
+/// be **bit-identical** whether the shards ran on one worker thread each
+/// or sequentially on a single thread — the parallel kernel may change
+/// wall-clock, never results. Also pins the merge shape: one queue-depth
+/// high-water mark per shard, every time-series sample tagged with its
+/// shard, and `shards = 1` staying on the classic single-queue path
+/// (whose goldens are pinned above).
+#[test]
+fn sharded_runs_are_bit_identical_threaded_or_sequential() {
+    let mut cfg = Scale::Bench.base_config(31_337);
+    cfg.shards = 4;
+    cfg.probe.sample_every_secs = 500.0;
+    for kind in [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup] {
+        let threaded = dup_p2p::core::run_simulation_sharded(&cfg, kind, true);
+        let sequential = dup_p2p::core::run_simulation_sharded(&cfg, kind, false);
+        assert_eq!(
+            canonical_json(&threaded),
+            canonical_json(&sequential),
+            "{kind:?}: thread scheduling leaked into the merged report"
+        );
+        // The public dispatch entry point routes shards > 1 to the same
+        // parallel path.
+        let dispatched = run(&cfg, kind);
+        assert_eq!(canonical_json(&dispatched), canonical_json(&threaded));
+        assert_eq!(threaded.peak_queue_depth_per_shard.len(), 4);
+        assert_eq!(
+            threaded.peak_queue_depth,
+            *threaded.peak_queue_depth_per_shard.iter().max().unwrap(),
+            "aggregate peak must be the max over shards"
+        );
+        assert!(
+            !threaded.samples.is_empty(),
+            "sampling was on; the merge dropped the time series"
+        );
+        let shards_seen: std::collections::BTreeSet<u32> =
+            threaded.samples.iter().map(|s| s.shard).collect();
+        assert_eq!(shards_seen, (0..4).collect(), "{kind:?}: sample tags");
+    }
+    // A single shard is the classic path: same report object, shard tag 0.
+    let mut single = cfg.clone();
+    single.shards = 1;
+    let direct = run(&single, SchemeKind::Dup);
+    let via_sharded = dup_p2p::core::run_simulation_sharded(&single, SchemeKind::Dup, true);
+    assert_eq!(direct.peak_queue_depth_per_shard.len(), 1);
+    assert!(direct.samples.iter().all(|s| s.shard == 0));
+    // The ensemble of one derives seed "shard/0", so it is a *different*
+    // (but still deterministic) run from the direct path.
+    assert_eq!(
+        canonical_json(&via_sharded),
+        canonical_json(&dup_p2p::core::run_simulation_sharded(
+            &single,
+            SchemeKind::Dup,
+            false
+        ))
+    );
+}
