@@ -16,6 +16,7 @@ pub fn bench_opts() -> HarnessOpts {
         jobs: 1,
         reps: 1,
         shards: 1,
+        space_shards: 1,
     }
 }
 

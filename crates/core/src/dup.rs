@@ -223,6 +223,20 @@ impl DupScheme {
         self.repair
     }
 
+    /// Rebuilds global DUP state from space-shard-local state: adopts
+    /// `other`'s subscriber list for every node `owns` accepts. In a
+    /// space-parallel run a node's list is only ever mutated on its owner
+    /// shard, so folding each shard's owned lists into one scheme yields
+    /// the global state the oracle audits.
+    pub fn adopt_owned_lists(&mut self, other: &DupScheme, owns: impl Fn(NodeId) -> bool) {
+        for idx in 0..other.lists.len() {
+            let node = NodeId::from_index(idx);
+            if owns(node) {
+                self.lists.set(node, other.s_list(node));
+            }
+        }
+    }
+
     /// The subscriber list of `node` (audits, tests).
     pub fn s_list(&self, node: NodeId) -> &[NodeId] {
         self.lists.get(node)
@@ -351,6 +365,13 @@ impl DupScheme {
         let entries = self.s_list(node).to_vec();
         for entry in entries {
             if entry != node && ctx.tree().is_alive(entry) {
+                // A push doubles as a keep-alive for the edge that carries
+                // it: the sender renews its own entry at send time, so the
+                // lease set only ever mutates where the list lives (in a
+                // space-parallel run, `node`'s owner shard — the delivery
+                // lands on `entry`'s shard, which holds no state for
+                // `node`).
+                self.mark_lease(node, entry);
                 ctx.send(node, entry, MsgClass::Push, DupMsg::Push(record));
             }
         }
@@ -585,7 +606,7 @@ impl Scheme for DupScheme {
         self.push_to_entries(ctx, root, record);
     }
 
-    fn on_scheme_msg(&mut self, ctx: &mut Ctx<'_, DupMsg>, from: NodeId, to: NodeId, msg: DupMsg) {
+    fn on_scheme_msg(&mut self, ctx: &mut Ctx<'_, DupMsg>, _from: NodeId, to: NodeId, msg: DupMsg) {
         match msg {
             // Figure 3 event (B).
             DupMsg::Subscribe { subject } => {
@@ -657,10 +678,6 @@ impl Scheme for DupScheme {
                 });
             }
             DupMsg::Push(record) => {
-                // A delivered push doubles as a keep-alive for the edge
-                // that carried it: the sender's entry for `to` is renewed
-                // without any extra lease traffic.
-                self.mark_lease(from, to);
                 ctx.install(to, record);
                 self.push_to_entries(ctx, to, record);
             }

@@ -13,7 +13,10 @@ use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
 
-use dup_proto::{run_simulation_probed, CupScheme, PcxScheme, ProbeSink, RunConfig, RunReport};
+use dup_proto::{
+    run_simulation_probed, run_simulation_space, run_simulation_space_logged, CupScheme, LogRecord,
+    PcxScheme, ProbeSink, RunConfig, RunReport,
+};
 
 use crate::dup::DupScheme;
 
@@ -80,14 +83,46 @@ impl FromStr for SchemeKind {
 /// (see [`run_simulation_sharded`]); the external `probe` is not attached
 /// in that mode — time-series samples still come back in the merged
 /// report, tagged with their shard.
+///
+/// With `cfg.space_shards > 1` the run executes in **space-parallel mode**
+/// (see [`run_simulation_space_kind`]): one simulation, its node space
+/// partitioned across shards. The probe attaches to shard 0.
 pub fn run_simulation_kind(cfg: &RunConfig, kind: SchemeKind, probe: ProbeSink) -> RunReport {
     if cfg.shards > 1 {
         return run_simulation_sharded(cfg, kind, true);
+    }
+    if cfg.space_shards > 1 {
+        return run_simulation_space_kind(cfg, kind, probe);
     }
     match kind {
         SchemeKind::Pcx => run_simulation_probed(cfg, PcxScheme::new(), probe),
         SchemeKind::Cup => run_simulation_probed(cfg, CupScheme::new(), probe),
         SchemeKind::Dup => run_simulation_probed(cfg, DupScheme::new(), probe),
+    }
+}
+
+/// Runs one simulation of `kind` with its node space partitioned across
+/// `cfg.space_shards` engine shards (see [`dup_proto::space`]). The probe
+/// attaches to shard 0, which also finalizes the merged report.
+pub fn run_simulation_space_kind(cfg: &RunConfig, kind: SchemeKind, probe: ProbeSink) -> RunReport {
+    match kind {
+        SchemeKind::Pcx => run_simulation_space(cfg, PcxScheme::new, probe),
+        SchemeKind::Cup => run_simulation_space(cfg, CupScheme::new, probe),
+        SchemeKind::Dup => run_simulation_space(cfg, DupScheme::new, probe),
+    }
+}
+
+/// [`run_simulation_space_kind`] with event-log capture: returns the
+/// canonically ordered delivery log alongside the report. The log is the
+/// space-parallel equivalence artifact — identical for every shard count.
+pub fn run_simulation_space_kind_logged(
+    cfg: &RunConfig,
+    kind: SchemeKind,
+) -> (RunReport, Vec<LogRecord>) {
+    match kind {
+        SchemeKind::Pcx => run_simulation_space_logged(cfg, PcxScheme::new),
+        SchemeKind::Cup => run_simulation_space_logged(cfg, CupScheme::new),
+        SchemeKind::Dup => run_simulation_space_logged(cfg, DupScheme::new),
     }
 }
 

@@ -12,7 +12,7 @@ use dup_proto::{
     AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, ProbeSink, ReliableState,
     TraceCtx,
 };
-use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
+use dup_sim::{Engine, SenderStreams, SimDuration, SimTime};
 use dup_workload::HopLatency;
 
 /// A self-contained harness around one scheme instance.
@@ -45,7 +45,7 @@ impl<S: Scheme> TestBench<S> {
             interest: InterestTracker::new(ttl, threshold_c, tree.capacity()),
             metrics,
             hop_latency: HopLatency::paper_default(),
-            latency_rng: stream_rng(0xBE7C, "testkit-latency"),
+            latency_rng: SenderStreams::new(0xBE7C, "testkit-latency"),
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
             faults: FaultState::disabled(),

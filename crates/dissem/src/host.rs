@@ -8,7 +8,7 @@ use dup_proto::{
     AuthorityClock, CacheStore, IndexRecord, InterestTracker, Metrics, MsgClass, ProbeEvent,
     ProbeSink, Registry, ReliableState, TraceCtx,
 };
-use dup_sim::{stream_rng, Engine, SimDuration, SimTime};
+use dup_sim::{Engine, SenderStreams, SimDuration, SimTime};
 use dup_workload::HopLatency;
 
 /// Hosts one scheme instance over one topic's search tree.
@@ -39,7 +39,7 @@ impl<S: Scheme> TopicHost<S> {
             interest: InterestTracker::new(ttl, 0, tree.capacity()),
             metrics,
             hop_latency: HopLatency::paper_default(),
-            latency_rng: stream_rng(seed, &format!("dissem-latency/{label}")),
+            latency_rng: SenderStreams::new(seed, format!("dissem-latency/{label}")),
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe: ProbeSink::disabled(),
             faults: FaultState::disabled(),

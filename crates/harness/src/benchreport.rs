@@ -11,12 +11,21 @@
 use serde::Serialize;
 
 use dup_core::{run_simulation_kind, run_simulation_sharded};
-use dup_proto::{ProbeSink, QueueBackendConfig, RunConfig};
+use dup_overlay::TopologyParams;
+use dup_proto::{ProbeSink, QueueBackendConfig, RunConfig, TopologySource};
 
 use crate::experiment::{HarnessOpts, SchemeKind};
 
 /// Shard counts the multi-core curve sweeps.
 const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Space-shard counts the space-parallel curve sweeps.
+const SPACE_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Node-count floor for the space-parallel curve: partitioning pays for its
+/// cross-shard barriers only when each shard holds thousands of nodes, so
+/// the curve is always recorded at ≥ 10k nodes regardless of scale preset.
+const SPACE_CURVE_MIN_NODES: usize = 10_240;
 
 /// Wall-clock measurement of one scheme × queue-backend cell.
 #[derive(Debug, Clone, Serialize)]
@@ -66,6 +75,35 @@ pub struct ShardBench {
     pub speedup: f64,
 }
 
+/// One point of the space-parallel curve: a single ≥ 10k-node DUP run with
+/// its node space partitioned across `space_shards` engine shards. Unlike
+/// the ensemble curve (independent replications), every point simulates the
+/// *same* run — the merged event logs are bit-identical across shard counts
+/// — so wall-clock differences are pure parallelization.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpaceBench {
+    /// Scheme name (the curve runs DUP, the paper's headline scheme).
+    pub scheme: String,
+    /// Space-shard count (1 = the classic single-queue engine).
+    pub space_shards: usize,
+    /// Network size of the partitioned run.
+    pub nodes: usize,
+    /// Discrete events of the run (driver replicas deduplicated; shrinks
+    /// by nothing across shard counts — the simulated run is the same).
+    pub events: u64,
+    /// Median wall-clock nanoseconds (one worker thread per shard).
+    pub wall_ns_median: u64,
+    /// Median events per wall-clock second.
+    pub events_per_sec: f64,
+    /// One-shard median / this median — the space-parallel speedup.
+    /// Meaningless when the host exposed one core (see `BenchReport::cores`).
+    pub speedup_vs_one_shard: f64,
+    /// Fraction of message deliveries that crossed a shard boundary.
+    pub cross_shard_message_ratio: f64,
+    /// Event-queue high-water mark per shard.
+    pub peak_queue_depth_per_shard: Vec<u64>,
+}
+
 /// The full bench-report document serialized to `BENCH_scheme_sim.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -83,6 +121,8 @@ pub struct BenchReport {
     pub cells: Vec<SchemeBench>,
     /// Threaded-vs-sequential wall clock per shard count.
     pub shard_curve: Vec<ShardBench>,
+    /// Space-parallel wall clock per shard count (one ≥ 10k-node run).
+    pub space_curve: Vec<SpaceBench>,
 }
 
 /// Times one configuration, returning (median, min) wall nanoseconds and
@@ -132,6 +172,7 @@ pub fn bench_report(opts: &HarnessOpts, reps: usize) -> BenchReport {
         }
     }
     let shard_curve = shard_curve(&base, reps);
+    let space_curve = space_curve(&base, reps);
     BenchReport {
         scale: format!("{:?}", opts.scale),
         seed: opts.seed,
@@ -139,6 +180,7 @@ pub fn bench_report(opts: &HarnessOpts, reps: usize) -> BenchReport {
         cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         cells,
         shard_curve,
+        space_curve,
     }
 }
 
@@ -188,6 +230,62 @@ fn shard_curve(base: &RunConfig, reps: usize) -> Vec<ShardBench> {
         .collect()
 }
 
+/// Measures one space-parallel DUP run at each [`SPACE_SWEEP`] shard count,
+/// on a network of at least [`SPACE_CURVE_MIN_NODES`] nodes, asserting that
+/// every shard count simulated the same run (identical query and delivery
+/// totals — the bit-identical-log contract is pinned by the test suite).
+fn space_curve(base: &RunConfig, reps: usize) -> Vec<SpaceBench> {
+    let mut cfg = base.clone();
+    let nodes = match &cfg.topology {
+        TopologySource::RandomTree(p) => p.nodes.max(SPACE_CURVE_MIN_NODES),
+        _ => SPACE_CURVE_MIN_NODES,
+    };
+    cfg.topology = TopologySource::RandomTree(TopologyParams {
+        nodes,
+        max_degree: 4,
+    });
+    let mut baseline_ns = 0u64;
+    let mut baseline_queries = 0u64;
+    SPACE_SWEEP
+        .iter()
+        .map(|&shards| {
+            cfg.space_shards = shards;
+            let _ = run_simulation_kind(&cfg, SchemeKind::Dup, ProbeSink::disabled());
+            let mut times: Vec<u64> = Vec::with_capacity(reps);
+            let mut last = None;
+            for _ in 0..reps {
+                let started = std::time::Instant::now();
+                let report = run_simulation_kind(&cfg, SchemeKind::Dup, ProbeSink::disabled());
+                times.push(started.elapsed().as_nanos() as u64);
+                last = Some(report);
+            }
+            times.sort_unstable();
+            let median = times[times.len() / 2];
+            let report = last.expect("reps >= 1");
+            if shards == 1 {
+                baseline_ns = median;
+                baseline_queries = report.queries;
+            } else {
+                assert_eq!(
+                    report.queries, baseline_queries,
+                    "space partitioning changed the simulated run at {shards} shards"
+                );
+            }
+            SpaceBench {
+                scheme: report.scheme.clone(),
+                space_shards: shards,
+                nodes,
+                events: report.events,
+                wall_ns_median: median,
+                events_per_sec: report.events as f64 * 1e9 / median.max(1) as f64,
+                speedup_vs_one_shard: baseline_ns as f64 / median.max(1) as f64,
+                cross_shard_message_ratio: report.cross_shard_message_ratio,
+                peak_queue_depth_per_shard: report.peak_queue_depth_per_shard.clone(),
+            }
+        })
+        .collect()
+}
+
 /// Renders the report as an aligned text table for the console.
 pub fn render_text(report: &BenchReport) -> String {
     let mut out = String::new();
@@ -205,15 +303,71 @@ pub fn render_text(report: &BenchReport) -> String {
             c.scheme, c.backend, c.events, c.ns_per_event, c.events_per_sec, c.peak_queue_depth
         ));
     }
-    out.push_str(&format!(
-        "\nshard curve ({} logical cores on this host)\n{:<8} {:>7} {:>12} {:>14} {:>9}\n",
-        report.cores, "scheme", "shards", "events", "events/sec", "speedup"
-    ));
-    for s in &report.shard_curve {
+    // A one-core host runs "threaded" shards back-to-back anyway, so the
+    // speedup ratio is sequential-vs-sequential — 1.0 by construction, not
+    // a measurement. Skip the column rather than print a hollow number.
+    let show_speedup = report.cores > 1;
+    if show_speedup {
         out.push_str(&format!(
-            "{:<8} {:>7} {:>12} {:>14.0} {:>8.2}x\n",
-            s.scheme, s.shards, s.events, s.events_per_sec, s.speedup
+            "\nshard curve ({} logical cores on this host)\n{:<8} {:>7} {:>12} {:>14} {:>9}\n",
+            report.cores, "scheme", "shards", "events", "events/sec", "speedup"
         ));
+    } else {
+        out.push_str(&format!(
+            "\nshard curve (1 logical core on this host; speedup omitted — \
+             sequential by construction)\n{:<8} {:>7} {:>12} {:>14}\n",
+            "scheme", "shards", "events", "events/sec"
+        ));
+    }
+    for s in &report.shard_curve {
+        if show_speedup {
+            out.push_str(&format!(
+                "{:<8} {:>7} {:>12} {:>14.0} {:>8.2}x\n",
+                s.scheme, s.shards, s.events, s.events_per_sec, s.speedup
+            ));
+        } else {
+            out.push_str(&format!(
+                "{:<8} {:>7} {:>12} {:>14.0}\n",
+                s.scheme, s.shards, s.events, s.events_per_sec
+            ));
+        }
+    }
+    if let Some(nodes) = report.space_curve.first().map(|s| s.nodes) {
+        if show_speedup {
+            out.push_str(&format!(
+                "\nspace curve (one {nodes}-node DUP run, node space partitioned)\n\
+                 {:<8} {:>7} {:>12} {:>14} {:>9} {:>12}\n",
+                "scheme", "shards", "events", "events/sec", "speedup", "cross-ratio"
+            ));
+        } else {
+            out.push_str(&format!(
+                "\nspace curve (one {nodes}-node DUP run, node space partitioned; \
+                 1 core — speedup omitted)\n{:<8} {:>7} {:>12} {:>14} {:>12}\n",
+                "scheme", "shards", "events", "events/sec", "cross-ratio"
+            ));
+        }
+        for s in &report.space_curve {
+            if show_speedup {
+                out.push_str(&format!(
+                    "{:<8} {:>7} {:>12} {:>14.0} {:>8.2}x {:>12.4}\n",
+                    s.scheme,
+                    s.space_shards,
+                    s.events,
+                    s.events_per_sec,
+                    s.speedup_vs_one_shard,
+                    s.cross_shard_message_ratio
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{:<8} {:>7} {:>12} {:>14.0} {:>12.4}\n",
+                    s.scheme,
+                    s.space_shards,
+                    s.events,
+                    s.events_per_sec,
+                    s.cross_shard_message_ratio
+                ));
+            }
+        }
     }
     out
 }
@@ -257,8 +411,26 @@ mod tests {
         }
         assert!(report.shard_curve[2].events > report.shard_curve[0].events);
         assert!(report.cores >= 1);
+        // The space curve partitions ONE run: event totals are identical
+        // across shard counts, and the curve always runs ≥ 10k nodes.
+        let space_counts: Vec<usize> = report.space_curve.iter().map(|s| s.space_shards).collect();
+        assert_eq!(space_counts, vec![1, 2, 4]);
+        for s in &report.space_curve {
+            assert_eq!(s.scheme, "DUP");
+            assert!(s.nodes >= SPACE_CURVE_MIN_NODES);
+            assert_eq!(s.events, report.space_curve[0].events);
+            assert_eq!(s.peak_queue_depth_per_shard.len(), s.space_shards);
+        }
+        assert_eq!(report.space_curve[0].cross_shard_message_ratio, 0.0);
+        assert!(report.space_curve[2].cross_shard_message_ratio > 0.0);
         let text = render_text(&report);
         assert!(text.contains("DUP") && text.contains("timer-wheel"));
         assert!(text.contains("shard curve"));
+        assert!(text.contains("space curve"));
+        // Satellite of the space-parallel work: a 1-core host prints no
+        // speedup column (the ratio would be sequential-by-construction).
+        if report.cores == 1 {
+            assert!(!text.contains("speedup\n") && text.contains("omitted"));
+        }
     }
 }

@@ -27,6 +27,10 @@
 //!               ui.perfetto.dev) plus TRACE_<scheme>_metrics.prom
 //!               (Prometheus text format) to --out DIR or the current
 //!               directory
+//!               or `space-smoke`: run one DUP simulation space-parallel
+//!               (2 shards, timer-wheel backend) and assert its merged
+//!               event log is bit-identical to the sequential run; exits
+//!               nonzero on divergence (the CI cell for the space kernel)
 //!
 //! OPTIONS
 //!   --full           paper-scale runs (n=4096, 180000 s windows)
@@ -44,6 +48,10 @@
 //!   --shards <n>     parallel shard count for experiment runs (ensemble
 //!                    mode: one worker thread and one event queue per
 //!                    shard; default 1 = classic single-queue)
+//!   --space-shards <n>   partition each run's node space across <n>
+//!                    engine shards (one simulation, one worker thread per
+//!                    shard; default 1 = classic single-queue; mutually
+//!                    exclusive with --shards)
 //!   --seeds <n>      scenarios per scheme for `fuzz`/`chaos` (default 16;
 //!                    scenario seeds derive from --seed)
 //!   --replay <u64>   replay exactly one scenario seed (as printed by a
@@ -56,8 +64,8 @@
 //!
 //! The pre-consolidation spellings of the seed-set/scheme family
 //! (`--fuzz-seeds`, `--fuzz-seed`, `--fuzz-scheme`, `--chaos-seeds`,
-//! `--chaos-seed`, `--chaos-scheme`, `--trace-scheme`) remain accepted as
-//! hidden aliases for one release; prefer the uniform spellings above.
+//! `--chaos-seed`, `--chaos-scheme`, `--trace-scheme`) are removed; each
+//! errors out naming its uniform replacement above.
 //! ```
 
 use std::io::Write as _;
@@ -79,6 +87,7 @@ fn main() -> ExitCode {
     let mut scenario = ScenarioArgs::default();
     let mut fuzz_mutate = false;
     let mut shards = 1usize;
+    let mut space_shards = 1usize;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -118,6 +127,10 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => shards = n,
                 _ => return usage("--shards needs a positive integer"),
             },
+            "--space-shards" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => space_shards = n,
+                _ => return usage("--space-shards needs a positive integer"),
+            },
             "--help" | "-h" => return usage(""),
             // The uniform seed-set/scheme family (and its hidden legacy
             // aliases) parses through the shared struct.
@@ -130,7 +143,11 @@ fn main() -> ExitCode {
         }
     }
 
+    if shards > 1 && space_shards > 1 {
+        return usage("--shards and --space-shards are mutually exclusive");
+    }
     opts.shards = shards;
+    opts.space_shards = space_shards;
 
     let trace_scheme = scenario.scheme.unwrap_or(SchemeKind::Dup);
     if let Some(path) = &trace_out {
@@ -182,6 +199,23 @@ fn main() -> ExitCode {
         }
         // Like --trace, fuzz stands alone unless experiments were also
         // requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if selected.iter().any(|s| s == "space-smoke") {
+        selected.retain(|s| s != "space-smoke");
+        match run_space_smoke(&opts) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::FAILURE,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Like --trace, space-smoke stands alone unless experiments were
+        // also requested.
         if selected.is_empty() {
             return ExitCode::SUCCESS;
         }
@@ -350,6 +384,17 @@ fn run_fuzz_cmd(
     Ok(report.failures().is_empty())
 }
 
+/// Runs the space-parallel CI cell: one DUP simulation, 2 space shards on
+/// the timer-wheel backend, merged event log compared bit-for-bit against
+/// the sequential run. Returns `Ok(true)` on equality.
+fn run_space_smoke(opts: &HarnessOpts) -> Result<bool, String> {
+    let started = std::time::Instant::now();
+    let result = dup_harness::space_smoke(opts);
+    print!("{}", dup_harness::render_space_smoke(&result));
+    println!("(space-smoke finished in {:.1?})\n", started.elapsed());
+    Ok(result.passed)
+}
+
 /// Runs a reliable fault→heal→drain chaos campaign (or a single-seed
 /// replay) and verifies convergence; returns `Ok(true)` when every
 /// scenario re-converged. Writes `CHAOS_report.json` and
@@ -373,6 +418,11 @@ fn run_chaos_cmd(
         None => dup_harness::run_chaos(opts.seed, scenario.seeds_or(16), &schemes),
     };
     print!("{}", dup_harness::render_chaos_report(&report));
+    // The space-parallel cell: the same fault class (drop_p = 0.2) with the
+    // node space split across two engine shards must heal to the oracle
+    // tree AND reproduce the sequential event log bit for bit.
+    let space_cell = dup_harness::run_chaos_space_cell(opts.seed);
+    print!("{}", dup_harness::render_chaos_space_cell(&space_cell));
     println!("(chaos finished in {:.1?})\n", started.elapsed());
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(dir)
@@ -388,7 +438,7 @@ fn run_chaos_cmd(
             .map_err(|e| format!("write {} failed: {e}", prom_path.display()))?;
         println!("wrote {}", prom_path.display());
     }
-    Ok(report.failures().is_empty())
+    Ok(report.failures().is_empty() && space_cell.passed)
 }
 
 /// Runs one probed simulation at the configured scale and streams every
@@ -426,9 +476,10 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: dup-experiments [--full|--bench-scale] [--seed N] [--jobs N] [--reps N] \
-         [--shards N] [--out DIR] [--trace FILE] [--trace-sample SECS] [--bench-reps N] \
-         [--seeds N] [--replay SEED] [--scheme pcx|cup|dup] [--fuzz-mutate] \
-         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|chaos|trace-report]..."
+         [--shards N] [--space-shards N] [--out DIR] [--trace FILE] [--trace-sample SECS] \
+         [--bench-reps N] [--seeds N] [--replay SEED] [--scheme pcx|cup|dup] [--fuzz-mutate] \
+         [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|chaos|\
+         trace-report|space-smoke]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -39,8 +39,8 @@ use serde::Serialize;
 
 use dup_core::{check_tree_invariants, run_simulation_kind, DupScheme, RepairStats, SchemeKind};
 use dup_proto::{
-    ChurnConfig, FaultConfig, FaultWindow, ProbeSink, ProtocolConfig, Registry, ReliabilityConfig,
-    ReliabilityStats, RunConfig, Runner, Scheme,
+    run_simulation_space_settled, ChurnConfig, FaultConfig, FaultWindow, ProbeSink, ProtocolConfig,
+    Registry, ReliabilityConfig, ReliabilityStats, RunConfig, Runner, Scheme,
 };
 use dup_sim::{stream_rng, stream_seed};
 use dup_stats::Histogram;
@@ -116,6 +116,148 @@ pub fn chaos_config(seed: u64) -> RunConfig {
         .faults(faults)
         .reliability(reliability)
         .build()
+}
+
+/// Expands one seed into the **space-parallel** chaos cell configuration:
+/// the reliability layer's specified loss bound (`drop_p = 0.2`) held
+/// fixed, duplicates and delays seeded, and the space-mode preconditions
+/// met — no churn, fixed-duration stop, positive hop-latency floor.
+pub fn chaos_space_config(seed: u64) -> RunConfig {
+    let mut rng = stream_rng(seed, "chaos-space-scenario");
+    let nodes = rng.gen_range(48..=128usize);
+    let warmup = 400.0;
+    let duration = 2_000.0 + rng.gen::<f64>() * 1_000.0;
+    let horizon = warmup + duration;
+    let start = rng.gen::<f64>() * horizon * 0.5;
+    let faults = FaultConfig {
+        drop_p: 0.2,
+        duplicate_p: 0.05 + rng.gen::<f64>() * 0.10,
+        delay_p: 0.05 + rng.gen::<f64>() * 0.10,
+        max_extra_delay_secs: 5.0 + rng.gen::<f64>() * 40.0,
+        churn_boost: 1.0,
+        windows: vec![FaultWindow {
+            start_secs: start,
+            end_secs: start + 200.0 + rng.gen::<f64>() * horizon * 0.3,
+        }],
+    };
+    let reliability = ReliabilityConfig {
+        enabled: true,
+        ack_timeout_secs: 2.0 + rng.gen::<f64>() * 3.0,
+        backoff_factor: 2.0,
+        max_backoff_secs: 60.0,
+        jitter_frac: 0.1,
+        max_retries: rng.gen_range(4..=6u32),
+        lease_every_secs: 150.0,
+    };
+    RunConfig::builder(seed)
+        .nodes(nodes)
+        .lambda(0.5 + rng.gen::<f64>() * 3.0)
+        .zipf_theta(0.4 + rng.gen::<f64>() * 0.8)
+        .protocol(ProtocolConfig {
+            ttl_secs: 600.0,
+            push_lead_secs: 30.0,
+            threshold_c: 2,
+            ..ProtocolConfig::default()
+        })
+        .warmup_secs(warmup)
+        .duration_secs(duration)
+        .latency_batch(20)
+        .faults(faults)
+        .reliability(reliability)
+        .build()
+}
+
+/// Outcome of the space-parallel chaos cell (see [`run_chaos_space_cell`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosSpaceResult {
+    /// The scenario seed.
+    pub seed: u64,
+    /// Space-shard count of the parallel run (the reference runs 1).
+    pub space_shards: usize,
+    /// Delivery-log records compared.
+    pub log_records: usize,
+    /// True when the 2-shard faulted+healed event log equals the 1-shard
+    /// log bit for bit.
+    pub logs_identical: bool,
+    /// True when the merged cross-shard DUP state passed the NCA-closure
+    /// oracle after the heal phases.
+    pub oracle_ok: bool,
+    /// Both of the above.
+    pub passed: bool,
+    /// Human-readable report when `passed` is false.
+    pub detail: String,
+}
+
+/// The space-parallel chaos cell: one DUP scenario at the specified loss
+/// bound (`drop_p = 0.2`), run fault→heal→drain twice — sequentially and
+/// partitioned across two space shards. Passing requires (a) the two
+/// merged event logs to be bit-identical and (b) the 2-shard final state,
+/// folded owner-locally across shards, to re-converge to the oracle's
+/// NCA-closure DUP tree.
+pub fn run_chaos_space_cell(seed: u64) -> ChaosSpaceResult {
+    let base = chaos_space_config(seed);
+    let heal = |scheme: &mut DupScheme, ctx: &mut dup_proto::Ctx<'_, dup_core::DupMsg>, _phase| {
+        scheme.on_lease_tick(ctx);
+    };
+    let mut cfg1 = base.clone();
+    cfg1.space_shards = 1;
+    let (_, log1) =
+        run_simulation_space_settled(&cfg1, DupScheme::new, true, CHAOS_HEAL_PHASES, heal);
+    let mut cfg2 = base;
+    cfg2.space_shards = 2;
+    let (settled, log2) =
+        run_simulation_space_settled(&cfg2, DupScheme::new, true, CHAOS_HEAL_PHASES, heal);
+    let logs_identical = !log1.is_empty() && log1 == log2;
+    // The global DUP state is the owner-local union over shards.
+    let mut merged = DupScheme::new();
+    for (i, (scheme, _)) in settled.shards.iter().enumerate() {
+        merged.adopt_owned_lists(scheme, |n| settled.map.owner(n) == i);
+    }
+    let oracle = check_tree_invariants(&merged, &settled.shards[0].1.tree);
+    let oracle_ok = oracle.is_ok();
+    let mut detail = String::new();
+    if !logs_identical {
+        detail.push_str("2-shard faulted event log diverged from the 1-shard log\n");
+    }
+    if let Err(report) = oracle {
+        detail.push_str(&report.to_string());
+    }
+    ChaosSpaceResult {
+        seed,
+        space_shards: 2,
+        log_records: log1.len(),
+        logs_identical,
+        oracle_ok,
+        passed: logs_identical && oracle_ok,
+        detail,
+    }
+}
+
+/// Console rendition of the space-parallel chaos cell.
+pub fn render_chaos_space_cell(result: &ChaosSpaceResult) -> String {
+    let mut out = format!(
+        "chaos space cell: seed {} drop_p=0.2 space_shards={} -> {} \
+         ({} log records, logs {}, oracle {})\n",
+        result.seed,
+        result.space_shards,
+        if result.passed { "ok" } else { "FAIL" },
+        result.log_records,
+        if result.logs_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+        if result.oracle_ok {
+            "converged"
+        } else {
+            "VIOLATED"
+        },
+    );
+    if !result.detail.is_empty() {
+        out.push_str(&result.detail);
+        out.push('\n');
+    }
+    out
 }
 
 /// One verified chaos scenario outcome.
@@ -482,6 +624,13 @@ mod tests {
         assert_eq!(uniq.len(), a.len());
         // Chaos campaigns must not share seeds with fuzz campaigns.
         assert_ne!(a, crate::fuzz::scenario_seeds(42, 4));
+    }
+
+    #[test]
+    fn space_cell_heals_and_matches_sequential_log() {
+        let result = run_chaos_space_cell(0xC4A05);
+        assert!(result.log_records > 0, "cell produced no deliveries");
+        assert!(result.passed, "space chaos cell failed:\n{}", result.detail);
     }
 
     #[test]

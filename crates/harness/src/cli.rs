@@ -12,9 +12,9 @@
 //!   failing campaign) instead of a full seed set,
 //! * `--scheme pcx|cup|dup` — restrict to one scheme.
 //!
-//! The pre-consolidation spellings remain accepted as **hidden aliases**
-//! for one release (they are deliberately absent from the usage text) and
-//! will be removed afterwards.
+//! The pre-consolidation spellings (`--fuzz-seeds`, `--chaos-seed`, …)
+//! were accepted as hidden aliases for one release; they are now removed
+//! and produce an error naming the replacement.
 
 use dup_core::SchemeKind;
 
@@ -39,26 +39,31 @@ impl ScenarioArgs {
         flag: &str,
         args: &mut dyn Iterator<Item = String>,
     ) -> Result<bool, String> {
+        // The retired pre-consolidation spellings: error with the current
+        // spelling rather than silently treating them as foreign flags.
+        let retired = |replacement: &str| {
+            Err(format!(
+                "{flag} was removed; use {replacement} (the uniform scenario flags are \
+                 --seeds N, --replay SEED, --scheme pcx|cup|dup)"
+            ))
+        };
         match flag {
-            "--seeds" | "--fuzz-seeds" | "--chaos-seeds" => {
-                match args.next().and_then(|s| s.parse().ok()) {
-                    Some(n) if n >= 1 => self.seeds = Some(n),
-                    _ => return Err(format!("{flag} needs a positive integer")),
-                }
-            }
-            "--replay" | "--fuzz-seed" | "--chaos-seed" => {
-                match args.next().and_then(|s| s.parse().ok()) {
-                    Some(seed) => self.replay = Some(seed),
-                    None => return Err(format!("{flag} needs an integer")),
-                }
-            }
-            "--scheme" | "--fuzz-scheme" | "--chaos-scheme" | "--trace-scheme" => {
-                match args.next().map(|s| s.parse()) {
-                    Some(Ok(kind)) => self.scheme = Some(kind),
-                    Some(Err(e)) => return Err(e),
-                    None => return Err(format!("{flag} needs pcx, cup, or dup")),
-                }
-            }
+            "--fuzz-seeds" | "--chaos-seeds" => return retired("--seeds"),
+            "--fuzz-seed" | "--chaos-seed" => return retired("--replay"),
+            "--fuzz-scheme" | "--chaos-scheme" | "--trace-scheme" => return retired("--scheme"),
+            "--seeds" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => self.seeds = Some(n),
+                _ => return Err(format!("{flag} needs a positive integer")),
+            },
+            "--replay" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => self.replay = Some(seed),
+                None => return Err(format!("{flag} needs an integer")),
+            },
+            "--scheme" => match args.next().map(|s| s.parse()) {
+                Some(Ok(kind)) => self.scheme = Some(kind),
+                Some(Err(e)) => return Err(e),
+                None => return Err(format!("{flag} needs pcx, cup, or dup")),
+            },
             _ => return Ok(false),
         }
         Ok(true)
@@ -100,14 +105,24 @@ mod tests {
     }
 
     #[test]
-    fn legacy_prefixed_spellings_stay_as_hidden_aliases() {
-        let mut args = ScenarioArgs::default();
-        assert_eq!(consume(&mut args, &["--fuzz-seeds", "4"]), Ok(true));
-        assert_eq!(consume(&mut args, &["--chaos-seed", "99"]), Ok(true));
-        assert_eq!(consume(&mut args, &["--trace-scheme", "pcx"]), Ok(true));
-        assert_eq!(args.seeds, Some(4));
-        assert_eq!(args.replay, Some(99));
-        assert_eq!(args.scheme, Some(SchemeKind::Pcx));
+    fn retired_spellings_error_with_the_replacement() {
+        for (old, new) in [
+            ("--fuzz-seeds", "--seeds"),
+            ("--chaos-seeds", "--seeds"),
+            ("--fuzz-seed", "--replay"),
+            ("--chaos-seed", "--replay"),
+            ("--fuzz-scheme", "--scheme"),
+            ("--chaos-scheme", "--scheme"),
+            ("--trace-scheme", "--scheme"),
+        ] {
+            let mut args = ScenarioArgs::default();
+            let err = consume(&mut args, &[old, "4"]).unwrap_err();
+            assert!(err.contains(old), "{err}");
+            assert!(err.contains(new), "{err}");
+            assert_eq!(args.seeds, None);
+            assert_eq!(args.replay, None);
+            assert_eq!(args.scheme, None);
+        }
     }
 
     #[test]

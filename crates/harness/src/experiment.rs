@@ -109,6 +109,11 @@ pub struct HarnessOpts {
     /// Parallel shard count applied to each run's `RunConfig` (ensemble
     /// mode; 1 = classic single-queue simulation).
     pub shards: usize,
+    /// Space-parallel shard count applied to each run's `RunConfig`: one
+    /// simulation, its node space partitioned across this many engine
+    /// shards (1 = classic single-queue simulation). Mutually exclusive
+    /// with `shards > 1`.
+    pub space_shards: usize,
 }
 
 impl Default for HarnessOpts {
@@ -119,6 +124,7 @@ impl Default for HarnessOpts {
             jobs: 0,
             reps: 1,
             shards: 1,
+            space_shards: 1,
         }
     }
 }
@@ -131,10 +137,11 @@ impl HarnessOpts {
     }
 
     /// Base configuration at this options set's scale, with the shard
-    /// count applied.
+    /// counts applied.
     pub fn base_config(&self, seed: u64) -> RunConfig {
         let mut cfg = self.scale.base_config(seed);
         cfg.shards = self.shards;
+        cfg.space_shards = self.space_shards;
         cfg
     }
 

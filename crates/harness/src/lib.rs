@@ -31,14 +31,16 @@ pub mod fig7;
 pub mod fig8;
 pub mod fuzz;
 pub mod report;
+pub mod spacesmoke;
 pub mod table2;
 pub mod table3;
 pub mod tracereport;
 
 pub use benchreport::{bench_report, render_text as render_bench_report, BenchReport, SchemeBench};
 pub use chaos::{
-    chaos_config, chaos_registry, chaos_seeds, render_chaos_report, run_chaos, run_chaos_scenario,
-    ChaosReport, ChaosScenarioResult, CHAOS_HEAL_PHASES,
+    chaos_config, chaos_registry, chaos_seeds, chaos_space_config, render_chaos_report,
+    render_chaos_space_cell, run_chaos, run_chaos_scenario, run_chaos_space_cell, ChaosReport,
+    ChaosScenarioResult, ChaosSpaceResult, CHAOS_HEAL_PHASES,
 };
 pub use cli::ScenarioArgs;
 pub use experiment::{
@@ -50,4 +52,5 @@ pub use fuzz::{
     ScenarioResult,
 };
 pub use report::TextTable;
+pub use spacesmoke::{render_space_smoke, space_smoke, SpaceSmokeResult};
 pub use tracereport::{render_trace_report, trace_report, ProgressProbe, TraceReport};

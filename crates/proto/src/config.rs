@@ -63,8 +63,20 @@ pub struct ProtocolConfig {
     pub threshold_c: u32,
     /// Mean per-hop transfer latency in seconds (paper: 0.1).
     pub hop_latency_mean_secs: f64,
+    /// Minimum per-hop transfer latency in seconds: the latency model is a
+    /// shifted exponential whose floor this is (overall mean stays
+    /// `hop_latency_mean_secs`). The floor is the conservative parallel
+    /// engine's lookahead in space-parallel mode — no message arrives
+    /// sooner than this after it was sent. Absent from older serialized
+    /// configs; defaults to a tenth of the paper's mean.
+    #[serde(default = "default_hop_latency_min")]
+    pub hop_latency_min_secs: f64,
     /// How "queries received in the last TTL interval" is evaluated.
     pub interest_policy: InterestPolicy,
+}
+
+fn default_hop_latency_min() -> f64 {
+    0.01
 }
 
 impl Default for ProtocolConfig {
@@ -74,6 +86,7 @@ impl Default for ProtocolConfig {
             push_lead_secs: 60.0,
             threshold_c: 6,
             hop_latency_mean_secs: 0.1,
+            hop_latency_min_secs: default_hop_latency_min(),
             interest_policy: InterestPolicy::Epoch,
         }
     }
@@ -370,6 +383,15 @@ pub struct RunConfig {
     /// merged deterministically — see `dup_core::run_simulation_kind`.
     #[serde(default = "default_shards")]
     pub shards: usize,
+    /// Number of *space* shards: `1` (the default, and what older
+    /// serialized configs deserialize to) runs the classic single-queue
+    /// simulation; `S > 1` partitions **one** run's node space across `S`
+    /// shards of a conservative parallel engine (lookahead = the hop
+    /// latency floor), producing a bit-identical event log to the 1-shard
+    /// run — see `dup_proto::space`. Mutually exclusive with ensemble
+    /// `shards > 1`.
+    #[serde(default = "default_shards")]
+    pub space_shards: usize,
 }
 
 fn default_shards() -> usize {
@@ -398,6 +420,7 @@ impl RunConfig {
             faults: FaultConfig::default(),
             reliability: ReliabilityConfig::default(),
             shards: 1,
+            space_shards: 1,
         }
     }
 
@@ -458,6 +481,42 @@ impl RunConfig {
             "latency batch size must be positive"
         );
         assert!(self.shards >= 1, "shard count must be at least 1");
+        assert!(
+            self.space_shards >= 1,
+            "space shard count must be at least 1"
+        );
+        assert!(
+            (0.0..self.protocol.hop_latency_mean_secs)
+                .contains(&self.protocol.hop_latency_min_secs),
+            "hop latency floor must satisfy 0 <= min < mean"
+        );
+        if self.space_shards > 1 {
+            // Space partitioning holds only for the event classes the
+            // replicated-driver design covers; reject the rest loudly
+            // instead of producing a silently divergent run.
+            assert!(
+                self.shards == 1,
+                "space_shards and ensemble shards are mutually exclusive"
+            );
+            assert!(
+                self.churn.is_none(),
+                "space-parallel runs do not support churn yet (topology \
+                 mutation is global state)"
+            );
+            assert!(
+                matches!(self.stop, StopRule::FixedDuration),
+                "space-parallel runs support only the FixedDuration stop rule"
+            );
+            assert!(
+                self.max_events.is_none(),
+                "space-parallel runs do not support a global event cap"
+            );
+            assert!(
+                self.protocol.hop_latency_min_secs > 0.0,
+                "space-parallel runs need a positive hop latency floor \
+                 (the lookahead window)"
+            );
+        }
         if let ArrivalKind::Pareto { alpha } = self.arrivals {
             assert!(alpha > 1.0 && alpha < 2.0, "Pareto alpha must be in (1,2)");
         }
@@ -656,6 +715,20 @@ impl RunConfigBuilder {
     /// single-queue run).
     pub fn shards(mut self, shards: usize) -> Self {
         self.cfg.shards = shards;
+        self
+    }
+
+    /// Sets the space-parallel shard count (`1` = classic single-queue
+    /// run; `S > 1` partitions one run's node space across `S` shards).
+    pub fn space_shards(mut self, shards: usize) -> Self {
+        self.cfg.space_shards = shards;
+        self
+    }
+
+    /// Sets the per-hop latency floor (seconds) — the space-parallel
+    /// lookahead. Must stay below the mean.
+    pub fn hop_latency_min_secs(mut self, secs: f64) -> Self {
+        self.cfg.protocol.hop_latency_min_secs = secs;
         self
     }
 
@@ -903,6 +976,69 @@ mod tests {
             .build();
         assert!(cfg.faults.is_enabled());
         assert_eq!(cfg.faults.windows.len(), 1);
+    }
+
+    #[test]
+    fn space_shards_defaults_to_one_and_deserializes_when_absent() {
+        // A config serialized before the space_shards / hop-latency-floor
+        // fields existed still loads with the defaults.
+        let mut json = serde_json::to_string(&RunConfig::quick(1)).unwrap();
+        json = json.replace(",\"space_shards\":1", "");
+        json = json.replace(",\"hop_latency_min_secs\":0.01", "");
+        assert!(!json.contains("space_shards"), "field not stripped: {json}");
+        assert!(
+            !json.contains("hop_latency_min_secs"),
+            "field not stripped: {json}"
+        );
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.space_shards, 1);
+        assert_eq!(back.protocol.hop_latency_min_secs, 0.01);
+        back.validate();
+    }
+
+    #[test]
+    fn builder_sets_space_shards_and_latency_floor() {
+        let cfg = RunConfig::builder(0)
+            .space_shards(4)
+            .hop_latency_min_secs(0.02)
+            .build();
+        assert_eq!(cfg.space_shards, 4);
+        assert_eq!(cfg.protocol.hop_latency_min_secs, 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn space_and_ensemble_shards_are_mutually_exclusive() {
+        let mut c = RunConfig::quick(0);
+        c.shards = 2;
+        c.space_shards = 2;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "do not support churn")]
+    fn space_shards_reject_churn() {
+        let mut c = RunConfig::quick(0);
+        c.space_shards = 2;
+        c.churn = Some(ChurnConfig::balanced(0.05));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive hop latency floor")]
+    fn space_shards_need_a_lookahead() {
+        let mut c = RunConfig::quick(0);
+        c.space_shards = 2;
+        c.protocol.hop_latency_min_secs = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hop latency floor")]
+    fn latency_floor_must_stay_below_the_mean() {
+        let mut c = RunConfig::quick(0);
+        c.protocol.hop_latency_min_secs = 0.1;
+        c.validate();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The classes of overlay messages whose hops count toward query cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MsgClass {
     /// A query request traveling up the search tree.
     Request,

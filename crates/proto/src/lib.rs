@@ -52,6 +52,7 @@ pub mod probe;
 pub mod reliable;
 pub mod runner;
 pub mod scheme;
+pub mod space;
 pub mod telemetry;
 pub mod trace;
 
@@ -71,8 +72,14 @@ pub use probe::{
     CaptureProbe, JsonlProbe, ProbeEvent, ProbeSink, SubscriberStats, TraceLine, TraceSample,
 };
 pub use reliable::{backoff_delay_secs, ReliabilityStats, ReliableState, RetryAction};
-pub use runner::{run_simulation, run_simulation_probed, LiveSetError, Runner, SettledRun};
+pub use runner::{
+    run_simulation, run_simulation_probed, LiveSetError, LogRecord, Runner, SettledRun,
+};
 pub use scheme::{AppliedChurn, Ctx, Ev, FaultState, FaultStats, FifoClocks, Msg, Scheme, World};
+pub use space::{
+    run_simulation_space, run_simulation_space_logged, run_simulation_space_settled, ShardMap,
+    SpaceSettledRun,
+};
 pub use telemetry::Registry;
 pub use trace::{
     perfetto_trace, EdgeKind, PropEdge, SpanInfo, TraceCollector, TraceCtx, TraceSummary,

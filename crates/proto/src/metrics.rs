@@ -113,6 +113,25 @@ impl Metrics {
         &self.ledger
     }
 
+    /// Folds another shard's collector into this one. In a space-parallel
+    /// run every metric event (query served, hop charged, completion timed)
+    /// happens on exactly one shard — the owner of the node observing it —
+    /// so absorbing shards 1..N into shard 0 reconstructs the sequential
+    /// totals exactly; only batch-means *boundaries* in the latency CI
+    /// differ (see [`dup_stats::BatchMeans::merge`]). Absorbing nothing
+    /// leaves the collector bit-identical, so a one-shard space run
+    /// reports exactly like the sequential path.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.queries += other.queries;
+        self.local_hits += other.local_hits;
+        self.stale_serves += other.stale_serves;
+        self.latency_hops.merge(&other.latency_hops);
+        self.latency_hist.merge(&other.latency_hist);
+        self.latency_secs.merge(&other.latency_secs);
+        self.ledger.merge(&other.ledger);
+        self.pushes_delivered += other.pushes_delivered;
+    }
+
     /// Finalizes the run into a serializable report.
     pub fn finish(
         &self,
@@ -159,6 +178,8 @@ impl Metrics {
             probe_events: 0,
             peak_queue_depth: 0,
             peak_queue_depth_per_shard: Vec::new(),
+            cross_shard_messages: 0,
+            cross_shard_message_ratio: 0.0,
         }
     }
 }
@@ -232,6 +253,16 @@ pub struct RunReport {
     /// serialized before parallel mode existed.
     #[serde(default)]
     pub peak_queue_depth_per_shard: Vec<u64>,
+    /// Message deliveries routed across a shard boundary in a
+    /// space-parallel run (0 in sequential and one-shard runs; absent from
+    /// older serialized reports).
+    #[serde(default)]
+    pub cross_shard_messages: u64,
+    /// Cross-shard deliveries as a fraction of all message deliveries —
+    /// the partition-quality gauge a space-parallel run is judged by
+    /// (0.0 when sequential).
+    #[serde(default)]
+    pub cross_shard_message_ratio: f64,
 }
 
 impl RunReport {
@@ -312,6 +343,8 @@ impl RunReport {
                 .iter()
                 .flat_map(|r| r.peak_queue_depth_per_shard.clone())
                 .collect(),
+            cross_shard_messages: reports.iter().map(|r| r.cross_shard_messages).sum(),
+            cross_shard_message_ratio: mean_f(|r| r.cross_shard_message_ratio),
         }
     }
 }

@@ -23,16 +23,21 @@
 //! so the trace collector attributes recovery deliveries to the update
 //! they repair instead of opening fresh spans.
 //!
-//! Like [`crate::scheme::FaultState`], the layer owns a dedicated seeded
-//! stream (`stream_rng(seed, "reliable")`) and draws **nothing** while
-//! disabled, keeping fault-free runs bit-identical to builds without it.
+//! Like [`crate::scheme::FaultState`], the layer owns a dedicated family
+//! of per-sender seeded streams (`stream_rng(seed, "reliable/<sender>")`)
+//! and draws **nothing** while disabled, keeping fault-free runs
+//! bit-identical to builds without it. Sequence numbers and jitter draws
+//! are per-sender — sender id in the sequence's high word, a sender-local
+//! counter in the low word — so each node's tracked-send stream depends
+//! only on its own send order, which is what lets a space-partitioned run
+//! reproduce the sequential run's numbering shard-locally.
 
 use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 
 use dup_overlay::NodeId;
-use dup_sim::{StreamRng, TimerId};
+use dup_sim::{SenderStreams, TimerId};
 
 use crate::config::ReliabilityConfig;
 
@@ -98,9 +103,9 @@ pub enum RetryAction {
 #[derive(Debug)]
 pub struct ReliableState {
     cfg: ReliabilityConfig,
-    rng: StreamRng,
+    streams: SenderStreams,
     armed: bool,
-    next_seq: u64,
+    next_seq: Vec<u64>,
     pending: HashMap<u64, Pending>,
     seen: HashSet<(NodeId, u64)>,
     stats: ReliabilityStats,
@@ -109,21 +114,18 @@ pub struct ReliableState {
 impl ReliableState {
     /// An inert reliability layer (the default for tests and plain runs).
     pub fn disabled() -> Self {
-        ReliableState::from_config(
-            ReliabilityConfig::default(),
-            dup_sim::stream_rng(0, "reliable"),
-        )
+        ReliableState::from_config(ReliabilityConfig::default(), 0)
     }
 
-    /// Builds the layer from a run's configuration and its dedicated RNG
-    /// stream.
-    pub fn from_config(cfg: ReliabilityConfig, rng: StreamRng) -> Self {
+    /// Builds the layer from a run's configuration and the master seed its
+    /// per-sender jitter streams derive from.
+    pub fn from_config(cfg: ReliabilityConfig, seed: u64) -> Self {
         let armed = cfg.is_enabled();
         ReliableState {
             cfg,
-            rng,
+            streams: SenderStreams::new(seed, "reliable"),
             armed,
-            next_seq: 0,
+            next_seq: Vec::new(),
             pending: HashMap::new(),
             seen: HashSet::new(),
             stats: ReliabilityStats::default(),
@@ -146,13 +148,23 @@ impl ReliableState {
         self.stats
     }
 
-    /// Assigns the next sequence number and draws the message's one-time
-    /// backoff jitter. Only called while armed; draws exactly one uniform.
-    pub fn begin_tracking(&mut self) -> (u64, f64) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    /// Assigns `sender`'s next sequence number and draws the message's
+    /// one-time backoff jitter from `sender`'s stream. Only called while
+    /// armed; draws exactly one uniform.
+    ///
+    /// Sequences stay globally unique across senders: the sender id fills
+    /// the high 32 bits, a per-sender counter the low 32.
+    pub fn begin_tracking(&mut self, sender: NodeId) -> (u64, f64) {
+        let i = sender.index();
+        if i >= self.next_seq.len() {
+            self.next_seq.resize(i + 1, 0);
+        }
+        let counter = self.next_seq[i];
+        self.next_seq[i] += 1;
+        debug_assert!(counter < u64::from(u32::MAX), "per-sender seq overflow");
+        let seq = (i as u64) << 32 | counter;
         self.stats.tracked += 1;
-        let jitter: f64 = self.rng.gen();
+        let jitter: f64 = self.streams.rng(i).gen();
         (seq, jitter)
     }
 
@@ -234,7 +246,6 @@ impl ReliableState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dup_sim::stream_rng;
 
     fn enabled_cfg() -> ReliabilityConfig {
         ReliabilityConfig {
@@ -249,7 +260,7 @@ mod tests {
     }
 
     fn armed() -> ReliableState {
-        ReliableState::from_config(enabled_cfg(), stream_rng(7, "reliable"))
+        ReliableState::from_config(enabled_cfg(), 7)
     }
 
     #[test]
@@ -274,20 +285,41 @@ mod tests {
         let mut a = armed();
         let mut b = armed();
         let mut seen = std::collections::HashSet::new();
-        for _ in 0..100 {
-            let (seq_a, jit_a) = a.begin_tracking();
-            let (seq_b, jit_b) = b.begin_tracking();
+        for i in 0..100u32 {
+            // Rotate through a few senders; every (sender, counter) pair
+            // must still yield a globally unique sequence number.
+            let sender = NodeId(i % 3);
+            let (seq_a, jit_a) = a.begin_tracking(sender);
+            let (seq_b, jit_b) = b.begin_tracking(sender);
             assert_eq!(seq_a, seq_b);
             assert_eq!(jit_a, jit_b, "same seed must give the same jitter");
             assert!((0.0..1.0).contains(&jit_a));
             assert!(seen.insert(seq_a), "sequence reused");
+            assert_eq!(seq_a >> 32, u64::from(sender.0), "sender in high word");
+        }
+    }
+
+    #[test]
+    fn per_sender_sequences_ignore_other_senders_interleaving() {
+        // A sender's (seq, jitter) stream is a function of its own send
+        // count only — the property the space-parallel runner relies on.
+        let mut solo = armed();
+        let mut mixed = armed();
+        for _ in 0..20 {
+            mixed.begin_tracking(NodeId(9));
+        }
+        for _ in 0..10 {
+            assert_eq!(
+                solo.begin_tracking(NodeId(2)),
+                mixed.begin_tracking(NodeId(2))
+            );
         }
     }
 
     #[test]
     fn ack_retires_pending_and_retry_settles() {
         let mut r = armed();
-        let (seq, jitter) = r.begin_tracking();
+        let (seq, jitter) = r.begin_tracking(NodeId(1));
         r.note_timer(seq, TimerId::from_raw(1), jitter);
         assert_eq!(r.pending_count(), 1);
         assert_eq!(r.on_ack(seq), Some(TimerId::from_raw(1)));
@@ -301,7 +333,7 @@ mod tests {
     #[test]
     fn retry_budget_is_respected() {
         let mut r = armed();
-        let (seq, jitter) = r.begin_tracking();
+        let (seq, jitter) = r.begin_tracking(NodeId(1));
         r.note_timer(seq, TimerId::from_raw(1), jitter);
         // max_retries = 3: attempts 1 and 2 re-arm, attempt 3 is final.
         match r.on_retry_fire(seq, 1) {
@@ -329,9 +361,9 @@ mod tests {
                 max_retries: 10,
                 ..enabled_cfg()
             },
-            stream_rng(9, "reliable"),
+            9,
         );
-        let (seq, jitter) = r.begin_tracking();
+        let (seq, jitter) = r.begin_tracking(NodeId(1));
         r.note_timer(seq, TimerId::from_raw(1), jitter);
         let mut prev = r.first_retry_delay_secs(jitter).unwrap();
         for attempt in 1..8 {
@@ -353,7 +385,7 @@ mod tests {
                 max_retries: 0,
                 ..enabled_cfg()
             },
-            stream_rng(3, "reliable"),
+            3,
         );
         assert_eq!(r.first_retry_delay_secs(0.5), None);
     }
@@ -374,10 +406,10 @@ mod tests {
     fn disabled_layer_draws_nothing() {
         let r = ReliableState::disabled();
         assert!(!r.armed());
-        let mut untouched = stream_rng(0, "reliable");
-        let mut layer_rng = r.rng;
-        let a: f64 = layer_rng.gen();
-        let b: f64 = untouched.gen();
-        assert_eq!(a, b, "disabled reliability layer consumed a draw");
+        assert_eq!(
+            r.streams.initialized(),
+            0,
+            "disabled reliability layer seeded a stream"
+        );
     }
 }

@@ -12,7 +12,8 @@ use rand::Rng;
 
 use dup_overlay::{random_search_tree, ChordRing, NodeId, SearchTree};
 use dup_sim::{
-    stream_rng, Engine, EventQueue, QueueBackend, RunOutcome, SimDuration, SimTime, StreamRng,
+    stream_rng, Engine, EventQueue, QueueBackend, RunOutcome, SenderStreams, SimDuration, SimTime,
+    StreamRng,
 };
 use dup_workload::{
     exp_variate, ArrivalProcess, Arrivals, HopLatency, RankPlacement, ZipfSelector,
@@ -29,8 +30,9 @@ use crate::metrics::{Metrics, RunReport};
 use crate::probe::{ProbeEvent, ProbeSink, TraceSample};
 use crate::reliable::{ReliableState, RetryAction};
 use crate::scheme::{
-    resend_msg, send_msg, AppliedChurn, Ctx, Ev, FaultState, FifoClocks, Msg, Scheme, World,
+    resend_msg, send_msg, AppliedChurn, Ctx, Ev, EvSink, FaultState, FifoClocks, Msg, Scheme, World,
 };
+use crate::space::SpaceCtl;
 use crate::trace::TraceCtx;
 
 /// Runs one simulation to completion and returns its report.
@@ -175,6 +177,40 @@ pub struct Runner<S: Scheme> {
     /// (queries, refreshes, churn, samples, interest checks) is skipped and
     /// not rescheduled, so the event set drains to quiescence.
     settling: bool,
+    /// Pops of the replicated periodic drivers (queries, refreshes,
+    /// samples, lease ticks, warmup end): in a space-parallel run these
+    /// fire on *every* shard, so the aggregate event count discounts all
+    /// but one copy.
+    driver_events: u64,
+    /// When set, every message-delivery pop is appended here (the
+    /// space-parallel equivalence contract: an N-shard run's merged log
+    /// must equal the 1-shard log record-for-record).
+    log: Option<Vec<LogRecord>>,
+    /// Space-parallel role of this runner: which shard it is and which
+    /// nodes it owns. `None` in ordinary sequential runs.
+    space: Option<SpaceCtl>,
+}
+
+/// One message-delivery pop, captured when event logging is on.
+///
+/// This is the unit of the space-parallel correctness contract: sorting
+/// an N-shard run's per-shard logs into one sequence must reproduce the
+/// 1-shard log exactly, and the 1-shard log must equal the sequential
+/// engine's. The `tag` pins the payload identity without storing it:
+/// origin id for requests, version for replies, sequence number for
+/// tracked/ack traffic, 0 for plain scheme messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogRecord {
+    /// Delivery instant.
+    pub at: SimTime,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Cost class the hop was charged under.
+    pub class: MsgClass,
+    /// Payload discriminant (see type docs).
+    pub tag: u64,
 }
 
 /// The outcome of [`Runner::run_settled`]: the ordinary report plus the
@@ -222,15 +258,15 @@ impl<S: Scheme> Runner<S> {
                 tree.capacity(),
             ),
             metrics: Metrics::new(cfg.latency_batch),
-            hop_latency: HopLatency::new(cfg.protocol.hop_latency_mean_secs),
-            latency_rng: stream_rng(seed, "hop-latency"),
+            hop_latency: HopLatency::with_min(
+                cfg.protocol.hop_latency_mean_secs,
+                cfg.protocol.hop_latency_min_secs,
+            ),
+            latency_rng: SenderStreams::new(seed, "hop-latency"),
             fifo: FifoClocks::with_capacity(tree.capacity()),
             probe,
-            faults: FaultState::from_config(cfg.faults.clone(), stream_rng(seed, "faults")),
-            reliable: ReliableState::from_config(
-                cfg.reliability.clone(),
-                stream_rng(seed, "reliable"),
-            ),
+            faults: FaultState::from_config(cfg.faults.clone(), seed),
+            reliable: ReliableState::from_config(cfg.reliability.clone(), seed),
             trace: TraceCtx::new(),
             tree,
         };
@@ -259,6 +295,9 @@ impl<S: Scheme> Runner<S> {
             samples: Vec::new(),
             pool: PathPool::default(),
             settling: false,
+            driver_events: 0,
+            log: None,
+            space: None,
         }
     }
 
@@ -272,20 +311,28 @@ impl<S: Scheme> Runner<S> {
         let in_flight = (self.cfg.lambda * hop * 16.0).ceil() as usize;
         match self.cfg.queue.backend {
             QueueBackendConfig::Heap => EventQueue::with_capacity(nodes + in_flight + 64),
-            QueueBackendConfig::TimerWheel => {
-                // The wheel wins by parking TTL/lease-scale timers out of
-                // the comparison structure while near-future deliveries
-                // (a few hop latencies out) drop straight into the small
-                // `near` heap. That wants a *coarse* finest slot: several
-                // event inter-arrival times wide (≈ 8/λ simulated seconds,
-                // the measured plateau in the queue_bench sweep), floored
-                // at a few hop latencies so deliveries stay inside the
-                // cursor slot at high arrival rates.
-                let tick =
-                    SimDuration::from_secs_f64((8.0 / self.cfg.lambda.max(1e-3)).max(4.0 * hop));
-                EventQueue::with_backend(QueueBackend::TimerWheel { tick })
-            }
+            QueueBackendConfig::TimerWheel => EventQueue::with_backend(QueueBackend::TimerWheel {
+                tick: self.wheel_tick(),
+            }),
         }
+    }
+
+    /// The timer wheel's finest slot width.
+    ///
+    /// The wheel wins by parking TTL/lease-scale timers out of the
+    /// comparison structure while near-future deliveries (a few hop
+    /// latencies out) drop straight into the small `near` heap. That wants
+    /// a *coarse* finest slot: several event inter-arrival times wide
+    /// (≈ 8/λ simulated seconds, the measured plateau in the queue_bench
+    /// sweep), floored at a few hop latencies so deliveries stay inside
+    /// the cursor slot at high arrival rates. A space-parallel shard sees
+    /// only `λ / space_shards` of the arrival stream, so the slot is
+    /// derived from that *local* rate — the partition is uniform, so every
+    /// shard lands on the same tick.
+    pub(crate) fn wheel_tick(&self) -> SimDuration {
+        let hop = self.cfg.protocol.hop_latency_mean_secs.max(1e-6);
+        let lambda_local = self.cfg.lambda / self.cfg.space_shards.max(1) as f64;
+        SimDuration::from_secs_f64((8.0 / lambda_local.max(1e-3)).max(4.0 * hop))
     }
 
     /// Read access to the world (tests and audits).
@@ -302,6 +349,16 @@ impl<S: Scheme> Runner<S> {
     pub fn run(mut self) -> RunReport {
         let mut engine: Engine<Ev<S::Msg>> = Engine::with_queue(self.build_queue());
         self.run_main(&mut engine)
+    }
+
+    /// Like [`Runner::run`], but also captures and returns the full
+    /// message-delivery event log (the space-parallel equivalence tests
+    /// compare these logs record-for-record).
+    pub fn run_logged(mut self) -> (RunReport, Vec<LogRecord>) {
+        self.log = Some(Vec::new());
+        let mut engine: Engine<Ev<S::Msg>> = Engine::with_queue(self.build_queue());
+        let report = self.run_main(&mut engine);
+        (report, self.log.take().unwrap_or_default())
     }
 
     /// Like [`Runner::run`], but after the horizon it disarms the fault
@@ -351,6 +408,27 @@ impl<S: Scheme> Runner<S> {
         if let Some(limit) = self.cfg.max_events {
             engine.set_event_limit(limit);
         }
+        self.schedule_drivers(engine);
+        let outcome = engine.run(|eng, ev| self.handle(eng, ev));
+        debug_assert!(
+            matches!(
+                outcome,
+                RunOutcome::HorizonReached | RunOutcome::Stopped | RunOutcome::EventLimit
+            ),
+            "simulation drained its event set unexpectedly"
+        );
+        self.finalize_report(
+            engine.now(),
+            engine.events_processed(),
+            engine.peak_pending(),
+        )
+    }
+
+    /// Runs `init` and schedules the standing periodic drivers. In a
+    /// space-parallel run every shard schedules the same driver set (the
+    /// replicated-driver design: each shard draws the same arrival gaps
+    /// and origins, and only the origin's owner issues the query).
+    pub(crate) fn schedule_drivers(&mut self, engine: &mut dyn EvSink<S::Msg>) {
         {
             let mut ctx = Ctx {
                 world: &mut self.world,
@@ -383,15 +461,18 @@ impl<S: Scheme> Runner<S> {
                 Ev::CiCheck,
             );
         }
-        let outcome = engine.run(|eng, ev| self.handle(eng, ev));
-        debug_assert!(
-            matches!(
-                outcome,
-                RunOutcome::HorizonReached | RunOutcome::Stopped | RunOutcome::EventLimit
-            ),
-            "simulation drained its event set unexpectedly"
-        );
-        let measured = engine.now().saturating_since(self.warmup_end);
+    }
+
+    /// Flushes the probe and assembles the report from this runner's final
+    /// state. `events` and `peak_pending` come from whichever engine drove
+    /// the run (the sequential engine or one space-parallel shard).
+    pub(crate) fn finalize_report(
+        &mut self,
+        now: SimTime,
+        events: u64,
+        peak_pending: usize,
+    ) -> RunReport {
+        let measured = now.saturating_since(self.warmup_end);
         let interested = self
             .world
             .tree
@@ -402,18 +483,75 @@ impl<S: Scheme> Runner<S> {
         let mut report = self.world.metrics.finish(
             self.scheme.name(),
             measured.as_secs_f64(),
-            engine.events_processed(),
+            events,
             self.world.tree.len(),
             interested,
         );
         report.samples = std::mem::take(&mut self.samples);
         report.probe_events = self.world.probe.emitted();
-        report.peak_queue_depth = engine.peak_pending() as u64;
+        report.peak_queue_depth = peak_pending as u64;
         report.peak_queue_depth_per_shard = vec![report.peak_queue_depth];
         report
     }
 
-    fn handle(&mut self, eng: &mut Engine<Ev<S::Msg>>, ev: Ev<S::Msg>) {
+    /// Pops of replicated periodic drivers so far (space aggregation).
+    pub(crate) fn driver_events(&self) -> u64 {
+        self.driver_events
+    }
+
+    /// Drains the collected time-series samples (non-zero space shards,
+    /// whose samples are appended after shard 0's report finalizes).
+    pub(crate) fn take_samples(&mut self) -> Vec<TraceSample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    /// Marks this runner as one shard of a space-parallel run. Must be set
+    /// before any event is processed.
+    pub(crate) fn set_space(&mut self, ctl: SpaceCtl) {
+        self.space = Some(ctl);
+    }
+
+    /// Turns on event-log capture (space equivalence tests).
+    pub(crate) fn enable_log(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// The captured event log, if capture was on.
+    pub(crate) fn take_log(&mut self) -> Vec<LogRecord> {
+        self.log.take().unwrap_or_default()
+    }
+
+    /// Marks the start of the settle phase (see [`Runner::run_settled`]);
+    /// the space-parallel settle path drives this directly.
+    pub(crate) fn begin_settling(&mut self) {
+        self.settling = true;
+        self.world.faults.disarm();
+    }
+
+    /// The absolute run horizon (warmup + measured duration).
+    pub(crate) fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Mutable scheme + world access for the space settle/heal path.
+    pub(crate) fn parts_mut(&mut self) -> (&mut S, &mut World) {
+        (&mut self.scheme, &mut self.world)
+    }
+
+    /// Consumes the runner, yielding the scheme and world (space audits).
+    pub(crate) fn into_parts(self) -> (S, World) {
+        (self.scheme, self.world)
+    }
+
+    pub(crate) fn handle(&mut self, eng: &mut dyn EvSink<S::Msg>, ev: Ev<S::Msg>) {
+        if matches!(
+            ev,
+            Ev::NextQuery | Ev::Refresh | Ev::Sample | Ev::LeaseTick | Ev::EndWarmup
+        ) {
+            // These drivers replicate on every space shard; the aggregate
+            // event count keeps only one copy (see `driver_events`).
+            self.driver_events += 1;
+        }
         if self.settling && !matches!(ev, Ev::Deliver { .. }) {
             // Settle phase: periodic drivers are retired, not rescheduled;
             // only in-flight (and heal) messages still deliver.
@@ -421,8 +559,17 @@ impl<S: Scheme> Runner<S> {
         }
         match ev {
             Ev::NextQuery => {
+                // Every shard draws the gap and origin (keeping the
+                // replicated arrival/origin streams aligned); only the
+                // origin's owner actually issues the query.
                 let origin = self.sample_origin();
-                self.begin_query(eng, origin);
+                let owned = match &self.space {
+                    Some(ctl) => ctl.owns(origin),
+                    None => true,
+                };
+                if owned {
+                    self.begin_query(eng, origin);
+                }
                 let gap = self.arrivals.next_gap(&mut self.arrivals_rng);
                 eng.schedule_after(gap, Ev::NextQuery);
             }
@@ -434,6 +581,22 @@ impl<S: Scheme> Runner<S> {
                 msg,
             } => {
                 self.world.trace.note_delivered();
+                if let Some(log) = &mut self.log {
+                    let tag = match &msg {
+                        Msg::Request { origin, .. } => u64::from(origin.0),
+                        Msg::Reply { record, .. } => record.version.0,
+                        Msg::Scheme(_) => 0,
+                        Msg::Tracked { seq, .. } => *seq,
+                        Msg::Ack { seq } => *seq,
+                    };
+                    log.push(LogRecord {
+                        at: eng.now(),
+                        from,
+                        to,
+                        class,
+                        tag,
+                    });
+                }
                 if !self.world.tree.is_alive(to) {
                     // Message addressed to a departed node is lost; reclaim
                     // its path buffers.
@@ -689,7 +852,7 @@ impl<S: Scheme> Runner<S> {
 
     /// Snapshots the live structures for one time-series point.
     /// `queue_depth` is the engine's pending event count at sample time.
-    fn take_sample(&self, now: SimTime, queue_depth: usize) -> TraceSample {
+    pub(crate) fn take_sample(&self, now: SimTime, queue_depth: usize) -> TraceSample {
         let interested = self
             .world
             .tree
@@ -706,7 +869,7 @@ impl<S: Scheme> Runner<S> {
             mean_list_len: stats.map_or(0.0, |s| s.mean_list_len),
             queue_depth,
             in_flight_msgs: self.world.trace.in_flight(),
-            shard: 0,
+            shard: self.space.as_ref().map_or(0, |s| s.shard as u32),
         }
     }
 
@@ -739,7 +902,7 @@ impl<S: Scheme> Runner<S> {
     /// `forwarding` tells the scheme whether the request continues upstream.
     fn observe_query(
         &mut self,
-        eng: &mut Engine<Ev<S::Msg>>,
+        eng: &mut dyn EvSink<S::Msg>,
         node: NodeId,
         prev: Option<NodeId>,
         riders: &mut Vec<NodeId>,
@@ -758,7 +921,7 @@ impl<S: Scheme> Runner<S> {
     }
 
     /// A locally generated query at `node`.
-    fn begin_query(&mut self, eng: &mut Engine<Ev<S::Msg>>, node: NodeId) {
+    fn begin_query(&mut self, eng: &mut dyn EvSink<S::Msg>, node: NodeId) {
         if self.world.probe.enabled() {
             self.world.trace.begin_query();
         }
@@ -809,7 +972,7 @@ impl<S: Scheme> Runner<S> {
     #[allow(clippy::too_many_arguments)] // one hop's full context, used once
     fn on_request(
         &mut self,
-        eng: &mut Engine<Ev<S::Msg>>,
+        eng: &mut dyn EvSink<S::Msg>,
         from: NodeId,
         to: NodeId,
         origin: NodeId,
@@ -873,7 +1036,7 @@ impl<S: Scheme> Runner<S> {
     /// origin, skipping nodes that departed while the reply was in flight.
     fn on_reply(
         &mut self,
-        eng: &mut Engine<Ev<S::Msg>>,
+        eng: &mut dyn EvSink<S::Msg>,
         to: NodeId,
         record: crate::index::IndexRecord,
         mut remaining: Vec<NodeId>,
@@ -924,7 +1087,7 @@ impl<S: Scheme> Runner<S> {
         SimDuration::from_secs_f64(exp_variate(&mut self.churn_rng, rate))
     }
 
-    fn apply_churn(&mut self, eng: &mut Engine<Ev<S::Msg>>) {
+    fn apply_churn(&mut self, eng: &mut dyn EvSink<S::Msg>) {
         let cfg = self.cfg.churn.expect("churn event without config");
         let change = self
             .pick_churn_op(&cfg)

@@ -10,7 +10,7 @@
 use rand::Rng;
 
 use dup_overlay::{NodeId, SearchTree};
-use dup_sim::{Engine, SimDuration, SimTime, StreamRng};
+use dup_sim::{Engine, SenderStreams, SimDuration, SimTime, TimerId};
 use dup_workload::HopLatency;
 
 use crate::cache::CacheStore;
@@ -153,8 +153,12 @@ pub struct World {
     pub metrics: Metrics,
     /// Per-hop latency model.
     pub hop_latency: HopLatency,
-    /// RNG stream for hop latency draws.
-    pub latency_rng: StreamRng,
+    /// Per-sender RNG streams for hop latency draws: sender `i` draws from
+    /// `"<label>/i"`. Keying the stream by sender (rather than one global
+    /// stream) makes each node's delay sequence a function of its own send
+    /// order only, which is what lets a space-partitioned run reproduce
+    /// the sequential run's draws shard-locally.
+    pub latency_rng: SenderStreams,
     /// Last scheduled delivery instant per ordered `(from, to)` pair:
     /// channels are FIFO (as over TCP), which the maintenance protocols
     /// assume — a `substitute` overtaking the `subscribe` that created its
@@ -208,15 +212,18 @@ enum FaultAction {
 
 /// Runtime state of the deterministic fault layer carried by [`World`].
 ///
-/// Built from [`FaultConfig`] with its own seeded stream
-/// (`stream_rng(seed, "faults")`), so enabling faults perturbs no other
-/// stream — and when the config is disabled (the default) the layer draws
-/// nothing at all, keeping fault-free runs bit-identical to builds without
-/// the layer.
+/// Built from [`FaultConfig`] with its own family of per-sender seeded
+/// streams (`stream_rng(seed, "faults/<sender>")`), so enabling faults
+/// perturbs no other stream — and when the config is disabled (the
+/// default) the layer draws nothing at all, keeping fault-free runs
+/// bit-identical to builds without the layer. Keying the streams by
+/// sender makes each node's fault fate a function of its own send order
+/// only, which is what lets a space-partitioned run reproduce the
+/// sequential run's decisions shard-locally.
 #[derive(Debug)]
 pub struct FaultState {
     cfg: FaultConfig,
-    rng: StreamRng,
+    streams: SenderStreams,
     armed: bool,
     stats: FaultStats,
 }
@@ -224,16 +231,16 @@ pub struct FaultState {
 impl FaultState {
     /// An inert fault layer (the default for tests and plain runs).
     pub fn disabled() -> Self {
-        FaultState::from_config(FaultConfig::default(), dup_sim::stream_rng(0, "faults"))
+        FaultState::from_config(FaultConfig::default(), 0)
     }
 
-    /// Builds the layer from a run's fault configuration and its dedicated
-    /// RNG stream.
-    pub fn from_config(cfg: FaultConfig, rng: StreamRng) -> Self {
+    /// Builds the layer from a run's fault configuration and the master
+    /// seed its per-sender streams derive from.
+    pub fn from_config(cfg: FaultConfig, seed: u64) -> Self {
         let armed = cfg.is_enabled();
         FaultState {
             cfg,
-            rng,
+            streams: SenderStreams::new(seed, "faults"),
             armed,
             stats: FaultStats::default(),
         }
@@ -266,13 +273,15 @@ impl FaultState {
         }
     }
 
-    /// Draws the fate of one message sent at `at_secs`. Only called while
-    /// armed; draws one uniform (two for a delay).
-    fn decide(&mut self, at_secs: f64) -> FaultAction {
+    /// Draws the fate of one message sent by `sender` at `at_secs`. Only
+    /// called while armed; draws one uniform from the sender's stream (two
+    /// for a delay).
+    fn decide(&mut self, sender: NodeId, at_secs: f64) -> FaultAction {
         if !self.cfg.active_at(at_secs) {
             return FaultAction::Pass;
         }
-        let u: f64 = self.rng.gen();
+        let rng = self.streams.rng(sender.index());
+        let u: f64 = rng.gen();
         if u < self.cfg.drop_p {
             self.stats.dropped += 1;
             FaultAction::Drop
@@ -281,7 +290,7 @@ impl FaultState {
             FaultAction::Duplicate
         } else if u < self.cfg.drop_p + self.cfg.duplicate_p + self.cfg.delay_p {
             self.stats.delayed += 1;
-            let v: f64 = self.rng.gen();
+            let v: f64 = rng.gen();
             FaultAction::Delay(v * self.cfg.max_extra_delay_secs)
         } else {
             FaultAction::Pass
@@ -377,12 +386,79 @@ impl World {
     }
 }
 
+/// The event-scheduling surface the protocol layer drives.
+///
+/// Sequential runs use the plain [`Engine`] implementation, where
+/// [`deliver`](EvSink::deliver) is an ordinary schedule on the one global
+/// queue. The space-parallel runner substitutes a shard adapter whose
+/// `deliver` routes by the destination node's owning shard, while timers
+/// (`schedule` / `schedule_after`) always stay on the calling shard's
+/// local queue — a retransmit timer belongs to the sender that armed it.
+pub trait EvSink<M> {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Schedules `ev` at the absolute instant `at` on the local queue.
+    fn schedule(&mut self, at: SimTime, ev: Ev<M>) -> TimerId;
+    /// Schedules `ev` `delay` after now on the local queue.
+    fn schedule_after(&mut self, delay: SimDuration, ev: Ev<M>) -> TimerId;
+    /// Cancels a locally scheduled event; true if it had not yet fired.
+    fn cancel(&mut self, id: TimerId) -> bool;
+    /// Requests the run to stop early (the `ConvergedCi` stop rule).
+    /// Space-parallel runs reject configurations that could call this.
+    fn stop(&mut self);
+    /// Events still queued locally (sampled queue-depth telemetry).
+    fn pending(&self) -> usize;
+    /// Schedules a delivery addressed to node `to`: on the local queue
+    /// here, on `to`'s owner shard in the space-parallel adapter.
+    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>);
+}
+
+impl<M> EvSink<M> for Engine<Ev<M>> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        Engine::now(self)
+    }
+
+    #[inline]
+    fn schedule(&mut self, at: SimTime, ev: Ev<M>) -> TimerId {
+        Engine::schedule(self, at, ev)
+    }
+
+    #[inline]
+    fn schedule_after(&mut self, delay: SimDuration, ev: Ev<M>) -> TimerId {
+        Engine::schedule_after(self, delay, ev)
+    }
+
+    #[inline]
+    fn cancel(&mut self, id: TimerId) -> bool {
+        Engine::cancel(self, id)
+    }
+
+    #[inline]
+    fn stop(&mut self) {
+        Engine::stop(self)
+    }
+
+    #[inline]
+    fn pending(&self) -> usize {
+        Engine::pending(self)
+    }
+
+    #[inline]
+    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>) {
+        let _ = to;
+        Engine::schedule(self, at, ev);
+    }
+}
+
 /// The capability surface a scheme acts through.
 pub struct Ctx<'a, M> {
     /// Shared state.
     pub world: &'a mut World,
-    /// The event engine (for sends and timer scheduling).
-    pub engine: &'a mut Engine<Ev<M>>,
+    /// The event sink (for sends and timer scheduling): the plain engine
+    /// in sequential runs, the owner-routing shard adapter in
+    /// space-parallel runs.
+    pub engine: &'a mut dyn EvSink<M>,
 }
 
 impl<M> Ctx<'_, M> {
@@ -465,7 +541,7 @@ impl<M> Ctx<'_, M> {
 /// send that was lost in transit.
 pub(crate) fn send_msg<M: Clone>(
     world: &mut World,
-    engine: &mut Engine<Ev<M>>,
+    engine: &mut dyn EvSink<M>,
     from: NodeId,
     to: NodeId,
     class: MsgClass,
@@ -474,7 +550,9 @@ pub(crate) fn send_msg<M: Clone>(
     debug_assert!(from != to, "node {from} sending to itself");
     world.metrics.charge_hop(class);
     let now = engine.now();
-    let delay = world.hop_latency.sample(&mut world.latency_rng);
+    let delay = world
+        .hop_latency
+        .sample(world.latency_rng.rng(from.index()));
     // Causal identity is assigned only while a probe is attached; the
     // disabled path pays one branch and stamps SpanInfo::NONE.
     let cause = if world.probe.enabled() {
@@ -501,7 +579,7 @@ pub(crate) fn send_msg<M: Clone>(
     // fire-and-forget — the query path tolerates loss by re-querying.
     let msg = if world.reliable.armed() && matches!(class, MsgClass::Control | MsgClass::Push) {
         if let Msg::Scheme(inner) = msg {
-            let (seq, jitter) = world.reliable.begin_tracking();
+            let (seq, jitter) = world.reliable.begin_tracking(from);
             if let Some(first) = world.reliable.first_retry_delay_secs(jitter) {
                 let timer = engine.schedule_after(
                     SimDuration::from_secs_f64(first),
@@ -535,7 +613,7 @@ pub(crate) fn send_msg<M: Clone>(
 /// chain).
 pub(crate) fn resend_msg<M: Clone>(
     world: &mut World,
-    engine: &mut Engine<Ev<M>>,
+    engine: &mut dyn EvSink<M>,
     from: NodeId,
     to: NodeId,
     class: MsgClass,
@@ -543,7 +621,9 @@ pub(crate) fn resend_msg<M: Clone>(
     msg: Msg<M>,
 ) {
     world.metrics.charge_hop(class);
-    let delay = world.hop_latency.sample(&mut world.latency_rng);
+    let delay = world
+        .hop_latency
+        .sample(world.latency_rng.rng(from.index()));
     dispatch_msg(world, engine, from, to, class, cause, delay, msg);
 }
 
@@ -552,7 +632,7 @@ pub(crate) fn resend_msg<M: Clone>(
 #[allow(clippy::too_many_arguments)] // one send's full context, used twice
 fn dispatch_msg<M: Clone>(
     world: &mut World,
-    engine: &mut Engine<Ev<M>>,
+    engine: &mut dyn EvSink<M>,
     from: NodeId,
     to: NodeId,
     class: MsgClass,
@@ -564,7 +644,7 @@ fn dispatch_msg<M: Clone>(
     let mut arrive = now + delay;
     let mut duplicate = false;
     if world.faults.armed() {
-        match world.faults.decide(now.as_secs_f64()) {
+        match world.faults.decide(from, now.as_secs_f64()) {
             FaultAction::Pass => {}
             FaultAction::Drop => {
                 world
@@ -594,7 +674,8 @@ fn dispatch_msg<M: Clone>(
         // right behind the original.
         let at2 = world.fifo.reserve_slot(from, to, arrive);
         world.trace.note_sent();
-        engine.schedule(
+        engine.deliver(
+            to,
             at2,
             Ev::Deliver {
                 from,
@@ -606,7 +687,8 @@ fn dispatch_msg<M: Clone>(
         );
     }
     world.trace.note_sent();
-    engine.schedule(
+    engine.deliver(
+        to,
         at,
         Ev::Deliver {
             from,
@@ -722,7 +804,7 @@ mod tests {
     use super::*;
     use crate::{AuthorityClock, CacheStore, InterestTracker, Metrics};
     use dup_overlay::regular_search_tree;
-    use dup_sim::{stream_rng, SimDuration};
+    use dup_sim::SimDuration;
 
     fn world() -> World {
         let tree = regular_search_tree(4, 3);
@@ -734,7 +816,7 @@ mod tests {
             interest: InterestTracker::new(SimDuration::from_mins(60), 6, 4),
             metrics,
             hop_latency: dup_workload::HopLatency::paper_default(),
-            latency_rng: stream_rng(1, "scheme-test"),
+            latency_rng: SenderStreams::new(1, "scheme-test"),
             fifo: FifoClocks::default(),
             probe: ProbeSink::disabled(),
             faults: FaultState::disabled(),
@@ -883,7 +965,7 @@ mod tests {
     }
 
     fn armed_faults(cfg: FaultConfig) -> FaultState {
-        FaultState::from_config(cfg, stream_rng(77, "faults"))
+        FaultState::from_config(cfg, 77)
     }
 
     #[test]
@@ -1034,8 +1116,9 @@ mod tests {
 
     #[test]
     fn disarmed_faults_draw_nothing() {
-        // The disabled layer must consume zero RNG draws: the stream handed
-        // to it stays untouched, protecting every determinism golden.
+        // The disabled layer must consume zero RNG draws: none of its
+        // per-sender streams is ever seeded, protecting every determinism
+        // golden.
         let mut w = world();
         let mut engine: Engine<Ev<u32>> = Engine::new();
         send_msg(
@@ -1046,10 +1129,11 @@ mod tests {
             MsgClass::Control,
             Msg::Scheme(0),
         );
-        let mut untouched = stream_rng(0, "faults");
-        let inert: f64 = w.faults.rng.gen();
-        let reference: f64 = untouched.gen();
-        assert_eq!(inert, reference, "disabled fault layer consumed a draw");
+        assert_eq!(
+            w.faults.streams.initialized(),
+            0,
+            "disabled fault layer seeded a stream"
+        );
         assert_eq!(w.faults.stats(), FaultStats::default());
     }
 
@@ -1089,7 +1173,7 @@ mod tests {
                 enabled: true,
                 ..ReliabilityConfig::default()
             },
-            stream_rng(5, "reliable"),
+            5,
         );
         let mut engine: Engine<Ev<u32>> = Engine::new();
         send_msg(
@@ -1102,17 +1186,20 @@ mod tests {
         );
         assert_eq!(w.reliable.stats().tracked, 1);
         assert_eq!(w.reliable.pending_count(), 1);
+        // Sequence numbers are per-sender: sender id in the high word, the
+        // sender-local counter in the low word.
+        let expect_seq = 1u64 << 32;
         let (mut tracked, mut retries) = (0, 0);
         engine.run(|_, ev| match ev {
             Ev::Deliver {
                 msg: Msg::Tracked { seq, inner },
                 ..
             } => {
-                assert_eq!((seq, inner), (0, 7));
+                assert_eq!((seq, inner), (expect_seq, 7));
                 tracked += 1;
             }
             Ev::Retry { seq, attempt, .. } => {
-                assert_eq!((seq, attempt), (0, 1));
+                assert_eq!((seq, attempt), (expect_seq, 1));
                 retries += 1;
             }
             other => panic!("unexpected event {other:?}"),
@@ -1129,7 +1216,7 @@ mod tests {
                 enabled: true,
                 ..ReliabilityConfig::default()
             },
-            stream_rng(5, "reliable"),
+            5,
         );
         let mut engine: Engine<Ev<u32>> = Engine::new();
         // Reply-class traffic is not an eligible cost class.

@@ -244,6 +244,24 @@ impl Registry {
                 depth as f64,
             );
         }
+        self.describe(
+            "dup_cross_shard_msgs_total",
+            "Deliveries routed across a space-shard boundary",
+        );
+        self.inc_counter(
+            "dup_cross_shard_msgs_total",
+            labels,
+            report.cross_shard_messages,
+        );
+        self.describe(
+            "dup_cross_shard_msg_ratio",
+            "Fraction of deliveries that crossed a space-shard boundary",
+        );
+        self.set_gauge(
+            "dup_cross_shard_msg_ratio",
+            labels,
+            report.cross_shard_message_ratio,
+        );
         if let Some(last) = report.samples.last() {
             self.describe(
                 "dup_in_flight_msgs",

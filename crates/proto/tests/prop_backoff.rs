@@ -60,11 +60,14 @@ fn backoff_is_monotone_and_capped_for_arbitrary_configs() {
 fn schedules_are_deterministic_per_seed() {
     for case in 0..50u64 {
         let cfg = arb_config(case);
-        let mut a = ReliableState::from_config(cfg.clone(), stream_rng(case, "reliable"));
-        let mut b = ReliableState::from_config(cfg.clone(), stream_rng(case, "reliable"));
-        for _ in 0..20 {
-            let (seq_a, jit_a) = a.begin_tracking();
-            let (seq_b, jit_b) = b.begin_tracking();
+        let mut a = ReliableState::from_config(cfg.clone(), case);
+        let mut b = ReliableState::from_config(cfg.clone(), case);
+        for i in 0..20u32 {
+            // Alternate senders: the jitter stream is per-sender, so each
+            // sender's draw order must replay independently.
+            let sender = NodeId(i % 3);
+            let (seq_a, jit_a) = a.begin_tracking(sender);
+            let (seq_b, jit_b) = b.begin_tracking(sender);
             assert_eq!(seq_a, seq_b);
             assert_eq!(
                 jit_a.to_bits(),
@@ -92,15 +95,15 @@ fn retry_budgets_hold_under_arbitrary_ack_loss() {
     for case in 0..100u64 {
         let cfg = arb_config(case);
         let max_retries = cfg.max_retries;
-        let mut r = ReliableState::from_config(cfg.clone(), stream_rng(case, "reliable"));
+        let mut r = ReliableState::from_config(cfg.clone(), case);
         let mut pattern = stream_rng(case, "prop/ack-loss");
         let mut timers: u64 = 0;
         let mut expect_acked: u64 = 0;
         let mut expect_exhausted: u64 = 0;
         let mut total_resends: u64 = 0;
         let n_msgs = pattern.gen_range(1..=40usize);
-        for _ in 0..n_msgs {
-            let (seq, jitter) = r.begin_tracking();
+        for m in 0..n_msgs {
+            let (seq, jitter) = r.begin_tracking(NodeId((m % 4) as u32));
             // `None` = the ack never arrives; `Some(k)` = the ack lands
             // after the k-th retransmission (0 = before any retry fires).
             let acked_after: Option<u32> = if pattern.gen_bool(0.5) {
@@ -184,7 +187,7 @@ fn retry_budgets_hold_under_arbitrary_ack_loss() {
 #[test]
 fn dedup_dispatches_each_message_exactly_once() {
     for case in 0..50u64 {
-        let mut r = ReliableState::from_config(arb_config(case), stream_rng(case, "reliable"));
+        let mut r = ReliableState::from_config(arb_config(case), case);
         let mut pattern = stream_rng(case, "prop/dup");
         let n_msgs = pattern.gen_range(1..=30usize);
         let mut arrivals: Vec<(NodeId, u64)> = Vec::new();

@@ -46,6 +46,6 @@ pub mod time;
 pub use engine::{Engine, RunOutcome};
 pub use probe::{FnProbe, NoopProbe, Probe, RingProbe};
 pub use queue::{EventQueue, QueueBackend, TimerId};
-pub use rng::{stream_rng, stream_seed, StreamRng};
+pub use rng::{stream_rng, stream_seed, SenderStreams, StreamRng};
 pub use shard::{run_shards, ShardCtx, ShardModel, ShardRunReport, ShardedEngine};
 pub use time::{SimDuration, SimTime};

@@ -39,6 +39,52 @@ pub fn stream_rng(master_seed: u64, label: &str) -> StreamRng {
     StreamRng::seed_from_u64(stream_seed(master_seed, label))
 }
 
+/// A family of per-sender RNG streams derived lazily from one
+/// `(master_seed, label)` pair: stream `i` is `stream_rng(seed, "label/i")`.
+///
+/// Components whose draws are attributable to a *sender* (hop latencies,
+/// fault decisions, retransmit jitter) use one stream per sender instead of
+/// a single shared stream. A sender's draw sequence then depends only on
+/// that sender's own send order — not on how sends from different nodes
+/// interleave — which is what lets a space-partitioned run reproduce the
+/// sequential run's draws exactly: each shard replays its own senders'
+/// sequences in local event order.
+///
+/// Streams materialize on first use, so a run only pays for the senders
+/// that actually send.
+#[derive(Debug, Clone)]
+pub struct SenderStreams {
+    seed: u64,
+    label: String,
+    streams: Vec<Option<StreamRng>>,
+}
+
+impl SenderStreams {
+    /// Creates the family; no stream is seeded until its first draw.
+    pub fn new(seed: u64, label: impl Into<String>) -> Self {
+        SenderStreams {
+            seed,
+            label: label.into(),
+            streams: Vec::new(),
+        }
+    }
+
+    /// The stream for sender index `idx`, seeding it on first access.
+    pub fn rng(&mut self, idx: usize) -> &mut StreamRng {
+        if idx >= self.streams.len() {
+            self.streams.resize_with(idx + 1, || None);
+        }
+        let (seed, label) = (self.seed, &self.label);
+        self.streams[idx].get_or_insert_with(|| stream_rng(seed, &format!("{label}/{idx}")))
+    }
+
+    /// Number of streams that have been seeded so far (diagnostics; also
+    /// how tests assert that a disabled layer drew nothing).
+    pub fn initialized(&self) -> usize {
+        self.streams.iter().filter(|s| s.is_some()).count()
+    }
+}
+
 /// splitmix64 finalizer: a strong 64-bit mixing function.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -87,5 +133,35 @@ mod tests {
     fn labels_with_shared_prefix_differ() {
         assert_ne!(stream_seed(7, "node"), stream_seed(7, "node2"));
         assert_ne!(stream_seed(7, "node/1"), stream_seed(7, "node/2"));
+    }
+
+    #[test]
+    fn sender_streams_match_their_flat_spelling() {
+        let mut fam = SenderStreams::new(42, "hop-latency");
+        assert_eq!(fam.initialized(), 0);
+        let mut flat = stream_rng(42, "hop-latency/5");
+        for _ in 0..100 {
+            assert_eq!(fam.rng(5).gen::<u64>(), flat.gen::<u64>());
+        }
+        // Only the touched stream materialized, despite the resize to 6.
+        assert_eq!(fam.initialized(), 1);
+    }
+
+    #[test]
+    fn sender_streams_are_independent_of_interleaving() {
+        // Draw a/b interleaved one way, then the other: each sender's own
+        // sequence is unchanged.
+        let mut x = SenderStreams::new(7, "s");
+        let ax: Vec<u64> = (0..3).map(|_| x.rng(0).gen()).collect();
+        let bx: Vec<u64> = (0..3).map(|_| x.rng(1).gen()).collect();
+        let mut y = SenderStreams::new(7, "s");
+        let mut ay = Vec::new();
+        let mut by = Vec::new();
+        for _ in 0..3 {
+            by.push(y.rng(1).gen::<u64>());
+            ay.push(y.rng(0).gen::<u64>());
+        }
+        assert_eq!(ax, ay);
+        assert_eq!(bx, by);
     }
 }

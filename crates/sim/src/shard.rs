@@ -26,7 +26,7 @@
 //! for *ensemble* sharding (independent sub-simulations, no cross-shard
 //! traffic) used by the protocol layer's `RunConfig::shards` mode.
 
-use crate::queue::{EventQueue, Popped, QueueBackend};
+use crate::queue::{EventQueue, Popped, QueueBackend, TimerId};
 use crate::time::{SimDuration, SimTime};
 
 /// A message crossing shard boundaries, delivered at the next window
@@ -63,10 +63,23 @@ impl<E> ShardCtx<'_, E> {
     }
 
     /// Schedules `event` on this shard at `at` (≥ now; local events have no
-    /// lookahead constraint).
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    /// lookahead constraint). The returned handle can cancel the event via
+    /// [`ShardCtx::cancel`]; callers that never cancel may ignore it.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> TimerId {
         assert!(at >= self.now, "scheduling into the past");
-        self.queue.push(at, event);
+        self.queue.push(at, event)
+    }
+
+    /// Cancels a shard-local scheduled event by handle (see
+    /// [`EventQueue::cancel`] for the lazy-deletion contract). Cross-shard
+    /// messages cannot be cancelled — they have already left the shard.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Number of events pending on this shard's local queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// Sends `event` to shard `dst` for delivery at `at`.
@@ -115,6 +128,8 @@ struct ShardState<M: ShardModel> {
     queue: EventQueue<M::Event>,
     outbox: Vec<CrossMsg<M::Event>>,
     events: u64,
+    /// Timestamp of the last event this shard popped, if any.
+    last_event_at: Option<SimTime>,
 }
 
 /// Aggregate statistics of a [`ShardedEngine`] run.
@@ -173,6 +188,7 @@ impl<M: ShardModel> ShardedEngine<M> {
                     queue: EventQueue::with_backend(backend),
                     outbox: Vec::new(),
                     events: 0,
+                    last_event_at: None,
                 })
                 .collect(),
             lookahead,
@@ -204,6 +220,7 @@ impl<M: ShardModel> ShardedEngine<M> {
     fn advance(shard: usize, state: &mut ShardState<M>, horizon: SimTime, lookahead: SimDuration) {
         while let Popped::Event((now, event)) = state.queue.pop_before(Some(horizon)) {
             state.events += 1;
+            state.last_event_at = Some(now);
             let mut ctx = ShardCtx {
                 shard,
                 now,
@@ -238,9 +255,16 @@ impl<M: ShardModel> ShardedEngine<M> {
                 Self::advance(i, state, horizon, lookahead);
             }
         }
-        // Barrier: canonical (time, source shard, emission index) order
-        // makes destination-queue sequence numbers independent of thread
-        // scheduling.
+        self.merge_outboxes();
+        self.now = horizon;
+        self.windows += 1;
+        true
+    }
+
+    /// Barrier: delivers every shard's outbox in the canonical
+    /// `(time, source shard, emission index)` order, which makes
+    /// destination-queue sequence numbers independent of thread scheduling.
+    fn merge_outboxes(&mut self) {
         let mut inflight: Vec<(SimTime, u32, u32, CrossMsg<M::Event>)> = Vec::new();
         for (src, state) in self.shards.iter_mut().enumerate() {
             for msg in state.outbox.drain(..) {
@@ -252,9 +276,118 @@ impl<M: ShardModel> ShardedEngine<M> {
         for (_, _, _, msg) in inflight {
             self.shards[msg.dst as usize].queue.push(msg.at, msg.event);
         }
-        self.now = horizon;
-        self.windows += 1;
-        true
+    }
+
+    /// Runs lookahead windows until no pending event lies strictly before
+    /// `horizon`, then parks the clock there. Windows are clamped to the
+    /// horizon, so events at or beyond it stay queued — the sharded
+    /// equivalent of [`crate::Engine::set_horizon`] + run. Clamping never
+    /// strands a cross-shard message: a message emitted in a window starting
+    /// at `start` is timestamped ≥ its sender's clock + lookahead ≥
+    /// `start` + lookahead ≥ the clamped window end, so it is merged at the
+    /// barrier before any shard's clock can pass it.
+    pub fn run_until(&mut self, horizon: SimTime, threaded: bool) {
+        loop {
+            let earliest = match self.earliest() {
+                Some(t) if t < horizon => t,
+                _ => break,
+            };
+            let start = self.now.max(earliest);
+            let end = (start + self.lookahead).min(horizon);
+            self.now = start;
+            let lookahead = self.lookahead;
+            if threaded && self.shards.len() > 1 {
+                std::thread::scope(|scope| {
+                    for (i, state) in self.shards.iter_mut().enumerate() {
+                        scope.spawn(move || Self::advance(i, state, end, lookahead));
+                    }
+                });
+            } else {
+                for (i, state) in self.shards.iter_mut().enumerate() {
+                    Self::advance(i, state, end, lookahead);
+                }
+            }
+            self.merge_outboxes();
+            self.now = end;
+            self.windows += 1;
+        }
+        self.now = horizon.max(self.now);
+    }
+
+    /// Runs `f` once per shard (in shard order, `f(model, ctx)` — the
+    /// shard index is `ctx.shard()`) at instant `at` with every queue
+    /// quiescent, then merges the cross-shard sends `f` emitted in
+    /// canonical order. This is how a space-parallel run injects
+    /// synchronized model transitions — initial seeding at t = 0, heal
+    /// phases after a drain — without violating the window protocol: with
+    /// no event in flight anywhere, a barrier is trivially safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any shard still has pending events (the caller must
+    /// drain first) — injecting under in-flight traffic would reorder it.
+    pub fn barrier_inject<F>(&mut self, at: SimTime, mut f: F)
+    where
+        F: FnMut(&mut M, &mut ShardCtx<'_, M::Event>),
+    {
+        assert!(
+            self.shards.iter().all(|s| s.queue.is_empty()),
+            "barrier_inject requires drained shard queues"
+        );
+        self.now = at;
+        let lookahead = self.lookahead;
+        for (i, state) in self.shards.iter_mut().enumerate() {
+            let mut ctx = ShardCtx {
+                shard: i,
+                now: at,
+                lookahead,
+                queue: &mut state.queue,
+                outbox: &mut state.outbox,
+            };
+            f(&mut state.model, &mut ctx);
+        }
+        self.merge_outboxes();
+    }
+
+    /// Events processed so far, per shard.
+    pub fn events_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.events).collect()
+    }
+
+    /// Cross-shard messages merged so far.
+    pub fn cross_messages(&self) -> u64 {
+        self.cross_messages
+    }
+
+    /// Lookahead windows executed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Per-shard event-queue high-water marks.
+    pub fn peak_queue_depth_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.queue.peak_len() as u64)
+            .collect()
+    }
+
+    /// The latest timestamp any shard has popped, across the whole run —
+    /// i.e. the global "last event" time, which a drained space-parallel
+    /// run uses to synchronize post-run injections with the sequential
+    /// engine's parked clock.
+    pub fn last_event_time(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(|s| s.last_event_at).max()
+    }
+
+    /// Read access to the shard models, in shard order.
+    pub fn models(&self) -> impl Iterator<Item = &M> {
+        self.shards.iter().map(|s| &s.model)
+    }
+
+    /// Mutable access to one shard's model (post-drain bookkeeping).
+    pub fn model_mut(&mut self, shard: usize) -> &mut M {
+        &mut self.shards[shard].model
     }
 
     /// Runs until every shard's queue drains. `threaded` selects one worker
@@ -434,6 +567,83 @@ mod tests {
         let mut eng = ShardedEngine::new(vec![Eager, Eager], SimDuration::from_nanos(10_000_000));
         eng.schedule(0, SimTime::ZERO, ());
         eng.run(false);
+    }
+
+    #[test]
+    fn run_until_clamps_windows_and_matches_full_run_prefix() {
+        // Run to a mid-stream horizon, then to the end: the composed run's
+        // logs must equal one uninterrupted run's, threaded or not.
+        let mut whole = phold_engine(4, 400);
+        whole.run(false);
+        let whole_logs: Vec<_> = whole.into_models().into_iter().map(|m| m.log).collect();
+
+        let mut split = phold_engine(4, 400);
+        split.run_until(SimTime::from_secs(1), true);
+        let mid_events: u64 = split.events_per_shard().iter().sum();
+        split.run(true);
+        let split_logs: Vec<_> = split.into_models().into_iter().map(|m| m.log).collect();
+        assert_eq!(whole_logs, split_logs);
+        assert!(mid_events > 0);
+
+        // Events at or beyond the horizon stay queued.
+        let mut parked = phold_engine(4, 400);
+        parked.run_until(SimTime::from_nanos(1), false);
+        let after: u64 = parked.events_per_shard().iter().sum();
+        assert!(after < 401 * 4, "horizon did not stop the run");
+    }
+
+    #[test]
+    fn barrier_inject_merges_canonically_after_a_drain() {
+        let mut eng = phold_engine(2, 50);
+        eng.run(false);
+        let before: u64 = eng.events_per_shard().iter().sum();
+        let t = eng.last_event_time().expect("events ran");
+        eng.barrier_inject(t, |_, ctx| {
+            // Each shard both schedules locally and crosses the boundary.
+            let shard = ctx.shard();
+            ctx.schedule(t, 1000 + shard as u64);
+            ctx.send(
+                1 - shard,
+                t + SimDuration::from_nanos(10_000_000),
+                shard as u64,
+            );
+        });
+        eng.run(false);
+        let after: u64 = eng.events_per_shard().iter().sum();
+        assert!(after >= before + 4, "injected events did not run");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires drained shard queues")]
+    fn barrier_inject_refuses_inflight_traffic() {
+        let mut eng = phold_engine(2, 50);
+        eng.run_until(SimTime::from_nanos(1), false);
+        eng.barrier_inject(SimTime::from_secs(10), |_, _| {});
+    }
+
+    #[test]
+    fn cancelled_local_timer_never_fires() {
+        struct Canceller {
+            fired: u64,
+        }
+        impl ShardModel for Canceller {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, ctx: &mut ShardCtx<'_, u32>) {
+                self.fired += 1;
+                if ev == 0 {
+                    let doomed = ctx.schedule(ctx.now() + SimDuration::from_nanos(5), 99);
+                    assert!(ctx.cancel(doomed));
+                    assert_eq!(ctx.pending(), 1, "cancelled entry still counted");
+                    ctx.schedule(ctx.now() + SimDuration::from_nanos(7), 1);
+                }
+            }
+        }
+        let mut eng =
+            ShardedEngine::new(vec![Canceller { fired: 0 }], SimDuration::from_nanos(1_000));
+        eng.schedule(0, SimTime::ZERO, 0);
+        eng.run(false);
+        let models = eng.into_models();
+        assert_eq!(models[0].fired, 2, "cancelled timer fired");
     }
 
     #[test]

@@ -55,11 +55,34 @@ impl BatchMeans {
         self.raw_sum += x;
         self.current_count += 1;
         self.current_sum += x;
-        if self.current_count == self.batch_size {
-            self.batches.push(self.current_sum / self.batch_size as f64);
+        if self.current_count >= self.batch_size {
+            self.batches
+                .push(self.current_sum / self.current_count as f64);
             self.current_count = 0;
             self.current_sum = 0.0;
         }
+    }
+
+    /// Merges another accumulator with the same batch size into this one.
+    ///
+    /// Closed batches merge exactly (Welford combination over batch means);
+    /// the two open batches are pooled into a single open batch, which may
+    /// momentarily hold more than `batch_size` observations and closes as
+    /// one slightly-larger batch on the next push. Space-parallel shards
+    /// merge once at finalize, so batch *boundaries* differ from a
+    /// sequential run (each shard batches only its own queries), but the
+    /// grand mean is exact and the CI remains a valid batch-means interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when batch sizes differ.
+    pub fn merge(&mut self, other: &BatchMeans) {
+        assert_eq!(self.batch_size, other.batch_size, "batch size mismatch");
+        self.batches.merge(&other.batches);
+        self.raw_count += other.raw_count;
+        self.raw_sum += other.raw_sum;
+        self.current_count += other.current_count;
+        self.current_sum += other.current_sum;
     }
 
     /// Number of completed batches.

@@ -4,22 +4,38 @@
 //! distribution with mean value of 0.1 seconds" (§IV). Every overlay hop —
 //! request forwarding, replies, pushes, subscription traffic — draws an
 //! independent transfer delay from this model.
+//!
+//! The model is a *shifted* exponential: a strictly positive floor
+//! `min_secs` plus an exponential tail whose mean is `mean_secs −
+//! min_secs`, so the overall mean stays `mean_secs`. The floor is what
+//! makes space-parallel execution possible — it is the conservative
+//! engine's lookahead: no message can arrive sooner than `min_secs` after
+//! it was sent, so shards may run `min_secs` of simulated time apart
+//! without risking a causality violation. With `min_secs = 0` the model
+//! degenerates to the paper's plain exponential (and admits no lookahead).
 
 use dup_sim::{SimDuration, StreamRng};
 
 use crate::variates::exp_variate;
 
-/// Exponential per-hop transfer latency.
+/// Shifted-exponential per-hop transfer latency.
 #[derive(Debug, Clone, Copy)]
 pub struct HopLatency {
     mean_secs: f64,
+    min_secs: f64,
 }
 
 impl HopLatency {
     /// The paper's default: mean 0.1 s per hop.
     pub const PAPER_DEFAULT_MEAN_SECS: f64 = 0.1;
 
-    /// Creates a latency model with the given mean transfer time in seconds.
+    /// Default latency floor: a tenth of the paper's mean. Small enough
+    /// that the distribution stays visually exponential, large enough for
+    /// useful lookahead windows.
+    pub const DEFAULT_MIN_SECS: f64 = 0.01;
+
+    /// Creates a latency model with the given mean transfer time in
+    /// seconds and no floor (plain exponential).
     ///
     /// # Panics
     ///
@@ -29,7 +45,27 @@ impl HopLatency {
             mean_secs > 0.0 && mean_secs.is_finite(),
             "hop latency mean must be positive and finite, got {mean_secs}"
         );
-        HopLatency { mean_secs }
+        HopLatency {
+            mean_secs,
+            min_secs: 0.0,
+        }
+    }
+
+    /// Creates a shifted model: every draw is at least `min_secs`, and the
+    /// overall mean remains `mean_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ min_secs < mean_secs` (the exponential tail needs
+    /// a strictly positive mean) and both are finite.
+    pub fn with_min(mean_secs: f64, min_secs: f64) -> Self {
+        let mut model = HopLatency::new(mean_secs);
+        assert!(
+            min_secs >= 0.0 && min_secs < mean_secs && min_secs.is_finite(),
+            "hop latency floor must satisfy 0 <= min ({min_secs}) < mean ({mean_secs})"
+        );
+        model.min_secs = min_secs;
+        model
     }
 
     /// The paper's configuration.
@@ -42,10 +78,29 @@ impl HopLatency {
         self.mean_secs
     }
 
+    /// The latency floor in seconds (0 for the unshifted model).
+    pub fn min_secs(&self) -> f64 {
+        self.min_secs
+    }
+
+    /// The floor as an exact integer-nanosecond duration — the lookahead a
+    /// conservative parallel engine may run with. Every [`sample`] is
+    /// computed as this duration *plus* a non-negative tail, so `sample ≥
+    /// lookahead` holds exactly in integer nanoseconds, never merely up to
+    /// float rounding.
+    ///
+    /// [`sample`]: HopLatency::sample
+    pub fn lookahead(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.min_secs)
+    }
+
     /// Draws one hop's transfer delay.
     #[inline]
     pub fn sample(&self, rng: &mut StreamRng) -> SimDuration {
-        SimDuration::from_secs_f64(exp_variate(rng, 1.0 / self.mean_secs))
+        let tail = exp_variate(rng, 1.0 / (self.mean_secs - self.min_secs));
+        // Summing the two *durations* (not the two f64 seconds) guarantees
+        // the result is >= the floor in exact integer nanoseconds.
+        self.lookahead() + SimDuration::from_secs_f64(tail)
     }
 }
 
@@ -68,6 +123,22 @@ mod tests {
     }
 
     #[test]
+    fn shifted_model_keeps_the_mean_and_respects_the_floor() {
+        let model = HopLatency::with_min(0.1, 0.01);
+        let floor = model.lookahead();
+        let mut rng = stream_rng(42, "hop-min");
+        let n = 200_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let d = model.sample(&mut rng);
+            assert!(d >= floor, "draw {d} under the floor {floor}");
+            total += d.as_secs_f64();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 0.1).abs() < 0.002, "mean {mean}");
+    }
+
+    #[test]
     fn samples_are_positive() {
         let model = HopLatency::new(0.5);
         let mut rng = stream_rng(43, "pos");
@@ -79,15 +150,24 @@ mod tests {
     #[test]
     fn accessors() {
         assert_eq!(HopLatency::new(0.25).mean_secs(), 0.25);
+        assert_eq!(HopLatency::new(0.25).min_secs(), 0.0);
+        assert_eq!(HopLatency::with_min(0.25, 0.05).min_secs(), 0.05);
         assert_eq!(
             HopLatency::paper_default().mean_secs(),
             HopLatency::PAPER_DEFAULT_MEAN_SECS
         );
+        assert_eq!(HopLatency::new(0.25).lookahead(), SimDuration::ZERO);
     }
 
     #[test]
     #[should_panic(expected = "positive and finite")]
     fn rejects_zero_mean() {
         HopLatency::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min")]
+    fn rejects_floor_at_or_above_mean() {
+        HopLatency::with_min(0.1, 0.1);
     }
 }

@@ -10,6 +10,7 @@ fn opts() -> HarnessOpts {
         jobs: 0,
         reps: 1,
         shards: 1,
+        space_shards: 1,
     }
 }
 

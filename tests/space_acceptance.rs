@@ -1,0 +1,79 @@
+//! Space-parallel acceptance gate (ISSUE 7): a single ≥10k-node DUP run
+//! partitioned across N space shards must reproduce the sequential run's
+//! event log bit for bit for N ∈ {1, 2, 4}, and the merged final state
+//! must pass the NCA-closure differential oracle.
+//!
+//! The full-size test is `#[ignore]`d because it simulates 10k+ nodes;
+//! run it explicitly with:
+//!
+//! ```text
+//! cargo test --release --test space_acceptance -- --ignored
+//! ```
+
+use dup_core::{check_tree_invariants, DupScheme};
+use dup_overlay::TopologyParams;
+use dup_proto::{run_simulation_space_settled, RunConfig, Scheme, TopologySource};
+
+const HEAL_PHASES: usize = 8;
+
+fn acceptance_cfg(nodes: usize, space_shards: usize) -> RunConfig {
+    RunConfig {
+        topology: TopologySource::RandomTree(TopologyParams {
+            nodes,
+            max_degree: 4,
+        }),
+        lambda: 8.0,
+        warmup_secs: 500.0,
+        duration_secs: 2_000.0,
+        latency_batch: 50,
+        space_shards,
+        ..RunConfig::paper_default(0xD0_2026)
+    }
+}
+
+/// Runs DUP at `space_shards`, returns the sorted merged log plus the
+/// oracle verdict on the owner-locally merged final state.
+fn run_at(nodes: usize, space_shards: usize) -> (Vec<dup_proto::LogRecord>, Result<(), String>) {
+    let cfg = acceptance_cfg(nodes, space_shards);
+    let (settled, log) =
+        run_simulation_space_settled(&cfg, DupScheme::new, true, HEAL_PHASES, |s, ctx, _| {
+            s.on_lease_tick(ctx);
+        });
+    let mut merged = DupScheme::new();
+    for (i, (scheme, _)) in settled.shards.iter().enumerate() {
+        merged.adopt_owned_lists(scheme, |n| settled.map.owner(n) == i);
+    }
+    let oracle =
+        check_tree_invariants(&merged, &settled.shards[0].1.tree).map_err(|r| r.to_string());
+    (log, oracle)
+}
+
+fn shard_counts_agree(nodes: usize) {
+    let (log1, oracle1) = run_at(nodes, 1);
+    assert!(!log1.is_empty(), "run produced no deliveries");
+    oracle1.expect("1-shard DUP run failed the differential oracle");
+    for shards in [2usize, 4] {
+        let (log_n, oracle_n) = run_at(nodes, shards);
+        assert_eq!(
+            log1, log_n,
+            "{shards}-shard event log diverged from the 1-shard log"
+        );
+        oracle_n.unwrap_or_else(|r| {
+            panic!("{shards}-shard DUP run failed the differential oracle:\n{r}")
+        });
+    }
+}
+
+/// Small always-on tripwire so shard-count divergence is caught by plain
+/// `cargo test` long before the full-size gate runs.
+#[test]
+fn dup_logs_bit_identical_across_shard_counts_small() {
+    shard_counts_agree(256);
+}
+
+/// The ISSUE 7 acceptance gate proper: ≥10k nodes, N ∈ {1, 2, 4}.
+#[test]
+#[ignore = "10k-node simulation; run with --release -- --ignored"]
+fn dup_logs_bit_identical_across_shard_counts_10k() {
+    shard_counts_agree(10_240);
+}
