@@ -147,6 +147,9 @@ pub struct DupScheme {
     /// Fault-injection mutation switch (see
     /// [`DupScheme::set_break_substitute_merge`]).
     break_substitute_merge: bool,
+    /// Fault-injection mutation switch (see
+    /// [`DupScheme::set_break_lease_expiry`]).
+    break_lease_expiry: bool,
     /// Lease/repair activity counters (see [`RepairStats`]).
     repair: RepairStats,
 }
@@ -169,6 +172,19 @@ impl DupScheme {
     /// enable it in an experiment.
     pub fn set_break_substitute_merge(&mut self, broken: bool) {
         self.break_substitute_merge = broken;
+    }
+
+    /// Deliberately breaks lease expiry: the broken sweep removes only
+    /// entries whose node is *dead*, never live entries that went
+    /// unconfirmed during the epoch — so upstream state orphaned by a lost
+    /// `unsubscribe` (the entry's owner no longer wants updates, but the
+    /// entry's node is still alive) lingers forever instead of aging out.
+    /// This is a **mutation switch for verifying the verifier** — the
+    /// scenario suite flips it to confirm each adversarial scenario's
+    /// oracle assertion actually depends on working lease expiry. Never
+    /// enable it in an experiment.
+    pub fn set_break_lease_expiry(&mut self, broken: bool) {
+        self.break_lease_expiry = broken;
     }
 
     /// Opens a lease epoch: from now until [`DupScheme::end_lease_epoch`],
@@ -196,7 +212,10 @@ impl DupScheme {
                 .s_list(node)
                 .iter()
                 .copied()
-                .filter(|&e| !ctx.tree().is_alive(e) || !touched.contains(&(node, e)))
+                .filter(|&e| {
+                    !ctx.tree().is_alive(e)
+                        || (!self.break_lease_expiry && !touched.contains(&(node, e)))
+                })
                 .collect();
             if expired.is_empty() {
                 continue;

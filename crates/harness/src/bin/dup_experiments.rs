@@ -20,6 +20,18 @@
 //!               bounded lease periods; writes CHAOS_report.json and
 //!               CHAOS_metrics.prom to --out DIR; exits nonzero on any
 //!               non-convergence
+//!               or `scenarios`: run the adversarial scenario suite —
+//!               flash crowds (piecewise-Zipf θ spikes), regional
+//!               partitions, slow/asymmetric links, and peer-set
+//!               infiltration with scoped churn as the countermeasure;
+//!               every DUP case must re-converge to the NCA-closure
+//!               oracle within its family's lease-period bound (PCX/CUP
+//!               replay bit-identically), and the flash-crowd space cell
+//!               must match the sequential event log bit for bit; writes
+//!               SCENARIO_report.json, SCENARIO_metrics.prom, and one
+//!               SCENARIO_<family>_perfetto.json +
+//!               SCENARIO_<family>_metrics.prom pair per family to --out
+//!               DIR; exits nonzero on any failure
 //!               or `trace-report`: run one fully traced simulation
 //!               (scheme from --scheme, default dup), reconstruct
 //!               per-update propagation trees with a latency decomposition,
@@ -52,8 +64,12 @@
 //!                    engine shards (one simulation, one worker thread per
 //!                    shard; default 1 = classic single-queue; mutually
 //!                    exclusive with --shards)
-//!   --seeds <n>      scenarios per scheme for `fuzz`/`chaos` (default 16;
-//!                    scenario seeds derive from --seed)
+//!   --seeds <n>      scenarios per scheme for `fuzz`/`chaos` (default 16)
+//!                    and per family for `scenarios` (default 2); scenario
+//!                    seeds derive from --seed
+//!   --family <name>  restrict `scenarios` to one family
+//!                    (flash-crowd|partition|asym-link|infiltration;
+//!                    default: all four)
 //!   --replay <u64>   replay exactly one scenario seed (as printed by a
 //!                    failing campaign) instead of a full seed set
 //!   --scheme <pcx|cup|dup>   restrict `fuzz`/`chaos` to one scheme
@@ -74,7 +90,8 @@ use std::process::ExitCode;
 
 use dup_core::run_simulation_kind;
 use dup_harness::{
-    all_experiments, experiment_by_name, HarnessOpts, Scale, ScenarioArgs, SchemeKind,
+    all_experiments, experiment_by_name, HarnessOpts, Scale, ScenarioArgs, ScenarioFamily,
+    SchemeKind,
 };
 use dup_proto::{JsonlProbe, ProbeSink};
 
@@ -85,6 +102,7 @@ fn main() -> ExitCode {
     let mut trace_sample = 600.0;
     let mut bench_reps = 5usize;
     let mut scenario = ScenarioArgs::default();
+    let mut family: Option<ScenarioFamily> = None;
     let mut fuzz_mutate = false;
     let mut shards = 1usize;
     let mut space_shards = 1usize;
@@ -123,6 +141,15 @@ fn main() -> ExitCode {
                 _ => return usage("--bench-reps needs a positive integer"),
             },
             "--fuzz-mutate" => fuzz_mutate = true,
+            "--family" => match args.next().map(|s| s.parse()) {
+                Some(Ok(f)) => family = Some(f),
+                Some(Err(e)) => return usage(&e),
+                None => {
+                    return usage(
+                        "--family needs flash-crowd, partition, asym-link, or infiltration",
+                    )
+                }
+            },
             "--shards" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n >= 1 => shards = n,
                 _ => return usage("--shards needs a positive integer"),
@@ -215,6 +242,23 @@ fn main() -> ExitCode {
             }
         }
         // Like --trace, space-smoke stands alone unless experiments were
+        // also requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if selected.iter().any(|s| s == "scenarios") {
+        selected.retain(|s| s != "scenarios");
+        match run_scenarios_cmd(&opts, &scenario, family, out_dir.as_deref()) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::FAILURE,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Like --trace, scenarios stands alone unless experiments were
         // also requested.
         if selected.is_empty() {
             return ExitCode::SUCCESS;
@@ -441,6 +485,86 @@ fn run_chaos_cmd(
     Ok(report.failures().is_empty() && space_cell.passed)
 }
 
+/// Runs the adversarial scenario suite (or a single-seed replay) plus the
+/// flash-crowd space cell; returns `Ok(true)` when every case passed.
+/// Writes `SCENARIO_report.json`, `SCENARIO_metrics.prom`, and one traced
+/// Perfetto/Prometheus artifact pair per family when `--out` is given.
+fn run_scenarios_cmd(
+    opts: &HarnessOpts,
+    scenario: &ScenarioArgs,
+    family: Option<ScenarioFamily>,
+    out_dir: Option<&std::path::Path>,
+) -> Result<bool, String> {
+    let schemes = scenario.schemes();
+    let families: Vec<ScenarioFamily> = match family {
+        Some(f) => vec![f],
+        None => ScenarioFamily::ALL.to_vec(),
+    };
+    let started = std::time::Instant::now();
+    let report = match scenario.replay {
+        // Replay one printed scenario seed exactly (every selected
+        // family × scheme, clean).
+        Some(seed) => dup_harness::ScenarioSuiteReport {
+            master_seed: opts.seed,
+            cases: families
+                .iter()
+                .flat_map(|&f| {
+                    schemes.iter().map(move |&kind| {
+                        dup_harness::run_scenario_case(f, kind, seed, dup_harness::Mutation::Clean)
+                    })
+                })
+                .collect(),
+        },
+        None => {
+            dup_harness::run_scenario_suite(opts.seed, scenario.seeds_or(2), &families, &schemes)
+        }
+    };
+    print!("{}", dup_harness::render_scenario_report(&report));
+    // The space-parallel cell: the flash-crowd θ schedule partitioned
+    // across two engine shards must reproduce the sequential event log
+    // bit for bit and heal to the oracle tree.
+    let space_cell = dup_harness::run_flash_space_cell(opts.seed);
+    print!("{}", dup_harness::render_flash_space_cell(&space_cell));
+    println!("(scenarios finished in {:.1?})\n", started.elapsed());
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let path = dir.join("SCENARIO_report.json");
+        let doc = serde_json::to_string_pretty(&report).expect("scenario report serializes");
+        std::fs::write(&path, doc + "\n")
+            .map_err(|e| format!("write {} failed: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        let prom_path = dir.join("SCENARIO_metrics.prom");
+        let prom = dup_harness::scenario_registry(&report).render_prometheus();
+        std::fs::write(&prom_path, prom)
+            .map_err(|e| format!("write {} failed: {e}", prom_path.display()))?;
+        println!("wrote {}", prom_path.display());
+        // One traced DUP run per family: the latency-decomposition
+        // artifacts the CI job uploads.
+        for &f in &families {
+            let seed = scenario
+                .replay
+                .unwrap_or_else(|| dup_harness::scenario_suite_seeds(opts.seed, f, 1)[0]);
+            let artifacts = dup_harness::scenario_trace_artifacts(f, seed);
+            let stem = f.name().replace('-', "_");
+            let perfetto_path = dir.join(format!("SCENARIO_{stem}_perfetto.json"));
+            let doc = serde_json::to_string(&artifacts.perfetto).expect("perfetto doc serializes");
+            std::fs::write(&perfetto_path, doc + "\n")
+                .map_err(|e| format!("write {} failed: {e}", perfetto_path.display()))?;
+            println!(
+                "wrote {} ({} spans; load it in ui.perfetto.dev)",
+                perfetto_path.display(),
+                artifacts.traced_spans,
+            );
+            let prom_path = dir.join(format!("SCENARIO_{stem}_metrics.prom"));
+            std::fs::write(&prom_path, &artifacts.prometheus)
+                .map_err(|e| format!("write {} failed: {e}", prom_path.display()))?;
+            println!("wrote {}", prom_path.display());
+        }
+    }
+    Ok(report.failures().is_empty() && space_cell.passed)
+}
+
 /// Runs one probed simulation at the configured scale and streams every
 /// probe event to `path` as JSON Lines.
 fn run_trace(
@@ -477,9 +601,10 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: dup-experiments [--full|--bench-scale] [--seed N] [--jobs N] [--reps N] \
          [--shards N] [--space-shards N] [--out DIR] [--trace FILE] [--trace-sample SECS] \
-         [--bench-reps N] [--seeds N] [--replay SEED] [--scheme pcx|cup|dup] [--fuzz-mutate] \
+         [--bench-reps N] [--seeds N] [--replay SEED] [--scheme pcx|cup|dup] \
+         [--family flash-crowd|partition|asym-link|infiltration] [--fuzz-mutate] \
          [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|chaos|\
-         trace-report|space-smoke]..."
+         scenarios|trace-report|space-smoke]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

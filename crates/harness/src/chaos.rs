@@ -89,6 +89,7 @@ pub fn chaos_config(seed: u64) -> RunConfig {
         max_extra_delay_secs: 5.0 + rng.gen::<f64>() * 40.0,
         churn_boost: 1.0 + rng.gen::<f64>() * 3.0,
         windows,
+        ..FaultConfig::default()
     };
     let reliability = ReliabilityConfig {
         enabled: true,
@@ -139,6 +140,7 @@ pub fn chaos_space_config(seed: u64) -> RunConfig {
             start_secs: start,
             end_secs: start + 200.0 + rng.gen::<f64>() * horizon * 0.3,
         }],
+        ..FaultConfig::default()
     };
     let reliability = ReliabilityConfig {
         enabled: true,

@@ -75,6 +75,7 @@ pub fn scenario_config(seed: u64) -> RunConfig {
         max_extra_delay_secs: 5.0 + rng.gen::<f64>() * 40.0,
         churn_boost: 1.0 + rng.gen::<f64>() * 3.0,
         windows,
+        ..FaultConfig::default()
     };
     RunConfig::builder(seed)
         .nodes(nodes)

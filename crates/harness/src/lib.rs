@@ -31,6 +31,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fuzz;
 pub mod report;
+pub mod scenarios;
 pub mod spacesmoke;
 pub mod table2;
 pub mod table3;
@@ -52,5 +53,11 @@ pub use fuzz::{
     ScenarioResult,
 };
 pub use report::TextTable;
+pub use scenarios::{
+    flash_space_config, render_flash_space_cell, render_scenario_report, run_flash_space_cell,
+    run_scenario_case, run_scenario_suite, scenario_registry, scenario_suite_config,
+    scenario_suite_seeds, scenario_trace_artifacts, Mutation, ScenarioCaseResult, ScenarioFamily,
+    ScenarioSpaceResult, ScenarioSuiteReport, ScenarioTraceArtifacts,
+};
 pub use spacesmoke::{render_space_smoke, space_smoke, SpaceSmokeResult};
 pub use tracereport::{render_trace_report, trace_report, ProgressProbe, TraceReport};

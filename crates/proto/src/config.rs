@@ -6,7 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dup_overlay::{SearchTree, TopologyParams};
+use dup_overlay::{NodeId, SearchTree, TopologyParams};
 use dup_workload::RankPlacement;
 
 use crate::interest::InterestPolicy;
@@ -143,6 +143,77 @@ impl FaultWindow {
     }
 }
 
+/// A contiguous half-open range of node indices `[lo, hi)` — the unit in
+/// which scenario faults scope themselves to a *region* of the node space.
+/// Node ids are dense indices, so a contiguous range is also how the
+/// space-parallel `ShardMap` partitions nodes, keeping regional faults
+/// meaningful under space sharding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeRange {
+    /// First node index in the range.
+    pub lo: u32,
+    /// One past the last node index in the range.
+    pub hi: u32,
+}
+
+impl NodeRange {
+    /// True when `node` falls inside the range.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        (self.lo..self.hi).contains(&node.0)
+    }
+
+    /// Number of indices covered.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// True when the range covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+/// A scripted network partition: during `window`, every message crossing
+/// the boundary of `region` — in **either** direction — is dropped. The
+/// cut is symmetric by construction (`inside(from) != inside(to)`), and
+/// purely deterministic: deciding a message's fate draws nothing from any
+/// RNG stream, so adding partitions to a config never perturbs the other
+/// seeded streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// When the cut is in force.
+    pub window: FaultWindow,
+    /// The partitioned-off node region; traffic wholly inside or wholly
+    /// outside it is unaffected.
+    pub region: NodeRange,
+}
+
+impl PartitionWindow {
+    /// True when a message from `from` to `to` at `at_secs` crosses the
+    /// active cut. Symmetric in `from`/`to` by construction.
+    #[inline]
+    pub fn cuts(&self, from: NodeId, to: NodeId, at_secs: f64) -> bool {
+        self.window.contains(at_secs) && (self.region.contains(from) != self.region.contains(to))
+    }
+}
+
+/// A slow directed link class: hops from a node in `from` to a node in
+/// `to` stretch their exponential latency *tail* by `mult` (≥ 1). The
+/// latency floor — the space-parallel lookahead — is never scaled, so a
+/// conservative engine's causality window stays valid however slow the
+/// link. Directionality models asymmetric links: configure only one
+/// direction to slow it alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowLink {
+    /// Sender-side region.
+    pub from: NodeRange,
+    /// Receiver-side region.
+    pub to: NodeRange,
+    /// Tail multiplier, at least 1.
+    pub mult: f64,
+}
+
 /// Deterministic fault-injection configuration (disabled by default).
 ///
 /// When enabled, every message passing through the delivery path draws its
@@ -173,6 +244,23 @@ pub struct FaultConfig {
     /// whole run — but with all probabilities at zero and `churn_boost` at
     /// one, the layer is inert either way.
     pub windows: Vec<FaultWindow>,
+    /// Scripted partitions: windows during which messages crossing a node
+    /// region's boundary are deterministically dropped (zero RNG draws;
+    /// absent from older serialized configs).
+    #[serde(default)]
+    pub partitions: Vec<PartitionWindow>,
+    /// Slow/asymmetric link classes: directed region-to-region hop-latency
+    /// tail multipliers (zero RNG *extra* draws — the one latency variate
+    /// per hop is scaled, never re-drawn; absent from older serialized
+    /// configs).
+    #[serde(default)]
+    pub slow_links: Vec<SlowLink>,
+    /// When set, churn victim/anchor selection is confined to this node
+    /// region — correlated regional churn. The root and out-of-region
+    /// nodes are never picked. `None` (the default, and what older
+    /// serialized configs deserialize to) keeps churn global.
+    #[serde(default)]
+    pub churn_region: Option<NodeRange>,
 }
 
 impl Default for FaultConfig {
@@ -184,6 +272,9 @@ impl Default for FaultConfig {
             max_extra_delay_secs: 0.0,
             churn_boost: 1.0,
             windows: Vec::new(),
+            partitions: Vec::new(),
+            slow_links: Vec::new(),
+            churn_region: None,
         }
     }
 }
@@ -192,13 +283,48 @@ impl FaultConfig {
     /// True when this configuration can affect a run at all. The runner
     /// skips every fault check (and every RNG draw) when false.
     pub fn is_enabled(&self) -> bool {
-        self.drop_p > 0.0 || self.duplicate_p > 0.0 || self.delay_p > 0.0 || self.churn_boost != 1.0
+        self.has_random_faults()
+            || self.churn_boost != 1.0
+            || !self.partitions.is_empty()
+            || !self.slow_links.is_empty()
+            || self.churn_region.is_some()
+    }
+
+    /// True when any *probabilistic* fault is configured — the only paths
+    /// that draw from the fault RNG streams. Partitions, slow links, and
+    /// scoped churn are deterministic (or reuse an existing draw) and are
+    /// deliberately excluded, so a scenario built purely from them still
+    /// draws nothing from the per-sender fault streams.
+    pub fn has_random_faults(&self) -> bool {
+        self.drop_p > 0.0 || self.duplicate_p > 0.0 || self.delay_p > 0.0
     }
 
     /// True when faults apply at `at_secs`: inside any window, or always
     /// when no windows are configured.
     pub fn active_at(&self, at_secs: f64) -> bool {
         self.windows.is_empty() || self.windows.iter().any(|w| w.contains(at_secs))
+    }
+
+    /// True when a message from `from` to `to` at `at_secs` crosses any
+    /// active partition cut. Deterministic — no RNG involved — and
+    /// symmetric in `from`/`to`.
+    #[inline]
+    pub fn partition_cuts(&self, from: NodeId, to: NodeId, at_secs: f64) -> bool {
+        self.partitions.iter().any(|p| p.cuts(from, to, at_secs))
+    }
+
+    /// The hop-latency tail multiplier for a message from `from` to `to`:
+    /// the largest matching [`SlowLink`] multiplier, or `1.0` when none
+    /// matches (the common fast path).
+    #[inline]
+    pub fn link_mult(&self, from: NodeId, to: NodeId) -> f64 {
+        let mut mult = 1.0;
+        for l in &self.slow_links {
+            if l.from.contains(from) && l.to.contains(to) && l.mult > mult {
+                mult = l.mult;
+            }
+        }
+        mult
     }
 }
 
@@ -265,6 +391,22 @@ impl ReliabilityConfig {
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
+}
+
+/// One segment of a piecewise-constant Zipf-θ schedule: from `start_secs`
+/// on (until the next phase, or forever), query origins are drawn with
+/// exponent `theta`. Flash-crowd scenarios spike θ mid-run, concentrating
+/// query mass onto the hottest ranks, then relax it back. The segment in
+/// effect depends only on simulated time — never on RNG state — and every
+/// segment draws exactly one uniform per origin, so an empty schedule is
+/// draw-for-draw identical to the constant-θ baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZipfPhase {
+    /// When this segment takes effect (simulated seconds, > 0 and strictly
+    /// increasing across phases; the base `zipf_theta` covers `[0, first)`).
+    pub start_secs: f64,
+    /// The Zipf exponent in force during the segment.
+    pub theta: f64,
 }
 
 /// Observability configuration for a run.
@@ -340,8 +482,14 @@ pub struct RunConfig {
     pub lambda: f64,
     /// Inter-arrival distribution.
     pub arrivals: ArrivalKind,
-    /// Zipf exponent θ for query origins.
+    /// Zipf exponent θ for query origins (the base segment of the
+    /// schedule; see `zipf_phases`).
     pub zipf_theta: f64,
+    /// Later segments of a piecewise-constant θ schedule (flash crowds).
+    /// Empty (the default, and what older serialized configs deserialize
+    /// to) keeps θ at `zipf_theta` for the whole run.
+    #[serde(default)]
+    pub zipf_phases: Vec<ZipfPhase>,
     /// How Zipf ranks map onto nodes.
     pub rank_placement: RankPlacement,
     /// Shared protocol constants.
@@ -407,6 +555,7 @@ impl RunConfig {
             lambda: 1.0,
             arrivals: ArrivalKind::Exponential,
             zipf_theta: 0.8,
+            zipf_phases: Vec::new(),
             rank_placement: RankPlacement::Random,
             protocol: ProtocolConfig::default(),
             warmup_secs: 7200.0,
@@ -562,6 +711,49 @@ impl RunConfig {
                 "fault window must satisfy 0 <= start < end"
             );
         }
+        for p in &f.partitions {
+            assert!(
+                p.window.start_secs >= 0.0 && p.window.end_secs > p.window.start_secs,
+                "partition window must satisfy 0 <= start < end"
+            );
+            assert!(
+                !p.region.is_empty(),
+                "partition region must be a non-empty node range"
+            );
+        }
+        for l in &f.slow_links {
+            assert!(
+                !l.from.is_empty() && !l.to.is_empty(),
+                "slow-link regions must be non-empty node ranges"
+            );
+            assert!(
+                l.mult >= 1.0 && l.mult.is_finite(),
+                "slow-link multiplier must be >= 1 and finite (the latency \
+                 floor is the parallel lookahead and cannot shrink)"
+            );
+        }
+        if let Some(region) = &f.churn_region {
+            assert!(
+                !region.is_empty(),
+                "churn region must be a non-empty node range"
+            );
+            assert!(
+                (region.lo as usize) < self.topology.node_count(),
+                "churn region must overlap the initial node space"
+            );
+        }
+        let mut prev_start = 0.0;
+        for phase in &self.zipf_phases {
+            assert!(
+                phase.start_secs.is_finite() && phase.start_secs > prev_start,
+                "zipf phase starts must be strictly increasing and positive"
+            );
+            assert!(
+                phase.theta >= 0.0 && phase.theta.is_finite(),
+                "zipf phase theta must be non-negative and finite"
+            );
+            prev_start = phase.start_secs;
+        }
         let r = &self.reliability;
         assert!(
             r.lease_every_secs >= 0.0 && r.lease_every_secs.is_finite(),
@@ -635,6 +827,13 @@ impl RunConfigBuilder {
     /// Sets the Zipf exponent θ for query origins.
     pub fn zipf_theta(mut self, theta: f64) -> Self {
         self.cfg.zipf_theta = theta;
+        self
+    }
+
+    /// Sets the later segments of the piecewise-constant θ schedule
+    /// (flash crowds); empty keeps θ constant.
+    pub fn zipf_phases(mut self, phases: Vec<ZipfPhase>) -> Self {
+        self.cfg.zipf_phases = phases;
         self
     }
 
@@ -972,10 +1171,155 @@ mod tests {
                     start_secs: 0.0,
                     end_secs: 1000.0,
                 }],
+                ..FaultConfig::default()
             })
             .build();
         assert!(cfg.faults.is_enabled());
         assert_eq!(cfg.faults.windows.len(), 1);
+    }
+
+    #[test]
+    fn scenario_fault_fields_default_off_and_deserialize_when_absent() {
+        // A FaultConfig serialized before the scenario fields existed
+        // (partitions / slow_links / churn_region) still loads with the
+        // inert defaults.
+        let json = r#"{"drop_p":0.0,"duplicate_p":0.0,"delay_p":0.0,
+            "max_extra_delay_secs":0.0,"churn_boost":1.0,"windows":[]}"#;
+        let back: FaultConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(back, FaultConfig::default());
+        assert!(!back.is_enabled());
+        assert!(!back.has_random_faults());
+    }
+
+    #[test]
+    fn zipf_phases_default_empty_and_deserialize_when_absent() {
+        // A config serialized before the zipf_phases field existed still
+        // loads with a constant-θ schedule.
+        let mut json = serde_json::to_string(&RunConfig::quick(1)).unwrap();
+        json = json.replace(",\"zipf_phases\":[]", "");
+        assert!(!json.contains("zipf_phases"), "field not stripped: {json}");
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.zipf_phases.is_empty());
+        back.validate();
+    }
+
+    #[test]
+    fn partition_cut_is_symmetric_and_windowed() {
+        let f = FaultConfig {
+            partitions: vec![PartitionWindow {
+                window: FaultWindow {
+                    start_secs: 100.0,
+                    end_secs: 200.0,
+                },
+                region: NodeRange { lo: 4, hi: 8 },
+            }],
+            ..FaultConfig::default()
+        };
+        assert!(f.is_enabled(), "partitions arm the fault layer");
+        assert!(!f.has_random_faults(), "partitions draw no RNG");
+        let inside = NodeId(5);
+        let outside = NodeId(1);
+        assert!(f.partition_cuts(inside, outside, 150.0));
+        assert!(f.partition_cuts(outside, inside, 150.0), "cut is symmetric");
+        assert!(
+            !f.partition_cuts(inside, NodeId(6), 150.0),
+            "intra-region ok"
+        );
+        assert!(
+            !f.partition_cuts(outside, NodeId(2), 150.0),
+            "extra-region ok"
+        );
+        assert!(
+            !f.partition_cuts(inside, outside, 99.9),
+            "before the window"
+        );
+        assert!(
+            !f.partition_cuts(inside, outside, 200.0),
+            "half-open window"
+        );
+    }
+
+    #[test]
+    fn link_mult_takes_the_largest_directed_match() {
+        let f = FaultConfig {
+            slow_links: vec![
+                SlowLink {
+                    from: NodeRange { lo: 0, hi: 4 },
+                    to: NodeRange { lo: 4, hi: 8 },
+                    mult: 3.0,
+                },
+                SlowLink {
+                    from: NodeRange { lo: 0, hi: 8 },
+                    to: NodeRange { lo: 4, hi: 8 },
+                    mult: 5.0,
+                },
+            ],
+            ..FaultConfig::default()
+        };
+        assert_eq!(f.link_mult(NodeId(1), NodeId(5)), 5.0, "max of matches");
+        assert_eq!(f.link_mult(NodeId(5), NodeId(1)), 1.0, "asymmetric");
+        assert_eq!(f.link_mult(NodeId(5), NodeId(6)), 5.0);
+        assert_eq!(FaultConfig::default().link_mult(NodeId(0), NodeId(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow-link multiplier")]
+    fn sub_unity_link_mult_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.faults.slow_links.push(SlowLink {
+            from: NodeRange { lo: 0, hi: 4 },
+            to: NodeRange { lo: 4, hi: 8 },
+            mult: 0.5,
+        });
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "partition region")]
+    fn empty_partition_region_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.faults.partitions.push(PartitionWindow {
+            window: FaultWindow {
+                start_secs: 0.0,
+                end_secs: 10.0,
+            },
+            region: NodeRange { lo: 4, hi: 4 },
+        });
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf phase starts")]
+    fn unsorted_zipf_phases_rejected() {
+        let mut c = RunConfig::quick(0);
+        c.zipf_phases = vec![
+            ZipfPhase {
+                start_secs: 50.0,
+                theta: 2.0,
+            },
+            ZipfPhase {
+                start_secs: 50.0,
+                theta: 0.5,
+            },
+        ];
+        c.validate();
+    }
+
+    #[test]
+    fn builder_sets_zipf_phases_and_churn_region() {
+        let cfg = RunConfig::builder(0)
+            .zipf_phases(vec![ZipfPhase {
+                start_secs: 500.0,
+                theta: 3.0,
+            }])
+            .faults(FaultConfig {
+                churn_region: Some(NodeRange { lo: 8, hi: 64 }),
+                ..FaultConfig::default()
+            })
+            .build();
+        assert_eq!(cfg.zipf_phases.len(), 1);
+        assert!(cfg.faults.is_enabled(), "a churn region arms the layer");
+        assert!(!cfg.faults.has_random_faults());
     }
 
     #[test]

@@ -58,9 +58,9 @@ pub mod trace;
 
 pub use cache::CacheStore;
 pub use config::{
-    ArrivalKind, ChurnConfig, FaultConfig, FaultWindow, ProbeConfig, ProtocolConfig,
-    QueueBackendConfig, QueueConfig, ReliabilityConfig, RunConfig, RunConfigBuilder, StopRule,
-    TopologySource,
+    ArrivalKind, ChurnConfig, FaultConfig, FaultWindow, NodeRange, PartitionWindow, ProbeConfig,
+    ProtocolConfig, QueueBackendConfig, QueueConfig, ReliabilityConfig, RunConfig,
+    RunConfigBuilder, SlowLink, StopRule, TopologySource, ZipfPhase,
 };
 pub use cup::{CupPushPolicy, CupScheme};
 pub use index::{AuthorityClock, IndexRecord, Version};

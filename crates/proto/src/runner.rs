@@ -16,12 +16,12 @@ use dup_sim::{
     StreamRng,
 };
 use dup_workload::{
-    exp_variate, ArrivalProcess, Arrivals, HopLatency, RankPlacement, ZipfSelector,
+    exp_variate, ArrivalProcess, Arrivals, HopLatency, RankPlacement, ZipfSchedule,
 };
 
 use crate::cache::CacheStore;
 use crate::config::{
-    ArrivalKind, ChurnConfig, QueueBackendConfig, RunConfig, StopRule, TopologySource,
+    ArrivalKind, ChurnConfig, NodeRange, QueueBackendConfig, RunConfig, StopRule, TopologySource,
 };
 use crate::index::AuthorityClock;
 use crate::interest::InterestTracker;
@@ -162,7 +162,7 @@ pub struct Runner<S: Scheme> {
     arrivals_rng: StreamRng,
     origin_rng: StreamRng,
     churn_rng: StreamRng,
-    zipf: ZipfSelector,
+    zipf: ZipfSchedule,
     /// Zipf rank → node; entries are redirected to the takeover node when
     /// their node departs.
     rank_map: Vec<NodeId>,
@@ -274,7 +274,12 @@ impl<S: Scheme> Runner<S> {
             ArrivalKind::Exponential => Arrivals::poisson(cfg.lambda),
             ArrivalKind::Pareto { alpha } => Arrivals::pareto(alpha, cfg.lambda),
         };
-        let zipf = ZipfSelector::new(n, cfg.zipf_theta);
+        let phases: Vec<(f64, f64)> = cfg
+            .zipf_phases
+            .iter()
+            .map(|p| (p.start_secs, p.theta))
+            .collect();
+        let zipf = ZipfSchedule::new(n, cfg.zipf_theta, &phases);
         let rank_map = build_rank_map(&world.tree, cfg.rank_placement, seed);
         let live = LiveSet::from_tree(&world.tree);
         let warmup_end = SimTime::from_secs_f64(cfg.warmup_secs);
@@ -562,7 +567,7 @@ impl<S: Scheme> Runner<S> {
                 // Every shard draws the gap and origin (keeping the
                 // replicated arrival/origin streams aligned); only the
                 // origin's owner actually issues the query.
-                let origin = self.sample_origin();
+                let origin = self.sample_origin(eng.now());
                 let owned = match &self.space {
                     Some(ctl) => ctl.owns(origin),
                     None => true,
@@ -873,8 +878,11 @@ impl<S: Scheme> Runner<S> {
         }
     }
 
-    fn sample_origin(&mut self) -> NodeId {
-        let rank = self.zipf.sample(&mut self.origin_rng);
+    fn sample_origin(&mut self, now: SimTime) -> NodeId {
+        // The θ-schedule segment is a pure function of simulated time and
+        // each segment draws exactly one uniform, so replicated drivers
+        // (space-parallel shards) sample identical origins.
+        let rank = self.zipf.sample(now.as_secs_f64(), &mut self.origin_rng);
         let node = self.rank_map[rank];
         if self.world.tree.is_alive(node) {
             node
@@ -1119,10 +1127,17 @@ impl<S: Scheme> Runner<S> {
     /// an error when the live-set bookkeeping disagrees with the tree (a
     /// model bug, surfaced instead of swallowed).
     fn pick_churn_op(&mut self, cfg: &ChurnConfig) -> Result<Option<AppliedChurn>, LiveSetError> {
+        let region = self.cfg.faults.churn_region;
         let total = cfg.weight_total();
         let draw: f64 = self.churn_rng.gen::<f64>() * total;
         if draw < cfg.w_join_leaf {
-            let parent = self.live.sample(&mut self.churn_rng);
+            let parent = match region {
+                Some(r) => match self.sample_scoped(r, true) {
+                    Some(p) => p,
+                    None => return Ok(None),
+                },
+                None => self.live.sample(&mut self.churn_rng),
+            };
             let joined = self.world.tree.add_leaf(parent);
             self.admit(joined);
             Ok(Some(AppliedChurn {
@@ -1138,7 +1153,13 @@ impl<S: Scheme> Runner<S> {
             if self.live.len() < 2 {
                 return Ok(None);
             }
-            let child = self.sample_non_root();
+            let child = match region {
+                Some(r) => match self.sample_scoped(r, false) {
+                    Some(c) => c,
+                    None => return Ok(None),
+                },
+                None => self.sample_non_root(),
+            };
             let parent = self.world.tree.parent(child).expect("non-root has parent");
             let joined = self.world.tree.insert_between(parent, child);
             self.admit(joined);
@@ -1156,7 +1177,13 @@ impl<S: Scheme> Runner<S> {
             if self.live.len() < 2 {
                 return Ok(None);
             }
-            let victim = self.live.sample(&mut self.churn_rng);
+            let victim = match region {
+                Some(r) => match self.sample_scoped(r, false) {
+                    Some(v) => v,
+                    None => return Ok(None),
+                },
+                None => self.live.sample(&mut self.churn_rng),
+            };
             self.remove_node(victim, graceful).map(Some)
         }
     }
@@ -1169,6 +1196,25 @@ impl<S: Scheme> Runner<S> {
                 return n;
             }
         }
+    }
+
+    /// Bounded-rejection sample of a live node inside the scoped churn
+    /// region, optionally excluding the root (region-scoped churn never
+    /// removes or splices the authority — failing the root is a global
+    /// event, not a regional one). Gives up after a fixed number of draws
+    /// so a region that churned itself empty turns the tick into a no-op
+    /// instead of an unbounded loop. Only called when a region is
+    /// configured, so unscoped runs keep their exact draw sequence.
+    fn sample_scoped(&mut self, region: NodeRange, allow_root: bool) -> Option<NodeId> {
+        const ATTEMPTS: usize = 64;
+        let root = self.world.tree.root();
+        for _ in 0..ATTEMPTS {
+            let n = self.live.sample(&mut self.churn_rng);
+            if region.contains(n) && (allow_root || n != root) {
+                return Some(n);
+            }
+        }
+        None
     }
 
     /// Registers a freshly joined node in every shared table.

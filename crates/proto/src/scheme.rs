@@ -189,12 +189,15 @@ pub struct FaultStats {
     pub duplicated: u64,
     /// Messages held back by an extra delay.
     pub delayed: u64,
+    /// Messages dropped because they crossed an active partition cut
+    /// (deterministic; not counted in `dropped`).
+    pub partitioned: u64,
 }
 
 impl FaultStats {
     /// Total interventions.
     pub fn total(&self) -> u64 {
-        self.dropped + self.duplicated + self.delayed
+        self.dropped + self.duplicated + self.delayed + self.partitioned
     }
 }
 
@@ -271,6 +274,42 @@ impl FaultState {
         } else {
             1.0
         }
+    }
+
+    /// True when any probabilistic fault is configured — the only case in
+    /// which [`decide`](FaultState::decide) (and an RNG draw) happens. A
+    /// layer armed purely by partitions / slow links / scoped churn never
+    /// draws.
+    #[inline]
+    fn has_random_faults(&self) -> bool {
+        self.cfg.has_random_faults()
+    }
+
+    /// True when a message from `from` to `to` at `at_secs` crosses an
+    /// active partition cut, counting the intervention. Deterministic —
+    /// draws nothing from any stream — and symmetric in `from`/`to`.
+    #[inline]
+    fn partition_cut(&mut self, from: NodeId, to: NodeId, at_secs: f64) -> bool {
+        if self.cfg.partitions.is_empty() {
+            return false;
+        }
+        let cut = self.cfg.partition_cuts(from, to, at_secs);
+        if cut {
+            self.stats.partitioned += 1;
+        }
+        cut
+    }
+
+    /// The hop-latency tail multiplier for a `from → to` hop: the largest
+    /// matching slow-link class, or `1.0` when none matches or the layer
+    /// is disarmed. Purely a lookup — no RNG involved — and `1.0` keeps
+    /// the latency sample bit-identical to the unscaled model.
+    #[inline]
+    pub fn link_mult(&self, from: NodeId, to: NodeId) -> f64 {
+        if !self.armed || self.cfg.slow_links.is_empty() {
+            return 1.0;
+        }
+        self.cfg.link_mult(from, to)
     }
 
     /// Draws the fate of one message sent by `sender` at `at_secs`. Only
@@ -550,14 +589,23 @@ pub(crate) fn send_msg<M: Clone>(
     debug_assert!(from != to, "node {from} sending to itself");
     world.metrics.charge_hop(class);
     let now = engine.now();
+    // Slow/asymmetric links stretch the exponential tail of this hop's one
+    // latency draw; mult = 1.0 (the default) is bit-identical to the
+    // unscaled model, and the floor (the space-parallel lookahead) never
+    // scales.
+    let mult = world.faults.link_mult(from, to);
     let delay = world
         .hop_latency
-        .sample(world.latency_rng.rng(from.index()));
+        .sample_scaled(world.latency_rng.rng(from.index()), mult);
     // Causal identity is assigned only while a probe is attached; the
     // disabled path pays one branch and stamps SpanInfo::NONE.
     let cause = if world.probe.enabled() {
         let cause = world.trace.child();
-        let tree_edge = world.tree.parent(to) == Some(from) || world.tree.parent(from) == Some(to);
+        // Either endpoint may have churned away already (e.g. a retransmit
+        // aimed at a failed node): a hop touching a dead node is never a
+        // tree edge, and `parent()` must not be asked about it.
+        let tree_edge = (world.tree.is_alive(to) && world.tree.parent(to) == Some(from))
+            || (world.tree.is_alive(from) && world.tree.parent(from) == Some(to));
         let transit_secs = delay.as_secs_f64();
         world.probe.emit(now, || ProbeEvent::MsgSent {
             from,
@@ -621,9 +669,10 @@ pub(crate) fn resend_msg<M: Clone>(
     msg: Msg<M>,
 ) {
     world.metrics.charge_hop(class);
+    let mult = world.faults.link_mult(from, to);
     let delay = world
         .hop_latency
-        .sample(world.latency_rng.rng(from.index()));
+        .sample_scaled(world.latency_rng.rng(from.index()), mult);
     dispatch_msg(world, engine, from, to, class, cause, delay, msg);
 }
 
@@ -644,23 +693,34 @@ fn dispatch_msg<M: Clone>(
     let mut arrive = now + delay;
     let mut duplicate = false;
     if world.faults.armed() {
-        match world.faults.decide(from, now.as_secs_f64()) {
-            FaultAction::Pass => {}
-            FaultAction::Drop => {
-                world
-                    .probe
-                    .emit(now, || ProbeEvent::FaultDrop { from, to, class });
-                return;
-            }
-            FaultAction::Duplicate => duplicate = true,
-            FaultAction::Delay(extra_secs) => {
-                world.probe.emit(now, || ProbeEvent::FaultDelay {
-                    from,
-                    to,
-                    class,
-                    extra_secs,
-                });
-                arrive += SimDuration::from_secs_f64(extra_secs);
+        // Partition cuts come first and are purely deterministic: a message
+        // crossing an active cut is lost without touching any RNG stream,
+        // so partition-only scenarios leave every seeded stream untouched.
+        if world.faults.partition_cut(from, to, now.as_secs_f64()) {
+            world
+                .probe
+                .emit(now, || ProbeEvent::FaultDrop { from, to, class });
+            return;
+        }
+        if world.faults.has_random_faults() {
+            match world.faults.decide(from, now.as_secs_f64()) {
+                FaultAction::Pass => {}
+                FaultAction::Drop => {
+                    world
+                        .probe
+                        .emit(now, || ProbeEvent::FaultDrop { from, to, class });
+                    return;
+                }
+                FaultAction::Duplicate => duplicate = true,
+                FaultAction::Delay(extra_secs) => {
+                    world.probe.emit(now, || ProbeEvent::FaultDelay {
+                        from,
+                        to,
+                        class,
+                        extra_secs,
+                    });
+                    arrive += SimDuration::from_secs_f64(extra_secs);
+                }
             }
         }
     }

@@ -102,6 +102,29 @@ impl HopLatency {
         // the result is >= the floor in exact integer nanoseconds.
         self.lookahead() + SimDuration::from_secs_f64(tail)
     }
+
+    /// Draws one hop's transfer delay with the exponential *tail* scaled by
+    /// `mult` — the slow/asymmetric-link model. Only the tail stretches;
+    /// the floor is untouched, so `sample_scaled ≥ lookahead` still holds
+    /// exactly and a conservative space-parallel engine's lookahead stays
+    /// valid no matter how slow a link is. `mult = 1.0` is bit-identical to
+    /// [`sample`] (same single variate, multiplied by one).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics unless `mult ≥ 1.0` and finite: multipliers below one
+    /// would let a hop undercut the lookahead floor's *mean* contract.
+    ///
+    /// [`sample`]: HopLatency::sample
+    #[inline]
+    pub fn sample_scaled(&self, rng: &mut StreamRng, mult: f64) -> SimDuration {
+        debug_assert!(
+            mult >= 1.0 && mult.is_finite(),
+            "link multiplier must be >= 1.0 and finite, got {mult}"
+        );
+        let tail = exp_variate(rng, 1.0 / (self.mean_secs - self.min_secs));
+        self.lookahead() + SimDuration::from_secs_f64(tail * mult)
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +159,34 @@ mod tests {
         }
         let mean = total / n as f64;
         assert!((mean - 0.1).abs() < 0.002, "mean {mean}");
+    }
+
+    #[test]
+    fn scaled_sample_at_unity_is_bit_identical() {
+        let model = HopLatency::with_min(0.1, 0.01);
+        let mut a = stream_rng(44, "scaled");
+        let mut b = stream_rng(44, "scaled");
+        for _ in 0..10_000 {
+            assert_eq!(model.sample_scaled(&mut a, 1.0), model.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn scaled_sample_stretches_tail_but_not_floor() {
+        let model = HopLatency::with_min(0.1, 0.01);
+        let floor = model.lookahead();
+        let mult = 4.0;
+        let mut rng = stream_rng(45, "scaled-tail");
+        let n = 200_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let d = model.sample_scaled(&mut rng, mult);
+            assert!(d >= floor, "draw {d} under the floor {floor}");
+            total += d.as_secs_f64();
+        }
+        // Mean = floor + mult * (mean - floor) = 0.01 + 4 * 0.09 = 0.37.
+        let mean = total / n as f64;
+        assert!((mean - 0.37).abs() < 0.005, "mean {mean}");
     }
 
     #[test]

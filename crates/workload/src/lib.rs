@@ -43,4 +43,4 @@ pub mod zipf;
 pub use arrival::{ArrivalProcess, Arrivals, ParetoArrivals, PoissonArrivals};
 pub use latency::HopLatency;
 pub use variates::{exp_variate, lomax_variate};
-pub use zipf::{RankPlacement, ZipfSelector};
+pub use zipf::{RankPlacement, ZipfSchedule, ZipfSelector};

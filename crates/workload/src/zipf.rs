@@ -134,6 +134,88 @@ impl ZipfSelector {
     }
 }
 
+/// A piecewise-constant θ schedule over simulated time: a base exponent
+/// from t = 0 plus zero or more later segments, each switching the whole
+/// selector to a new θ. Flash-crowd scenarios spike θ mid-run so query mass
+/// collapses onto the hottest ranks, then relax it back.
+///
+/// The segment in effect depends only on the *query time*, never on RNG
+/// state, and every segment's selector draws exactly one uniform per
+/// sample — so replicated drivers (space-parallel runs) pick identical
+/// segments and identical origins, and an empty schedule is draw-for-draw
+/// identical to a bare [`ZipfSelector`].
+#[derive(Debug, Clone)]
+pub struct ZipfSchedule {
+    /// Segment start times in seconds; `starts[0] == 0.0`, strictly
+    /// increasing.
+    starts: Vec<f64>,
+    /// One selector per segment, all over the same rank count.
+    selectors: Vec<ZipfSelector>,
+}
+
+impl ZipfSchedule {
+    /// A schedule with a single segment: θ constant for the whole run.
+    /// Equivalent to `ZipfSchedule::new(n, theta, &[])`.
+    pub fn constant(n: usize, theta: f64) -> Self {
+        ZipfSchedule::new(n, theta, &[])
+    }
+
+    /// Builds a schedule over `n` ranks: `base_theta` from t = 0, then one
+    /// segment per `(start_secs, theta)` phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, any θ is negative or non-finite (the
+    /// [`ZipfSelector`] contract), or phase start times are not strictly
+    /// increasing, positive, and finite.
+    pub fn new(n: usize, base_theta: f64, phases: &[(f64, f64)]) -> Self {
+        let mut starts = vec![0.0];
+        let mut selectors = vec![ZipfSelector::new(n, base_theta)];
+        for &(start, theta) in phases {
+            assert!(
+                start.is_finite() && start > *starts.last().expect("non-empty"),
+                "Zipf phase starts must be strictly increasing and positive, got {start}"
+            );
+            starts.push(start);
+            selectors.push(ZipfSelector::new(n, theta));
+        }
+        ZipfSchedule { starts, selectors }
+    }
+
+    /// Number of ranks (identical across segments).
+    pub fn len(&self) -> usize {
+        self.selectors[0].len()
+    }
+
+    /// Always false: every schedule has at least the base segment.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of segments, counting the base.
+    pub fn segments(&self) -> usize {
+        self.selectors.len()
+    }
+
+    /// Index of the segment in effect at `at_secs` (negative times clamp
+    /// to the base segment).
+    pub fn segment_at(&self, at_secs: f64) -> usize {
+        self.starts.partition_point(|&s| s <= at_secs).max(1) - 1
+    }
+
+    /// The selector in effect at `at_secs`.
+    pub fn selector_at(&self, at_secs: f64) -> &ZipfSelector {
+        &self.selectors[self.segment_at(at_secs)]
+    }
+
+    /// Draws a 0-based rank using the segment in effect at `at_secs`.
+    /// Exactly one uniform per call, whatever the segment.
+    #[inline]
+    pub fn sample(&self, at_secs: f64, rng: &mut StreamRng) -> usize {
+        self.selector_at(at_secs).sample(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +411,62 @@ mod tests {
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 7);
         }
+    }
+
+    #[test]
+    fn schedule_selects_segment_by_time() {
+        let s = ZipfSchedule::new(16, 0.5, &[(100.0, 3.0), (200.0, 0.5)]);
+        assert_eq!(s.segments(), 3);
+        assert_eq!(s.segment_at(0.0), 0);
+        assert_eq!(s.segment_at(99.999), 0);
+        assert_eq!(s.segment_at(100.0), 1);
+        assert_eq!(s.segment_at(150.0), 1);
+        assert_eq!(s.segment_at(200.0), 2);
+        assert_eq!(s.segment_at(1e9), 2);
+        assert_eq!(s.segment_at(-1.0), 0);
+        assert_eq!(s.selector_at(150.0).theta(), 3.0);
+        assert_eq!(s.len(), 16);
+    }
+
+    #[test]
+    fn empty_schedule_matches_bare_selector() {
+        // A schedule with no phases must be draw-for-draw identical to the
+        // plain selector, at any query time.
+        let z = ZipfSelector::new(64, 0.8);
+        let s = ZipfSchedule::constant(64, 0.8);
+        let mut a = stream_rng(9, "sched-base");
+        let mut b = stream_rng(9, "sched-base");
+        for i in 0..1000 {
+            let at = (i as f64) * 1.7;
+            assert_eq!(s.sample(at, &mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn schedule_sample_consumes_one_draw_per_segment() {
+        // Stream alignment must hold across segment switches: one uniform
+        // per sample regardless of which segment is active.
+        let s = ZipfSchedule::new(32, 0.2, &[(10.0, 4.0)]);
+        let mut a = stream_rng(11, "sched-draws");
+        let mut b = stream_rng(11, "sched-draws");
+        for i in 0..200 {
+            s.sample(i as f64 * 0.5, &mut a);
+            let _: f64 = b.gen();
+        }
+        let next_a: f64 = a.gen();
+        let next_b: f64 = b.gen();
+        assert_eq!(next_a, next_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn schedule_rejects_unsorted_phases() {
+        ZipfSchedule::new(8, 0.5, &[(50.0, 1.0), (50.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn schedule_rejects_zero_start_phase() {
+        ZipfSchedule::new(8, 0.5, &[(0.0, 1.0)]);
     }
 }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use dup_sim::{stream_rng, SimDuration};
 use dup_workload::{
-    exp_variate, lomax_variate, ArrivalProcess, Arrivals, HopLatency, ZipfSelector,
+    exp_variate, lomax_variate, ArrivalProcess, Arrivals, HopLatency, ZipfSchedule, ZipfSelector,
 };
 
 proptest! {
@@ -87,5 +87,67 @@ proptest! {
         for _ in 0..50 {
             prop_assert!(model.sample(&mut rng) > SimDuration::ZERO);
         }
+    }
+}
+
+/// Upper critical value of the χ² distribution with `dof` degrees of
+/// freedom at roughly the 99.9th percentile (Wilson–Hilferty cube-root
+/// normal approximation), as in the per-rank gate inside `zipf.rs`.
+fn chi2_crit_999(dof: usize) -> f64 {
+    let d = dof as f64;
+    let z = 3.09; // Φ⁻¹(0.999)
+    let t = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * t * t * t
+}
+
+/// The piecewise-θ schedule behind the flash-crowd scenario family: within
+/// each segment the draws must match that segment's closed-form Zipf
+/// distribution (Pearson χ² over every rank, tail-pooled to expected ≥ 5),
+/// for every segment of a spike-then-relax schedule. A schedule that bled
+/// one segment's selector into another — the bug this gates against —
+/// would fail the skewed segment's χ² immediately.
+#[test]
+fn zipf_schedule_chi_squared_per_segment() {
+    let n = 60usize;
+    let draws = 200_000usize;
+    let schedule = ZipfSchedule::new(n, 0.4, &[(500.0, 2.5), (1200.0, 0.8)]);
+    assert_eq!(schedule.segments(), 3);
+    // One representative sample time per segment, well inside it.
+    let segment_times = [100.0, 700.0, 2000.0];
+    for (seg, &at) in segment_times.iter().enumerate() {
+        assert_eq!(schedule.segment_at(at), seg);
+        let selector = schedule.selector_at(at);
+        let mut rng = stream_rng(8_0821, &format!("zipf-sched-chi2/{seg}"));
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[schedule.sample(at, &mut rng)] += 1;
+        }
+        let mut stat = 0.0f64;
+        let mut dof = 0usize;
+        let (mut pooled_obs, mut pooled_exp) = (0.0f64, 0.0f64);
+        for (i, &count) in counts.iter().enumerate() {
+            let expect = selector.probability(i) * draws as f64;
+            if expect >= 5.0 {
+                let diff = count as f64 - expect;
+                stat += diff * diff / expect;
+                dof += 1;
+            } else {
+                pooled_obs += count as f64;
+                pooled_exp += expect;
+            }
+        }
+        if pooled_exp > 0.0 {
+            let diff = pooled_obs - pooled_exp;
+            stat += diff * diff / pooled_exp;
+            dof += 1;
+        }
+        let crit = chi2_crit_999(dof - 1);
+        assert!(
+            stat < crit,
+            "segment {seg} (θ={}): χ²={stat:.1} exceeds the 99.9% critical \
+             value {crit:.1} with {dof} cells — the schedule is sampling \
+             the wrong distribution for this segment",
+            selector.theta()
+        );
     }
 }

@@ -114,6 +114,7 @@ fn backends_agree_with_faults_and_retransmit() {
             start_secs: 200.0,
             end_secs: 900.0,
         }],
+        ..FaultConfig::default()
     };
     heap_cfg.reliability = ReliabilityConfig {
         enabled: true,

@@ -11,6 +11,7 @@
 //! ```
 
 use dup_core::{check_tree_invariants, DupScheme};
+use dup_harness::run_flash_space_cell;
 use dup_overlay::TopologyParams;
 use dup_proto::{run_simulation_space_settled, RunConfig, Scheme, TopologySource};
 
@@ -76,4 +77,22 @@ fn dup_logs_bit_identical_across_shard_counts_small() {
 #[ignore = "10k-node simulation; run with --release -- --ignored"]
 fn dup_logs_bit_identical_across_shard_counts_10k() {
     shard_counts_agree(10_240);
+}
+
+/// The adversarial flash-crowd scenario (piecewise-θ spike plus a loss
+/// window) at `--space-shards 2` must replay the sequential event log bit
+/// for bit and pass the merged-state oracle — determinism under active
+/// fault scripting, not just the quiet paper workload (ISSUE 8).
+#[test]
+fn flash_crowd_scenario_bit_identical_across_shards() {
+    for seed in [42u64, 0x005C_EA05] {
+        let cell = run_flash_space_cell(seed);
+        assert!(cell.log_records > 0, "seed {seed} produced no deliveries");
+        assert!(
+            cell.passed,
+            "flash-crowd space cell failed for seed {seed} \
+             (logs_identical={}, oracle_ok={}):\n{}",
+            cell.logs_identical, cell.oracle_ok, cell.detail
+        );
+    }
 }
