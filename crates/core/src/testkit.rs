@@ -139,15 +139,19 @@ impl<S: Scheme> TestBench<S> {
             Ev::Refresh => {
                 let record = world.authority.refresh(eng.now());
                 if world.probe.enabled() {
-                    world.trace.begin_update(record.version.0);
-                    let origin = world.tree.root();
-                    let version = record.version.0;
-                    world
-                        .probe
-                        .emit(eng.now(), || dup_proto::ProbeEvent::UpdatePublished {
-                            node: origin,
-                            version,
-                        });
+                    // Mirrors the runner: under trace sampling, unsampled
+                    // versions publish no root span and no event.
+                    let span = world.trace.begin_update(record.version.0);
+                    if span.is_traced() {
+                        let origin = world.tree.root();
+                        let version = record.version.0;
+                        world
+                            .probe
+                            .emit(eng.now(), || dup_proto::ProbeEvent::UpdatePublished {
+                                node: origin,
+                                version,
+                            });
+                    }
                 }
                 let mut ctx = Ctx { world, engine: eng };
                 scheme.on_refresh(&mut ctx, record);

@@ -12,9 +12,13 @@ use serde::Serialize;
 
 use dup_core::{run_simulation_kind, run_simulation_sharded};
 use dup_overlay::TopologyParams;
-use dup_proto::{ProbeSink, QueueBackendConfig, RunConfig, TopologySource};
+use dup_proto::{LoadProbe, ProbeSink, QueueBackendConfig, RunConfig, TopologySource};
 
 use crate::experiment::{HarnessOpts, SchemeKind};
+
+/// Sketch counter budget the observed A/B cells attach (matches the
+/// `load-report` sweep).
+const OBS_SKETCH_K: usize = 64;
 
 /// Shard counts the multi-core curve sweeps.
 const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
@@ -104,6 +108,35 @@ pub struct SpaceBench {
     pub peak_queue_depth_per_shard: Vec<u64>,
 }
 
+/// One interleaved A/B cell measuring the observability tax: the same
+/// scheme × config timed plain (no probe, no profiling) and observed (full
+/// per-node load accounting through a streaming [`LoadProbe`], engine
+/// self-profiling, trace sampling effectively off). Repetitions interleave
+/// plain/observed so thermal and cache drift hits both arms equally.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservabilityBench {
+    /// Scheme name ("PCX", "CUP", "DUP").
+    pub scheme: String,
+    /// Median wall-clock nanoseconds of the plain runs.
+    pub wall_ns_median_plain: u64,
+    /// Median wall-clock nanoseconds with accounting + profiling enabled.
+    pub wall_ns_median_observed: u64,
+    /// Best (minimum) wall-clock nanoseconds of the plain runs.
+    pub wall_ns_min_plain: u64,
+    /// Best (minimum) wall-clock nanoseconds of the observed runs.
+    pub wall_ns_min_observed: u64,
+    /// Observed / plain median — 1.05 means the enabled path costs 5%.
+    pub overhead_ratio: f64,
+    /// Observed / plain minimum. On hosts with scheduler or cpu-quota
+    /// interference (which inflates both arms' upper quantiles with a
+    /// heavy one-sided tail), the minimum is the robust estimator of the
+    /// true per-run cost; compare it against `overhead_ratio` to judge how
+    /// noisy the measurement was.
+    pub overhead_ratio_min: f64,
+    /// Probe events the observed run folded into the load accounting.
+    pub load_events: u64,
+}
+
 /// The full bench-report document serialized to `BENCH_scheme_sim.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -123,6 +156,11 @@ pub struct BenchReport {
     pub shard_curve: Vec<ShardBench>,
     /// Space-parallel wall clock per shard count (one ≥ 10k-node run).
     pub space_curve: Vec<SpaceBench>,
+    /// Interleaved plain-vs-observed wall clock per scheme.
+    pub observability: Vec<ObservabilityBench>,
+    /// Engine self-profile of the last observed DUP run (wall-clock phase
+    /// breakdown + queue-depth window; nondeterministic by nature).
+    pub dup_profile: Option<dup_sim::EngineProfiler>,
 }
 
 /// Times one configuration, returning (median, min) wall nanoseconds and
@@ -173,6 +211,7 @@ pub fn bench_report(opts: &HarnessOpts, reps: usize) -> BenchReport {
     }
     let shard_curve = shard_curve(&base, reps);
     let space_curve = space_curve(&base, reps);
+    let (observability, dup_profile) = observability_cells(&base, reps);
     BenchReport {
         scale: format!("{:?}", opts.scale),
         seed: opts.seed,
@@ -181,7 +220,73 @@ pub fn bench_report(opts: &HarnessOpts, reps: usize) -> BenchReport {
         cells,
         shard_curve,
         space_curve,
+        observability,
+        dup_profile,
     }
+}
+
+/// Times every scheme plain and observed, strictly interleaved, and
+/// harvests the engine profile of the last observed DUP run. The observed
+/// arm is the real scaled-observability path: streaming load accounting,
+/// engine profiling, and trace sampling set so effectively no update is
+/// traced (span allocation off the hot path).
+fn observability_cells(
+    base: &RunConfig,
+    reps: usize,
+) -> (Vec<ObservabilityBench>, Option<dup_sim::EngineProfiler>) {
+    let nodes = base.topology.node_count();
+    let mut observed_cfg = base.clone();
+    observed_cfg.probe.profile_engine = true;
+    observed_cfg.probe.trace_sampling.one_in = u64::MAX;
+    let mut dup_profile = None;
+    let cells = [SchemeKind::Pcx, SchemeKind::Cup, SchemeKind::Dup]
+        .into_iter()
+        .map(|kind| {
+            // One warm-up per arm, then interleave plain/observed reps.
+            let _ = run_simulation_kind(base, kind, ProbeSink::disabled());
+            let _ = run_simulation_kind(
+                &observed_cfg,
+                kind,
+                ProbeSink::attach(LoadProbe::new(nodes, OBS_SKETCH_K)),
+            );
+            let mut plain_ns: Vec<u64> = Vec::with_capacity(reps);
+            let mut observed_ns: Vec<u64> = Vec::with_capacity(reps);
+            let mut scheme = String::new();
+            let mut load_events = 0;
+            for _ in 0..reps {
+                let started = std::time::Instant::now();
+                let report = run_simulation_kind(base, kind, ProbeSink::disabled());
+                plain_ns.push(started.elapsed().as_nanos() as u64);
+                scheme = report.scheme;
+                let probe = LoadProbe::new(nodes, OBS_SKETCH_K);
+                let started = std::time::Instant::now();
+                let report =
+                    run_simulation_kind(&observed_cfg, kind, ProbeSink::attach(probe.clone()));
+                observed_ns.push(started.elapsed().as_nanos() as u64);
+                load_events = probe.snapshot().events();
+                if kind == SchemeKind::Dup {
+                    dup_profile = report.engine_profile;
+                }
+            }
+            plain_ns.sort_unstable();
+            observed_ns.sort_unstable();
+            let plain = plain_ns[plain_ns.len() / 2];
+            let observed = observed_ns[observed_ns.len() / 2];
+            let plain_min = plain_ns[0];
+            let observed_min = observed_ns[0];
+            ObservabilityBench {
+                scheme,
+                wall_ns_median_plain: plain,
+                wall_ns_median_observed: observed,
+                wall_ns_min_plain: plain_min,
+                wall_ns_min_observed: observed_min,
+                overhead_ratio: observed as f64 / plain.max(1) as f64,
+                overhead_ratio_min: observed_min as f64 / plain_min.max(1) as f64,
+                load_events,
+            }
+        })
+        .collect();
+    (cells, dup_profile)
 }
 
 /// Times one sharded DUP ensemble `reps` times, returning the median wall
@@ -369,6 +474,37 @@ pub fn render_text(report: &BenchReport) -> String {
             }
         }
     }
+    if !report.observability.is_empty() {
+        out.push_str(&format!(
+            "\nobservability tax (interleaved plain vs load accounting + profiling)\n\
+             {:<8} {:>14} {:>14} {:>9} {:>9} {:>12}\n",
+            "scheme", "plain ns", "observed ns", "overhead", "(by min)", "load events"
+        ));
+        for o in &report.observability {
+            out.push_str(&format!(
+                "{:<8} {:>14} {:>14} {:>8.1}% {:>8.1}% {:>12}\n",
+                o.scheme,
+                o.wall_ns_median_plain,
+                o.wall_ns_median_observed,
+                (o.overhead_ratio - 1.0) * 100.0,
+                (o.overhead_ratio_min - 1.0) * 100.0,
+                o.load_events
+            ));
+        }
+    }
+    if let Some(p) = &report.dup_profile {
+        let total = p.total_secs().max(f64::MIN_POSITIVE);
+        out.push_str(&format!(
+            "\nDUP engine profile ({} events): pop {:.1}% dispatch {:.1}% \
+             (probe emit {:.3} ms inside dispatch); queue depth last {:.0} max {:.0}\n",
+            p.events,
+            p.pop_secs / total * 100.0,
+            p.dispatch_secs / total * 100.0,
+            p.probe_secs * 1e3,
+            p.queue_depth.last().map(|s| s.value).unwrap_or(0.0),
+            p.queue_depth.max().unwrap_or(0.0),
+        ));
+    }
     out
 }
 
@@ -423,10 +559,28 @@ mod tests {
         }
         assert_eq!(report.space_curve[0].cross_shard_message_ratio, 0.0);
         assert!(report.space_curve[2].cross_shard_message_ratio > 0.0);
+        // The observability A/B covers every scheme; the observed arm does
+        // real accounting (nonzero load events) and both arms ran.
+        assert_eq!(report.observability.len(), 3);
+        for o in &report.observability {
+            assert!(o.load_events > 0, "{}: observed arm saw no load", o.scheme);
+            assert!(o.wall_ns_median_plain > 0 && o.wall_ns_median_observed > 0);
+            assert!(o.overhead_ratio > 0.0);
+            assert!(o.wall_ns_min_plain <= o.wall_ns_median_plain);
+            assert!(o.wall_ns_min_observed <= o.wall_ns_median_observed);
+            assert!(o.overhead_ratio_min > 0.0);
+        }
+        // The observed DUP run left its engine profile behind.
+        let profile = report.dup_profile.as_ref().expect("DUP profile harvested");
+        assert!(profile.events > 0);
+        assert!(profile.dispatch_secs > 0.0);
+        assert!(!profile.queue_depth.is_empty());
         let text = render_text(&report);
         assert!(text.contains("DUP") && text.contains("timer-wheel"));
         assert!(text.contains("shard curve"));
         assert!(text.contains("space curve"));
+        assert!(text.contains("observability tax"));
+        assert!(text.contains("DUP engine profile"));
         // Satellite of the space-parallel work: a 1-core host prints no
         // speedup column (the ratio would be sequential-by-construction).
         if report.cores == 1 {

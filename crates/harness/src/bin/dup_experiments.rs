@@ -43,6 +43,12 @@
 //!               (2 shards, timer-wheel backend) and assert its merged
 //!               event log is bit-identical to the sequential run; exits
 //!               nonzero on divergence (the CI cell for the space kernel)
+//!               or `load-report`: sweep Zipf θ ∈ [0.5, 1.2] with full
+//!               per-node load accounting (streaming probe + SpaceSaving
+//!               hot-node sketch), print the skew table, and write
+//!               LOAD_report.json + LOAD_metrics.prom to --out DIR or the
+//!               current directory; exits nonzero when the sketch
+//!               disagrees with the exact accounting
 //!
 //! OPTIONS
 //!   --full           paper-scale runs (n=4096, 180000 s windows)
@@ -231,6 +237,23 @@ fn main() -> ExitCode {
         }
     }
 
+    if selected.iter().any(|s| s == "load-report") {
+        selected.retain(|s| s != "load-report");
+        match run_load_report(&opts, out_dir.as_deref()) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::FAILURE,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Like --trace, load-report stands alone unless experiments were
+        // also requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
     if selected.iter().any(|s| s == "space-smoke") {
         selected.retain(|s| s != "space-smoke");
         match run_space_smoke(&opts) {
@@ -357,6 +380,29 @@ fn run_bench_report(
         .map_err(|e| format!("write {} failed: {e}", path.display()))?;
     println!("wrote {}", path.display());
     Ok(())
+}
+
+/// Sweeps Zipf θ with full per-node load accounting, prints the skew
+/// table, and writes `LOAD_report.json` + `LOAD_metrics.prom`. Returns
+/// `Ok(true)` when the sketch agreed with the exact accounting at every
+/// point.
+fn run_load_report(opts: &HarnessOpts, out_dir: Option<&std::path::Path>) -> Result<bool, String> {
+    let started = std::time::Instant::now();
+    let out = dup_harness::load_report(opts);
+    print!("{}", dup_harness::render_load_report(&out));
+    println!("(load-report finished in {:.1?})\n", started.elapsed());
+    let dir = out_dir.unwrap_or_else(|| std::path::Path::new("."));
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join("LOAD_report.json");
+    let doc = serde_json::to_string_pretty(&out.report).expect("load report serializes");
+    std::fs::write(&path, doc + "\n")
+        .map_err(|e| format!("write {} failed: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    let prom_path = dir.join("LOAD_metrics.prom");
+    std::fs::write(&prom_path, &out.prometheus)
+        .map_err(|e| format!("write {} failed: {e}", prom_path.display()))?;
+    println!("wrote {}", prom_path.display());
+    Ok(out.report.points.iter().all(|p| p.sketch_agrees))
 }
 
 /// Runs one fully traced simulation, prints the propagation-tree summary,
@@ -604,7 +650,7 @@ fn usage(err: &str) -> ExitCode {
          [--bench-reps N] [--seeds N] [--replay SEED] [--scheme pcx|cup|dup] \
          [--family flash-crowd|partition|asym-link|infiltration] [--fuzz-mutate] \
          [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|chaos|\
-         scenarios|trace-report|space-smoke]..."
+         scenarios|trace-report|load-report|space-smoke]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -30,6 +30,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fuzz;
+pub mod loadreport;
 pub mod report;
 pub mod scenarios;
 pub mod spacesmoke;
@@ -37,7 +38,9 @@ pub mod table2;
 pub mod table3;
 pub mod tracereport;
 
-pub use benchreport::{bench_report, render_text as render_bench_report, BenchReport, SchemeBench};
+pub use benchreport::{
+    bench_report, render_text as render_bench_report, BenchReport, ObservabilityBench, SchemeBench,
+};
 pub use chaos::{
     chaos_config, chaos_registry, chaos_seeds, chaos_space_config, render_chaos_report,
     render_chaos_space_cell, run_chaos, run_chaos_scenario, run_chaos_space_cell, ChaosReport,
@@ -51,6 +54,9 @@ pub use experiment::{
 pub use fuzz::{
     render_fuzz_report, run_fuzz, run_scenario, scenario_config, scenario_seeds, FuzzReport,
     ScenarioResult,
+};
+pub use loadreport::{
+    load_report, render_load_report, LoadPoint, LoadReport, LoadReportOutput, THETA_SWEEP,
 };
 pub use report::TextTable;
 pub use scenarios::{

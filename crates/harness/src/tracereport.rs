@@ -48,6 +48,9 @@ pub struct TraceReport {
 pub fn trace_report(opts: &HarnessOpts, kind: SchemeKind, sample_secs: f64) -> TraceReport {
     let mut cfg = opts.scale.base_config(opts.seed);
     cfg.probe.sample_every_secs = sample_secs;
+    // Self-profile the engine alongside the trace so the export carries a
+    // queue-depth counter track next to the propagation slices.
+    cfg.probe.profile_engine = true;
     let capture = CaptureProbe::new();
     let progress = ProgressProbe::new(
         capture.clone(),
@@ -61,11 +64,27 @@ pub fn trace_report(opts: &HarnessOpts, kind: SchemeKind, sample_secs: f64) -> T
     let mut registry = dup_proto::Registry::new();
     registry.record_run(&report);
     registry.record_trace_summary(&summary, &report.scheme);
+    let mut perfetto = perfetto_trace(&collector);
+    if let Some(profile) = &report.engine_profile {
+        // The vendored JSON value is immutable once built, so rebuild the
+        // document with the counter track appended to the slice rows.
+        let mut rows = perfetto
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .cloned()
+            .unwrap_or_default();
+        rows.extend(dup_proto::perfetto_counter_events(
+            &profile.queue_depth,
+            "queue depth",
+            0,
+        ));
+        perfetto = serde_json::json!({ "traceEvents": rows });
+    }
     TraceReport {
         kind,
         traced_spans: collector.span_count(),
         versions: collector.update_versions(),
-        perfetto: perfetto_trace(&collector),
+        perfetto,
         prometheus: registry.render_prometheus(),
         report,
         summary,
@@ -121,13 +140,17 @@ pub fn render_trace_report(tr: &TraceReport) -> String {
 ///
 /// The line only renders when stderr is a terminal
 /// ([`std::io::IsTerminal`]), so piped and CI runs stay clean; it is
-/// carriage-return-rewritten every ~64k events and cleared on flush.
+/// carriage-return-rewritten every ~64k events and cleared on flush. Each
+/// refresh shows simulated-time progress plus live wall-clock throughput
+/// (events/sec) and the estimated time to completion, extrapolated from
+/// the fraction of the sim-time horizon already covered.
 pub struct ProgressProbe<P> {
     inner: P,
     label: String,
     horizon_secs: f64,
     events: u64,
     interactive: bool,
+    started: std::time::Instant,
 }
 
 impl<P> ProgressProbe<P> {
@@ -140,12 +163,34 @@ impl<P> ProgressProbe<P> {
             horizon_secs,
             events: 0,
             interactive: std::io::stderr().is_terminal(),
+            started: std::time::Instant::now(),
         }
     }
 
     /// Events forwarded so far.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Live wall-clock throughput since construction, events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.started.elapsed().as_secs_f64().max(1e-9)
+    }
+
+    /// Estimated wall-clock seconds until the run reaches its sim-time
+    /// horizon, extrapolating elapsed wall time over the fraction of
+    /// simulated time already covered. `None` until the run has covered
+    /// enough of the horizon to extrapolate from (1%).
+    pub fn eta_secs(&self, at: SimTime) -> Option<f64> {
+        if self.horizon_secs <= 0.0 {
+            return None;
+        }
+        let done = (at.as_secs_f64() / self.horizon_secs).min(1.0);
+        if done < 0.01 {
+            return None;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        Some(elapsed * (1.0 - done) / done)
     }
 }
 
@@ -159,12 +204,18 @@ impl<P: Probe<ProbeEvent>> Probe<ProbeEvent> for ProgressProbe<P> {
             } else {
                 0.0
             };
+            let eta = match self.eta_secs(at) {
+                Some(secs) => format!(" eta={secs:.0}s"),
+                None => String::new(),
+            };
             eprint!(
-                "\r{}: {:5.1}% t={:.0}s events={}",
+                "\r{}: {:5.1}% t={:.0}s events={} ({:.0}k ev/s{})",
                 self.label,
                 pct,
                 at.as_secs_f64(),
-                self.events
+                self.events,
+                self.events_per_sec() / 1e3,
+                eta
             );
             let _ = std::io::stderr().flush();
         }
@@ -200,11 +251,22 @@ mod tests {
         );
         assert!(tr.traced_spans > 0);
         assert!(!tr.versions.is_empty());
-        // The Perfetto doc is loadable JSON with a non-empty event array.
+        // The Perfetto doc is loadable JSON with a non-empty event array,
+        // and the engine self-profile contributed a queue-depth counter
+        // track (`ph: "C"`) alongside the propagation slices.
         let text = serde_json::to_string(&tr.perfetto).unwrap();
         let back: serde_json::Value = serde_json::from_str(&text).unwrap();
         let rows = back.get("traceEvents").unwrap().as_array().unwrap();
         assert!(!rows.is_empty());
+        assert!(
+            rows.iter()
+                .any(|r| r.get("ph").and_then(|p| p.as_str()) == Some("C")),
+            "no counter rows in the Perfetto export"
+        );
+        assert!(
+            tr.report.engine_profile.is_some(),
+            "trace-report runs self-profiled"
+        );
         // The Prometheus exposition carries both run and trace series.
         assert!(tr.prometheus.contains("dup_queries_total{scheme=\"DUP\"}"));
         assert!(tr.prometheus.contains("dup_trace_edges_total"));
@@ -228,5 +290,10 @@ mod tests {
         probe.flush();
         assert_eq!(probe.events(), 10);
         assert_eq!(capture.len(), 10);
+        assert!(probe.events_per_sec() > 0.0);
+        // At t=9 of a 100s horizon the run is 9% done — enough to
+        // extrapolate an ETA; at t=0 it is not.
+        assert!(probe.eta_secs(SimTime::from_secs(9)).unwrap() >= 0.0);
+        assert!(probe.eta_secs(SimTime::ZERO).is_none());
     }
 }

@@ -409,10 +409,31 @@ pub struct ZipfPhase {
     pub theta: f64,
 }
 
+/// Deterministic sampled-tracing configuration.
+///
+/// When `one_in > 1`, only updates whose version hashes into the sample
+/// (a seeded splitmix64 of `seed ^ version`) allocate causal-trace spans;
+/// the rest of the run proceeds identically because span ids are pure
+/// metadata — sampling can never change protocol dynamics. `0` and `1`
+/// both mean "trace every update" (the default), so configs serialized
+/// before this field existed keep their old behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSampling {
+    /// Trace 1 in this many update versions (`0`/`1` = trace all).
+    pub one_in: u64,
+}
+
+impl Default for TraceSampling {
+    fn default() -> Self {
+        TraceSampling { one_in: 1 }
+    }
+}
+
 /// Observability configuration for a run.
 ///
-/// Controls only the *periodic sampling* schedule; whether any events are
-/// recorded at all is decided by attaching a probe at run time (see
+/// Controls only the *periodic sampling* schedule, trace sampling, and
+/// engine self-profiling; whether any events are recorded at all is
+/// decided by attaching a probe at run time (see
 /// [`crate::run_simulation_probed`]), so serialized configs stay free of
 /// non-data probe state.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -421,12 +442,25 @@ pub struct ProbeConfig {
     /// into [`crate::RunReport::samples`]; `0` (the default) disables
     /// sampling.
     pub sample_every_secs: f64,
+    /// Deterministic trace sampling (defaults to tracing every update;
+    /// absent from older serialized configs).
+    #[serde(default)]
+    pub trace_sampling: TraceSampling,
+    /// Opt-in engine self-profiling: wall-clock per-phase timing, queue
+    /// depth sampling, and probe-emit accounting, harvested into
+    /// [`crate::RunReport::engine_profile`]. Wall-clock only — never feeds
+    /// back into deterministic results. Defaults off; absent from older
+    /// serialized configs.
+    #[serde(default)]
+    pub profile_engine: bool,
 }
 
 impl Default for ProbeConfig {
     fn default() -> Self {
         ProbeConfig {
             sample_every_secs: 0.0,
+            trace_sampling: TraceSampling::default(),
+            profile_engine: false,
         }
     }
 }
@@ -892,6 +926,19 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Sets deterministic trace sampling: trace 1 in `one_in` update
+    /// versions (`0`/`1` = trace all, the default).
+    pub fn trace_sample_one_in(mut self, one_in: u64) -> Self {
+        self.cfg.probe.trace_sampling = TraceSampling { one_in };
+        self
+    }
+
+    /// Enables (or disables) engine self-profiling for the run.
+    pub fn profile_engine(mut self, enabled: bool) -> Self {
+        self.cfg.probe.profile_engine = enabled;
+        self
+    }
+
     /// Selects the event-queue backend.
     pub fn queue_backend(mut self, backend: QueueBackendConfig) -> Self {
         self.cfg.queue.backend = backend;
@@ -1028,10 +1075,38 @@ mod tests {
         assert_eq!(ProbeConfig::default().sample_every_secs, 0.0);
         // A config serialized before the probe field existed still loads.
         let mut json = serde_json::to_string(&RunConfig::quick(1)).unwrap();
-        json = json.replace(",\"probe\":{\"sample_every_secs\":0.0}", "");
+        let needle = format!(
+            ",\"probe\":{}",
+            serde_json::to_string(&ProbeConfig::default()).unwrap()
+        );
+        json = json.replace(&needle, "");
         assert!(!json.contains("probe"), "field not stripped: {json}");
         let back: RunConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.probe.sample_every_secs, 0.0);
+        assert_eq!(back.probe, ProbeConfig::default());
+    }
+
+    #[test]
+    fn trace_sampling_and_profiling_default_off_and_deserialize_when_absent() {
+        let d = ProbeConfig::default();
+        assert_eq!(d.trace_sampling.one_in, 1, "trace everything by default");
+        assert!(!d.profile_engine, "profiling is opt-in");
+        // A probe config serialized before the sampling/profiling fields
+        // existed still loads with the inert defaults.
+        let json = r#"{"sample_every_secs":600.0}"#;
+        let back: ProbeConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(back.sample_every_secs, 600.0);
+        assert_eq!(back.trace_sampling, TraceSampling::default());
+        assert!(!back.profile_engine);
+    }
+
+    #[test]
+    fn builder_sets_trace_sampling_and_profiling() {
+        let cfg = RunConfig::builder(0)
+            .trace_sample_one_in(16)
+            .profile_engine(true)
+            .build();
+        assert_eq!(cfg.probe.trace_sampling.one_in, 16);
+        assert!(cfg.probe.profile_engine);
     }
 
     #[test]

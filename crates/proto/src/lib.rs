@@ -46,6 +46,7 @@ pub mod cup;
 pub mod index;
 pub mod interest;
 pub mod ledger;
+pub mod load;
 pub mod metrics;
 pub mod pcx;
 pub mod probe;
@@ -60,12 +61,13 @@ pub use cache::CacheStore;
 pub use config::{
     ArrivalKind, ChurnConfig, FaultConfig, FaultWindow, NodeRange, PartitionWindow, ProbeConfig,
     ProtocolConfig, QueueBackendConfig, QueueConfig, ReliabilityConfig, RunConfig,
-    RunConfigBuilder, SlowLink, StopRule, TopologySource, ZipfPhase,
+    RunConfigBuilder, SlowLink, StopRule, TopologySource, TraceSampling, ZipfPhase,
 };
 pub use cup::{CupPushPolicy, CupScheme};
 pub use index::{AuthorityClock, IndexRecord, Version};
 pub use interest::{InterestPolicy, InterestTracker};
 pub use ledger::{CostLedger, MsgClass};
+pub use load::{DepthLoad, LoadProbe, LoadSkew, LoadTracker, NodeLoad};
 pub use metrics::{Metrics, RunReport};
 pub use pcx::PcxScheme;
 pub use probe::{
@@ -73,7 +75,8 @@ pub use probe::{
 };
 pub use reliable::{backoff_delay_secs, ReliabilityStats, ReliableState, RetryAction};
 pub use runner::{
-    run_simulation, run_simulation_probed, LiveSetError, LogRecord, Runner, SettledRun,
+    build_topology, run_simulation, run_simulation_probed, LiveSetError, LogRecord, Runner,
+    SettledRun,
 };
 pub use scheme::{AppliedChurn, Ctx, Ev, FaultState, FaultStats, FifoClocks, Msg, Scheme, World};
 pub use space::{
@@ -82,6 +85,6 @@ pub use space::{
 };
 pub use telemetry::Registry;
 pub use trace::{
-    perfetto_trace, EdgeKind, PropEdge, SpanInfo, TraceCollector, TraceCtx, TraceSummary,
-    UpdateTrace,
+    perfetto_counter_events, perfetto_trace, EdgeKind, PropEdge, SpanInfo, TraceCollector,
+    TraceCtx, TraceSummary, UpdateTrace,
 };

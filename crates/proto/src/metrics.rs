@@ -180,6 +180,7 @@ impl Metrics {
             peak_queue_depth_per_shard: Vec::new(),
             cross_shard_messages: 0,
             cross_shard_message_ratio: 0.0,
+            engine_profile: None,
         }
     }
 }
@@ -263,6 +264,12 @@ pub struct RunReport {
     /// (0.0 when sequential).
     #[serde(default)]
     pub cross_shard_message_ratio: f64,
+    /// Engine self-profile, when [`crate::ProbeConfig::profile_engine`] was
+    /// on (wall-clock phase timing; `None` otherwise, and absent — never
+    /// serialized — so determinism goldens and older reports are
+    /// unaffected).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub engine_profile: Option<dup_sim::EngineProfiler>,
 }
 
 impl RunReport {
@@ -345,6 +352,9 @@ impl RunReport {
                 .collect(),
             cross_shard_messages: reports.iter().map(|r| r.cross_shard_messages).sum(),
             cross_shard_message_ratio: mean_f(|r| r.cross_shard_message_ratio),
+            // Profiles are per-process wall-clock artifacts; aggregating
+            // replications drops them rather than inventing a mean.
+            engine_profile: None,
         }
     }
 }

@@ -273,6 +273,11 @@ pub struct SubscriberStats {
     pub mean_list_len: f64,
 }
 
+/// Emissions between timed emissions when [`ProbeSink`] timing is enabled
+/// (power of two so the check compiles to a mask). Sampled durations are
+/// scaled by the stride, mirroring the engine profiler's strided clocking.
+pub const PROBE_TIME_SAMPLE_EVERY: u64 = 256;
+
 /// The probe attachment point carried by [`crate::World`].
 ///
 /// Wraps an optional boxed [`Probe`] so the disabled case (the default) is
@@ -283,6 +288,13 @@ pub struct SubscriberStats {
 pub struct ProbeSink {
     probe: Option<Box<dyn Probe<ProbeEvent> + Send>>,
     emitted: u64,
+    /// When true, emissions are timed into `probe_secs` (the engine
+    /// profiler's "probe emit" phase). Off by default. Timing is strided —
+    /// one emission in [`PROBE_TIME_SAMPLE_EVERY`] is clocked and scaled by
+    /// the stride — so the estimate stays cheap even where the monotonic
+    /// clock is slow to read.
+    timing: bool,
+    probe_secs: f64,
 }
 
 impl std::fmt::Debug for ProbeSink {
@@ -304,7 +316,7 @@ impl ProbeSink {
     pub fn new(probe: Box<dyn Probe<ProbeEvent> + Send>) -> Self {
         ProbeSink {
             probe: Some(probe),
-            emitted: 0,
+            ..ProbeSink::default()
         }
     }
 
@@ -323,12 +335,30 @@ impl ProbeSink {
         self.emitted
     }
 
+    /// Starts timing emissions (see [`ProbeSink::probe_secs`]). A no-op on
+    /// a disabled sink.
+    pub fn enable_timing(&mut self) {
+        self.timing = self.probe.is_some();
+    }
+
+    /// Estimated wall-clock seconds spent constructing and recording probe
+    /// events, accumulated while timing is enabled (strided samples scaled
+    /// by [`PROBE_TIME_SAMPLE_EVERY`]).
+    pub fn probe_secs(&self) -> f64 {
+        self.probe_secs
+    }
+
     /// Emits an event lazily: `make` runs only when a probe is attached.
     #[inline]
     pub fn emit(&mut self, at: SimTime, make: impl FnOnce() -> ProbeEvent) {
         if let Some(probe) = &mut self.probe {
+            let started = (self.timing && self.emitted.is_multiple_of(PROBE_TIME_SAMPLE_EVERY))
+                .then(std::time::Instant::now);
             probe.record(at, &make());
             self.emitted += 1;
+            if let Some(t0) = started {
+                self.probe_secs += t0.elapsed().as_secs_f64() * PROBE_TIME_SAMPLE_EVERY as f64;
+            }
         }
     }
 
@@ -393,19 +423,36 @@ impl Probe<ProbeEvent> for CaptureProbe {
 }
 
 /// Streams events as JSON Lines: one `{"at_secs": …, "event": …}` object
-/// per line, flushed at end of run. This is the format behind the harness
-/// binary's `--trace out.jsonl`.
+/// per line. This is the format behind the harness binary's
+/// `--trace out.jsonl`.
+///
+/// Lines are staged in an internal buffer and handed to the writer only in
+/// whole-line chunks (when the buffer passes [`JsonlProbe::BUFFER_BYTES`],
+/// on [`Probe::flush`], and on drop). The writer therefore never sees a
+/// partial line: a run interrupted mid-stream — panic unwind, early drop,
+/// ctrl-C after the current event — still leaves a valid JSONL file whose
+/// every line parses.
 pub struct JsonlProbe<W: Write> {
-    out: W,
-    /// First serialization error, if any (reported once, then silent — a
-    /// broken trace sink must not abort the simulation).
+    /// `None` only after [`JsonlProbe::into_inner`] detaches the writer.
+    out: Option<W>,
+    /// Whole serialized lines awaiting a buffered write.
+    buf: Vec<u8>,
+    /// First write error, if any (reported once, then silent — a broken
+    /// trace sink must not abort the simulation).
     error: Option<std::io::Error>,
 }
 
 impl<W: Write> JsonlProbe<W> {
+    /// Buffered bytes that trigger a write-through to the inner writer.
+    pub const BUFFER_BYTES: usize = 64 * 1024;
+
     /// Wraps a writer.
     pub fn new(out: W) -> Self {
-        JsonlProbe { out, error: None }
+        JsonlProbe {
+            out: Some(out),
+            buf: Vec::new(),
+            error: None,
+        }
     }
 
     /// The first write error encountered, if any.
@@ -413,9 +460,32 @@ impl<W: Write> JsonlProbe<W> {
         self.error.as_ref()
     }
 
-    /// Unwraps the inner writer.
-    pub fn into_inner(self) -> W {
-        self.out
+    /// Writes every buffered complete line through to the inner writer.
+    fn flush_buf(&mut self) {
+        if self.buf.is_empty() || self.error.is_some() {
+            return;
+        }
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out.write_all(&self.buf) {
+                self.error = Some(e);
+            }
+            self.buf.clear();
+        }
+    }
+
+    /// Flushes buffered lines and unwraps the inner writer.
+    pub fn into_inner(mut self) -> W {
+        self.flush_buf();
+        self.out.take().expect("writer already detached")
+    }
+}
+
+impl<W: Write> Drop for JsonlProbe<W> {
+    fn drop(&mut self) {
+        self.flush_buf();
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -437,16 +507,25 @@ impl<W: Write> Probe<ProbeEvent> for JsonlProbe<W> {
             at_secs: at.as_secs_f64(),
             event: event.clone(),
         };
-        let result = serde_json::to_string(&line)
-            .map_err(std::io::Error::other)
-            .and_then(|json| writeln!(self.out, "{json}"));
-        if let Err(e) = result {
-            self.error = Some(e);
+        match serde_json::to_string(&line) {
+            Ok(json) => {
+                // The line enters the buffer atomically (bytes + newline),
+                // so the buffer always holds whole lines.
+                self.buf.extend_from_slice(json.as_bytes());
+                self.buf.push(b'\n');
+                if self.buf.len() >= Self::BUFFER_BYTES {
+                    self.flush_buf();
+                }
+            }
+            Err(e) => self.error = Some(std::io::Error::other(e)),
         }
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        self.flush_buf();
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -517,6 +596,87 @@ mod tests {
         let first: TraceLine = serde_json::from_str(lines[0]).unwrap();
         assert_eq!(first.at_secs, 3.0);
         assert_eq!(first.event, sent(2, 5, MsgClass::Push));
+    }
+
+    #[test]
+    fn jsonl_probe_buffers_lines_until_flush() {
+        use std::sync::{Arc, Mutex};
+
+        /// A writer that records every chunk it receives.
+        #[derive(Clone, Default)]
+        struct ChunkWriter(Arc<Mutex<Vec<Vec<u8>>>>);
+        impl Write for ChunkWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().push(buf.to_vec());
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = ChunkWriter::default();
+        let mut probe = JsonlProbe::new(sink.clone());
+        for i in 0..10 {
+            probe.record(SimTime::from_secs(i), &sent(0, 1, MsgClass::Push));
+        }
+        // Nothing reaches the writer until an explicit flush…
+        assert!(sink.0.lock().unwrap().is_empty());
+        probe.flush();
+        // …and then it arrives as whole-line chunks only.
+        let chunks = sink.0.lock().unwrap().clone();
+        assert!(!chunks.is_empty());
+        for chunk in &chunks {
+            assert_eq!(chunk.last(), Some(&b'\n'), "chunk split mid-line");
+        }
+    }
+
+    #[test]
+    fn jsonl_probe_interrupted_run_leaves_complete_lines() {
+        use std::sync::{Arc, Mutex};
+
+        /// Shared-buffer writer standing in for a file another handle will
+        /// re-read after the probe is gone.
+        #[derive(Clone, Default)]
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let file = SharedWriter::default();
+        let events: Vec<ProbeEvent> = (0..100)
+            .map(|i| ProbeEvent::CacheInsert {
+                node: NodeId(i),
+                version: u64::from(i),
+            })
+            .collect();
+        {
+            let mut probe = JsonlProbe::new(file.clone());
+            for (i, e) in events.iter().enumerate() {
+                probe.record(SimTime::from_secs(i as u64), e);
+            }
+            // Simulated interruption: the probe is dropped mid-run with no
+            // explicit flush (buffer below the write-through threshold).
+        }
+        let bytes = file.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.ends_with('\n'), "file truncated mid-line");
+        // Round trip: every line parses, and the full event sequence
+        // survives in order.
+        let parsed: Vec<TraceLine> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("partial-run line must parse"))
+            .collect();
+        assert_eq!(parsed.len(), events.len());
+        for (got, want) in parsed.iter().zip(&events) {
+            assert_eq!(&got.event, want);
+        }
     }
 
     #[test]

@@ -226,6 +226,23 @@ pub struct SettledRun<S: Scheme> {
     pub world: World,
 }
 
+/// Builds the search tree a run over `cfg` starts from. Topology derives
+/// only from the config (seeded RNG streams), so callers can rebuild the
+/// exact initial tree after the fact — e.g. to decompose per-node load by
+/// tree depth without shipping the tree through the report.
+pub fn build_topology(cfg: &RunConfig) -> SearchTree {
+    let seed = cfg.seed;
+    match &cfg.topology {
+        TopologySource::RandomTree(params) => {
+            random_search_tree(*params, &mut stream_rng(seed, "topology"))
+        }
+        TopologySource::Chord { nodes, key } => {
+            ChordRing::new(*nodes, &mut stream_rng(seed, "chord")).search_tree(*key)
+        }
+        TopologySource::Prebuilt(t) => t.clone(),
+    }
+}
+
 impl<S: Scheme> Runner<S> {
     /// Builds the world from `cfg` with no probe attached.
     pub fn new(cfg: RunConfig, scheme: S) -> Self {
@@ -236,15 +253,7 @@ impl<S: Scheme> Runner<S> {
     pub fn with_probe(cfg: RunConfig, scheme: S, probe: ProbeSink) -> Self {
         cfg.validate();
         let seed = cfg.seed;
-        let tree = match &cfg.topology {
-            TopologySource::RandomTree(params) => {
-                random_search_tree(*params, &mut stream_rng(seed, "topology"))
-            }
-            TopologySource::Chord { nodes, key } => {
-                ChordRing::new(*nodes, &mut stream_rng(seed, "chord")).search_tree(*key)
-            }
-            TopologySource::Prebuilt(t) => t.clone(),
-        };
+        let tree = build_topology(&cfg);
         let n = tree.len();
         let ttl = SimDuration::from_secs_f64(cfg.protocol.ttl_secs);
         let push_lead = SimDuration::from_secs_f64(cfg.protocol.push_lead_secs);
@@ -267,7 +276,13 @@ impl<S: Scheme> Runner<S> {
             probe,
             faults: FaultState::from_config(cfg.faults.clone(), seed),
             reliable: ReliableState::from_config(cfg.reliability.clone(), seed),
-            trace: TraceCtx::new(),
+            // The sampling seed derives from the master seed via the usual
+            // labeled-stream scheme, so the sampled subset is reproducible
+            // per seed but decorrelated from every other stream.
+            trace: TraceCtx::with_sampling(
+                cfg.probe.trace_sampling.one_in,
+                dup_sim::stream_seed(seed, "trace-sample"),
+            ),
             tree,
         };
         let arrivals = match cfg.arrivals {
@@ -413,6 +428,10 @@ impl<S: Scheme> Runner<S> {
         if let Some(limit) = self.cfg.max_events {
             engine.set_event_limit(limit);
         }
+        if self.cfg.probe.profile_engine {
+            engine.enable_profiler();
+            self.world.probe.enable_timing();
+        }
         self.schedule_drivers(engine);
         let outcome = engine.run(|eng, ev| self.handle(eng, ev));
         debug_assert!(
@@ -422,11 +441,18 @@ impl<S: Scheme> Runner<S> {
             ),
             "simulation drained its event set unexpectedly"
         );
-        self.finalize_report(
+        let mut report = self.finalize_report(
             engine.now(),
             engine.events_processed(),
             engine.peak_pending(),
-        )
+        );
+        if let Some(mut prof) = engine.take_profiler() {
+            // Probe-emit time accumulates in the sink (it is the sink that
+            // serializes, not the engine); fold it into the phase profile.
+            prof.probe_secs = self.world.probe.probe_secs();
+            report.engine_profile = Some(prof);
+        }
+        report
     }
 
     /// Runs `init` and schedules the standing periodic drivers. In a
@@ -705,15 +731,20 @@ impl<S: Scheme> Runner<S> {
                 if self.world.probe.enabled() {
                     // Root the update's propagation trace at the publish:
                     // every push the scheme now sends joins this trace.
-                    self.world.trace.begin_update(record.version.0);
-                    let origin = self.world.tree.root();
-                    let version = record.version.0;
-                    self.world
-                        .probe
-                        .emit(eng.now(), || ProbeEvent::UpdatePublished {
-                            node: origin,
-                            version,
-                        });
+                    // Under trace sampling, unsampled versions get no root
+                    // span — and no UpdatePublished event, so collectors
+                    // never see a trace they cannot follow edge-for-edge.
+                    let span = self.world.trace.begin_update(record.version.0);
+                    if span.is_traced() {
+                        let origin = self.world.tree.root();
+                        let version = record.version.0;
+                        self.world
+                            .probe
+                            .emit(eng.now(), || ProbeEvent::UpdatePublished {
+                                node: origin,
+                                version,
+                            });
+                    }
                 }
                 {
                     let mut ctx = Ctx {
@@ -1556,6 +1587,57 @@ mod tests {
             "settling must not leak into the report"
         );
         assert!(settled.world.faults.stats().dropped > 0);
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_dynamics() {
+        let cfg = tiny_cfg(15);
+        let plain = run_simulation(&cfg, PcxScheme::new());
+        let mut prof_cfg = cfg.clone();
+        prof_cfg.probe.profile_engine = true;
+        let profiled = run_simulation(&prof_cfg, PcxScheme::new());
+        let prof = profiled
+            .engine_profile
+            .clone()
+            .expect("profiler enabled but no profile harvested");
+        assert_eq!(prof.events, profiled.events, "every pop accounted");
+        assert!(prof.dispatch_secs > 0.0, "handlers took nonzero time");
+        assert!(
+            !prof.queue_depth.is_empty(),
+            "depth series sampled over a {}-event run",
+            profiled.events
+        );
+        // Profiling is wall-clock only: every deterministic field agrees
+        // bit-for-bit with the unprofiled run.
+        let mut stripped = profiled.clone();
+        stripped.engine_profile = None;
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&stripped).unwrap(),
+            "profiling perturbed simulation results"
+        );
+        assert!(
+            !serde_json::to_string(&plain)
+                .unwrap()
+                .contains("engine_profile"),
+            "disabled profile must not serialize"
+        );
+    }
+
+    #[test]
+    fn sampled_tracing_preserves_dynamics() {
+        let cfg = tiny_cfg(16);
+        let plain = run_simulation(&cfg, PcxScheme::new());
+        let mut sampled_cfg = cfg.clone();
+        sampled_cfg.probe.trace_sampling.one_in = 16;
+        // Spans are pure metadata: sampling must not move a single event
+        // even though span allocation is now version-gated.
+        let sampled = run_simulation(&sampled_cfg, PcxScheme::new());
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&sampled).unwrap(),
+            "trace sampling perturbed simulation results"
+        );
     }
 
     #[test]

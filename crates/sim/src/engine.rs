@@ -1,8 +1,10 @@
 //! The event loop: pops events in `(time, seq)` order and hands them to a
 //! handler that may schedule further events.
 
+use crate::profiler::{EngineProfiler, DEPTH_SAMPLE_EVERY, TIME_SAMPLE_EVERY};
 use crate::queue::{EventQueue, Popped, QueueBackend, TimerId};
 use crate::time::{SimDuration, SimTime};
+use std::time::Instant;
 
 /// Why [`Engine::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,7 @@ pub struct Engine<E> {
     event_limit: Option<u64>,
     events_processed: u64,
     stop_requested: bool,
+    profiler: Option<Box<EngineProfiler>>,
 }
 
 impl<E> Default for Engine<E> {
@@ -54,6 +57,7 @@ impl<E> Engine<E> {
             event_limit: None,
             events_processed: 0,
             stop_requested: false,
+            profiler: None,
         }
     }
 
@@ -102,6 +106,25 @@ impl<E> Engine<E> {
     /// a backstop against runaway feedback loops in model code.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = Some(limit);
+    }
+
+    /// Enables self-profiling: subsequent [`Engine::run`] calls time queue
+    /// pops and handler dispatch and sample queue depth. Profiling is
+    /// wall-clock only — it never affects event order or model state.
+    pub fn enable_profiler(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::new(EngineProfiler::new()));
+        }
+    }
+
+    /// The accumulated profile, if profiling is enabled.
+    pub fn profiler(&self) -> Option<&EngineProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Detaches and returns the accumulated profile, disabling profiling.
+    pub fn take_profiler(&mut self) -> Option<EngineProfiler> {
+        self.profiler.take().map(|p| *p)
     }
 
     /// Schedules `event` at the absolute instant `at`. The returned handle
@@ -153,7 +176,17 @@ impl<E> Engine<E> {
                 }
             }
             // One queue scan per iteration: the pop and the horizon check
-            // share the minimum-finding work.
+            // share the minimum-finding work. The disabled-profiler path
+            // costs a couple of `Option` tests per iteration. When profiling,
+            // the clock is read only on 1-in-TIME_SAMPLE_EVERY events and the
+            // measured durations are scaled by the stride — on hosts with a
+            // slow clocksource, per-event `Instant::now()` would otherwise
+            // dominate the run it is supposed to measure.
+            let pop_started = self
+                .profiler
+                .as_ref()
+                .filter(|p| p.events.is_multiple_of(TIME_SAMPLE_EVERY))
+                .map(|_| Instant::now());
             let (at, event) = match self.queue.pop_before(self.horizon) {
                 Popped::Event(e) => e,
                 Popped::AtOrAfter(_) => {
@@ -167,7 +200,26 @@ impl<E> Engine<E> {
             debug_assert!(at >= self.now, "event queue violated time order");
             self.now = at;
             self.events_processed += 1;
-            handler(self, event);
+            let depth = self.queue.len();
+            if let Some(prof) = self.profiler.as_mut() {
+                prof.events += 1;
+                if prof.events.is_multiple_of(DEPTH_SAMPLE_EVERY) {
+                    prof.queue_depth.push(at.as_secs_f64(), depth as f64);
+                }
+            }
+            if let Some(t0) = pop_started {
+                let dispatch_started = Instant::now();
+                let scale = TIME_SAMPLE_EVERY as f64;
+                let prof = self.profiler.as_mut().expect("profiler vanished");
+                prof.timed_events += 1;
+                prof.pop_secs += dispatch_started.duration_since(t0).as_secs_f64() * scale;
+                handler(self, event);
+                if let Some(prof) = self.profiler.as_mut() {
+                    prof.dispatch_secs += dispatch_started.elapsed().as_secs_f64() * scale;
+                }
+            } else {
+                handler(self, event);
+            }
         }
     }
 }
@@ -290,6 +342,33 @@ mod tests {
             }
         });
         assert_eq!(fired, vec![1]);
+    }
+
+    #[test]
+    fn profiler_observes_without_perturbing() {
+        let run = |profiled: bool| {
+            let mut eng = Engine::new();
+            if profiled {
+                eng.enable_profiler();
+            }
+            eng.schedule(SimTime::ZERO, Ev::Tick(0));
+            let mut log = Vec::new();
+            eng.run(|eng, Ev::Tick(i)| {
+                log.push((eng.now(), i));
+                if i < 99 {
+                    eng.schedule_after(SimDuration::from_secs(1), Ev::Tick(i + 1));
+                }
+            });
+            (log, eng.take_profiler())
+        };
+        let (plain_log, none) = run(false);
+        assert!(none.is_none());
+        let (profiled_log, prof) = run(true);
+        assert_eq!(plain_log, profiled_log);
+        let prof = prof.expect("profiler enabled");
+        assert_eq!(prof.events, 100);
+        assert!(prof.pop_secs >= 0.0);
+        assert!(prof.dispatch_secs >= 0.0);
     }
 
     #[test]

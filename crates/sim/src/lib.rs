@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod probe;
+pub mod profiler;
 pub mod queue;
 pub mod rng;
 pub mod shard;
@@ -45,6 +46,7 @@ pub mod time;
 
 pub use engine::{Engine, RunOutcome};
 pub use probe::{FnProbe, NoopProbe, Probe, RingProbe};
+pub use profiler::{EngineProfiler, ShardProfile};
 pub use queue::{EventQueue, QueueBackend, TimerId};
 pub use rng::{stream_rng, stream_seed, SenderStreams, StreamRng};
 pub use shard::{run_shards, ShardCtx, ShardModel, ShardRunReport, ShardedEngine};

@@ -26,8 +26,10 @@
 //! for *ensemble* sharding (independent sub-simulations, no cross-shard
 //! traffic) used by the protocol layer's `RunConfig::shards` mode.
 
+use crate::profiler::ShardProfile;
 use crate::queue::{EventQueue, Popped, QueueBackend, TimerId};
 use crate::time::{SimDuration, SimTime};
+use std::time::Instant;
 
 /// A message crossing shard boundaries, delivered at the next window
 /// barrier.
@@ -155,6 +157,7 @@ pub struct ShardedEngine<M: ShardModel> {
     now: SimTime,
     windows: u64,
     cross_messages: u64,
+    profile: Option<Box<ShardProfile>>,
 }
 
 impl<M: ShardModel> ShardedEngine<M> {
@@ -195,7 +198,27 @@ impl<M: ShardModel> ShardedEngine<M> {
             now: SimTime::ZERO,
             windows: 0,
             cross_messages: 0,
+            profile: None,
         }
+    }
+
+    /// Enables self-profiling: per-shard busy and barrier-wait wall time,
+    /// idle fast-forward accounting, and outbox-merge time. Wall-clock
+    /// only — never affects the (bit-identical) event schedule.
+    pub fn enable_profiler(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(ShardProfile::new(self.shards.len())));
+        }
+    }
+
+    /// The accumulated profile, if profiling is enabled.
+    pub fn profile(&self) -> Option<&ShardProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Detaches and returns the accumulated profile, disabling profiling.
+    pub fn take_profile(&mut self) -> Option<ShardProfile> {
+        self.profile.take().map(|p| *p)
     }
 
     /// Number of shards.
@@ -232,6 +255,80 @@ impl<M: ShardModel> ShardedEngine<M> {
         }
     }
 
+    /// Advances every shard to `end`, one worker thread per shard when
+    /// `threaded`. Returns per-shard wall durations when `profiling` (the
+    /// unprofiled path never reads the clock).
+    fn advance_all(
+        shards: &mut [ShardState<M>],
+        end: SimTime,
+        lookahead: SimDuration,
+        threaded: bool,
+        profiling: bool,
+    ) -> Option<Vec<f64>> {
+        // Materialize the per-shard results eagerly: every shard must
+        // advance regardless of whether anyone wants the timings.
+        let durations: Vec<Option<f64>> = if threaded && shards.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, state)| {
+                        scope.spawn(move || {
+                            let started = profiling.then(Instant::now);
+                            Self::advance(i, state, end, lookahead);
+                            started.map(|t| t.elapsed().as_secs_f64())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        } else {
+            shards
+                .iter_mut()
+                .enumerate()
+                .map(|(i, state)| {
+                    let started = profiling.then(Instant::now);
+                    Self::advance(i, state, end, lookahead);
+                    started.map(|t| t.elapsed().as_secs_f64())
+                })
+                .collect()
+        };
+        if profiling {
+            Some(durations.into_iter().flatten().collect())
+        } else {
+            None
+        }
+    }
+
+    /// Fast-forwards the clock to `earliest` when it lies ahead, recording
+    /// the skipped idle gap in the profile.
+    fn fast_forward_to(&mut self, earliest: SimTime) {
+        if earliest > self.now {
+            if let Some(p) = self.profile.as_mut() {
+                p.fast_forward_windows += 1;
+                p.fast_forward_sim_secs += earliest.as_secs_f64() - self.now.as_secs_f64();
+            }
+            self.now = earliest;
+        }
+    }
+
+    /// One window's barrier: merge outboxes (timed when profiling) and fold
+    /// the per-shard advance durations into the profile.
+    fn finish_window(&mut self, durations: Option<Vec<f64>>) {
+        let merge_started = self.profile.as_ref().map(|_| Instant::now());
+        self.merge_outboxes();
+        if let Some(p) = self.profile.as_mut() {
+            p.merge_secs += merge_started.expect("profiling").elapsed().as_secs_f64();
+            if let Some(durations) = durations {
+                p.record_window(&durations);
+            }
+        }
+        self.windows += 1;
+    }
+
     /// Runs one lookahead window: advance every shard to the window end,
     /// then merge and deliver the cross-shard outboxes in canonical order.
     /// Returns false when the engine is idle (nothing was pending).
@@ -239,25 +336,19 @@ impl<M: ShardModel> ShardedEngine<M> {
         // Fast-forward over idle gaps; a function of queue state only, so
         // threaded and sequential runs see the same barrier schedule.
         match self.earliest() {
-            Some(t) => self.now = self.now.max(t),
+            Some(t) => self.fast_forward_to(t),
             None => return false,
         }
         let horizon = self.now + self.lookahead;
-        let lookahead = self.lookahead;
-        if threaded && self.shards.len() > 1 {
-            std::thread::scope(|scope| {
-                for (i, state) in self.shards.iter_mut().enumerate() {
-                    scope.spawn(move || Self::advance(i, state, horizon, lookahead));
-                }
-            });
-        } else {
-            for (i, state) in self.shards.iter_mut().enumerate() {
-                Self::advance(i, state, horizon, lookahead);
-            }
-        }
-        self.merge_outboxes();
+        let durations = Self::advance_all(
+            &mut self.shards,
+            horizon,
+            self.lookahead,
+            threaded,
+            self.profile.is_some(),
+        );
+        self.finish_window(durations);
         self.now = horizon;
-        self.windows += 1;
         true
     }
 
@@ -292,24 +383,17 @@ impl<M: ShardModel> ShardedEngine<M> {
                 Some(t) if t < horizon => t,
                 _ => break,
             };
-            let start = self.now.max(earliest);
-            let end = (start + self.lookahead).min(horizon);
-            self.now = start;
-            let lookahead = self.lookahead;
-            if threaded && self.shards.len() > 1 {
-                std::thread::scope(|scope| {
-                    for (i, state) in self.shards.iter_mut().enumerate() {
-                        scope.spawn(move || Self::advance(i, state, end, lookahead));
-                    }
-                });
-            } else {
-                for (i, state) in self.shards.iter_mut().enumerate() {
-                    Self::advance(i, state, end, lookahead);
-                }
-            }
-            self.merge_outboxes();
+            self.fast_forward_to(earliest);
+            let end = (self.now + self.lookahead).min(horizon);
+            let durations = Self::advance_all(
+                &mut self.shards,
+                end,
+                self.lookahead,
+                threaded,
+                self.profile.is_some(),
+            );
+            self.finish_window(durations);
             self.now = end;
-            self.windows += 1;
         }
         self.now = horizon.max(self.now);
     }
@@ -644,6 +728,43 @@ mod tests {
         eng.run(false);
         let models = eng.into_models();
         assert_eq!(models[0].fired, 2, "cancelled timer fired");
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_accounts_windows() {
+        let mut plain = phold_engine(4, 400);
+        let plain_report = plain.run(true);
+        let plain_logs: Vec<_> = plain.into_models().into_iter().map(|m| m.log).collect();
+
+        let mut profiled = phold_engine(4, 400);
+        profiled.enable_profiler();
+        let profiled_report = profiled.run(true);
+        let profile = profiled.take_profile().expect("profiling enabled");
+        let profiled_logs: Vec<_> = profiled.into_models().into_iter().map(|m| m.log).collect();
+
+        assert_eq!(plain_report, profiled_report);
+        assert_eq!(plain_logs, profiled_logs);
+        assert_eq!(profile.busy_secs.len(), 4);
+        assert!(profile.busy_secs.iter().all(|&s| s >= 0.0));
+        assert!(profile.barrier_wait_secs.iter().all(|&s| s >= 0.0));
+        assert!(profile.busy_skew().is_some());
+    }
+
+    #[test]
+    fn profiler_counts_idle_fast_forwards() {
+        struct Sparse;
+        impl ShardModel for Sparse {
+            type Event = ();
+            fn handle(&mut self, _: (), _: &mut ShardCtx<'_, ()>) {}
+        }
+        let mut eng = ShardedEngine::new(vec![Sparse, Sparse], SimDuration::from_nanos(1_000_000));
+        eng.enable_profiler();
+        eng.schedule(0, SimTime::from_secs(1), ());
+        eng.schedule(1, SimTime::from_secs(3600), ());
+        eng.run(false);
+        let profile = eng.take_profile().unwrap();
+        assert_eq!(profile.fast_forward_windows, 2);
+        assert!(profile.fast_forward_sim_secs > 3500.0);
     }
 
     #[test]

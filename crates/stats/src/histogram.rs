@@ -279,6 +279,100 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_answers_nothing() {
+        let h = Histogram::new(2.0, 8);
+        assert_eq!(h.total(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None);
+            assert_eq!(h.quantile_interpolated(q), None);
+        }
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.approx_mean(), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_quantiles() {
+        // All mass in one (in-range) bucket: every quantile resolves inside
+        // that bucket and interpolation spans its width.
+        let mut h = Histogram::new(1.0, 1);
+        for _ in 0..10 {
+            h.record(0.5);
+        }
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1.0));
+        assert_eq!(h.quantile_interpolated(0.0), Some(0.0));
+        assert_eq!(h.quantile_interpolated(0.5), Some(0.5));
+        assert_eq!(h.quantile_interpolated(1.0), Some(1.0));
+        assert!((h.approx_mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_mass_in_overflow() {
+        // Every observation beyond range: quantiles are unanswerable at any
+        // q, the mean excludes overflow, and totals still account for it.
+        let mut h = Histogram::new(1.0, 4);
+        for _ in 0..5 {
+            h.record(1e9);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.overflow(), 5);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None);
+            assert_eq!(h.quantile_interpolated(q), None);
+        }
+        assert_eq!(h.approx_mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_preserves_interpolated_tail_quantiles() {
+        // Reference computation: exact quantiles of the pooled sample under
+        // the same within-bucket uniform assumption the histogram makes.
+        // Splitting the stream across histograms and merging must reproduce
+        // the un-split histogram's p50/p95/p99 exactly.
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 200) as f64 / 25.0).collect();
+        let mut whole = Histogram::new(0.5, 16);
+        let mut parts: Vec<Histogram> = (0..3).map(|_| Histogram::new(0.5, 16)).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            parts[i % 3].record(x);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        // Reference: walk the exact pooled bucket counts the same way.
+        let reference = |q: f64| -> f64 {
+            let mut counts = [0u64; 16];
+            for &x in &xs {
+                counts[(x / 0.5) as usize] += 1;
+            }
+            let target = q * xs.len() as f64;
+            let mut cum = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if (cum + c) as f64 >= target {
+                    let within = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                    return (i as f64 + within) * 0.5;
+                }
+                cum += c;
+            }
+            unreachable!("quantile within range by construction")
+        };
+        for (q, got) in [
+            (0.5, merged.p50().unwrap()),
+            (0.95, merged.p95().unwrap()),
+            (0.99, merged.p99().unwrap()),
+        ] {
+            assert_eq!(got, whole.quantile_interpolated(q).unwrap());
+            assert!((got - reference(q)).abs() < 1e-12, "q={q}: {got}");
+        }
+    }
+
+    #[test]
     fn merged_shards_match_single_histogram_quantiles() {
         // Per-shard histograms combined with `merge` must answer quantile
         // queries exactly as one histogram fed the union of observations —

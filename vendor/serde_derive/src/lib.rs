@@ -4,8 +4,9 @@
 //! are unavailable offline). Supports the shapes this workspace uses:
 //! non-generic named structs, tuple structs, unit structs, and enums with
 //! unit/newtype/tuple/struct variants, plus the field attributes
-//! `#[serde(with = "path")]`, `#[serde(default)]`, and
-//! `#[serde(default = "path")]`.
+//! `#[serde(with = "path")]`, `#[serde(default)]`,
+//! `#[serde(default = "path")]`, and
+//! `#[serde(skip_serializing_if = "path")]` (named struct fields only).
 //!
 //! See `vendor/README.md` for why these stubs exist.
 
@@ -44,6 +45,7 @@ struct Field {
     ty: String,
     with: Option<String>,
     default: Option<DefaultAttr>,
+    skip_if: Option<String>,
 }
 
 enum DefaultAttr {
@@ -120,23 +122,24 @@ impl Cursor {
     }
 
     /// Consumes attributes; returns serde field attributes found among them.
-    fn eat_attrs(&mut self) -> (Option<String>, Option<DefaultAttr>) {
+    fn eat_attrs(&mut self) -> (Option<String>, Option<DefaultAttr>, Option<String>) {
         let mut with = None;
         let mut default = None;
+        let mut skip_if = None;
         while self.eat_punct('#') {
             match self.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
                     let mut inner = Cursor::new(g.stream());
                     if inner.eat_ident("serde") {
                         if let Some(TokenTree::Group(args)) = inner.next() {
-                            parse_serde_args(args.stream(), &mut with, &mut default);
+                            parse_serde_args(args.stream(), &mut with, &mut default, &mut skip_if);
                         }
                     }
                 }
                 other => panic!("serde derive: expected [attr], got {other:?}"),
             }
         }
-        (with, default)
+        (with, default, skip_if)
     }
 
     /// Consumes `pub`, `pub(...)` if present.
@@ -151,7 +154,12 @@ impl Cursor {
     }
 }
 
-fn parse_serde_args(stream: TokenStream, with: &mut Option<String>, default: &mut Option<DefaultAttr>) {
+fn parse_serde_args(
+    stream: TokenStream,
+    with: &mut Option<String>,
+    default: &mut Option<DefaultAttr>,
+    skip_if: &mut Option<String>,
+) {
     let mut c = Cursor::new(stream);
     while !c.at_end() {
         let key = c.expect_ident("serde attribute name");
@@ -166,6 +174,13 @@ fn parse_serde_args(stream: TokenStream, with: &mut Option<String>, default: &mu
                 } else {
                     *default = Some(DefaultAttr::Std);
                 }
+            }
+            "skip_serializing_if" => {
+                assert!(
+                    c.eat_punct('='),
+                    "serde derive: skip_serializing_if needs = \"path\""
+                );
+                *skip_if = Some(expect_str_literal(&mut c));
             }
             other => panic!("serde derive: unsupported serde attribute `{other}`"),
         }
@@ -238,7 +253,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let (with, default) = c.eat_attrs();
+        let (with, default, skip_if) = c.eat_attrs();
         if c.at_end() {
             break;
         }
@@ -273,6 +288,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             ty,
             with,
             default,
+            skip_if,
         });
     }
     fields
@@ -417,8 +433,8 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                         for f in fields {
                             assert!(
-                                f.with.is_none(),
-                                "serde derive: with-attributes on enum variant fields are unsupported"
+                                f.with.is_none() && f.skip_if.is_none(),
+                                "serde derive: with/skip attributes on enum variant fields are unsupported"
                             );
                             body.push_str(&format!(
                                 "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{0}\", {0})?;\n",
@@ -439,7 +455,7 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 fn gen_serialize_field(key: &str, value_expr: &str, f: &Field) -> String {
-    match &f.with {
+    let write = match &f.with {
         None => format!(
             "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{key}\", {value_expr})?;\n"
         ),
@@ -451,6 +467,12 @@ fn gen_serialize_field(key: &str, value_expr: &str, f: &Field) -> String {
              ::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{key}\", &__With({value_expr}))?;\n}}\n",
             ty = f.ty,
         ),
+    };
+    match &f.skip_if {
+        // The serializer takes the struct len as a capacity hint only, so
+        // skipping a field needs no len adjustment.
+        Some(path) => format!("if !{path}({value_expr}) {{\n{write}}}\n"),
+        None => write,
     }
 }
 
