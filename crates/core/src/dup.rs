@@ -5,7 +5,7 @@ use dup_proto::scheme::{AppliedChurn, Ctx, Scheme};
 use dup_proto::{IndexRecord, MsgClass, ProbeEvent, SubscriberStats};
 
 /// DUP's wire messages (§III-B), plus the direct index push.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub enum DupMsg {
     /// `subscribe(subject)`: the branch below the sender now has `subject`
     /// as its nearest subscribed node; routed hop-by-hop toward the root.
@@ -254,6 +254,15 @@ impl DupScheme {
                 self.lists.set(node, other.s_list(node));
             }
         }
+    }
+
+    /// Installs `entries` verbatim as `node`'s subscriber list — the
+    /// multi-process analogue of [`DupScheme::adopt_owned_lists`]: a live
+    /// deployment's harness rebuilds global state by loading each host's
+    /// snapshot of its own (owner-local) list into one scheme for the
+    /// oracle to audit.
+    pub fn load_list(&mut self, node: NodeId, entries: &[NodeId]) {
+        self.lists.set(node, entries);
     }
 
     /// The subscriber list of `node` (audits, tests).

@@ -49,6 +49,14 @@
 //!               LOAD_report.json + LOAD_metrics.prom to --out DIR or the
 //!               current directory; exits nonzero when the sketch
 //!               disagrees with the exact accounting
+//!               or `live-smoke`: boot an 8-node DUP cluster as real
+//!               localhost processes (one per node, length-delimited TCP),
+//!               SIGKILL a mid-tree node, restart it with a bumped
+//!               incarnation, and assert every host's tree re-converges
+//!               to the NCA-closure oracle within 8 lease periods; writes
+//!               LIVE_report.json + LIVE_metrics.prom to --out DIR; exits
+//!               nonzero when any phase misses its deadline (`live-node`
+//!               is the hidden per-process entry point it spawns)
 //!
 //! OPTIONS
 //!   --full           paper-scale runs (n=4096, 180000 s windows)
@@ -102,6 +110,17 @@ use dup_harness::{
 use dup_proto::{JsonlProbe, ProbeSink};
 
 fn main() -> ExitCode {
+    // The hidden `live-node` subcommand runs one live cluster node and
+    // must not parse (or be confused by) the experiment options: the
+    // harness spawns it as `dup-experiments live-node <index>
+    // <incarnation> <rendezvous-dir>`.
+    {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        if raw.first().map(String::as_str) == Some("live-node") {
+            return run_live_node_cmd(&raw[1..]);
+        }
+    }
+
     let mut opts = HarnessOpts::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
@@ -248,6 +267,23 @@ fn main() -> ExitCode {
             }
         }
         // Like --trace, load-report stands alone unless experiments were
+        // also requested.
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if selected.iter().any(|s| s == "live-smoke") {
+        selected.retain(|s| s != "live-smoke");
+        match dup_harness::run_live_smoke(out_dir.as_deref()) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::FAILURE,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Like --trace, live-smoke stands alone unless experiments were
         // also requested.
         if selected.is_empty() {
             return ExitCode::SUCCESS;
@@ -485,6 +521,30 @@ fn run_space_smoke(opts: &HarnessOpts) -> Result<bool, String> {
     Ok(result.passed)
 }
 
+/// Entry point of the hidden `live-node` subcommand: one process of the
+/// live smoke cluster. Arguments: `<index> <incarnation> <rendezvous-dir>`.
+fn run_live_node_cmd(args: &[String]) -> ExitCode {
+    let parsed = match args {
+        [index, incarnation, dir] => index
+            .parse::<usize>()
+            .ok()
+            .zip(incarnation.parse::<u64>().ok())
+            .map(|(i, inc)| (i, inc, PathBuf::from(dir))),
+        _ => None,
+    };
+    let Some((index, incarnation, dir)) = parsed else {
+        eprintln!("usage: dup-experiments live-node <index> <incarnation> <rendezvous-dir>");
+        return ExitCode::FAILURE;
+    };
+    match dup_harness::live_node_main(index, incarnation, &dir) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Runs a reliable fault→heal→drain chaos campaign (or a single-seed
 /// replay) and verifies convergence; returns `Ok(true)` when every
 /// scenario re-converged. Writes `CHAOS_report.json` and
@@ -650,7 +710,7 @@ fn usage(err: &str) -> ExitCode {
          [--bench-reps N] [--seeds N] [--replay SEED] [--scheme pcx|cup|dup] \
          [--family flash-crowd|partition|asym-link|infiltration] [--fuzz-mutate] \
          [table2|fig4|table3|fig5|fig6|fig7|fig8|ext-...|all|bench-report|fuzz|chaos|\
-         scenarios|trace-report|load-report|space-smoke]..."
+         scenarios|trace-report|load-report|space-smoke|live-smoke]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -30,6 +30,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fuzz;
+pub mod livesmoke;
 pub mod loadreport;
 pub mod report;
 pub mod scenarios;
@@ -54,6 +55,9 @@ pub use experiment::{
 pub use fuzz::{
     render_fuzz_report, run_fuzz, run_scenario, scenario_config, scenario_seeds, FuzzReport,
     ScenarioResult,
+};
+pub use livesmoke::{
+    live_node_main, live_registry, run_live_smoke, smoke_parents, LiveSmokeReport, SMOKE_VICTIM,
 };
 pub use loadreport::{
     load_report, render_load_report, LoadPoint, LoadReport, LoadReportOutput, THETA_SWEEP,

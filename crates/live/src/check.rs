@@ -1,0 +1,38 @@
+//! The recovery oracle: merge per-host snapshots and check them against
+//! the NCA-closure characterization.
+//!
+//! In a live cluster every list mutation is owner-local, so each host's
+//! snapshot carries exactly one authoritative subscriber list — its own.
+//! Loading every host's list into a single [`DupScheme`] therefore
+//! reconstructs the global soft state exactly, and the simulator's
+//! quiescent audit plus oracle diff apply unchanged.
+
+use dup_core::{check_tree_invariants, DupScheme};
+
+use crate::codec::NodeSnapshot;
+
+/// Checks that the snapshots describe one converged, oracle-clean
+/// cluster: all tree views identical, and the merged subscriber lists
+/// passing the quiescent audit and the NCA-closure diff. Returns a
+/// human-readable description of the first violation.
+pub fn oracle_check(snapshots: &[NodeSnapshot]) -> Result<(), String> {
+    let first = snapshots
+        .first()
+        .ok_or_else(|| "no snapshots to check".to_string())?;
+    let reference = serde_json::to_string(&first.tree).expect("tree serializes");
+    for snap in &snapshots[1..] {
+        let view = serde_json::to_string(&snap.tree).expect("tree serializes");
+        if view != reference {
+            return Err(format!(
+                "tree views diverge: node {} disagrees with node {}",
+                snap.node, first.node
+            ));
+        }
+    }
+    let mut merged = DupScheme::new();
+    for snap in snapshots {
+        merged.load_list(snap.node, &snap.s_list);
+    }
+    check_tree_invariants(&merged, &first.tree)
+        .map_err(|report| format!("oracle violation: {report:?}"))
+}

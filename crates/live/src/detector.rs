@@ -1,0 +1,280 @@
+//! Heartbeat-based failure detection.
+//!
+//! The detector is a pure state machine fed with timestamps: it never reads
+//! a clock itself, so the same code runs against wall time in the TCP host
+//! and against virtual time in the deterministic loopback tests. Each peer
+//! walks `Alive → Suspect → Dead` as its most recent heartbeat ages past
+//! the configured thresholds, and any fresh heartbeat (same or newer
+//! incarnation) snaps it back to `Alive`. A heartbeat carrying a *newer*
+//! incarnation additionally reports a rejoin, which the host turns into the
+//! deterministic splice-and-revive tree repair.
+
+use dup_overlay::NodeId;
+use dup_sim::{SimDuration, SimTime};
+
+/// Liveness verdict for one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Heard from recently.
+    Alive,
+    /// Quiet for longer than `suspect_after`; not yet declared failed.
+    Suspect,
+    /// Quiet for longer than `dead_after`; the host treats the peer as
+    /// failed and lets the lease machinery expire its state.
+    Dead,
+}
+
+/// A state change reported by [`FailureDetector::poll`] or
+/// [`FailureDetector::on_heartbeat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The peer crossed the suspicion threshold.
+    Suspected(NodeId),
+    /// The peer crossed the death threshold.
+    Died(NodeId),
+    /// The peer came back: either a suspect/dead peer heartbeated again at
+    /// its known incarnation, or any peer announced a newer incarnation
+    /// (`restarted` is true only in the latter case).
+    Revived {
+        /// The peer that came back.
+        peer: NodeId,
+        /// True when the revival carried a newer incarnation — a process
+        /// restart, requiring tree repair, not just a late heartbeat.
+        restarted: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PeerSlot {
+    last_heard: SimTime,
+    incarnation: u64,
+    state: PeerState,
+}
+
+/// Tracks the liveness of a fixed peer set from heartbeat arrival times.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    suspect_after: SimDuration,
+    dead_after: SimDuration,
+    peers: Vec<Option<PeerSlot>>,
+}
+
+impl FailureDetector {
+    /// Creates a detector with the given quiet-time thresholds
+    /// (`suspect_after < dead_after` is required).
+    pub fn new(suspect_after: SimDuration, dead_after: SimDuration) -> Self {
+        assert!(
+            suspect_after < dead_after,
+            "suspect threshold ({suspect_after}) must precede death threshold ({dead_after})"
+        );
+        FailureDetector {
+            suspect_after,
+            dead_after,
+            peers: Vec::new(),
+        }
+    }
+
+    /// Starts tracking `peer` as alive at `now` with `incarnation`.
+    pub fn register(&mut self, peer: NodeId, now: SimTime, incarnation: u64) {
+        let i = peer.index();
+        if i >= self.peers.len() {
+            self.peers.resize(i + 1, None);
+        }
+        self.peers[i] = Some(PeerSlot {
+            last_heard: now,
+            incarnation,
+            state: PeerState::Alive,
+        });
+    }
+
+    /// The current verdict for `peer` (`None` when unregistered).
+    pub fn state(&self, peer: NodeId) -> Option<PeerState> {
+        self.peers
+            .get(peer.index())
+            .copied()
+            .flatten()
+            .map(|s| s.state)
+    }
+
+    /// The last incarnation heard from `peer` (`None` when unregistered).
+    pub fn incarnation(&self, peer: NodeId) -> Option<u64> {
+        self.peers
+            .get(peer.index())
+            .copied()
+            .flatten()
+            .map(|s| s.incarnation)
+    }
+
+    /// Feeds one heartbeat. Stale incarnations (a delayed frame from a
+    /// previous life) are ignored. Returns the transition the heartbeat
+    /// caused, if any.
+    pub fn on_heartbeat(
+        &mut self,
+        peer: NodeId,
+        now: SimTime,
+        incarnation: u64,
+    ) -> Option<Transition> {
+        let i = peer.index();
+        if i >= self.peers.len() {
+            self.peers.resize(i + 1, None);
+        }
+        let slot = match &mut self.peers[i] {
+            Some(slot) => slot,
+            None => {
+                self.peers[i] = Some(PeerSlot {
+                    last_heard: now,
+                    incarnation,
+                    state: PeerState::Alive,
+                });
+                return None;
+            }
+        };
+        if incarnation < slot.incarnation {
+            return None;
+        }
+        let restarted = incarnation > slot.incarnation;
+        let was = slot.state;
+        slot.last_heard = now;
+        slot.incarnation = incarnation;
+        slot.state = PeerState::Alive;
+        if restarted || was != PeerState::Alive {
+            Some(Transition::Revived { peer, restarted })
+        } else {
+            None
+        }
+    }
+
+    /// Advances every peer's verdict to `now`, returning the transitions
+    /// that occurred (suspicions before deaths, in peer order).
+    pub fn poll(&mut self, now: SimTime) -> Vec<Transition> {
+        let mut out = Vec::new();
+        for (i, slot) in self.peers.iter_mut().enumerate() {
+            let slot = match slot {
+                Some(s) => s,
+                None => continue,
+            };
+            let quiet = now.saturating_since(slot.last_heard);
+            let verdict = if quiet >= self.dead_after {
+                PeerState::Dead
+            } else if quiet >= self.suspect_after {
+                PeerState::Suspect
+            } else {
+                PeerState::Alive
+            };
+            if verdict == slot.state {
+                continue;
+            }
+            // Verdicts only age forward here; revival happens in
+            // `on_heartbeat`.
+            match (slot.state, verdict) {
+                (PeerState::Alive, PeerState::Suspect) => {
+                    slot.state = verdict;
+                    out.push(Transition::Suspected(NodeId::from_index(i)));
+                }
+                (PeerState::Alive | PeerState::Suspect, PeerState::Dead) => {
+                    slot.state = verdict;
+                    out.push(Transition::Died(NodeId::from_index(i)));
+                }
+                (PeerState::Suspect, PeerState::Suspect)
+                | (PeerState::Dead, _)
+                | (_, PeerState::Alive) => {}
+            }
+        }
+        out
+    }
+
+    /// The earliest instant at which [`FailureDetector::poll`] could report
+    /// a new transition, for event-loop sleep budgeting (`None` when every
+    /// peer is already dead or none is registered).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.peers
+            .iter()
+            .flatten()
+            .filter_map(|s| match s.state {
+                PeerState::Alive => Some(s.last_heard + self.suspect_after),
+                PeerState::Suspect => Some(s.last_heard + self.dead_after),
+                PeerState::Dead => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn d(secs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn ages_through_suspect_to_dead() {
+        let mut fd = FailureDetector::new(d(0.2), d(0.5));
+        let p = NodeId(3);
+        fd.register(p, t(0.0), 1);
+        assert_eq!(fd.poll(t(0.1)), vec![]);
+        assert_eq!(fd.poll(t(0.25)), vec![Transition::Suspected(p)]);
+        assert_eq!(fd.poll(t(0.3)), vec![]);
+        assert_eq!(fd.poll(t(0.6)), vec![Transition::Died(p)]);
+        // Dead is terminal under poll.
+        assert_eq!(fd.poll(t(10.0)), vec![]);
+        assert_eq!(fd.state(p), Some(PeerState::Dead));
+    }
+
+    #[test]
+    fn heartbeat_revives_and_restart_is_flagged() {
+        let mut fd = FailureDetector::new(d(0.2), d(0.5));
+        let p = NodeId(1);
+        fd.register(p, t(0.0), 1);
+        fd.poll(t(0.9));
+        assert_eq!(fd.state(p), Some(PeerState::Dead));
+        assert_eq!(
+            fd.on_heartbeat(p, t(1.0), 1),
+            Some(Transition::Revived {
+                peer: p,
+                restarted: false
+            })
+        );
+        fd.poll(t(1.9));
+        assert_eq!(
+            fd.on_heartbeat(p, t(2.0), 2),
+            Some(Transition::Revived {
+                peer: p,
+                restarted: true
+            })
+        );
+        assert_eq!(fd.incarnation(p), Some(2));
+    }
+
+    #[test]
+    fn stale_incarnation_is_ignored() {
+        let mut fd = FailureDetector::new(d(0.2), d(0.5));
+        let p = NodeId(2);
+        fd.register(p, t(0.0), 2);
+        assert_eq!(fd.on_heartbeat(p, t(0.1), 1), None);
+        // The stale frame must not have refreshed the lease on liveness.
+        assert_eq!(fd.poll(t(0.3)), vec![Transition::Suspected(p)]);
+    }
+
+    #[test]
+    fn jittered_heartbeats_within_threshold_never_expire() {
+        // Heartbeats every 100 ms ± 40 ms of jitter against a 200 ms
+        // suspicion threshold: no verdict ever leaves Alive.
+        let mut fd = FailureDetector::new(d(0.2), d(0.5));
+        let p = NodeId(0);
+        fd.register(p, t(0.0), 1);
+        let jitter = [0.04, -0.03, 0.04, -0.04, 0.02, 0.04, -0.01, 0.03];
+        let mut at = 0.0;
+        for (i, j) in jitter.iter().cycle().take(64).enumerate() {
+            at = 0.1 * (i + 1) as f64 + j;
+            assert_eq!(fd.poll(t(at)), vec![], "spurious transition at {at}");
+            assert_eq!(fd.on_heartbeat(p, t(at), 1), None);
+        }
+        assert_eq!(fd.state(p), Some(PeerState::Alive));
+        assert!(fd.next_deadline().unwrap() > t(at));
+    }
+}

@@ -1,0 +1,920 @@
+//! The per-process protocol host.
+//!
+//! [`NodeHost`] runs one node's share of a scheme — the *same*
+//! `dup_proto` scheme/reliability/lease code the simulator runs — behind
+//! the `Clock`/`Transport` trait pair. The discrete-event [`Engine`] is
+//! reused as the node's local timer queue: the host sets the engine's
+//! horizon to the current (wall or virtual) time and drains due events, so
+//! retry chains, lease ticks, and query drivers execute exactly as in-sim,
+//! while [`Transport::deliver`] routes remote-addressed messages into an
+//! outbox that a [`FrameNet`] flushes onto real connections.
+//!
+//! The host is deliberately I/O-free: it is fed timestamps and frames and
+//! emits frames, so the whole failure/recovery state machine runs
+//! identically under the deterministic loopback net (unit tests, virtual
+//! time) and the TCP net (real sockets, wall time).
+//!
+//! ## Failure and recovery rules
+//!
+//! * A peer whose heartbeats age past `dead_after` is declared dead and
+//!   spliced out of the local tree ([`SearchTree::remove_splice`]) — its
+//!   children fall back to their grandparent, which is exactly the
+//!   substitute rule, so queries keep routing instead of stalling. The
+//!   existing lease machinery then expires the dead peer's subscriber-list
+//!   entries and re-asserts the surviving paths; no new repair protocol is
+//!   introduced.
+//! * A restarted process announces itself with a bumped incarnation
+//!   ([`Frame::Hello`]). Every host applies the same deterministic repair —
+//!   splice out the old life if still present, revive the node as a leaf
+//!   of the root — so all tree views re-converge; the restarted node
+//!   bootstraps its own view from any [`Frame::HelloAck`] and re-subscribes
+//!   through the normal query path.
+
+use dup_overlay::{NodeId, SearchTree};
+use dup_proto::scheme::Scheme;
+use dup_proto::{
+    resend_msg, send_msg, AuthorityClock, CacheStore, Clock, Ctx, Ev, EvSink, FaultState,
+    FifoClocks, InterestTracker, Metrics, Msg, MsgClass, ProbeSink, ReliabilityConfig,
+    ReliableState, RetryAction, Transport, World,
+};
+use dup_sim::{Engine, SenderStreams, SimDuration, SimTime};
+use dup_workload::HopLatency;
+
+use crate::codec::{Frame, NodeSnapshot};
+use crate::detector::{FailureDetector, Transition};
+use dup_proto::trace::{SpanInfo, TraceCtx};
+
+/// How a live host sends frames. Returns false when the link is down (the
+/// frame is dropped; the reliability layer's retransmits re-cover it once
+/// the link heals).
+pub trait FrameNet<M> {
+    /// Sends one frame from `from` to `to`.
+    fn send(&mut self, from: NodeId, to: NodeId, frame: Frame<M>) -> bool;
+}
+
+/// Scheme hooks the live host needs beyond [`Scheme`] itself. All have
+/// inert defaults; DUP overrides them to expose its soft-state surface.
+pub trait LiveScheme: Scheme {
+    /// Mid-lease-period keep-alive for this host's own node (called at
+    /// half the lease period, so every remote lease epoch observes at
+    /// least one renewal regardless of phase drift between hosts).
+    fn on_keepalive(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _me: NodeId) {}
+
+    /// This node's own subscriber list (the only list a live host owns).
+    fn own_list(&self, _me: NodeId) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// Whether this node is subscribed.
+    fn is_self_subscribed(&self, _me: NodeId) -> bool {
+        false
+    }
+}
+
+impl LiveScheme for dup_core::DupScheme {
+    fn on_keepalive(&mut self, ctx: &mut Ctx<'_, Self::Msg>, me: NodeId) {
+        self.reassert(ctx, me);
+    }
+
+    fn own_list(&self, me: NodeId) -> Vec<NodeId> {
+        self.s_list(me).to_vec()
+    }
+
+    fn is_self_subscribed(&self, me: NodeId) -> bool {
+        self.is_subscribed(me)
+    }
+}
+
+impl LiveScheme for dup_proto::PcxScheme {}
+impl LiveScheme for dup_proto::CupScheme {}
+
+/// Static configuration of a live node (shared by every process of a
+/// cluster; times are seconds of host time — wall or virtual).
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Initial topology as a parent table (index = node id).
+    pub parents: Vec<Option<NodeId>>,
+    /// Heartbeat cadence.
+    pub heartbeat_every: SimDuration,
+    /// Quiet time before a peer is suspected.
+    pub suspect_after: SimDuration,
+    /// Quiet time before a peer is declared dead.
+    pub dead_after: SimDuration,
+    /// Lease period (epoch close + re-assert cadence).
+    pub lease_every: SimDuration,
+    /// Local query cadence.
+    pub query_every: SimDuration,
+    /// Index TTL (authority refresh period ~= ttl - push_lead).
+    pub index_ttl: SimDuration,
+    /// How long before expiry the authority publishes the next version.
+    pub push_lead: SimDuration,
+    /// Ack timeout for the reliability layer.
+    pub ack_timeout: SimDuration,
+    /// Maximum retransmit attempts.
+    pub max_retries: u32,
+    /// Interest threshold (a node subscribes after more than this many
+    /// queries in an epoch).
+    pub interest_threshold: u32,
+}
+
+impl LiveConfig {
+    /// Smoke-test scale: sub-second failure detection and lease periods so
+    /// an 8-node kill/restart cluster converges in a few wall seconds.
+    pub fn smoke(parents: Vec<Option<NodeId>>) -> Self {
+        LiveConfig {
+            parents,
+            heartbeat_every: SimDuration::from_secs_f64(0.1),
+            suspect_after: SimDuration::from_secs_f64(0.4),
+            dead_after: SimDuration::from_secs_f64(1.0),
+            lease_every: SimDuration::from_secs_f64(0.5),
+            query_every: SimDuration::from_secs_f64(0.15),
+            index_ttl: SimDuration::from_secs_f64(10.0),
+            push_lead: SimDuration::from_secs_f64(1.0),
+            ack_timeout: SimDuration::from_secs_f64(0.25),
+            max_retries: 5,
+            interest_threshold: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// The convergence bound the harness asserts: 8 lease periods.
+    pub fn convergence_bound(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.lease_every.as_secs_f64() * 8.0)
+    }
+
+    fn reliability(&self) -> ReliabilityConfig {
+        ReliabilityConfig {
+            enabled: true,
+            ack_timeout_secs: self.ack_timeout.as_secs_f64(),
+            max_retries: self.max_retries,
+            // Lease ticks are scheduled by the host, not the runner, so the
+            // runner-facing knob stays off.
+            lease_every_secs: 0.0,
+            ..ReliabilityConfig::default()
+        }
+    }
+}
+
+/// Routes engine traffic: local events stay in the timer queue, remote
+/// deliveries go to the outbox for the net to flush.
+struct HostSink<'a, M> {
+    me: NodeId,
+    engine: &'a mut Engine<Ev<M>>,
+    outbox: &'a mut Vec<(NodeId, NodeId, MsgClass, Msg<M>)>,
+}
+
+impl<M> Clock for HostSink<'_, M> {
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+}
+
+impl<M> Transport<M> for HostSink<'_, M> {
+    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>) {
+        if to == self.me {
+            self.engine.schedule(at.max(self.engine.now()), ev);
+            return;
+        }
+        match ev {
+            Ev::Deliver {
+                from, class, msg, ..
+            } => self.outbox.push((from, to, class, msg)),
+            // Only message deliveries are addressed to other nodes.
+            _ => unreachable!("remote-addressed non-delivery event"),
+        }
+    }
+}
+
+impl<M> EvSink<M> for HostSink<'_, M> {
+    fn schedule(&mut self, at: SimTime, ev: Ev<M>) -> dup_sim::TimerId {
+        self.engine.schedule(at, ev)
+    }
+
+    fn schedule_after(&mut self, delay: SimDuration, ev: Ev<M>) -> dup_sim::TimerId {
+        self.engine.schedule_after(delay, ev)
+    }
+
+    fn cancel(&mut self, id: dup_sim::TimerId) -> bool {
+        self.engine.cancel(id)
+    }
+
+    fn stop(&mut self) {
+        self.engine.stop();
+    }
+
+    fn pending(&self) -> usize {
+        self.engine.pending()
+    }
+}
+
+/// Everything but the engine (split so `engine.run` can borrow the engine
+/// while the dispatch closure borrows the rest).
+struct HostCore<S: LiveScheme> {
+    me: NodeId,
+    incarnation: u64,
+    cfg: LiveConfig,
+    world: World,
+    scheme: S,
+    detector: FailureDetector,
+    /// Highest incarnation admitted per peer (tree repair is keyed on
+    /// increases, so duplicate Hellos are idempotent).
+    admitted: Vec<u64>,
+    outbox: Vec<(NodeId, NodeId, MsgClass, Msg<S::Msg>)>,
+    /// False until this host has a tree view to run the protocol on: true
+    /// from the start for first incarnations, set by the first `HelloAck`
+    /// for restarted ones.
+    joined: bool,
+    started: bool,
+    next_heartbeat_at: SimTime,
+    next_keepalive_at: SimTime,
+    queries_issued: u64,
+}
+
+/// One live node: protocol state plus the engine serving as its timer
+/// queue. Drive it with [`NodeHost::start`], [`NodeHost::on_frame`], and
+/// [`NodeHost::advance`]; all three flush outbound frames through the
+/// supplied [`FrameNet`].
+pub struct NodeHost<S: LiveScheme> {
+    engine: Engine<Ev<S::Msg>>,
+    core: HostCore<S>,
+}
+
+impl<S: LiveScheme> NodeHost<S> {
+    /// Builds the host for `me` at `incarnation` (1 on first boot; +1 per
+    /// restart), starting its clocks at `now`.
+    pub fn new(me: NodeId, incarnation: u64, cfg: LiveConfig, scheme: S, now: SimTime) -> Self {
+        let n = cfg.n();
+        assert!(me.index() < n, "node {me} outside the {n}-node cluster");
+        let tree = SearchTree::from_parents(&cfg.parents);
+        let mut metrics = Metrics::new(64);
+        metrics.start_recording();
+        let world = World {
+            cache: CacheStore::new(n),
+            authority: AuthorityClock::new(now, cfg.index_ttl, cfg.push_lead),
+            interest: InterestTracker::new(cfg.index_ttl, cfg.interest_threshold, n),
+            metrics,
+            hop_latency: HopLatency::paper_default(),
+            latency_rng: SenderStreams::new(u64::from(me.0), "live"),
+            fifo: FifoClocks::default(),
+            probe: ProbeSink::disabled(),
+            faults: FaultState::disabled(),
+            reliable: ReliableState::from_config(cfg.reliability(), u64::from(me.0)),
+            trace: TraceCtx::new(),
+            tree,
+        };
+        let detector = FailureDetector::new(cfg.suspect_after, cfg.dead_after);
+        let mut engine = Engine::new();
+        // Keep one far-future sentinel queued so `run` always parks the
+        // engine clock exactly at the horizon (= host time) instead of at
+        // the last executed event.
+        engine.schedule(now + SimDuration::from_secs_f64(1e9), Ev::EndWarmup);
+        NodeHost {
+            engine,
+            core: HostCore {
+                me,
+                incarnation,
+                cfg,
+                world,
+                scheme,
+                detector,
+                admitted: vec![1; n],
+                outbox: Vec::new(),
+                joined: incarnation == 1,
+                started: false,
+                next_heartbeat_at: now,
+                next_keepalive_at: now,
+                queries_issued: 0,
+            },
+        }
+    }
+
+    /// This host's node id.
+    pub fn me(&self) -> NodeId {
+        self.core.me
+    }
+
+    /// This host's incarnation.
+    pub fn incarnation(&self) -> u64 {
+        self.core.incarnation
+    }
+
+    /// Whether the host has a tree view and is running the protocol.
+    pub fn joined(&self) -> bool {
+        self.core.joined
+    }
+
+    /// Read access to the failure detector (tests, diagnostics).
+    pub fn detector(&self) -> &FailureDetector {
+        &self.core.detector
+    }
+
+    /// Read access to this host's tree view.
+    pub fn tree(&self) -> &SearchTree {
+        &self.core.world.tree
+    }
+
+    /// Announces this host and arms its periodic drivers. Call once, at
+    /// process start, before the first `advance`.
+    pub fn start<N: FrameNet<S::Msg>>(&mut self, now: SimTime, net: &mut N) {
+        assert!(!self.core.started, "start called twice");
+        self.core.started = true;
+        let me = self.core.me;
+        for peer in self.peers() {
+            self.core.detector.register(peer, now, 1);
+            net.send(
+                me,
+                peer,
+                Frame::Hello {
+                    node: me,
+                    incarnation: self.core.incarnation,
+                },
+            );
+        }
+        if self.core.joined {
+            self.arm_protocol(now);
+        }
+        self.advance(now, net);
+    }
+
+    /// Feeds one incoming frame at `now`. (Snapshot/shutdown control
+    /// frames are the runtime's business, not the host's.)
+    pub fn on_frame<N: FrameNet<S::Msg>>(
+        &mut self,
+        now: SimTime,
+        frame: Frame<S::Msg>,
+        net: &mut N,
+    ) {
+        match frame {
+            Frame::Heartbeat { node, incarnation } => {
+                if let Some(tr) = self.core.detector.on_heartbeat(node, now, incarnation) {
+                    self.on_transition(tr);
+                }
+            }
+            Frame::Hello { node, incarnation } => {
+                if node == self.core.me {
+                    return;
+                }
+                if let Some(tr) = self.core.detector.on_heartbeat(node, now, incarnation) {
+                    self.on_transition(tr);
+                }
+                self.admit_incarnation(node, incarnation);
+                let me = self.core.me;
+                let reply = Frame::HelloAck {
+                    node: me,
+                    incarnation: self.core.incarnation,
+                    tree: self.core.world.tree.clone(),
+                };
+                net.send(me, node, reply);
+            }
+            Frame::HelloAck {
+                node,
+                incarnation,
+                tree,
+            } => {
+                if let Some(tr) = self.core.detector.on_heartbeat(node, now, incarnation) {
+                    self.on_transition(tr);
+                }
+                if !self.core.joined {
+                    assert!(
+                        tree.is_alive(self.core.me),
+                        "HelloAck tree does not contain this node"
+                    );
+                    self.core.world.tree = tree;
+                    self.core.joined = true;
+                    self.arm_protocol(now);
+                }
+            }
+            Frame::Deliver {
+                from,
+                to,
+                class,
+                msg,
+            } => {
+                let at = now.max(self.engine.now());
+                self.engine.schedule(
+                    at,
+                    Ev::Deliver {
+                        from,
+                        to,
+                        class,
+                        cause: SpanInfo::NONE,
+                        msg,
+                    },
+                );
+            }
+            Frame::SnapshotReq { .. } | Frame::Snapshot(_) | Frame::Shutdown => {}
+        }
+        self.advance(now, net);
+    }
+
+    /// Advances host time to `now`: runs the failure detector, emits due
+    /// heartbeats/keep-alives, executes due timer-queue events, and
+    /// flushes the outbox through `net`.
+    pub fn advance<N: FrameNet<S::Msg>>(&mut self, now: SimTime, net: &mut N) {
+        for tr in self.core.detector.poll(now) {
+            self.on_transition(tr);
+        }
+        let me = self.core.me;
+        if now >= self.core.next_heartbeat_at {
+            for peer in self.peers() {
+                // An un-joined host keeps announcing itself instead of
+                // plain heartbeating: its first Hello (or the HelloAck
+                // reply) may have been lost to a stale link, and a Hello
+                // feeds the receiver's failure detector just the same.
+                let frame = if self.core.joined {
+                    Frame::Heartbeat {
+                        node: me,
+                        incarnation: self.core.incarnation,
+                    }
+                } else {
+                    Frame::Hello {
+                        node: me,
+                        incarnation: self.core.incarnation,
+                    }
+                };
+                net.send(me, peer, frame);
+            }
+            // Skip any cadence slots an event-loop stall swallowed.
+            while self.core.next_heartbeat_at <= now {
+                self.core.next_heartbeat_at += self.core.cfg.heartbeat_every;
+            }
+        }
+        let keepalive_due = self.core.joined && now >= self.core.next_keepalive_at;
+        if keepalive_due {
+            let half = SimDuration::from_secs_f64(self.core.cfg.lease_every.as_secs_f64() / 2.0);
+            while self.core.next_keepalive_at <= now {
+                self.core.next_keepalive_at += half;
+            }
+        }
+        // Execute every timer-queue event due at or before `now`; the
+        // sentinel guarantees the engine parks exactly at the horizon.
+        let NodeHost { engine, core } = self;
+        engine.set_horizon(now + SimDuration::from_nanos(1));
+        engine.run(|eng, ev| core.dispatch(eng, ev));
+        if keepalive_due {
+            let mut sink = HostSink {
+                me: core.me,
+                engine,
+                outbox: &mut core.outbox,
+            };
+            let mut ctx = Ctx {
+                world: &mut core.world,
+                engine: &mut sink,
+            };
+            core.scheme.on_keepalive(&mut ctx, me);
+        }
+        self.flush(net);
+    }
+
+    /// The earliest instant at which this host has something to do, for
+    /// event-loop sleep budgeting.
+    pub fn next_deadline(&self) -> SimTime {
+        let mut at = self.core.next_heartbeat_at;
+        if self.core.joined {
+            at = at.min(self.core.next_keepalive_at);
+        }
+        if let Some(d) = self.core.detector.next_deadline() {
+            at = at.min(d);
+        }
+        if let Some(e) = self.engine.peek_next_at() {
+            at = at.min(e);
+        }
+        at
+    }
+
+    /// This host's state snapshot for the harness oracle check.
+    pub fn snapshot(&self) -> NodeSnapshot {
+        let me = self.core.me;
+        NodeSnapshot {
+            node: me,
+            incarnation: self.core.incarnation,
+            tree: self.core.world.tree.clone(),
+            s_list: self.core.scheme.own_list(me),
+            subscribed: self.core.scheme.is_self_subscribed(me),
+            cache_version: self.core.world.cache.raw(me).map(|r| r.version.0),
+            authority_version: self.core.world.authority.current().version.0,
+            queries_issued: self.core.queries_issued,
+        }
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        let me = self.core.me;
+        (0..self.core.cfg.n())
+            .map(NodeId::from_index)
+            .filter(|&p| p != me)
+            .collect()
+    }
+
+    /// Arms the protocol drivers once a tree view exists.
+    fn arm_protocol(&mut self, now: SimTime) {
+        let jitter = SimDuration::from_secs_f64(0.01);
+        self.engine.schedule(now + jitter, Ev::NextQuery);
+        self.engine
+            .schedule(now + self.core.cfg.lease_every, Ev::LeaseTick);
+        if self.core.me == self.core.world.tree.root() {
+            self.engine
+                .schedule(self.core.world.authority.next_refresh_at(), Ev::Refresh);
+        }
+        self.core.next_keepalive_at =
+            now + SimDuration::from_secs_f64(self.core.cfg.lease_every.as_secs_f64() / 2.0);
+    }
+
+    fn on_transition(&mut self, tr: Transition) {
+        match tr {
+            Transition::Suspected(_) => {}
+            Transition::Died(peer) => self.core.on_peer_dead(peer),
+            Transition::Revived { peer, restarted } => {
+                if restarted {
+                    let inc = self.core.detector.incarnation(peer).unwrap_or(1);
+                    self.admit_incarnation(peer, inc);
+                }
+            }
+        }
+    }
+
+    /// Applies the deterministic rejoin repair for `peer` announcing
+    /// `incarnation`: splice out its previous life if still present, then
+    /// revive it as a leaf of the root. Every host applies the same rule,
+    /// so all tree views converge on the same shape.
+    fn admit_incarnation(&mut self, peer: NodeId, incarnation: u64) {
+        let i = peer.index();
+        if incarnation <= self.core.admitted[i] {
+            return;
+        }
+        self.core.admitted[i] = incarnation;
+        let tree = &mut self.core.world.tree;
+        if tree.is_alive(peer) && peer != tree.root() {
+            tree.remove_splice(peer);
+        }
+        if !tree.is_alive(peer) {
+            let root = tree.root();
+            tree.revive_leaf(peer, root);
+        }
+    }
+
+    fn flush<N: FrameNet<S::Msg>>(&mut self, net: &mut N) {
+        for (from, to, class, msg) in self.core.outbox.drain(..) {
+            net.send(
+                from,
+                to,
+                Frame::Deliver {
+                    from,
+                    to,
+                    class,
+                    msg,
+                },
+            );
+        }
+    }
+}
+
+impl<S: LiveScheme> HostCore<S> {
+    /// Declares `peer` failed: splice it out of the local tree (children
+    /// fall back to the grandparent — the substitute rule) and let the
+    /// next lease epoch expire its entries and re-assert surviving paths.
+    fn on_peer_dead(&mut self, peer: NodeId) {
+        let tree = &mut self.world.tree;
+        if peer == self.me || !tree.is_alive(peer) || peer == tree.root() {
+            return;
+        }
+        tree.remove_splice(peer);
+    }
+
+    /// Mirrors `Runner::handle` for the event classes a live host sees.
+    fn dispatch(&mut self, engine: &mut Engine<Ev<S::Msg>>, ev: Ev<S::Msg>) {
+        let mut sink = HostSink {
+            me: self.me,
+            engine,
+            outbox: &mut self.outbox,
+        };
+        let eng: &mut dyn EvSink<S::Msg> = &mut sink;
+        match ev {
+            Ev::NextQuery => {
+                if self.joined && self.world.tree.is_alive(self.me) {
+                    Self::begin_query(
+                        &mut self.world,
+                        &mut self.scheme,
+                        eng,
+                        self.me,
+                        &mut self.queries_issued,
+                    );
+                }
+                eng.schedule_after(self.cfg.query_every, Ev::NextQuery);
+            }
+            Ev::Deliver { from, to, msg, .. } => {
+                self.world.trace.note_delivered();
+                if to != self.me || !self.world.tree.is_alive(to) {
+                    return;
+                }
+                match msg {
+                    Msg::Request {
+                        origin,
+                        visited,
+                        issued_at,
+                        riders,
+                    } => Self::on_request(
+                        &mut self.world,
+                        &mut self.scheme,
+                        eng,
+                        from,
+                        to,
+                        origin,
+                        visited,
+                        issued_at,
+                        riders,
+                    ),
+                    Msg::Reply {
+                        record,
+                        remaining,
+                        issued_at,
+                    } => Self::on_reply(&mut self.world, eng, to, record, remaining, issued_at),
+                    Msg::Scheme(m) => {
+                        let mut ctx = Ctx {
+                            world: &mut self.world,
+                            engine: eng,
+                        };
+                        self.scheme.on_scheme_msg(&mut ctx, from, to, m);
+                    }
+                    Msg::Tracked { seq, inner } => {
+                        // Ack every physical arrival, then dedup through the
+                        // sliding-window anti-replay state.
+                        send_msg(
+                            &mut self.world,
+                            eng,
+                            to,
+                            from,
+                            MsgClass::Control,
+                            Msg::Ack { seq },
+                        );
+                        if self.world.reliable.on_tracked_delivery(from, seq) {
+                            let mut ctx = Ctx {
+                                world: &mut self.world,
+                                engine: eng,
+                            };
+                            self.scheme.on_scheme_msg(&mut ctx, from, to, inner);
+                        }
+                    }
+                    Msg::Ack { seq } => {
+                        if let Some(timer) = self.world.reliable.on_ack(seq) {
+                            eng.cancel(timer);
+                        }
+                    }
+                }
+            }
+            Ev::Refresh => {
+                let record = self.world.authority.refresh(eng.now());
+                {
+                    let mut ctx = Ctx {
+                        world: &mut self.world,
+                        engine: eng,
+                    };
+                    self.scheme.on_refresh(&mut ctx, record);
+                }
+                eng.schedule(self.world.authority.next_refresh_at(), Ev::Refresh);
+            }
+            Ev::InterestCheck { node } => {
+                if !self.world.tree.is_alive(node) {
+                    return;
+                }
+                let outcome = self.world.interest.run_check(node, eng.now());
+                if let Some(at) = outcome.reschedule_at {
+                    eng.schedule(at, Ev::InterestCheck { node });
+                }
+                if outcome.lapsed {
+                    let mut ctx = Ctx {
+                        world: &mut self.world,
+                        engine: eng,
+                    };
+                    self.scheme.on_interest_lost(&mut ctx, node);
+                }
+            }
+            Ev::Retry {
+                from,
+                to,
+                class,
+                seq,
+                attempt,
+                cause,
+                msg,
+            } => {
+                if !self.world.tree.is_alive(from) {
+                    self.world.reliable.forget(seq);
+                    return;
+                }
+                match self.world.reliable.on_retry_fire(seq, attempt) {
+                    RetryAction::Settled => {}
+                    action => {
+                        if let RetryAction::ResendAndRearm(delay) = action {
+                            let timer = eng.schedule_after(
+                                SimDuration::from_secs_f64(delay),
+                                Ev::Retry {
+                                    from,
+                                    to,
+                                    class,
+                                    seq,
+                                    attempt: attempt + 1,
+                                    cause,
+                                    msg: msg.clone(),
+                                },
+                            );
+                            self.world.reliable.retimer(seq, timer);
+                        }
+                        resend_msg(
+                            &mut self.world,
+                            eng,
+                            from,
+                            to,
+                            class,
+                            cause,
+                            Msg::Tracked { seq, inner: msg },
+                        );
+                    }
+                }
+            }
+            Ev::LeaseTick => {
+                {
+                    let mut ctx = Ctx {
+                        world: &mut self.world,
+                        engine: eng,
+                    };
+                    self.scheme.on_lease_tick(&mut ctx);
+                }
+                eng.schedule_after(self.cfg.lease_every, Ev::LeaseTick);
+            }
+            // The far-future clock sentinel (and events a live host does
+            // not use): keep the sentinel armed, ignore the rest.
+            Ev::EndWarmup => {
+                eng.schedule_after(SimDuration::from_secs_f64(1e9), Ev::EndWarmup);
+            }
+            Ev::Churn | Ev::CiCheck | Ev::Sample => {}
+        }
+    }
+
+    /// Interest bookkeeping + scheme hook for a query observed at `node`
+    /// (mirrors `Runner::observe_query`).
+    fn observe_query(
+        world: &mut World,
+        scheme: &mut S,
+        eng: &mut dyn EvSink<S::Msg>,
+        node: NodeId,
+        prev: Option<NodeId>,
+        riders: &mut Vec<NodeId>,
+        forwarding: bool,
+    ) {
+        let obs = world.interest.observe(node, eng.now());
+        if let Some(at) = obs.schedule_check_at {
+            eng.schedule(at, Ev::InterestCheck { node });
+        }
+        let mut ctx = Ctx { world, engine: eng };
+        scheme.on_query_step(&mut ctx, node, prev, riders, forwarding);
+    }
+
+    /// A locally generated query (mirrors `Runner::begin_query`).
+    fn begin_query(
+        world: &mut World,
+        scheme: &mut S,
+        eng: &mut dyn EvSink<S::Msg>,
+        node: NodeId,
+        queries_issued: &mut u64,
+    ) {
+        *queries_issued += 1;
+        let now = eng.now();
+        let served = world.serving_record(node, now);
+        let mut riders = Vec::new();
+        Self::observe_query(
+            world,
+            scheme,
+            eng,
+            node,
+            None,
+            &mut riders,
+            served.is_none(),
+        );
+        if let Some(record) = served {
+            let stale = record.is_stale_versus(world.authority.current().version);
+            world.metrics.record_query_served(0, stale);
+            world.metrics.record_query_completed(0.0);
+        } else {
+            let parent = world
+                .tree
+                .parent(node)
+                .expect("the authority always serves its own queries");
+            send_msg(
+                world,
+                eng,
+                node,
+                parent,
+                MsgClass::Request,
+                Msg::Request {
+                    origin: node,
+                    visited: vec![node],
+                    issued_at: now,
+                    riders,
+                },
+            );
+        }
+    }
+
+    /// A request arrives from a child (mirrors `Runner::on_request`).
+    #[allow(clippy::too_many_arguments)] // one hop's full context, used once
+    fn on_request(
+        world: &mut World,
+        scheme: &mut S,
+        eng: &mut dyn EvSink<S::Msg>,
+        from: NodeId,
+        to: NodeId,
+        origin: NodeId,
+        mut visited: Vec<NodeId>,
+        issued_at: SimTime,
+        mut riders: Vec<NodeId>,
+    ) {
+        let now = eng.now();
+        let served = world.serving_record(to, now);
+        Self::observe_query(
+            world,
+            scheme,
+            eng,
+            to,
+            Some(from),
+            &mut riders,
+            served.is_none(),
+        );
+        if let Some(record) = served {
+            let stale = record.is_stale_versus(world.authority.current().version);
+            world
+                .metrics
+                .record_query_served(visited.len() as u32, stale);
+            let target = visited.pop().expect("request visited at least the origin");
+            send_msg(
+                world,
+                eng,
+                to,
+                target,
+                MsgClass::Reply,
+                Msg::Reply {
+                    record,
+                    remaining: visited,
+                    issued_at,
+                },
+            );
+        } else {
+            let parent = world
+                .tree
+                .parent(to)
+                .expect("the authority always has a serving record");
+            visited.push(to);
+            send_msg(
+                world,
+                eng,
+                to,
+                parent,
+                MsgClass::Request,
+                Msg::Request {
+                    origin,
+                    visited,
+                    issued_at,
+                    riders,
+                },
+            );
+        }
+    }
+
+    /// A reply arrives: cache and forward toward the origin (mirrors
+    /// `Runner::on_reply`).
+    fn on_reply(
+        world: &mut World,
+        eng: &mut dyn EvSink<S::Msg>,
+        to: NodeId,
+        record: dup_proto::IndexRecord,
+        mut remaining: Vec<NodeId>,
+        issued_at: SimTime,
+    ) {
+        world.cache.install(to, record);
+        if remaining.is_empty() {
+            let elapsed = eng.now().saturating_since(issued_at);
+            world.metrics.record_query_completed(elapsed.as_secs_f64());
+            return;
+        }
+        while let Some(target) = remaining.pop() {
+            if world.tree.is_alive(target) {
+                send_msg(
+                    world,
+                    eng,
+                    to,
+                    target,
+                    MsgClass::Reply,
+                    Msg::Reply {
+                        record,
+                        remaining,
+                        issued_at,
+                    },
+                );
+                return;
+            }
+        }
+    }
+}

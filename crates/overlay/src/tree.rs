@@ -275,6 +275,35 @@ impl SearchTree {
         parent
     }
 
+    /// Revives a dead slot as a leaf under `parent` — a previously failed
+    /// node rejoining a live deployment under its original identity (its
+    /// id is stable across restarts; in-flight references to the old
+    /// incarnation were already invalidated while the slot was dead).
+    /// The revived node rejoins with no children: its old subtree was
+    /// re-parented when it was spliced out.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is still alive or `parent` is dead.
+    pub fn revive_leaf(&mut self, node: NodeId, parent: NodeId) {
+        assert!(
+            node.index() < self.nodes.len() && !self.nodes[node.index()].alive,
+            "revive_leaf on live or unknown node {node}"
+        );
+        assert!(
+            self.is_alive(parent),
+            "revive_leaf under dead node {parent}"
+        );
+        let depth = self.nodes[parent.index()].depth + 1;
+        let slot = &mut self.nodes[node.index()];
+        slot.alive = true;
+        slot.parent = Some(parent);
+        slot.children.clear();
+        slot.depth = depth;
+        self.nodes[parent.index()].children.push(node);
+        self.alive += 1;
+    }
+
     /// Replaces `old` with a fresh node occupying the same tree position
     /// (same parent, same children) — the §III-C model of a neighbor taking
     /// over a departed node's indices, including the root. Returns the new

@@ -17,7 +17,7 @@ use crate::probe::{ProbeEvent, SubscriberStats};
 use crate::scheme::{AppliedChurn, Ctx, Scheme};
 
 /// CUP's wire messages.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub enum CupMsg {
     /// The sender's subtree contains interested nodes; please forward
     /// updates.

@@ -78,7 +78,10 @@ pub use runner::{
     build_topology, run_simulation, run_simulation_probed, LiveSetError, LogRecord, Runner,
     SettledRun,
 };
-pub use scheme::{AppliedChurn, Ctx, Ev, FaultState, FaultStats, FifoClocks, Msg, Scheme, World};
+pub use scheme::{
+    resend_msg, send_msg, AppliedChurn, Clock, Ctx, Ev, EvSink, FaultState, FaultStats, FifoClocks,
+    Msg, Scheme, Transport, World,
+};
 pub use space::{
     run_simulation_space, run_simulation_space_logged, run_simulation_space_settled, ShardMap,
     SpaceSettledRun,

@@ -32,7 +32,7 @@
 //! only on its own send order, which is what lets a space-partitioned run
 //! reproduce the sequential run's numbering shard-locally.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use rand::Rng;
 
@@ -70,6 +70,9 @@ pub struct ReliabilityStats {
     pub duplicates_suppressed: u64,
     /// Messages abandoned after exhausting the retry budget.
     pub exhausted: u64,
+    /// Duplicates that slipped past dedup because their record had aged
+    /// out of the sliding window (see [`ReliableState::on_tracked_delivery`]).
+    pub duplicates_readmitted: u64,
 }
 
 /// Sender-side bookkeeping for one unacked tracked message.
@@ -93,13 +96,111 @@ pub enum RetryAction {
     ResendAndRearm(f64),
 }
 
+/// Default width (in sequence numbers) of the receiver-side dedup
+/// window — see [`ReliableState::on_tracked_delivery`]. A duplicate can
+/// only slip past dedup after its sender has delivered this many *newer*
+/// tracked messages to the same receiver state; at simulation and live
+/// traffic rates that is far beyond any retransmit or fault-injection
+/// delay, so existing deterministic runs never evict.
+pub const DEFAULT_DEDUP_WINDOW: u64 = 4096;
+
+/// Receiver-side anti-replay window for one sender: a bitmap over the
+/// `window` most recent sequence numbers, anchored at the highest
+/// sequence admitted so far. Memory is `window / 8` bytes per observed
+/// sender, independent of run length — this is what bounds the dedup
+/// state that previously grew for the run's lifetime.
+#[derive(Debug, Clone, Default)]
+struct DedupWindow {
+    /// False until the first delivery from this sender.
+    primed: bool,
+    /// Highest sequence number admitted so far.
+    hi: u64,
+    /// `window` bits; the bit for sequence `s` lives at `s % window`.
+    bits: Vec<u64>,
+}
+
+impl DedupWindow {
+    fn new(window: u64) -> Self {
+        DedupWindow {
+            primed: false,
+            hi: 0,
+            bits: vec![0; (window / 64) as usize],
+        }
+    }
+
+    #[inline]
+    fn window(&self) -> u64 {
+        self.bits.len() as u64 * 64
+    }
+
+    #[inline]
+    fn test(&self, seq: u64) -> bool {
+        let at = seq % self.window();
+        self.bits[(at / 64) as usize] & (1 << (at % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, seq: u64) {
+        let at = seq % self.window();
+        self.bits[(at / 64) as usize] |= 1 << (at % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, seq: u64) {
+        let at = seq % self.window();
+        self.bits[(at / 64) as usize] &= !(1 << (at % 64));
+    }
+
+    /// Classifies one arrival of `seq`. `Fresh`: first copy, dispatch.
+    /// `Duplicate`: already seen within the window, suppress. `Evicted`:
+    /// older than the window — its record is gone, so a duplicate is
+    /// indistinguishable from a first copy and must be readmitted.
+    fn admit(&mut self, seq: u64) -> Admit {
+        let window = self.window();
+        if !self.primed {
+            self.primed = true;
+            self.hi = seq;
+            self.set(seq);
+            return Admit::Fresh;
+        }
+        if seq > self.hi {
+            // Slide forward: every slot entering the window is cleared of
+            // its stale bit from `window` sequences ago.
+            for s in self.hi + 1..=self.hi + (seq - self.hi).min(window) {
+                self.clear(s);
+            }
+            self.hi = seq;
+            self.set(seq);
+            return Admit::Fresh;
+        }
+        if self.hi - seq >= window {
+            return Admit::Evicted;
+        }
+        if self.test(seq) {
+            Admit::Duplicate
+        } else {
+            self.set(seq);
+            Admit::Fresh
+        }
+    }
+}
+
+/// Outcome of [`DedupWindow::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admit {
+    Fresh,
+    Duplicate,
+    Evicted,
+}
+
 /// Runtime state of the reliability layer carried by [`crate::World`].
 ///
 /// Holds both roles of the simulated network in one structure: the
 /// sender-side pending table (sequence numbers are globally unique, so
-/// one map serves every sender) and the receiver-side dedup set keyed on
-/// `(sender, seq)`. Neither collection is ever iterated, so their
-/// `RandomState` hashing cannot perturb determinism.
+/// one map serves every sender) and the receiver-side per-sender
+/// [`DedupWindow`]s. The pending map is never iterated (only sorted
+/// snapshots leave it), so its `RandomState` hashing cannot perturb
+/// determinism.
 #[derive(Debug)]
 pub struct ReliableState {
     cfg: ReliabilityConfig,
@@ -107,7 +208,11 @@ pub struct ReliableState {
     armed: bool,
     next_seq: Vec<u64>,
     pending: HashMap<u64, Pending>,
-    seen: HashSet<(NodeId, u64)>,
+    /// Per-sender dedup windows, indexed by sender id; allocated lazily
+    /// on the first tracked delivery from that sender.
+    seen: Vec<Option<DedupWindow>>,
+    /// Width of newly created dedup windows, in sequence numbers.
+    dedup_window: u64,
     stats: ReliabilityStats,
 }
 
@@ -127,9 +232,18 @@ impl ReliableState {
             armed,
             next_seq: Vec::new(),
             pending: HashMap::new(),
-            seen: HashSet::new(),
+            seen: Vec::new(),
+            dedup_window: DEFAULT_DEDUP_WINDOW,
             stats: ReliabilityStats::default(),
         }
+    }
+
+    /// Sets the width of the receiver-side dedup window, in sequence
+    /// numbers (rounded up to a multiple of 64, minimum 64). Affects
+    /// windows created after the call, so set it before any deliveries —
+    /// property tests shrink it to make eviction reachable.
+    pub fn set_dedup_window(&mut self, window: u64) {
+        self.dedup_window = window.max(64).next_multiple_of(64);
     }
 
     /// True when scheme sends go through the tracked path.
@@ -226,20 +340,49 @@ impl ReliableState {
     }
 
     /// A tracked message arrived at a live receiver. Returns true when it
-    /// is the first copy (dispatch it); false for a suppressed duplicate.
-    /// The caller acks in both cases.
+    /// should be dispatched; false for a suppressed duplicate. The caller
+    /// acks in both cases.
+    ///
+    /// Dedup state per sender is a sliding window over the
+    /// [`dedup window`](ReliableState::set_dedup_window) most recent
+    /// sequence numbers rather than the full run history, so memory is
+    /// bounded. The tradeoff is honest at-least-once delivery: a
+    /// duplicate arriving after its record aged out of the window is
+    /// readmitted (dispatched again) and counted in
+    /// [`ReliabilityStats::duplicates_readmitted`]; every scheme handler
+    /// is idempotent under redelivery, so this degrades cost, not
+    /// correctness.
     pub fn on_tracked_delivery(&mut self, sender: NodeId, seq: u64) -> bool {
-        if self.seen.insert((sender, seq)) {
-            true
-        } else {
-            self.stats.duplicates_suppressed += 1;
-            false
+        let i = sender.index();
+        if i >= self.seen.len() {
+            self.seen.resize(i + 1, None);
+        }
+        let window = self.seen[i].get_or_insert_with(|| DedupWindow::new(self.dedup_window));
+        match window.admit(seq) {
+            Admit::Fresh => true,
+            Admit::Duplicate => {
+                self.stats.duplicates_suppressed += 1;
+                false
+            }
+            Admit::Evicted => {
+                self.stats.duplicates_readmitted += 1;
+                true
+            }
         }
     }
 
     /// Unacked messages currently awaiting a retry timer (diagnostics).
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The sequence numbers of all unacked tracked messages, sorted —
+    /// a deterministic snapshot for settle-deadline diagnostics. The
+    /// sender of each is recoverable as `seq >> 32`.
+    pub fn pending_seqs(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self.pending.keys().copied().collect();
+        seqs.sort_unstable();
+        seqs
     }
 }
 
@@ -400,6 +543,49 @@ mod tests {
             "dedup is keyed on (sender, seq)"
         );
         assert_eq!(r.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn dedup_window_slides_and_readmits_evicted_seqs() {
+        let mut r = armed();
+        r.set_dedup_window(64);
+        let s = NodeId(1);
+        assert!(r.on_tracked_delivery(s, 100));
+        assert!(!r.on_tracked_delivery(s, 100), "immediate duplicate");
+        for seq in 101..200 {
+            assert!(r.on_tracked_delivery(s, seq), "fresh seq {seq} suppressed");
+        }
+        // hi = 199, window 64: seq 100 aged out, seq 150 still covered.
+        assert!(r.on_tracked_delivery(s, 100), "evicted seq not readmitted");
+        assert!(!r.on_tracked_delivery(s, 150), "in-window duplicate");
+        assert_eq!(r.stats().duplicates_suppressed, 2);
+        assert_eq!(r.stats().duplicates_readmitted, 1);
+    }
+
+    #[test]
+    fn set_dedup_window_rounds_up() {
+        let mut r = armed();
+        r.set_dedup_window(1);
+        // A 64-wide window still dedups the basics.
+        assert!(r.on_tracked_delivery(NodeId(2), 7));
+        assert!(!r.on_tracked_delivery(NodeId(2), 7));
+    }
+
+    #[test]
+    fn pending_seqs_snapshot_is_sorted() {
+        let mut r = armed();
+        for node in [NodeId(5), NodeId(1), NodeId(3)] {
+            let (seq, jitter) = r.begin_tracking(node);
+            r.note_timer(seq, TimerId::from_raw(u64::from(node.0)), jitter);
+        }
+        let seqs = r.pending_seqs();
+        assert_eq!(seqs.len(), 3);
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            seqs.iter().map(|s| s >> 32).collect::<Vec<_>>(),
+            vec![1, 3, 5],
+            "sender recoverable from the high word"
+        );
     }
 
     #[test]

@@ -35,6 +35,16 @@ use crate::scheme::{
 use crate::space::SpaceCtl;
 use crate::trace::TraceCtx;
 
+/// Hard deadline for each settle/heal drain in [`Runner::run_settled`],
+/// in simulated seconds past the point where the drain begins. Generous
+/// against every legitimate source of queued work — retransmit chains
+/// are bounded by `max_backoff_secs · max_retries` and periodic timers
+/// stop rescheduling under the settle guard, so nothing real survives
+/// more than a few TTLs — while a livelocked scheme (one that keeps
+/// generating traffic forever) hits it and fails loudly instead of
+/// draining without end.
+const SETTLE_DEADLINE_SECS: f64 = 1e7;
+
 /// Runs one simulation to completion and returns its report.
 pub fn run_simulation<S: Scheme>(cfg: &RunConfig, scheme: S) -> RunReport {
     Runner::new(cfg.clone(), scheme).run()
@@ -398,11 +408,7 @@ impl<S: Scheme> Runner<S> {
         let report = self.run_main(&mut engine);
         self.settling = true;
         self.world.faults.disarm();
-        // Push the horizon out far enough that every queued event —
-        // in-flight deliveries and TTL-scale timers alike — is popped
-        // (timers are skipped without rescheduling while settling).
-        engine.set_horizon(engine.now() + SimDuration::from_secs_f64(1e9));
-        engine.run(|eng, ev| self.handle(eng, ev));
+        self.settle_drain(&mut engine, "settle");
         for phase in 0..heal_phases {
             {
                 let mut ctx = Ctx {
@@ -411,13 +417,49 @@ impl<S: Scheme> Runner<S> {
                 };
                 heal(&mut self.scheme, &mut ctx, phase);
             }
-            engine.run(|eng, ev| self.handle(eng, ev));
+            self.settle_drain(&mut engine, "heal phase");
         }
         SettledRun {
             report,
             scheme: self.scheme,
             world: self.world,
         }
+    }
+
+    /// Drains the event set to quiescence under the settle guard, with a
+    /// hard deadline of [`SETTLE_DEADLINE_SECS`] simulated seconds: the
+    /// horizon is pushed out far enough that every legitimately queued
+    /// event — in-flight deliveries and TTL-scale timers alike — is
+    /// popped (timers are skipped without rescheduling while settling),
+    /// but a scheme that livelocks (keeps generating new traffic forever)
+    /// hits the deadline and fails loudly, naming the unconverged nodes,
+    /// instead of draining forever.
+    ///
+    /// A run whose `max_events` backstop fires mid-drain returns quietly,
+    /// as before: an exhausted event budget is a configured stop, not a
+    /// livelock.
+    fn settle_drain(&mut self, engine: &mut Engine<Ev<S::Msg>>, stage: &str) {
+        engine.set_horizon(engine.now() + SimDuration::from_secs_f64(SETTLE_DEADLINE_SECS));
+        let outcome = engine.run(|eng, ev| self.handle(eng, ev));
+        if !matches!(outcome, RunOutcome::HorizonReached) {
+            return;
+        }
+        let queued = engine.pending();
+        if queued == 0 {
+            return;
+        }
+        // Name the nodes that still owe protocol progress: every sender
+        // with an unacked tracked message (the sender id is the sequence
+        // number's high word). Traffic outside the reliability layer shows
+        // up in the queued-event count alone.
+        let seqs = self.world.reliable.pending_seqs();
+        let mut unconverged: Vec<u64> = seqs.iter().map(|s| s >> 32).collect();
+        unconverged.dedup();
+        panic!(
+            "run_settled: {stage} did not quiesce within {SETTLE_DEADLINE_SECS:.0} simulated \
+             seconds — the scheme is livelocked ({queued} events still queued at the settle \
+             deadline). Unconverged nodes (unacked tracked senders): {unconverged:?}"
+        );
     }
 
     /// Schedules the standing drivers and runs the main event loop to the
@@ -1370,6 +1412,51 @@ mod tests {
         let a = run_simulation(&tiny_cfg(1), PcxScheme::new());
         let b = run_simulation(&tiny_cfg(2), PcxScheme::new());
         assert_ne!(a.latency_hops.mean, b.latency_hops.mean);
+    }
+
+    /// A deliberately livelocked scheme: every message provokes a reply,
+    /// so the event set never drains.
+    struct PingPongScheme;
+
+    impl Scheme for PingPongScheme {
+        type Msg = u32;
+
+        fn name(&self) -> &'static str {
+            "PINGPONG"
+        }
+
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(NodeId(1), NodeId(2), MsgClass::Control, 0);
+        }
+
+        fn on_scheme_msg(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, to: NodeId, msg: u32) {
+            ctx.send(to, from, MsgClass::Control, msg.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn settle_deadline_names_livelocked_nodes() {
+        let mut cfg = tiny_cfg(5);
+        cfg.warmup_secs = 1.0;
+        cfg.duration_secs = 2.0;
+        // Stretch hops so the ping-pong burns simulated time quickly and
+        // the settle deadline is reached in a handful of events.
+        cfg.protocol.hop_latency_mean_secs = 50_000.0;
+        cfg.protocol.hop_latency_min_secs = 10_000.0;
+        // Tracked sends let the deadline diagnostics name the senders.
+        cfg.reliability.enabled = true;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Runner::new(cfg, PingPongScheme).run_settled(0, |_, _, _| {});
+        }))
+        .expect_err("a livelocked settle must hit the deadline");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("settle-deadline panic carries a message");
+        assert!(msg.contains("livelocked"), "unexpected panic: {msg}");
+        assert!(
+            msg.contains('1') || msg.contains('2'),
+            "panic must name the unconverged nodes: {msg}"
+        );
     }
 
     #[test]

@@ -24,6 +24,12 @@ use crate::reliable::ReliableState;
 use crate::trace::{SpanInfo, TraceCtx};
 
 /// A message in flight between two overlay nodes.
+///
+/// Serializable (for scheme messages that are) so the live host
+/// (`dup-live`) can carry the identical payloads over a socket codec;
+/// in-sim the impls are never exercised. The impls are hand-written
+/// (externally tagged, matching the derive layout) because the vendored
+/// `serde_derive` does not handle generic types.
 #[derive(Debug, Clone)]
 pub enum Msg<M> {
     /// A query request traveling up the search tree. `visited` lists the
@@ -73,6 +79,102 @@ pub enum Msg<M> {
         /// The acknowledged sequence number.
         seq: u64,
     },
+}
+
+impl<M: serde::Serialize> serde::Serialize for Msg<M> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStructVariant;
+        match self {
+            Msg::Request {
+                origin,
+                visited,
+                issued_at,
+                riders,
+            } => {
+                let mut sv = serializer.serialize_struct_variant("Msg", 0, "Request", 4)?;
+                sv.serialize_field("origin", origin)?;
+                sv.serialize_field("visited", visited)?;
+                sv.serialize_field("issued_at", issued_at)?;
+                sv.serialize_field("riders", riders)?;
+                sv.end()
+            }
+            Msg::Reply {
+                record,
+                remaining,
+                issued_at,
+            } => {
+                let mut sv = serializer.serialize_struct_variant("Msg", 1, "Reply", 3)?;
+                sv.serialize_field("record", record)?;
+                sv.serialize_field("remaining", remaining)?;
+                sv.serialize_field("issued_at", issued_at)?;
+                sv.end()
+            }
+            Msg::Scheme(m) => serializer.serialize_newtype_variant("Msg", 2, "Scheme", m),
+            Msg::Tracked { seq, inner } => {
+                let mut sv = serializer.serialize_struct_variant("Msg", 3, "Tracked", 2)?;
+                sv.serialize_field("seq", seq)?;
+                sv.serialize_field("inner", inner)?;
+                sv.end()
+            }
+            Msg::Ack { seq } => {
+                let mut sv = serializer.serialize_struct_variant("Msg", 4, "Ack", 1)?;
+                sv.serialize_field("seq", seq)?;
+                sv.end()
+            }
+        }
+    }
+}
+
+impl<'de, M: serde::Deserialize<'de>> serde::Deserialize<'de> for Msg<M> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+
+        /// Pulls one named field out of an externally-tagged payload.
+        fn field<'de, T: serde::Deserialize<'de>, E: serde::de::Error>(
+            payload: &serde::Content,
+            key: &str,
+        ) -> Result<T, E> {
+            let value = payload
+                .get(key)
+                .cloned()
+                .ok_or_else(|| E::custom(format_args!("missing field `{key}`")))?;
+            T::deserialize(serde::ContentDeserializer::<E>::new(value))
+        }
+
+        let content = deserializer.content()?;
+        let serde::Content::Map(entries) = content else {
+            return Err(D::Error::custom(format_args!(
+                "expected externally tagged Msg, got {content:?}"
+            )));
+        };
+        let [(variant, payload)] = <[_; 1]>::try_from(entries)
+            .map_err(|_| D::Error::custom("expected a single-variant map for Msg"))?;
+        match variant.as_str() {
+            "Request" => Ok(Msg::Request {
+                origin: field(&payload, "origin")?,
+                visited: field(&payload, "visited")?,
+                issued_at: field(&payload, "issued_at")?,
+                riders: field(&payload, "riders")?,
+            }),
+            "Reply" => Ok(Msg::Reply {
+                record: field(&payload, "record")?,
+                remaining: field(&payload, "remaining")?,
+                issued_at: field(&payload, "issued_at")?,
+            }),
+            "Scheme" => M::deserialize(serde::ContentDeserializer::<D::Error>::new(payload))
+                .map(Msg::Scheme),
+            "Tracked" => Ok(Msg::Tracked {
+                seq: field(&payload, "seq")?,
+                inner: field(&payload, "inner")?,
+            }),
+            "Ack" => Ok(Msg::Ack {
+                seq: field(&payload, "seq")?,
+            }),
+            other => Err(D::Error::custom(format_args!(
+                "unknown Msg variant `{other}`"
+            ))),
+        }
+    }
 }
 
 /// The discrete events of a simulation run.
@@ -425,17 +527,39 @@ impl World {
     }
 }
 
-/// The event-scheduling surface the protocol layer drives.
+/// The time source the protocol layer reads.
+///
+/// In-sim this is the engine's virtual clock; the live host
+/// (`dup-live`) derives a [`SimTime`] from a wall-clock epoch, so the
+/// identical scheme code sees monotonically advancing time either way.
+pub trait Clock {
+    /// Current time (simulated or wall-derived).
+    fn now(&self) -> SimTime;
+}
+
+/// The message-delivery surface the protocol layer sends through.
+///
+/// `deliver` hands off a delivery addressed to node `to`: the sequential
+/// engine schedules it on its one global queue, the space-parallel
+/// adapter routes it to `to`'s owner shard, and the live host serialises
+/// it onto `to`'s socket. Separated from [`EvSink`] so a transport can
+/// exist without a local timer queue.
+pub trait Transport<M> {
+    /// Schedules a delivery addressed to node `to` at instant `at`.
+    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>);
+}
+
+/// The full event-scheduling surface the protocol layer drives: a
+/// [`Clock`], a [`Transport`], and local timer management.
 ///
 /// Sequential runs use the plain [`Engine`] implementation, where
-/// [`deliver`](EvSink::deliver) is an ordinary schedule on the one global
-/// queue. The space-parallel runner substitutes a shard adapter whose
-/// `deliver` routes by the destination node's owning shard, while timers
-/// (`schedule` / `schedule_after`) always stay on the calling shard's
-/// local queue — a retransmit timer belongs to the sender that armed it.
-pub trait EvSink<M> {
-    /// Current simulated time.
-    fn now(&self) -> SimTime;
+/// [`deliver`](Transport::deliver) is an ordinary schedule on the one
+/// global queue. The space-parallel runner substitutes a shard adapter
+/// whose `deliver` routes by the destination node's owning shard, and the
+/// live host (`dup-live`) implements it over real sockets — while timers
+/// (`schedule` / `schedule_after`) always stay on the calling side's
+/// local queue: a retransmit timer belongs to the sender that armed it.
+pub trait EvSink<M>: Clock + Transport<M> {
     /// Schedules `ev` at the absolute instant `at` on the local queue.
     fn schedule(&mut self, at: SimTime, ev: Ev<M>) -> TimerId;
     /// Schedules `ev` `delay` after now on the local queue.
@@ -447,17 +571,24 @@ pub trait EvSink<M> {
     fn stop(&mut self);
     /// Events still queued locally (sampled queue-depth telemetry).
     fn pending(&self) -> usize;
-    /// Schedules a delivery addressed to node `to`: on the local queue
-    /// here, on `to`'s owner shard in the space-parallel adapter.
-    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>);
 }
 
-impl<M> EvSink<M> for Engine<Ev<M>> {
+impl<E> Clock for Engine<E> {
     #[inline]
     fn now(&self) -> SimTime {
         Engine::now(self)
     }
+}
 
+impl<M> Transport<M> for Engine<Ev<M>> {
+    #[inline]
+    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>) {
+        let _ = to;
+        Engine::schedule(self, at, ev);
+    }
+}
+
+impl<M> EvSink<M> for Engine<Ev<M>> {
     #[inline]
     fn schedule(&mut self, at: SimTime, ev: Ev<M>) -> TimerId {
         Engine::schedule(self, at, ev)
@@ -481,12 +612,6 @@ impl<M> EvSink<M> for Engine<Ev<M>> {
     #[inline]
     fn pending(&self) -> usize {
         Engine::pending(self)
-    }
-
-    #[inline]
-    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>) {
-        let _ = to;
-        Engine::schedule(self, at, ev);
     }
 }
 
@@ -578,7 +703,7 @@ impl<M> Ctx<'_, M> {
 /// stays FIFO (as over TCP) — faults reorder traffic across channels,
 /// never within one. Drops still charge the hop: the sender paid for a
 /// send that was lost in transit.
-pub(crate) fn send_msg<M: Clone>(
+pub fn send_msg<M: Clone>(
     world: &mut World,
     engine: &mut dyn EvSink<M>,
     from: NodeId,
@@ -659,7 +784,7 @@ pub(crate) fn send_msg<M: Clone>(
 /// delivery of the same logical message, attributed to the update it
 /// repairs — and arms no new tracking (the caller manages the timer
 /// chain).
-pub(crate) fn resend_msg<M: Clone>(
+pub fn resend_msg<M: Clone>(
     world: &mut World,
     engine: &mut dyn EvSink<M>,
     from: NodeId,

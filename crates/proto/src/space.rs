@@ -40,7 +40,7 @@ use crate::config::{QueueBackendConfig, RunConfig, StopRule};
 use crate::metrics::{Metrics, RunReport};
 use crate::probe::ProbeSink;
 use crate::runner::{LogRecord, Runner};
-use crate::scheme::{Ctx, Ev, EvSink, Scheme, World};
+use crate::scheme::{Clock, Ctx, Ev, EvSink, Scheme, Transport, World};
 
 /// The deterministic node → shard assignment: contiguous blocks of
 /// `ceil(capacity / shards)` node ids, the tail clamped into the last
@@ -111,12 +111,30 @@ struct SpaceSink<'a, 'q, M> {
     cross: &'a mut u64,
 }
 
-impl<M> EvSink<M> for SpaceSink<'_, '_, M> {
+impl<M> Clock for SpaceSink<'_, '_, M> {
     #[inline]
     fn now(&self) -> SimTime {
         self.ctx.now()
     }
+}
 
+impl<M> Transport<M> for SpaceSink<'_, '_, M> {
+    #[inline]
+    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>) {
+        let dst = self.map.owner(to);
+        if dst == self.shard {
+            *self.local += 1;
+        } else {
+            *self.cross += 1;
+        }
+        // ShardCtx::send schedules locally when dst is this shard and
+        // asserts the lookahead bound otherwise — which the hop-latency
+        // floor guarantees by construction.
+        self.ctx.send(dst, at, ev);
+    }
+}
+
+impl<M> EvSink<M> for SpaceSink<'_, '_, M> {
     #[inline]
     fn schedule(&mut self, at: SimTime, ev: Ev<M>) -> TimerId {
         self.ctx.schedule(at, ev)
@@ -142,20 +160,6 @@ impl<M> EvSink<M> for SpaceSink<'_, '_, M> {
     #[inline]
     fn pending(&self) -> usize {
         self.ctx.pending()
-    }
-
-    #[inline]
-    fn deliver(&mut self, to: NodeId, at: SimTime, ev: Ev<M>) {
-        let dst = self.map.owner(to);
-        if dst == self.shard {
-            *self.local += 1;
-        } else {
-            *self.cross += 1;
-        }
-        // ShardCtx::send schedules locally when dst is this shard and
-        // asserts the lookahead bound otherwise — which the hop-latency
-        // floor guarantees by construction.
-        self.ctx.send(dst, at, ev);
     }
 }
 

@@ -1,0 +1,115 @@
+//! Property tests for the receiver-side sliding-window dedup in the
+//! reliability layer, in the same hand-rolled seeded-generator style as
+//! `prop_backoff.rs`: every case derives from a counter seed, so a
+//! failure message's seed replays the exact case.
+
+use rand::Rng;
+
+use dup_overlay::NodeId;
+use dup_proto::{ReliabilityConfig, ReliableState};
+use dup_sim::stream_rng;
+
+/// The bounded window changes dedup behavior in exactly one way: a late
+/// duplicate whose record has aged out of the window (at least `window`
+/// newer sequences from the same sender already delivered) is readmitted.
+/// Everything else keeps the unbounded-set semantics — first copies
+/// always dispatch, in-window duplicates are always suppressed — and the
+/// two stats counters partition the duplicates exactly.
+#[test]
+fn late_duplicates_beyond_window_are_the_only_readmissions() {
+    for case in 0..150u64 {
+        let mut pattern = stream_rng(case, "prop/dedup-window");
+        let window = 64 * pattern.gen_range(1..=4u64);
+        let mut r = ReliableState::from_config(
+            ReliabilityConfig {
+                enabled: true,
+                ..ReliabilityConfig::default()
+            },
+            case,
+        );
+        r.set_dedup_window(window);
+        // Reference model, per sender: how many fresh sequences have been
+        // delivered (they arrive in order, as a sender emits them) and the
+        // highest so far. The window spec is then: a duplicate of `seq` is
+        // suppressed iff `hi - seq < window`, readmitted otherwise.
+        let senders = pattern.gen_range(1..=3usize);
+        let mut next: Vec<u64> = vec![0; senders];
+        let mut hi: Vec<u64> = vec![0; senders];
+        let mut expect_suppressed = 0u64;
+        let mut expect_readmitted = 0u64;
+        let steps = pattern.gen_range(50..=400usize);
+        for _ in 0..steps {
+            let s = pattern.gen_range(0..senders);
+            let sender = NodeId(s as u32);
+            if next[s] == 0 || pattern.gen_bool(0.6) {
+                let seq = next[s];
+                next[s] += 1;
+                hi[s] = seq;
+                assert!(
+                    r.on_tracked_delivery(sender, seq),
+                    "case {case}: first copy of ({s}, {seq}) suppressed"
+                );
+            } else {
+                // A duplicate of an arbitrary earlier sequence — possibly
+                // arbitrarily late relative to the sender's newest traffic.
+                let seq = pattern.gen_range(0..next[s]);
+                let dispatched = r.on_tracked_delivery(sender, seq);
+                if hi[s] - seq < window {
+                    assert!(
+                        !dispatched,
+                        "case {case}: in-window duplicate ({s}, {seq}) not suppressed \
+                         (hi {}, window {window})",
+                        hi[s]
+                    );
+                    expect_suppressed += 1;
+                } else {
+                    assert!(
+                        dispatched,
+                        "case {case}: evicted duplicate ({s}, {seq}) not readmitted \
+                         (hi {}, window {window})",
+                        hi[s]
+                    );
+                    expect_readmitted += 1;
+                }
+            }
+        }
+        let stats = r.stats();
+        assert_eq!(
+            stats.duplicates_suppressed, expect_suppressed,
+            "case {case}: suppression count off"
+        );
+        assert_eq!(
+            stats.duplicates_readmitted, expect_readmitted,
+            "case {case}: readmission count off"
+        );
+    }
+}
+
+/// Dedup windows are per-sender: one sender racing far ahead never evicts
+/// another sender's records.
+#[test]
+fn window_eviction_is_per_sender() {
+    let mut r = ReliableState::from_config(
+        ReliabilityConfig {
+            enabled: true,
+            ..ReliabilityConfig::default()
+        },
+        11,
+    );
+    r.set_dedup_window(64);
+    assert!(r.on_tracked_delivery(NodeId(0), 5));
+    // Sender 1 delivers far more than one window's worth of traffic.
+    for seq in 0..1000u64 {
+        assert!(r.on_tracked_delivery(NodeId(1), seq));
+    }
+    // Sender 0's lone record is untouched; sender 1's oldest are evicted.
+    assert!(
+        !r.on_tracked_delivery(NodeId(0), 5),
+        "cross-sender eviction"
+    );
+    assert!(r.on_tracked_delivery(NodeId(1), 5), "expected eviction");
+    assert!(
+        !r.on_tracked_delivery(NodeId(1), 980),
+        "in-window duplicate"
+    );
+}

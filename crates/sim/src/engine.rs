@@ -89,6 +89,13 @@ impl<E> Engine<E> {
         self.queue.peak_len()
     }
 
+    /// The timestamp of the earliest pending event, if any. A live host
+    /// uses this to budget its event-loop sleep: nothing in the timer
+    /// queue can become due before this instant.
+    pub fn peek_next_at(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Stops the run once the event whose handler is executing returns.
     /// Remaining events stay queued.
     pub fn stop(&mut self) {

@@ -28,6 +28,14 @@ pub trait Deserialize<'de>: Sized {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
 }
 
+/// A value deserializable without borrowing from the input, mirroring
+/// `serde::de::DeserializeOwned`. The vendored stack is value-based, so
+/// every `Deserialize` impl qualifies; the alias exists for bound parity
+/// with upstream call sites.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
 /// Backend over an in-memory [`Content`] tree, generic in the error type so
 /// derived impls can nest it under any outer backend.
 pub struct ContentDeserializer<E> {

@@ -75,6 +75,17 @@ pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
     T::deserialize(serde::ContentDeserializer::<Error>::new(content))
 }
 
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a typed value from JSON bytes.
+pub fn from_slice<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
 /// Lowers any serializable value to a [`Value`].
 pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
     value
